@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the hot paths: packet codec, OpenFlow
+//! codec, flow-table lookup, buffer operations, and a full testbed run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sdnbuf_core::{BufferMode, Experiment, ExperimentConfig, WorkloadKind};
+use sdnbuf_flowtable::{FlowRule, FlowTable};
+use sdnbuf_net::{Packet, PacketBuilder};
+use sdnbuf_openflow::{msg, BufferId, Match, MatchView, OfpMessage, PortNo};
+use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_switchbuf::{BufferMechanism, FlowGranularityBuffer, PacketGranularityBuffer};
+use std::hint::black_box;
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let pkt = PacketBuilder::udp().frame_size(1000).build();
+    let bytes = pkt.encode();
+    c.bench_function("packet_encode_1000B", |b| {
+        b.iter(|| black_box(&pkt).encode())
+    });
+    c.bench_function("packet_decode_1000B", |b| {
+        b.iter(|| Packet::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_openflow_codec(c: &mut Criterion) {
+    let pkt = PacketBuilder::udp().frame_size(1000).build();
+    let pin = OfpMessage::PacketIn(msg::PacketIn {
+        buffer_id: BufferId::new(7),
+        total_len: 1000,
+        in_port: PortNo(1),
+        reason: msg::PacketInReason::NoMatch,
+        data: pkt.header_slice(128),
+    });
+    let bytes = pin.encode(1);
+    c.bench_function("ofp_packet_in_encode", |b| {
+        b.iter(|| black_box(&pin).encode(1))
+    });
+    c.bench_function("ofp_packet_in_decode", |b| {
+        b.iter(|| OfpMessage::decode(black_box(&bytes)).unwrap())
+    });
+    let fm = OfpMessage::FlowMod(msg::FlowMod {
+        match_fields: Match::exact_from_packet(PortNo(1), &pkt),
+        cookie: 0,
+        command: msg::FlowModCommand::Add,
+        idle_timeout: 5,
+        hard_timeout: 0,
+        priority: 100,
+        buffer_id: BufferId::NO_BUFFER,
+        out_port: PortNo::NONE,
+        flags: 0,
+        actions: vec![sdnbuf_openflow::Action::output(PortNo(2))],
+    });
+    c.bench_function("ofp_flow_mod_encode", |b| b.iter(|| black_box(&fm).encode(1)));
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut table = FlowTable::new(4096);
+    for i in 0..1000u16 {
+        let p = PacketBuilder::udp().src_port(i).build();
+        table.insert(
+            Nanos::ZERO,
+            FlowRule::new(Match::exact_from_packet(PortNo(1), &p), 100),
+        );
+    }
+    let probe = PacketBuilder::udp().src_port(500).build();
+    let view = MatchView::of(PortNo(1), &probe);
+    c.bench_function("flow_table_lookup_1000_rules", |b| {
+        b.iter(|| {
+            table
+                .match_packet(Nanos::from_micros(1), black_box(&view), 1000)
+                .map(|r| r.priority)
+        })
+    });
+}
+
+fn bench_buffers(c: &mut Criterion) {
+    let pkt = PacketBuilder::udp().frame_size(1000).build();
+    c.bench_function("packet_granularity_miss_release", |b| {
+        b.iter_batched(
+            || PacketGranularityBuffer::new(256),
+            |mut buf| {
+                let action = buf.on_miss(Nanos::ZERO, pkt.clone(), PortNo(1));
+                if let sdnbuf_switchbuf::MissAction::SendBufferedPacketIn { buffer_id } = action {
+                    black_box(buf.release(Nanos::from_micros(1), buffer_id));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("flow_granularity_20pkt_flow", |b| {
+        b.iter_batched(
+            || FlowGranularityBuffer::new(256, Nanos::from_millis(50)),
+            |mut buf| {
+                let mut id = None;
+                for i in 0..20u64 {
+                    if let sdnbuf_switchbuf::MissAction::SendBufferedPacketIn { buffer_id } =
+                        buf.on_miss(Nanos::from_micros(i), pkt.clone(), PortNo(1))
+                    {
+                        id = Some(buffer_id);
+                    }
+                }
+                black_box(buf.release(Nanos::from_millis(1), id.unwrap()));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    c.bench_function("testbed_run_100_flows_50mbps", |b| {
+        b.iter(|| {
+            Experiment::new(ExperimentConfig {
+                buffer: BufferMode::PacketGranularity { capacity: 256 },
+                workload: WorkloadKind::single_packet_flows(100),
+                sending_rate: BitRate::from_mbps(50),
+                seed: 1,
+                ..ExperimentConfig::default()
+            })
+            .run()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_packet_codec,
+    bench_openflow_codec,
+    bench_flow_table,
+    bench_buffers,
+    bench_full_run
+);
+criterion_main!(benches);

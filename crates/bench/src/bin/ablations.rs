@@ -1,0 +1,280 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **`miss_send_len` sweep** — how many header bytes should a buffered
+//!    `packet_in` carry? (The paper uses the OpenFlow default of 128.)
+//! 2. **Buffer-capacity sweep** — between the paper's 16 and 256, where
+//!    does exhaustion stop hurting? (Section IV.G concludes ~80 units
+//!    suffice for a 100 Mbps port.)
+//! 3. **Re-request timeout sensitivity** — Algorithm 1's timeout under a
+//!    lossy control channel: too short re-requests needlessly, too long
+//!    strands buffered packets.
+//! 4. **Reactive rules vs hub** — how much of the win comes from rule
+//!    installation at all: a hub controller floods every miss and installs
+//!    nothing, so every packet of every flow stays a miss forever.
+//! 5. **Arrival process** — the paper's CBR pktgen traffic vs Poisson
+//!    arrivals of the same mean rate: burstiness stresses the buffer.
+
+use sdnbuf_core::{BufferMode, Experiment, ExperimentConfig, TestbedConfig, WorkloadKind};
+use sdnbuf_metrics::Table;
+use sdnbuf_sim::{BitRate, Nanos};
+
+fn mean_of(
+    make: impl Fn(u64) -> ExperimentConfig,
+    reps: u64,
+    metric: impl Fn(&sdnbuf_core::RunResult) -> f64,
+) -> f64 {
+    let total: f64 = (0..reps)
+        .map(|rep| metric(&Experiment::new(make(rep)).run()))
+        .sum();
+    total / reps as f64
+}
+
+fn ablate_miss_send_len(reps: u64) {
+    let mut t = Table::new(vec![
+        "miss_send_len",
+        "ctrl_load_mbps",
+        "controller_delay_ms",
+        "parse_failures_possible",
+    ]);
+    for msl in [42u16, 64, 128, 256, 512] {
+        let make = |rep: u64| {
+            let mut testbed = TestbedConfig::default();
+            testbed.switch.miss_send_len = msl;
+            ExperimentConfig {
+                buffer: BufferMode::PacketGranularity { capacity: 256 },
+                workload: WorkloadKind::paper_section_iv(),
+                sending_rate: BitRate::from_mbps(60),
+                seed: 100 + rep,
+                testbed,
+                ..ExperimentConfig::default()
+            }
+        };
+        let load = mean_of(make, reps, |r| r.ctrl_load_to_controller_mbps);
+        let delay = mean_of(make, reps, |r| r.controller_delay.mean);
+        // Below 42 bytes the UDP header would be cut off and the reactive
+        // rule could not match the transport ports.
+        let risky = if msl < 42 { "yes" } else { "no" };
+        t.row(vec![
+            msl.to_string(),
+            format!("{load:.3}"),
+            format!("{delay:.3}"),
+            risky.to_owned(),
+        ]);
+    }
+    sdnbuf_bench::emit(
+        "ablation_miss_send_len",
+        "Ablation: miss_send_len at 60 Mbps (buffer-256)",
+        &t,
+    );
+}
+
+fn ablate_buffer_capacity(reps: u64) {
+    let mut t = Table::new(vec![
+        "capacity",
+        "fallbacks",
+        "setup_delay_ms",
+        "peak_units",
+    ]);
+    for cap in [8usize, 16, 32, 64, 128, 256] {
+        let make = |rep: u64| ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: cap },
+            workload: WorkloadKind::paper_section_iv(),
+            sending_rate: BitRate::from_mbps(80),
+            seed: 200 + rep,
+            ..ExperimentConfig::default()
+        };
+        t.row(vec![
+            cap.to_string(),
+            format!("{:.1}", mean_of(make, reps, |r| r.buffer_fallbacks as f64)),
+            format!("{:.3}", mean_of(make, reps, |r| r.flow_setup_delay.mean)),
+            format!(
+                "{:.1}",
+                mean_of(make, reps, |r| r.buffer_peak_occupancy as f64)
+            ),
+        ]);
+    }
+    sdnbuf_bench::emit(
+        "ablation_buffer_capacity",
+        "Ablation: buffer capacity at 80 Mbps (packet granularity)",
+        &t,
+    );
+}
+
+fn ablate_rerequest_timeout(reps: u64) {
+    let mut t = Table::new(vec![
+        "timeout_ms",
+        "rerequests",
+        "delivered_pct",
+        "forwarding_delay_ms",
+    ]);
+    for timeout_ms in [5u64, 10, 20, 50, 100, 200] {
+        let make = |rep: u64| {
+            // One in 20 control messages is lost: requests do go missing.
+            let testbed = TestbedConfig {
+                control_loss_one_in: Some(20),
+                ..TestbedConfig::default()
+            };
+            ExperimentConfig {
+                buffer: BufferMode::FlowGranularity {
+                    capacity: 256,
+                    timeout: Nanos::from_millis(timeout_ms),
+                },
+                workload: WorkloadKind::paper_section_v(),
+                sending_rate: BitRate::from_mbps(50),
+                seed: 300 + rep,
+                testbed,
+                ..ExperimentConfig::default()
+            }
+        };
+        t.row(vec![
+            timeout_ms.to_string(),
+            format!("{:.1}", mean_of(make, reps, |r| r.rerequests as f64)),
+            format!(
+                "{:.1}",
+                mean_of(make, reps, |r| 100.0 * r.packets_delivered as f64
+                    / r.packets_sent as f64)
+            ),
+            format!(
+                "{:.3}",
+                mean_of(make, reps, |r| r.flow_forwarding_delay.mean)
+            ),
+        ]);
+    }
+    sdnbuf_bench::emit(
+        "ablation_rerequest_timeout",
+        "Ablation: Algorithm 1 re-request timeout under 5% control loss (50 Mbps)",
+        &t,
+    );
+}
+
+fn ablate_forwarding_mode(reps: u64) {
+    use sdnbuf_controller::ForwardingMode;
+    let mut t = Table::new(vec![
+        "mode",
+        "pkt_ins",
+        "ctrl_load_mbps",
+        "flow_fwd_delay_ms",
+    ]);
+    for (name, mode) in [
+        ("learning", ForwardingMode::Learning),
+        ("hub", ForwardingMode::Hub),
+    ] {
+        let make = |rep: u64| {
+            let mut testbed = TestbedConfig::default();
+            testbed.controller.mode = mode;
+            ExperimentConfig {
+                buffer: BufferMode::PacketGranularity { capacity: 256 },
+                workload: WorkloadKind::paper_section_v(),
+                sending_rate: BitRate::from_mbps(50),
+                seed: 400 + rep,
+                testbed,
+                ..ExperimentConfig::default()
+            }
+        };
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.0}", mean_of(make, reps, |r| r.pkt_in_count as f64)),
+            format!(
+                "{:.3}",
+                mean_of(make, reps, |r| r.ctrl_load_to_controller_mbps)
+            ),
+            format!(
+                "{:.3}",
+                mean_of(make, reps, |r| r.flow_forwarding_delay.mean)
+            ),
+        ]);
+    }
+    sdnbuf_bench::emit(
+        "ablation_forwarding_mode",
+        "Ablation: reactive rules vs hub flooding (50 flows x 20 pkts, 50 Mbps)",
+        &t,
+    );
+}
+
+fn ablate_arrival_process(reps: u64) {
+    use sdnbuf_workload::ArrivalProcess;
+    let mut t = Table::new(vec![
+        "arrival",
+        "peak_buffer_units",
+        "fallbacks",
+        "setup_delay_ms",
+    ]);
+    for (name, arrival) in [
+        ("cbr", ArrivalProcess::Cbr),
+        ("poisson", ArrivalProcess::Poisson),
+    ] {
+        let make = |rep: u64| ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: 64 },
+            workload: WorkloadKind::paper_section_iv(),
+            sending_rate: BitRate::from_mbps(70),
+            seed: 500 + rep,
+            testbed: TestbedConfig::default(),
+            ..ExperimentConfig::default()
+        };
+        // The arrival process lives in the pktgen config, which the
+        // experiment builds internally; emulate by generating departures
+        // explicitly and running the testbed directly.
+        let total: f64 = (0..reps)
+            .map(|rep| {
+                let cfg = make(rep);
+                let pktgen = sdnbuf_workload::PktgenConfig {
+                    rate: cfg.sending_rate,
+                    arrival,
+                    ..sdnbuf_workload::PktgenConfig::default()
+                };
+                let deps = cfg.workload.generate(&pktgen, cfg.seed);
+                let mut testbed = sdnbuf_core::Testbed::new(sdnbuf_core::TestbedConfig {
+                    switch: sdnbuf_switch::SwitchConfig {
+                        buffer: cfg.buffer,
+                        ..cfg.testbed.switch
+                    },
+                    ..cfg.testbed.clone()
+                });
+                testbed.run(&deps).buffer_peak_occupancy as f64
+            })
+            .sum();
+        let peak = total / reps as f64;
+        let run_metrics = |metric: &dyn Fn(&sdnbuf_core::RunResult) -> f64| -> f64 {
+            (0..reps)
+                .map(|rep| {
+                    let cfg = make(rep);
+                    let pktgen = sdnbuf_workload::PktgenConfig {
+                        rate: cfg.sending_rate,
+                        arrival,
+                        ..sdnbuf_workload::PktgenConfig::default()
+                    };
+                    let deps = cfg.workload.generate(&pktgen, cfg.seed);
+                    let mut testbed = sdnbuf_core::Testbed::new(sdnbuf_core::TestbedConfig {
+                        switch: sdnbuf_switch::SwitchConfig {
+                            buffer: cfg.buffer,
+                            ..cfg.testbed.switch
+                        },
+                        ..cfg.testbed.clone()
+                    });
+                    metric(&testbed.run(&deps))
+                })
+                .sum::<f64>()
+                / reps as f64
+        };
+        t.row(vec![
+            name.to_owned(),
+            format!("{peak:.1}"),
+            format!("{:.1}", run_metrics(&|r| r.buffer_fallbacks as f64)),
+            format!("{:.3}", run_metrics(&|r| r.flow_setup_delay.mean)),
+        ]);
+    }
+    sdnbuf_bench::emit(
+        "ablation_arrival_process",
+        "Ablation: CBR vs Poisson arrivals (buffer-64, 70 Mbps)",
+        &t,
+    );
+}
+
+fn main() {
+    let reps = sdnbuf_bench::reps_from_env() as u64;
+    ablate_miss_send_len(reps);
+    ablate_buffer_capacity(reps);
+    ablate_rerequest_timeout(reps);
+    ablate_forwarding_mode(reps);
+    ablate_arrival_process(reps);
+}

@@ -1,0 +1,38 @@
+//! Quick calibration check: a reduced Section IV + V sweep printing the key
+//! figure shapes, used while tuning the testbed cost model.
+
+use sdnbuf_core::{figures, RateSweep};
+
+fn main() {
+    let mut iv = RateSweep::paper_section_iv(2);
+    iv.rates_mbps = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    if std::env::var("CAL_SMALL").is_ok() {
+        if let sdnbuf_core::WorkloadKind::SinglePacketFlows { ref mut n_flows } = iv.workload {
+            *n_flows = 300;
+        }
+    }
+    let iv = iv.run();
+    println!("{}", figures::fig_control_load_to_controller(&iv));
+    println!("{}", figures::fig_control_load_to_switch(&iv));
+    println!("{}", figures::fig_controller_usage(&iv));
+    println!("{}", figures::fig_switch_usage(&iv));
+    println!("{}", figures::fig_flow_setup_delay(&iv));
+    println!("{}", figures::fig_controller_delay(&iv));
+    println!("{}", figures::fig_switch_delay(&iv));
+    println!("{}", figures::fig_buffer_utilization_mean(&iv));
+    println!("{}", figures::fig_buffer_utilization_max(&iv));
+
+    let mut v = RateSweep::paper_section_v(2);
+    v.rates_mbps = vec![10, 30, 50, 70, 90, 100];
+    let v = v.run();
+    println!("{}", figures::fig_control_load_to_controller(&v));
+    println!("{}", figures::fig_control_load_to_switch(&v));
+    println!("{}", figures::fig_controller_usage(&v));
+    println!("{}", figures::fig_switch_usage(&v));
+    println!("{}", figures::fig_flow_setup_delay(&v));
+    println!("{}", figures::fig_flow_forwarding_delay(&v));
+    println!("{}", figures::fig_buffer_utilization_mean(&v));
+    println!("{}", figures::fig_buffer_utilization_max(&v));
+
+    println!("{}", figures::summary_claims(&iv, &v));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Fig. 10: Controller Usages (mechanism comparison) of the paper.
+
+fn main() {
+    let sweep = sdnbuf_bench::section_v(sdnbuf_bench::reps_from_env());
+    sdnbuf_bench::emit("fig10_mech_controller_usage", "Fig. 10: Controller Usages (mechanism comparison)", &sdnbuf_core::figures::fig_controller_usage(&sweep));
+}

@@ -1,0 +1,16 @@
+//! Prints the paper's headline "on average" claims side by side with the
+//! reproduction's measured values (runs both sweeps).
+
+use sdnbuf_bench::{emit, reps_from_env, section_iv, section_v};
+use sdnbuf_core::figures;
+
+fn main() {
+    let reps = reps_from_env();
+    let iv = section_iv(reps);
+    let v = section_v(reps);
+    emit(
+        "summary_claims",
+        "Paper claims vs reproduction",
+        &figures::summary_claims(&iv, &v),
+    );
+}

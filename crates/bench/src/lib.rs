@@ -1,0 +1,113 @@
+//! Shared driver code for the figure-reproduction binaries.
+//!
+//! Every `fig*` binary runs the appropriate paper sweep (Section IV or V),
+//! renders the figure's data series as an aligned text table on stdout, and
+//! writes the same series as TSV under `results/`.
+//!
+//! Repetitions default to 5 for quick runs; set `SDNBUF_REPS=20` for the
+//! paper's full procedure (20 repetitions per rate). `SDNBUF_RATES=coarse`
+//! halves the rate grid for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdnbuf_core::{RateSweep, SweepResult};
+use sdnbuf_metrics::Table;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Repetitions per (mechanism, rate) cell: `SDNBUF_REPS`, default 5.
+pub fn reps_from_env() -> usize {
+    std::env::var("SDNBUF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5)
+}
+
+/// Rate grid: the paper's 5–100 Mbps in 5 Mbps steps, or 10 Mbps steps
+/// when `SDNBUF_RATES=coarse`.
+pub fn rates_from_env() -> Vec<u64> {
+    match std::env::var("SDNBUF_RATES").as_deref() {
+        Ok("coarse") => (1..=10).map(|i| i * 10).collect(),
+        _ => RateSweep::paper_rates(),
+    }
+}
+
+fn run_sweep(mut sweep: RateSweep, name: &str) -> SweepResult {
+    sweep.rates_mbps = rates_from_env();
+    let cells = sweep.buffers.len() * sweep.rates_mbps.len();
+    eprintln!(
+        "[{name}] running {} cells x {} repetitions ...",
+        cells, sweep.repetitions
+    );
+    let started = Instant::now();
+    let mut progress = |done: usize, total: usize| {
+        eprint!("\r[{name}] {done}/{total} cells");
+        let _ = std::io::stderr().flush();
+        if done == total {
+            eprintln!(" ({:.1}s)", started.elapsed().as_secs_f64());
+        }
+    };
+    sweep.run_with_progress(Some(&mut progress))
+}
+
+/// Runs the Section IV sweep (no-buffer / buffer-16 / buffer-256, 1000
+/// single-packet flows).
+pub fn section_iv(reps: usize) -> SweepResult {
+    run_sweep(RateSweep::paper_section_iv(reps), "section-iv")
+}
+
+/// Runs the Section V sweep (packet- vs flow-granularity, 50×20 packets).
+pub fn section_v(reps: usize) -> SweepResult {
+    run_sweep(RateSweep::paper_section_v(reps), "section-v")
+}
+
+/// Directory the TSVs go to: `results/` beside the workspace root.
+pub fn results_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("results");
+    dir
+}
+
+/// Prints a figure table and writes it to `results/<name>.tsv`.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("== {title} ==");
+    println!("{table}");
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.tsv"));
+    match std::fs::write(&path, table.to_tsv()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reps_is_positive() {
+        assert!(reps_from_env() > 0);
+    }
+
+    #[test]
+    fn paper_rate_grid_is_5_to_100() {
+        let rates = RateSweep::paper_rates();
+        assert_eq!(rates.first(), Some(&5));
+        assert_eq!(rates.last(), Some(&100));
+        assert_eq!(rates.len(), 20);
+    }
+
+    #[test]
+    fn results_dir_is_under_workspace() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Controller configuration and cost model.
+
+use sdnbuf_sim::{BitRate, Nanos};
+
+/// How the controller decides where packets go.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForwardingMode {
+    /// Floodlight's reactive forwarding: learn MAC locations, install an
+    /// exact-match rule + `packet_out` per new flow.
+    #[default]
+    Learning,
+    /// A hub: flood every miss, never install rules. The degenerate
+    /// baseline in which *every* packet of *every* flow stays a miss —
+    /// useful for ablations of how much reactive rules themselves save.
+    Hub,
+}
+
+/// Static configuration and processing-cost model of the controller.
+///
+/// Costs are per-`packet_in` CPU service times on the controller's cores.
+/// The per-byte term is the lever the paper's Section IV.B identifies: a
+/// 1018-byte full-packet `packet_in` costs markedly more to parse — and its
+/// full-packet `packet_out` more to build — than a 146-byte buffered one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControllerConfig {
+    /// CPU cores of the controller PC (quad-core in Table I).
+    pub cpu_cores: usize,
+    /// Base cost to receive and dispatch any message.
+    pub cost_parse_base: Nanos,
+    /// Additional cost per byte of `packet_in` payload parsed and,
+    /// symmetrically, per byte of `packet_out` payload encapsulated.
+    pub cost_per_byte: Nanos,
+    /// Cost of the forwarding decision (learning-table lookups).
+    pub cost_decision: Nanos,
+    /// Cost of building the `flow_mod` + `packet_out` pair.
+    pub cost_encode: Nanos,
+    /// Superlinear load penalty: effective cost is scaled by
+    /// `1 + contention × (queued jobs)`. Models thread contention and GC
+    /// pressure under bursts; zero disables it.
+    pub contention: f64,
+    /// Idle timeout installed in reactive rules, seconds (Floodlight's
+    /// forwarding default is 5 s).
+    pub rule_idle_timeout: u16,
+    /// Hard timeout installed in reactive rules, seconds (0 = none).
+    pub rule_hard_timeout: u16,
+    /// Priority of reactive rules.
+    pub rule_priority: u16,
+    /// Throughput of the controller's message-ingest path (the single
+    /// netty/IO thread draining the OpenFlow socket in Floodlight). With
+    /// full-packet `packet_in`s this path saturates near the link rate and
+    /// is where the paper's no-buffer controller delay starts climbing
+    /// (Fig. 6, beginning at 60 Mbps).
+    pub ingest_rate: BitRate,
+    /// Forwarding behaviour.
+    pub mode: ForwardingMode,
+    /// Response latency added per byte of packet data handled (the
+    /// `packet_in` payload plus any full packet re-encapsulated into the
+    /// `packet_out`). Models the JVM allocation/GC stalls that scale with
+    /// message size on the real Floodlight — pure latency, not CPU work,
+    /// so it shapes the controller-delay figures without inflating CPU
+    /// usage.
+    pub latency_per_byte: Nanos,
+}
+
+impl Default for ControllerConfig {
+    /// The Table I testbed controller: a quad-core PC running Floodlight
+    /// with its default reactive-forwarding parameters.
+    fn default() -> Self {
+        ControllerConfig {
+            cpu_cores: 4,
+            cost_parse_base: Nanos::from_micros(40),
+            cost_per_byte: Nanos::from_nanos(110),
+            cost_decision: Nanos::from_micros(25),
+            cost_encode: Nanos::from_micros(20),
+            contention: 0.08,
+            rule_idle_timeout: 5,
+            rule_hard_timeout: 0,
+            rule_priority: 100,
+            ingest_rate: BitRate::from_mbps(105),
+            mode: ForwardingMode::default(),
+            latency_per_byte: Nanos::from_nanos(400),
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Total service time for a `packet_in` whose data field has
+    /// `payload_bytes` bytes, before the contention scaling.
+    pub fn packet_in_cost(&self, payload_bytes: usize) -> Nanos {
+        // Parsing only; the controller adds a second per-byte term when it
+        // must re-encapsulate the packet into an unbuffered packet_out.
+        self.cost_parse_base
+            + self.cost_decision
+            + self.cost_encode
+            + self.cost_per_byte * (payload_bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_testbed() {
+        let c = ControllerConfig::default();
+        assert_eq!(c.cpu_cores, 4);
+        assert_eq!(c.rule_idle_timeout, 5);
+    }
+
+    #[test]
+    fn cost_scales_with_message_size() {
+        let c = ControllerConfig::default();
+        let small = c.packet_in_cost(128);
+        let large = c.packet_in_cost(1018);
+        assert!(large > small);
+        assert_eq!(
+            large - small,
+            c.cost_per_byte * (1018 - 128)
+        );
+    }
+}

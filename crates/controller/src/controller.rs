@@ -1,0 +1,637 @@
+//! The controller state machine.
+
+use crate::{ControllerConfig, ControllerStats, ForwardingMode, ParsedHeaders};
+use sdnbuf_net::MacAddr;
+use sdnbuf_openflow::{
+    msg::{FlowMod, FlowModCommand, PacketIn, PacketOut},
+    Action, BufferId, Match, OfpMessage, PortNo, Wildcards,
+};
+use sdnbuf_sim::{Bus, CpuResource, Nanos};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A timed effect produced by the controller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControllerOutput {
+    /// Send `msg` to the switch at time `at`.
+    ToSwitch {
+        /// When the message leaves the controller.
+        at: Nanos,
+        /// Transaction id (replies echo the request's id, so the testbed
+        /// can measure per-request controller delay switch-side, exactly as
+        /// the paper does).
+        xid: u32,
+        /// The message.
+        msg: OfpMessage,
+    },
+}
+
+/// The Floodlight model: reactive L2 forwarding with cost accounting.
+pub struct Controller {
+    config: ControllerConfig,
+    cpu: CpuResource,
+    ingest: Bus,
+    mac_table: HashMap<MacAddr, PortNo>,
+    next_xid: u32,
+    /// Learned from `features_reply` during the handshake.
+    switch_features: Option<SwitchFeatures>,
+    stats: ControllerStats,
+}
+
+/// What the controller learned about its switch from the handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchFeatures {
+    /// The switch's datapath id.
+    pub datapath_id: u64,
+    /// How many packets the switch advertises it can buffer.
+    pub n_buffers: u32,
+    /// Number of physical ports.
+    pub n_ports: usize,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("known_macs", &self.mac_table.len())
+            .field("pkt_ins", &self.stats.pkt_ins.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Controller {
+    /// Creates a controller from its configuration.
+    pub fn new(config: ControllerConfig) -> Controller {
+        Controller {
+            cpu: CpuResource::new(config.cpu_cores),
+            ingest: Bus::new(config.ingest_rate),
+            mac_table: HashMap::new(),
+            next_xid: 0x8000_0000, // distinct from switch-allocated xids
+            switch_features: None,
+            stats: ControllerStats::default(),
+            config,
+        }
+    }
+
+    /// What the handshake learned about the switch, once the
+    /// `features_reply` has arrived.
+    pub fn switch_features(&self) -> Option<SwitchFeatures> {
+        self.switch_features
+    }
+
+    /// Opens the OpenFlow session: `hello`, `features_request`, then
+    /// `set_config` pinning the `miss_send_len` the experiments use — the
+    /// sequence Floodlight performs when a switch connects.
+    pub fn initiate_handshake(&mut self, now: Nanos, miss_send_len: u16) -> Vec<ControllerOutput> {
+        let at = self.submit(now, self.config.cost_parse_base);
+        [
+            OfpMessage::Hello,
+            OfpMessage::FeaturesRequest,
+            OfpMessage::SetConfig(sdnbuf_openflow::msg::SwitchConfig {
+                flags: 0,
+                miss_send_len,
+            }),
+            OfpMessage::GetConfigRequest,
+        ]
+        .into_iter()
+        .map(|msg| ControllerOutput::ToSwitch {
+            at,
+            xid: self.fresh_xid(),
+            msg,
+        })
+        .collect()
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        xid
+    }
+
+    /// Originates a liveness probe — Floodlight pings its switches with
+    /// periodic `echo_request`s.
+    pub fn keepalive(&mut self, now: Nanos) -> ControllerOutput {
+        let at = self.submit(now, self.config.cost_parse_base);
+        self.stats.probes_sent.incr();
+        ControllerOutput::ToSwitch {
+            at,
+            xid: self.fresh_xid(),
+            msg: OfpMessage::EchoRequest(vec![0x5a; 8]),
+        }
+    }
+
+    /// Originates a flow-statistics poll — Floodlight's statistics
+    /// collector requests aggregate counters on a timer.
+    pub fn poll_flow_stats(&mut self, now: Nanos) -> ControllerOutput {
+        let at = self.submit(now, self.config.cost_parse_base);
+        self.stats.probes_sent.incr();
+        ControllerOutput::ToSwitch {
+            at,
+            xid: self.fresh_xid(),
+            msg: OfpMessage::StatsRequest(sdnbuf_openflow::msg::StatsRequest::Aggregate {
+                match_fields: Match::any(),
+                table_id: 0xff,
+                out_port: PortNo::NONE,
+            }),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Controller-side counters.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// `top`-style CPU utilization over `[ZERO, horizon]`, in percent.
+    pub fn cpu_percent(&self, horizon: Nanos) -> f64 {
+        self.cpu.utilization().percent(horizon)
+    }
+
+    /// Seeds the learning table (or records a learned location).
+    pub fn learn(&mut self, mac: MacAddr, port: PortNo) {
+        self.mac_table.insert(mac, port);
+    }
+
+    /// Where the controller believes `mac` is attached.
+    pub fn location_of(&self, mac: MacAddr) -> Option<PortNo> {
+        self.mac_table.get(&mac).copied()
+    }
+
+    /// Handles a message arriving from the switch at `now`.
+    pub fn handle_message(&mut self, now: Nanos, msg: OfpMessage, xid: u32) -> Vec<ControllerOutput> {
+        // The message is first drained off the socket by the IO thread —
+        // a serial, size-proportional stage.
+        let now = self.ingest.transfer(now, msg.wire_len());
+        match msg {
+            OfpMessage::PacketIn(pin) => self.handle_packet_in(now, pin, xid),
+            OfpMessage::EchoRequest(data) => {
+                let at = self.submit(now, self.config.cost_parse_base);
+                vec![ControllerOutput::ToSwitch {
+                    at,
+                    xid,
+                    msg: OfpMessage::EchoReply(data),
+                }]
+            }
+            OfpMessage::FlowRemoved(_) => {
+                self.stats.flow_removed.incr();
+                self.submit(now, self.config.cost_parse_base);
+                Vec::new()
+            }
+            OfpMessage::Error(_) => {
+                self.stats.errors.incr();
+                self.submit(now, self.config.cost_parse_base);
+                Vec::new()
+            }
+            OfpMessage::FeaturesReply(fr) => {
+                self.switch_features = Some(SwitchFeatures {
+                    datapath_id: fr.datapath_id,
+                    n_buffers: fr.n_buffers,
+                    n_ports: fr.ports.len(),
+                });
+                self.submit(now, self.config.cost_parse_base);
+                Vec::new()
+            }
+            ref vendor @ OfpMessage::Vendor(_) => {
+                // The flow-granularity capability announcement: acknowledge
+                // by enabling the mechanism with the announced timeout.
+                let reply = sdnbuf_openflow::FlowBufferExt::from_message(vendor);
+                let at = self.submit(now, self.config.cost_parse_base);
+                match reply {
+                    Some(Ok(sdnbuf_openflow::FlowBufferExt::Announce { timeout_ms, .. })) => {
+                        vec![ControllerOutput::ToSwitch {
+                            at,
+                            xid: self.fresh_xid(),
+                            msg: OfpMessage::from(sdnbuf_openflow::FlowBufferExt::Configure {
+                                enabled: true,
+                                timeout_ms,
+                            }),
+                        }]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            OfpMessage::StatsReply(_) => {
+                self.stats.stats_replies.incr();
+                self.submit(now, self.config.cost_parse_base);
+                Vec::new()
+            }
+            OfpMessage::EchoReply(_) => {
+                self.stats.echo_replies.incr();
+                self.submit(now, self.config.cost_parse_base);
+                Vec::new()
+            }
+            // Handshake replies and other housekeeping: consume quietly.
+            _ => {
+                self.submit(now, self.config.cost_parse_base);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Submits a CPU job with the contention scaling applied.
+    fn submit(&mut self, now: Nanos, cost: Nanos) -> Nanos {
+        let busy = self.cpu.busy_cores(now) as f64;
+        let scaled = cost.scale(1.0 + self.config.contention * busy);
+        self.cpu.submit(now, scaled.max(cost))
+    }
+
+    fn handle_packet_in(&mut self, now: Nanos, pin: PacketIn, xid: u32) -> Vec<ControllerOutput> {
+        self.stats.pkt_ins.incr();
+        self.stats.pkt_in_bytes.add(pin.data.len() as u64);
+        let Ok(headers) = ParsedHeaders::parse(&pin.data) else {
+            self.stats.parse_failures.incr();
+            self.submit(now, self.config.cost_parse_base);
+            return Vec::new();
+        };
+        // L2 learning: the source lives behind the ingress port.
+        if !headers.src_mac.is_multicast() {
+            self.learn(headers.src_mac, pin.in_port);
+        }
+        let destination = if self.config.mode == ForwardingMode::Hub
+            || headers.dst_mac.is_multicast()
+        {
+            None
+        } else {
+            self.location_of(headers.dst_mac)
+        };
+        // Cost: parse (size-dependent) + decision + encode; unbuffered
+        // responses additionally pay to re-encapsulate the packet bytes.
+        let mut cost = self.config.packet_in_cost(pin.data.len());
+        let mut handled_bytes = pin.data.len();
+        if !pin.buffer_id.is_buffered() {
+            cost += self.config.cost_per_byte * pin.data.len() as u64;
+            handled_bytes += pin.data.len();
+        }
+        // Allocation/GC stall: latency proportional to the bytes handled,
+        // added after the CPU work completes.
+        let at = self.submit(now, cost)
+            + self.config.latency_per_byte * handled_bytes as u64;
+
+        let out_data = if pin.buffer_id.is_buffered() {
+            Vec::new()
+        } else {
+            pin.data.clone()
+        };
+        match destination {
+            Some(out_port) => {
+                // The paper's response pair: flow_mod installing the rule
+                // for subsequent packets, packet_out forwarding the
+                // miss-match packet itself.
+                let flow_mod = OfpMessage::FlowMod(FlowMod {
+                    match_fields: match_from_headers(&headers, pin.in_port),
+                    cookie: 0,
+                    command: FlowModCommand::Add,
+                    idle_timeout: self.config.rule_idle_timeout,
+                    hard_timeout: self.config.rule_hard_timeout,
+                    priority: self.config.rule_priority,
+                    buffer_id: BufferId::NO_BUFFER,
+                    out_port: PortNo::NONE,
+                    flags: 0,
+                    actions: vec![Action::output(out_port)],
+                });
+                let pkt_out = OfpMessage::PacketOut(PacketOut {
+                    buffer_id: pin.buffer_id,
+                    in_port: pin.in_port,
+                    actions: vec![Action::output(out_port)],
+                    data: out_data,
+                });
+                self.stats.flow_mods.incr();
+                self.stats.pkt_outs.incr();
+                vec![
+                    ControllerOutput::ToSwitch {
+                        at,
+                        xid,
+                        msg: flow_mod,
+                    },
+                    ControllerOutput::ToSwitch {
+                        at,
+                        xid,
+                        msg: pkt_out,
+                    },
+                ]
+            }
+            None => {
+                // Unknown or broadcast destination: flood, install nothing.
+                self.stats.floods.incr();
+                self.stats.pkt_outs.incr();
+                vec![ControllerOutput::ToSwitch {
+                    at,
+                    xid,
+                    msg: OfpMessage::PacketOut(PacketOut {
+                        buffer_id: pin.buffer_id,
+                        in_port: pin.in_port,
+                        actions: vec![Action::output(PortNo::FLOOD)],
+                        data: out_data,
+                    }),
+                }]
+            }
+        }
+    }
+}
+
+/// Builds the match for a reactive rule from the parsed headers — exact on
+/// every field the `packet_in` slice contained, like Floodlight's
+/// forwarding module.
+fn match_from_headers(h: &ParsedHeaders, in_port: PortNo) -> Match {
+    let mut m = Match::any();
+    m.in_port = in_port;
+    m.dl_src = h.src_mac;
+    m.dl_dst = h.dst_mac;
+    m.dl_type = h.ethertype.as_u16();
+    let mut w = Wildcards::NONE
+        .with(Wildcards::DL_VLAN)
+        .with(Wildcards::DL_VLAN_PCP);
+    match h.ip {
+        Some(ip) => {
+            m.nw_src = ip.src;
+            m.nw_dst = ip.dst;
+            m.nw_tos = ip.tos;
+            m.nw_proto = ip.protocol;
+            match ip.ports {
+                Some((src, dst)) => {
+                    m.tp_src = src;
+                    m.tp_dst = dst;
+                }
+                None => {
+                    w = w.with(Wildcards::TP_SRC).with(Wildcards::TP_DST);
+                }
+            }
+        }
+        None => {
+            m.nw_src = Ipv4Addr::UNSPECIFIED;
+            m.nw_dst = Ipv4Addr::UNSPECIFIED;
+            w = w
+                .with(Wildcards::NW_PROTO)
+                .with(Wildcards::NW_TOS)
+                .with(Wildcards::TP_SRC)
+                .with(Wildcards::TP_DST)
+                .with_nw_src_bits(63)
+                .with_nw_dst_bits(63);
+        }
+    }
+    m.wildcards = w;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_net::PacketBuilder;
+    use sdnbuf_openflow::msg::PacketInReason;
+    use sdnbuf_openflow::MatchView;
+
+    fn pkt_in_for(data: Vec<u8>, buffer_id: BufferId, total_len: u16) -> OfpMessage {
+        OfpMessage::PacketIn(PacketIn {
+            buffer_id,
+            total_len,
+            in_port: PortNo(1),
+            reason: PacketInReason::NoMatch,
+            data,
+        })
+    }
+
+    fn seeded() -> Controller {
+        let mut c = Controller::new(ControllerConfig::default());
+        c.learn(MacAddr::from_host_index(2), PortNo(2));
+        c
+    }
+
+    #[test]
+    fn known_destination_yields_flow_mod_and_pkt_out() {
+        let mut c = seeded();
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(1), 1000),
+            42,
+        );
+        assert_eq!(outs.len(), 2);
+        match &outs[0] {
+            ControllerOutput::ToSwitch {
+                xid,
+                msg: OfpMessage::FlowMod(fm),
+                ..
+            } => {
+                assert_eq!(*xid, 42);
+                assert_eq!(fm.command, FlowModCommand::Add);
+                assert_eq!(fm.idle_timeout, 5);
+                assert_eq!(fm.actions, vec![Action::output(PortNo(2))]);
+                // The installed rule must actually match the packet.
+                assert!(fm.match_fields.matches(&MatchView::of(PortNo(1), &pkt)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &outs[1] {
+            ControllerOutput::ToSwitch {
+                msg: OfpMessage::PacketOut(po),
+                ..
+            } => {
+                assert_eq!(po.buffer_id, BufferId::new(1));
+                assert!(po.data.is_empty(), "buffered pkt_out carries no data");
+                assert_eq!(po.actions, vec![Action::output(PortNo(2))]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbuffered_pkt_in_returns_full_packet_in_pkt_out() {
+        let mut c = seeded();
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 1000),
+            7,
+        );
+        match &outs[1] {
+            ControllerOutput::ToSwitch {
+                msg: OfpMessage::PacketOut(po),
+                ..
+            } => {
+                assert_eq!(po.buffer_id, BufferId::NO_BUFFER);
+                assert_eq!(po.data, pkt.encode());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_destination_floods_without_rule() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let pkt = PacketBuilder::udp().frame_size(100).build();
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 100),
+            1,
+        );
+        assert_eq!(outs.len(), 1);
+        match &outs[0] {
+            ControllerOutput::ToSwitch {
+                msg: OfpMessage::PacketOut(po),
+                ..
+            } => {
+                assert_eq!(po.actions, vec![Action::output(PortNo::FLOOD)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().floods.get(), 1);
+        assert_eq!(c.stats().flow_mods.get(), 0);
+    }
+
+    #[test]
+    fn learns_source_locations_from_pkt_ins() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let arp = PacketBuilder::gratuitous_arp(
+            MacAddr::from_host_index(9),
+            Ipv4Addr::new(10, 0, 0, 9),
+        );
+        c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(arp.encode(), BufferId::NO_BUFFER, 42),
+            1,
+        );
+        assert_eq!(
+            c.location_of(MacAddr::from_host_index(9)),
+            Some(PortNo(1))
+        );
+        // Now traffic *to* host 9 gets a rule instead of a flood.
+        let pkt = PacketBuilder::udp()
+            .dst_mac(MacAddr::from_host_index(9))
+            .build();
+        let outs = c.handle_message(
+            Nanos::from_millis(1),
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 100),
+            2,
+        );
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn larger_pkt_ins_take_longer() {
+        let mut small_ctrl = seeded();
+        let mut large_ctrl = seeded();
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        let t_small = match &small_ctrl.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(1), 1000),
+            1,
+        )[0]
+        {
+            ControllerOutput::ToSwitch { at, .. } => *at,
+        };
+        let t_large = match &large_ctrl.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 1000),
+            1,
+        )[0]
+        {
+            ControllerOutput::ToSwitch { at, .. } => *at,
+        };
+        assert!(
+            t_large > t_small,
+            "full-packet pkt_in ({t_large}) must cost more than buffered ({t_small})"
+        );
+    }
+
+    #[test]
+    fn hub_mode_floods_and_never_installs() {
+        let mut c = Controller::new(ControllerConfig {
+            mode: ForwardingMode::Hub,
+            ..ControllerConfig::default()
+        });
+        c.learn(MacAddr::from_host_index(2), PortNo(2)); // known, but ignored
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 1000),
+            1,
+        );
+        assert_eq!(outs.len(), 1);
+        assert!(matches!(
+            &outs[0],
+            ControllerOutput::ToSwitch { msg: OfpMessage::PacketOut(po), .. }
+                if po.actions == vec![Action::output(PortNo::FLOOD)]
+        ));
+        assert_eq!(c.stats().flow_mods.get(), 0);
+        assert_eq!(c.stats().floods.get(), 1);
+    }
+
+    #[test]
+    fn keepalive_and_stats_poll_originate_messages() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let ControllerOutput::ToSwitch { msg, xid, .. } = c.keepalive(Nanos::ZERO);
+        assert!(matches!(msg, OfpMessage::EchoRequest(_)));
+        let ControllerOutput::ToSwitch { msg: m2, xid: x2, .. } =
+            c.poll_flow_stats(Nanos::from_millis(1));
+        assert!(matches!(m2, OfpMessage::StatsRequest(_)));
+        assert_ne!(xid, x2, "probes use distinct xids");
+        assert_eq!(c.stats().probes_sent.get(), 2);
+        // Replies are consumed and counted.
+        c.handle_message(Nanos::from_millis(2), OfpMessage::EchoReply(vec![0x5a; 8]), xid);
+        c.handle_message(
+            Nanos::from_millis(2),
+            OfpMessage::StatsReply(sdnbuf_openflow::msg::StatsReply::Aggregate {
+                packet_count: 0,
+                byte_count: 0,
+                flow_count: 0,
+            }),
+            x2,
+        );
+        assert_eq!(c.stats().echo_replies.get(), 1);
+        assert_eq!(c.stats().stats_replies.get(), 1);
+    }
+
+    #[test]
+    fn echo_is_answered() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let outs = c.handle_message(Nanos::ZERO, OfpMessage::EchoRequest(vec![9]), 4);
+        assert!(matches!(
+            &outs[0],
+            ControllerOutput::ToSwitch { xid: 4, msg: OfpMessage::EchoReply(d), .. } if d == &vec![9]
+        ));
+    }
+
+    #[test]
+    fn garbage_pkt_in_is_counted_not_crashed() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(vec![1, 2, 3], BufferId::NO_BUFFER, 3),
+            1,
+        );
+        assert!(outs.is_empty());
+        assert_eq!(c.stats().parse_failures.get(), 1);
+    }
+
+    #[test]
+    fn flow_removed_and_errors_are_counted() {
+        let mut c = Controller::new(ControllerConfig::default());
+        c.handle_message(
+            Nanos::ZERO,
+            OfpMessage::Error(sdnbuf_openflow::msg::ErrorMsg {
+                err_type: 1,
+                code: 1,
+                data: vec![],
+            }),
+            1,
+        );
+        assert_eq!(c.stats().errors.get(), 1);
+    }
+
+    #[test]
+    fn cpu_accumulates() {
+        let mut c = seeded();
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        for i in 0..10 {
+            c.handle_message(
+                Nanos::from_micros(i * 50),
+                pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 1000),
+                i as u32,
+            );
+        }
+        assert!(c.cpu_percent(Nanos::from_millis(1)) > 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Controller-side measurement counters.
+
+use sdnbuf_metrics::Counter;
+
+/// Running statistics kept by the controller model.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerStats {
+    /// `packet_in` messages received.
+    pub pkt_ins: Counter,
+    /// `packet_in` payload bytes received.
+    pub pkt_in_bytes: Counter,
+    /// `flow_mod` messages sent.
+    pub flow_mods: Counter,
+    /// `packet_out` messages sent.
+    pub pkt_outs: Counter,
+    /// Floods issued for unknown/broadcast destinations.
+    pub floods: Counter,
+    /// `flow_removed` notifications received.
+    pub flow_removed: Counter,
+    /// `error` messages received.
+    pub errors: Counter,
+    /// `packet_in`s whose data could not be parsed.
+    pub parse_failures: Counter,
+    /// Probes originated (echo keepalives and stats polls).
+    pub probes_sent: Counter,
+    /// `echo_reply` messages received.
+    pub echo_replies: Counter,
+    /// `stats_reply` messages received.
+    pub stats_replies: Counter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ControllerStats::default();
+        assert_eq!(s.pkt_ins.get(), 0);
+        assert_eq!(s.errors.get(), 0);
+    }
+}

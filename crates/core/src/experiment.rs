@@ -1,0 +1,432 @@
+//! Experiments: one run, and the paper's rate sweeps.
+
+use crate::{BufferMode, RunResult, Testbed, TestbedConfig};
+use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_workload::{
+    cross_sequenced_flows, mixed_udp_tcp, single_packet_flows, tcp_with_idle_gap, Departure,
+    PktgenConfig,
+};
+
+/// Which traffic the workload generator produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Section IV: `n_flows` single-packet UDP flows with forged sources.
+    SinglePacketFlows {
+        /// Number of flows (= packets). The paper uses 1000.
+        n_flows: usize,
+    },
+    /// Section V: `n_flows × packets_per_flow` packets, cross-sequenced in
+    /// batches of `group_size` flows.
+    CrossSequenced {
+        /// Number of flows (paper: 50).
+        n_flows: usize,
+        /// Packets per flow (paper: 20).
+        packets_per_flow: usize,
+        /// Flows interleaved per batch (paper: 5).
+        group_size: usize,
+    },
+    /// Section VI.B: a TCP connection with an idle gap long enough for its
+    /// rule to expire, then a resumed burst.
+    TcpEviction {
+        /// Segments before the idle gap.
+        first_burst: usize,
+        /// The idle gap.
+        idle_gap: Nanos,
+        /// Segments after the gap.
+        second_burst: usize,
+    },
+    /// A UDP flow flood mixed with well-behaved TCP connections.
+    MixedUdpTcp {
+        /// Single-packet UDP flows.
+        n_udp_flows: usize,
+        /// TCP connections.
+        n_tcp: usize,
+        /// Data segments per TCP connection.
+        segments_per_tcp: usize,
+    },
+}
+
+impl WorkloadKind {
+    /// Section IV's workload at a custom flow count.
+    pub fn single_packet_flows(n_flows: usize) -> WorkloadKind {
+        WorkloadKind::SinglePacketFlows { n_flows }
+    }
+
+    /// The exact Section IV workload: 1000 single-packet flows.
+    pub fn paper_section_iv() -> WorkloadKind {
+        WorkloadKind::SinglePacketFlows { n_flows: 1000 }
+    }
+
+    /// The exact Section V workload: 50 flows × 20 packets, cross-sequenced
+    /// in groups of 5.
+    pub fn paper_section_v() -> WorkloadKind {
+        WorkloadKind::CrossSequenced {
+            n_flows: 50,
+            packets_per_flow: 20,
+            group_size: 5,
+        }
+    }
+
+    /// Generates the departures for this workload.
+    pub fn generate(&self, pktgen: &PktgenConfig, seed: u64) -> Vec<Departure> {
+        match *self {
+            WorkloadKind::SinglePacketFlows { n_flows } => {
+                single_packet_flows(pktgen, n_flows, seed)
+            }
+            WorkloadKind::CrossSequenced {
+                n_flows,
+                packets_per_flow,
+                group_size,
+            } => cross_sequenced_flows(pktgen, n_flows, packets_per_flow, group_size, seed),
+            WorkloadKind::TcpEviction {
+                first_burst,
+                idle_gap,
+                second_burst,
+            } => tcp_with_idle_gap(pktgen, first_burst, idle_gap, second_burst, seed),
+            WorkloadKind::MixedUdpTcp {
+                n_udp_flows,
+                n_tcp,
+                segments_per_tcp,
+            } => mixed_udp_tcp(pktgen, n_udp_flows, n_tcp, segments_per_tcp, seed),
+        }
+    }
+}
+
+/// Configuration of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Buffer mechanism under test.
+    pub buffer: BufferMode,
+    /// Traffic to offer.
+    pub workload: WorkloadKind,
+    /// Sending rate.
+    pub sending_rate: BitRate,
+    /// Ethernet frame size (paper: 1000 bytes).
+    pub frame_size: usize,
+    /// Seed for the workload's departure jitter.
+    pub seed: u64,
+    /// The testbed (its `switch.buffer` is overridden by `buffer`).
+    pub testbed: TestbedConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            buffer: BufferMode::NoBuffer,
+            workload: WorkloadKind::paper_section_iv(),
+            sending_rate: BitRate::from_mbps(50),
+            frame_size: 1000,
+            seed: 1,
+            testbed: TestbedConfig::default(),
+        }
+    }
+}
+
+/// One experiment: a (buffer, workload, rate, seed) combination.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates the experiment.
+    pub fn new(config: ExperimentConfig) -> Experiment {
+        Experiment { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs it on a fresh testbed and returns the measurements.
+    pub fn run(&mut self) -> RunResult {
+        let mut testbed_cfg = self.config.testbed.clone();
+        testbed_cfg.switch.buffer = self.config.buffer;
+        let pktgen = PktgenConfig {
+            rate: self.config.sending_rate,
+            frame_size: self.config.frame_size,
+            ..PktgenConfig::default()
+        };
+        let departures = self.config.workload.generate(&pktgen, self.config.seed);
+        let mut testbed = Testbed::new(testbed_cfg);
+        let mut result = testbed.run(&departures);
+        result.sending_rate_mbps = self.config.sending_rate.as_mbps_f64();
+        result
+    }
+}
+
+/// One cell of a sweep: all repetitions of a (buffer, rate) combination.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// The buffer mechanism's label.
+    pub label: String,
+    /// The sending rate in Mbps.
+    pub rate_mbps: u64,
+    /// One [`RunResult`] per repetition.
+    pub runs: Vec<RunResult>,
+}
+
+/// The results of a full sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepResult {
+    /// All cells, grouped by buffer then rate.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResult {
+    /// Labels in sweep order (deduplicated).
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.label) {
+                out.push(c.label.clone());
+            }
+        }
+        out
+    }
+
+    /// Rates in sweep order (deduplicated).
+    pub fn rates(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.rate_mbps) {
+                out.push(c.rate_mbps);
+            }
+        }
+        out
+    }
+
+    /// The cell for (label, rate), if present.
+    pub fn cell(&self, label: &str, rate_mbps: u64) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.label == label && c.rate_mbps == rate_mbps)
+    }
+
+    /// Mean of `metric` over the repetitions of (label, rate).
+    pub fn mean_at(&self, label: &str, rate_mbps: u64, metric: impl Fn(&RunResult) -> f64) -> f64 {
+        self.cell(label, rate_mbps)
+            .map_or(0.0, |c| RunResult::mean_over(&c.runs, metric))
+    }
+
+    /// Mean of `metric` for a label across the entire sweep (all rates,
+    /// all repetitions) — how the paper reports "on average" numbers.
+    pub fn sweep_mean(&self, label: &str, metric: impl Fn(&RunResult) -> f64 + Copy) -> f64 {
+        let rates = self.rates();
+        if rates.is_empty() {
+            return 0.0;
+        }
+        rates
+            .iter()
+            .map(|&r| self.mean_at(label, r, metric))
+            .sum::<f64>()
+            / rates.len() as f64
+    }
+}
+
+/// A full sweep: buffers × rates × repetitions, the paper's experimental
+/// procedure ("we repeat the experiments at each sending rate for 20
+/// times").
+#[derive(Clone, Debug)]
+pub struct RateSweep {
+    /// Sending rates in Mbps.
+    pub rates_mbps: Vec<u64>,
+    /// Buffer mechanisms to compare.
+    pub buffers: Vec<BufferMode>,
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// Repetitions per (buffer, rate) cell.
+    pub repetitions: usize,
+    /// Base seed; repetition `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Frame size in bytes.
+    pub frame_size: usize,
+    /// The testbed configuration.
+    pub testbed: TestbedConfig,
+}
+
+impl RateSweep {
+    /// The paper's 5–100 Mbps rate grid in 5 Mbps steps.
+    pub fn paper_rates() -> Vec<u64> {
+        (1..=20).map(|i| i * 5).collect()
+    }
+
+    /// The Section IV sweep: {no-buffer, buffer-16, buffer-256} × 1000
+    /// single-packet flows.
+    pub fn paper_section_iv(repetitions: usize) -> RateSweep {
+        RateSweep {
+            rates_mbps: Self::paper_rates(),
+            buffers: vec![
+                BufferMode::NoBuffer,
+                BufferMode::PacketGranularity { capacity: 16 },
+                BufferMode::PacketGranularity { capacity: 256 },
+            ],
+            workload: WorkloadKind::paper_section_iv(),
+            repetitions,
+            base_seed: 42,
+            frame_size: 1000,
+            testbed: TestbedConfig::default(),
+        }
+    }
+
+    /// The Section V sweep: {packet-granularity-256, flow-granularity-256}
+    /// × 50 flows of 20 packets.
+    pub fn paper_section_v(repetitions: usize) -> RateSweep {
+        RateSweep {
+            rates_mbps: Self::paper_rates(),
+            buffers: vec![
+                BufferMode::PacketGranularity { capacity: 256 },
+                BufferMode::FlowGranularity {
+                    capacity: 256,
+                    timeout: Nanos::from_millis(50),
+                },
+            ],
+            workload: WorkloadKind::paper_section_v(),
+            repetitions,
+            base_seed: 42,
+            frame_size: 1000,
+            testbed: TestbedConfig::default(),
+        }
+    }
+
+    /// Runs the whole grid. `progress` (if given) is called after each
+    /// completed cell with (done, total).
+    pub fn run_with_progress(&self, mut progress: Option<&mut dyn FnMut(usize, usize)>) -> SweepResult {
+        let total = self.buffers.len() * self.rates_mbps.len();
+        let mut done = 0;
+        let mut result = SweepResult::default();
+        for &buffer in &self.buffers {
+            for &rate in &self.rates_mbps {
+                let mut runs = Vec::with_capacity(self.repetitions);
+                for rep in 0..self.repetitions {
+                    let mut exp = Experiment::new(ExperimentConfig {
+                        buffer,
+                        workload: self.workload,
+                        sending_rate: BitRate::from_mbps(rate),
+                        frame_size: self.frame_size,
+                        seed: self.base_seed + rep as u64,
+                        testbed: self.testbed.clone(),
+                    });
+                    runs.push(exp.run());
+                }
+                result.cells.push(SweepCell {
+                    label: buffer.label(),
+                    rate_mbps: rate,
+                    runs,
+                });
+                done += 1;
+                if let Some(cb) = progress.as_deref_mut() {
+                    cb(done, total);
+                }
+            }
+        }
+        result
+    }
+
+    /// Runs the whole grid silently.
+    pub fn run(&self) -> SweepResult {
+        self.run_with_progress(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_experiment_completes() {
+        let mut exp = Experiment::new(ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: 64 },
+            workload: WorkloadKind::single_packet_flows(20),
+            sending_rate: BitRate::from_mbps(10),
+            seed: 3,
+            ..ExperimentConfig::default()
+        });
+        let r = exp.run();
+        assert_eq!(r.flows_completed, 20);
+        assert_eq!(r.sending_rate_mbps, 10.0);
+        assert_eq!(r.label, "buffer-64");
+    }
+
+    #[test]
+    fn sweep_produces_all_cells() {
+        let sweep = RateSweep {
+            rates_mbps: vec![10, 20],
+            buffers: vec![
+                BufferMode::NoBuffer,
+                BufferMode::PacketGranularity { capacity: 16 },
+            ],
+            workload: WorkloadKind::single_packet_flows(10),
+            repetitions: 2,
+            base_seed: 1,
+            frame_size: 1000,
+            testbed: TestbedConfig::default(),
+        };
+        let result = sweep.run();
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.labels(), vec!["no-buffer", "buffer-16"]);
+        assert_eq!(result.rates(), vec![10, 20]);
+        let cell = result.cell("no-buffer", 10).unwrap();
+        assert_eq!(cell.runs.len(), 2);
+        // Different seeds give different (but close) timings.
+        assert!(result.mean_at("no-buffer", 10, |r| r.packets_delivered as f64) == 10.0);
+    }
+
+    #[test]
+    fn sweep_mean_averages_rates() {
+        let sweep = RateSweep {
+            rates_mbps: vec![10, 20],
+            buffers: vec![BufferMode::NoBuffer],
+            workload: WorkloadKind::single_packet_flows(5),
+            repetitions: 1,
+            base_seed: 1,
+            frame_size: 1000,
+            testbed: TestbedConfig::default(),
+        };
+        let result = sweep.run();
+        let m = result.sweep_mean("no-buffer", |r| r.packets_sent as f64);
+        assert_eq!(m, 5.0);
+        assert_eq!(result.sweep_mean("bogus", |r| r.packets_sent as f64), 0.0);
+    }
+
+    #[test]
+    fn workload_kinds_generate() {
+        let pg = PktgenConfig::default();
+        assert_eq!(
+            WorkloadKind::paper_section_iv().generate(&pg, 1).len(),
+            1000
+        );
+        assert_eq!(WorkloadKind::paper_section_v().generate(&pg, 1).len(), 1000);
+        let tcp = WorkloadKind::TcpEviction {
+            first_burst: 3,
+            idle_gap: Nanos::from_secs(6),
+            second_burst: 4,
+        }
+        .generate(&pg, 1);
+        assert_eq!(tcp.len(), 2 + 3 + 4);
+        let mixed = WorkloadKind::MixedUdpTcp {
+            n_udp_flows: 10,
+            n_tcp: 2,
+            segments_per_tcp: 3,
+        }
+        .generate(&pg, 1);
+        assert_eq!(mixed.len(), 10 + 2 * 5);
+    }
+
+    #[test]
+    fn progress_callback_fires_per_cell() {
+        let sweep = RateSweep {
+            rates_mbps: vec![10],
+            buffers: vec![BufferMode::NoBuffer],
+            workload: WorkloadKind::single_packet_flows(3),
+            repetitions: 1,
+            base_seed: 1,
+            frame_size: 1000,
+            testbed: TestbedConfig::default(),
+        };
+        let mut calls = Vec::new();
+        sweep.run_with_progress(Some(&mut |done, total| calls.push((done, total))));
+        assert_eq!(calls, vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! The measurements of one testbed run.
+
+use sdnbuf_metrics::Summary;
+use sdnbuf_sim::Nanos;
+
+/// Everything one run of the testbed measured — one data point of every
+/// figure in the paper.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunResult {
+    /// Buffer-mechanism label ("no-buffer", "buffer-256", …).
+    pub label: String,
+    /// Configured sending rate in Mbps.
+    pub sending_rate_mbps: f64,
+    /// Active measurement span (first departure to last delivery).
+    pub active_span: Nanos,
+
+    // ----- Control path load (Figs. 2 and 9) -----
+    /// Control traffic switch → controller, Mbps over the active span.
+    pub ctrl_load_to_controller_mbps: f64,
+    /// Control traffic controller → switch, Mbps over the active span.
+    pub ctrl_load_to_switch_mbps: f64,
+    /// `packet_in` messages observed on the control path.
+    pub pkt_in_count: u64,
+    /// Bytes switch → controller.
+    pub ctrl_bytes_to_controller: u64,
+    /// Bytes controller → switch.
+    pub ctrl_bytes_to_switch: u64,
+    /// `flow_mod` messages observed.
+    pub flow_mod_count: u64,
+    /// `packet_out` messages observed.
+    pub pkt_out_count: u64,
+
+    // ----- CPU usages (Figs. 3, 4, 10, 11) -----
+    /// Controller CPU, `top`-style percent over the active span.
+    pub controller_cpu_percent: f64,
+    /// Switch CPU, `top`-style percent over the active span.
+    pub switch_cpu_percent: f64,
+
+    // ----- Delays (Figs. 5, 6, 7, 12), milliseconds -----
+    /// Flow-setup delay: first packet of a flow entering the switch to
+    /// that packet leaving it.
+    pub flow_setup_delay: Summary,
+    /// Controller delay: `packet_in` leaving the switch to the first
+    /// response (`flow_mod`/`packet_out`) arriving back.
+    pub controller_delay: Summary,
+    /// Switch delay: flow-setup delay minus the flow's controller delay.
+    pub switch_delay: Summary,
+    /// Flow-forwarding delay: first packet of a flow entering the switch
+    /// to the **last** packet of the flow leaving it.
+    pub flow_forwarding_delay: Summary,
+
+    // ----- Buffer utilization (Figs. 8 and 13) -----
+    /// Time-weighted mean buffer units in use over the active span.
+    pub buffer_mean_occupancy: f64,
+    /// Peak buffer units in use.
+    pub buffer_peak_occupancy: usize,
+    /// Misses that fell back to full-packet `packet_in` (buffer exhausted
+    /// or unsupported traffic).
+    pub buffer_fallbacks: u64,
+    /// Timeout-driven `packet_in` re-requests.
+    pub rerequests: u64,
+
+    // ----- Conservation accounting -----
+    /// Data packets offered by the workload.
+    pub packets_sent: u64,
+    /// Data packets delivered to their destination host.
+    pub packets_delivered: u64,
+    /// Data packets dropped anywhere (switch or links).
+    pub packets_dropped: u64,
+    /// Control messages dropped on the control channel.
+    pub ctrl_drops: u64,
+    /// Flows all of whose packets were delivered.
+    pub flows_completed: usize,
+    /// Total flows in the workload.
+    pub flows_total: usize,
+}
+
+impl RunResult {
+    /// Mean of a figure metric selected by closure over several runs —
+    /// the aggregation the sweep uses for its 20 repetitions.
+    pub fn mean_over(runs: &[RunResult], f: impl Fn(&RunResult) -> f64) -> f64 {
+        if runs.is_empty() {
+            return 0.0;
+        }
+        runs.iter().map(f).sum::<f64>() / runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_handles_empty_and_values() {
+        assert_eq!(RunResult::mean_over(&[], |r| r.pkt_in_count as f64), 0.0);
+        let a = RunResult {
+            pkt_in_count: 10,
+            ..RunResult::default()
+        };
+        let b = RunResult {
+            pkt_in_count: 20,
+            ..RunResult::default()
+        };
+        assert_eq!(
+            RunResult::mean_over(&[a, b], |r| r.pkt_in_count as f64),
+            15.0
+        );
+    }
+}

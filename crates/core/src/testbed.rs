@@ -1,0 +1,835 @@
+//! The Fig. 1 testbed: two hosts, one switch, one controller, metered
+//! links, and the deterministic event loop that drives them.
+
+use crate::{Direction, RunResult, TraceLog};
+use sdnbuf_controller::{Controller, ControllerConfig, ControllerOutput, ParsedHeaders};
+use sdnbuf_metrics::ByteMeter;
+use sdnbuf_net::{FlowKey, Packet, PacketBuilder, Payload};
+use sdnbuf_openflow::{OfpMessage, PortNo};
+use sdnbuf_sim::{EventQueue, Link, LinkConfig, MultiQueueLink, Nanos, QueueConfig};
+use sdnbuf_switch::{Switch, SwitchConfig, SwitchOutput};
+use sdnbuf_workload::{Departure, HostAddr};
+use std::collections::HashMap;
+
+/// Static configuration of the whole testbed (Table I plus the calibrated
+/// model constants — see `EXPERIMENTS.md` for the calibration rationale).
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// The switch model.
+    pub switch: SwitchConfig,
+    /// The controller model.
+    pub controller: ControllerConfig,
+    /// Host↔switch links (100 Mbps in the paper).
+    pub data_link: LinkConfig,
+    /// Switch↔controller channel.
+    pub control_link: LinkConfig,
+    /// Idle time between the ARP warm-up and the first data departure.
+    pub warmup_gap: Nanos,
+    /// Fault injection: drop every Nth message on the control channel
+    /// (both directions, counted together). `None` = lossless. Used to
+    /// exercise the flow-granularity mechanism's re-request timeout
+    /// (Algorithm 1, lines 12-13).
+    pub control_loss_one_in: Option<u64>,
+    /// Egress QoS (the paper's future-work extension): when set, the
+    /// switch's host-facing ports are partitioned into these shaped queues
+    /// and `ENQUEUE` actions select among them; `None` = plain FIFO ports.
+    pub egress_queues: Option<Vec<QueueConfig>>,
+    /// Controller keepalive: originate an `echo_request` every interval
+    /// during the run, like Floodlight's liveness probing. Adds background
+    /// control traffic; `None` (default) keeps the channel measurement-only
+    /// as in the paper.
+    pub keepalive_interval: Option<Nanos>,
+    /// Controller statistics polling: originate an aggregate
+    /// `stats_request` every interval, like Floodlight's statistics
+    /// collector.
+    pub stats_poll_interval: Option<Nanos>,
+    /// Keep a readable log of up to this many control-channel messages
+    /// (see [`crate::TraceLog`]). 0 = tracing off.
+    pub trace_capacity: usize,
+}
+
+impl Default for TestbedConfig {
+    /// The calibrated reproduction of the paper's platform. The knobs that
+    /// shape the figures:
+    ///
+    /// * `control_link`: 100 Mbps with a 300 µs one-way latency (TCP
+    ///   stack + scheduling on the 2017-era PCs) — this floor dominates
+    ///   the buffered controller delay (paper: 0.70 ms).
+    /// * `switch.bus_rate`: 135 Mbps — the switch's control-message I/O
+    ///   engine. No-buffer traffic loads it with ~2 KB per miss (full
+    ///   packet out, full packet back), saturating it near 66 Mbps of
+    ///   sending rate; that is where the paper's no-buffer delays blow up.
+    /// * `switch.buffer_free_lag`: 4 ms of lazy buffer reclamation (OVS
+    ///   behaviour) — this is why buffer-16 exhausts around 30 Mbps
+    ///   (Fig. 8) while setup delays stay near 1 ms.
+    fn default() -> Self {
+        use sdnbuf_sim::BitRate;
+        TestbedConfig {
+            switch: SwitchConfig {
+                bus_rate: BitRate::from_mbps(135),
+                cost_forward: Nanos::from_micros(5),
+                cost_pkt_in_base: Nanos::from_micros(100),
+                cost_per_payload_byte: Nanos::from_nanos(8),
+                cost_buffer_store: Nanos::from_micros(8),
+                cost_buffer_release: Nanos::from_micros(6),
+                cost_pkt_out_base: Nanos::from_micros(50),
+                cost_flow_mod: Nanos::from_micros(40),
+                cost_rule_install: Nanos::from_micros(350),
+                buffer_free_lag: Nanos::from_millis(4),
+                ..SwitchConfig::default()
+            },
+            controller: ControllerConfig {
+                cost_parse_base: Nanos::from_micros(20),
+                cost_decision: Nanos::from_micros(15),
+                cost_encode: Nanos::from_micros(15),
+                cost_per_byte: Nanos::from_nanos(20),
+                contention: 0.55,
+                ..ControllerConfig::default()
+            },
+            data_link: LinkConfig::fast_ethernet(),
+            control_link: LinkConfig {
+                bandwidth: BitRate::from_mbps(100),
+                propagation: Nanos::from_micros(300),
+                queue_capacity_bytes: 512 * 1024,
+            },
+            warmup_gap: Nanos::from_millis(50),
+            control_loss_one_in: None,
+            egress_queues: None,
+            keepalive_interval: None,
+            stats_poll_interval: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// The calibrated testbed with the given buffer mechanism.
+    pub fn with_buffer(buffer: sdnbuf_switch::BufferChoice) -> Self {
+        let mut cfg = TestbedConfig::default();
+        cfg.switch.buffer = buffer;
+        cfg
+    }
+}
+
+/// A packet's identity on the wire: its flow 5-tuple plus the IPv4
+/// identification field the workload stamps per packet — exactly what a
+/// capture-based measurement keys on.
+type PacketId = (FlowKey, u16);
+
+fn packet_id(packet: &Packet) -> Option<PacketId> {
+    let key = FlowKey::of(packet)?;
+    let ident = match &packet.payload {
+        Payload::Ipv4(ip) => ip.header.identification,
+        _ => return None,
+    };
+    Some((key, ident))
+}
+
+#[derive(Clone, Debug, Default)]
+struct PacketTimes {
+    entered_switch: Option<Nanos>,
+    left_switch: Option<Nanos>,
+    delivered: Option<Nanos>,
+    flow_index: usize,
+    seq_in_flow: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A frame leaves a host NIC (1 or 2).
+    FrameFromHost { host: u16, packet: Packet },
+    /// A frame arrives at the switch from a data link.
+    FrameAtSwitch { in_port: PortNo, packet: Packet },
+    /// The switch finishes emitting a frame on a data port.
+    EgressAtSwitch {
+        port: PortNo,
+        queue: Option<u32>,
+        packet: Packet,
+    },
+    /// A frame arrives at a host.
+    FrameAtHost {
+        /// Receiving host (kept for trace readability in Debug output).
+        #[allow(dead_code)]
+        host: u16,
+        packet: Packet,
+    },
+    /// The switch finishes emitting a control message.
+    CtrlFromSwitch { xid: u32, msg: OfpMessage },
+    /// A control message arrives at the controller.
+    CtrlAtController { xid: u32, msg: OfpMessage },
+    /// The controller finishes emitting a control message.
+    CtrlFromController { xid: u32, msg: OfpMessage },
+    /// A control message arrives at the switch.
+    CtrlAtSwitch { xid: u32, msg: OfpMessage },
+    /// The switch's timer (table expiry / buffer re-request) fires.
+    SwitchTimer,
+    /// The controller originates a liveness echo.
+    ControllerKeepalive,
+    /// The controller originates a statistics poll.
+    ControllerStatsPoll,
+}
+
+/// One workload packet's observed timeline (see [`Testbed::packet_log`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// The packet's flow 5-tuple.
+    pub flow: FlowKey,
+    /// The packet's IPv4 identification (its serial number in the flow).
+    pub ident: u16,
+    /// Workload flow index.
+    pub flow_index: usize,
+    /// Position within the flow.
+    pub seq_in_flow: usize,
+    /// When it arrived at the switch.
+    pub entered_switch: Option<Nanos>,
+    /// When it left the switch.
+    pub left_switch: Option<Nanos>,
+    /// When the destination host received it.
+    pub delivered: Option<Nanos>,
+}
+
+/// A switch egress port: plain FIFO or QoS-partitioned.
+#[derive(Clone, Debug)]
+enum EgressLink {
+    Fifo(Link),
+    Qos(MultiQueueLink),
+}
+
+impl EgressLink {
+    fn enqueue(&mut self, now: Nanos, queue: Option<u32>, bytes: usize) -> Option<Nanos> {
+        match self {
+            EgressLink::Fifo(link) => link.enqueue(now, bytes),
+            EgressLink::Qos(link) => {
+                // Plain OUTPUT uses the last (best-effort) queue.
+                let q = queue.map_or(link.queue_count() - 1, |q| q as usize);
+                link.enqueue(now, q, bytes)
+            }
+        }
+    }
+}
+
+/// The assembled testbed of Fig. 1.
+///
+/// Create one per run, feed it a workload with [`Testbed::run`], read the
+/// [`RunResult`].
+pub struct Testbed {
+    config: TestbedConfig,
+    switch: Switch,
+    controller: Controller,
+    queue: EventQueue<Event>,
+    // Links (unidirectional).
+    host1_to_sw: Link,
+    host2_to_sw: Link,
+    sw_to_host1: EgressLink,
+    sw_to_host2: EgressLink,
+    sw_to_ctrl: Link,
+    ctrl_to_sw: Link,
+    // Taps.
+    meter_to_controller: ByteMeter,
+    meter_to_switch: ByteMeter,
+    ctrl_drops: u64,
+    data_drops: u64,
+    ctrl_msg_seq: u64,
+    trace: TraceLog,
+    // Measurement state.
+    records: HashMap<PacketId, PacketTimes>,
+    pkt_in_sent: HashMap<u32, (Nanos, Option<FlowKey>)>,
+    controller_delay_of_flow: HashMap<FlowKey, Nanos>,
+    controller_delays_ms: Vec<f64>,
+    pkt_in_count: u64,
+    flow_mod_count: u64,
+    pkt_out_count: u64,
+    timer_armed: Option<Nanos>,
+    clock_end: Nanos,
+    data_start: Nanos,
+}
+
+impl Testbed {
+    /// Builds an idle testbed.
+    pub fn new(config: TestbedConfig) -> Testbed {
+        let egress = |data_link: LinkConfig| match &config.egress_queues {
+            None => EgressLink::Fifo(Link::new(data_link)),
+            Some(queues) => {
+                EgressLink::Qos(MultiQueueLink::new(queues.clone(), data_link.propagation))
+            }
+        };
+        Testbed {
+            switch: Switch::new(config.switch),
+            controller: Controller::new(config.controller),
+            queue: EventQueue::new(),
+            host1_to_sw: Link::new(config.data_link),
+            host2_to_sw: Link::new(config.data_link),
+            sw_to_host1: egress(config.data_link),
+            sw_to_host2: egress(config.data_link),
+            sw_to_ctrl: Link::new(config.control_link),
+            ctrl_to_sw: Link::new(config.control_link),
+            meter_to_controller: ByteMeter::new(),
+            meter_to_switch: ByteMeter::new(),
+            ctrl_drops: 0,
+            data_drops: 0,
+            ctrl_msg_seq: 0,
+            trace: TraceLog::new(config.trace_capacity),
+            records: HashMap::new(),
+            pkt_in_sent: HashMap::new(),
+            controller_delay_of_flow: HashMap::new(),
+            controller_delays_ms: Vec::new(),
+            pkt_in_count: 0,
+            flow_mod_count: 0,
+            pkt_out_count: 0,
+            timer_armed: None,
+            clock_end: Nanos::ZERO,
+            data_start: Nanos::ZERO,
+            config,
+        }
+    }
+
+    /// The switch model (for inspection after a run).
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
+    /// The controller model (for inspection after a run).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Mutable access to the switch, for advanced setups that pre-install
+    /// rules (e.g. proactive QoS classification) before [`Testbed::run`].
+    pub fn switch_mut(&mut self) -> &mut Switch {
+        &mut self.switch
+    }
+
+    /// The control-channel trace (empty unless `trace_capacity` was set).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The per-packet trace recorded during the run: when each workload
+    /// packet entered the switch, left it, and reached its destination.
+    pub fn packet_log(&self) -> Vec<PacketTrace> {
+        let mut log: Vec<PacketTrace> = self
+            .records
+            .iter()
+            .map(|((key, ident), times)| PacketTrace {
+                flow: *key,
+                ident: *ident,
+                flow_index: times.flow_index,
+                seq_in_flow: times.seq_in_flow,
+                entered_switch: times.entered_switch,
+                left_switch: times.left_switch,
+                delivered: times.delivered,
+            })
+            .collect();
+        log.sort_by_key(|t| (t.flow_index, t.seq_in_flow));
+        log
+    }
+
+    /// Runs the full experiment: ARP warm-up, then the given departures
+    /// (shifted to start after the warm-up gap), to completion.
+    pub fn run(&mut self, departures: &[Departure]) -> RunResult {
+        // OpenFlow session handshake: hello, features, config — and the
+        // vendor-extension capability announcement when the switch runs
+        // the flow-granularity mechanism.
+        let handshake = self
+            .controller
+            .initiate_handshake(Nanos::ZERO, self.config.switch.miss_send_len);
+        for ControllerOutput::ToSwitch { at, xid, msg } in handshake {
+            self.queue
+                .schedule(at, Event::CtrlFromController { xid, msg });
+        }
+        let announce = self.switch.announce_capabilities(Nanos::ZERO);
+        self.process_switch_outputs(announce, None);
+
+        // Warm-up: both hosts announce themselves so the controller's
+        // learning table knows where Host2 lives (as on the real testbed,
+        // where hosts ARP before pktgen starts).
+        let h1 = HostAddr::host1();
+        let h2 = HostAddr::host2();
+        self.queue.schedule(
+            Nanos::ZERO,
+            Event::FrameFromHost {
+                host: 1,
+                packet: PacketBuilder::gratuitous_arp(h1.mac, h1.ip),
+            },
+        );
+        self.queue.schedule(
+            Nanos::from_millis(1),
+            Event::FrameFromHost {
+                host: 2,
+                packet: PacketBuilder::gratuitous_arp(h2.mac, h2.ip),
+            },
+        );
+
+        // Data: shift departures past the warm-up gap.
+        let shift = self.config.warmup_gap;
+        self.data_start = shift + departures.first().map_or(Nanos::ZERO, |d| d.at);
+        let mut flows_total = 0usize;
+        for d in departures {
+            if let Some(id) = packet_id(&d.packet) {
+                self.records.insert(
+                    id,
+                    PacketTimes {
+                        flow_index: d.flow_index,
+                        seq_in_flow: d.seq_in_flow,
+                        ..PacketTimes::default()
+                    },
+                );
+            }
+            flows_total = flows_total.max(d.flow_index + 1);
+            self.queue.schedule(
+                shift + d.at,
+                Event::FrameFromHost {
+                    host: 1,
+                    packet: d.packet.clone(),
+                },
+            );
+        }
+
+        // Pre-schedule controller-originated probes across the run window
+        // (the event loop must drain, so probes cannot self-reschedule).
+        let horizon = shift
+            + departures.last().map_or(Nanos::ZERO, |d| d.at)
+            + self.config.warmup_gap;
+        if let Some(interval) = self.config.keepalive_interval {
+            let mut t = shift + interval;
+            while t < horizon {
+                self.queue.schedule(t, Event::ControllerKeepalive);
+                t += interval;
+            }
+        }
+        if let Some(interval) = self.config.stats_poll_interval {
+            let mut t = shift + interval;
+            while t < horizon {
+                self.queue.schedule(t, Event::ControllerStatsPoll);
+                t += interval;
+            }
+        }
+
+        while let Some((now, event)) = self.queue.pop() {
+            self.clock_end = self.clock_end.max(now);
+            self.dispatch(now, event);
+        }
+        self.collect(departures.len() as u64, flows_total)
+    }
+
+    fn dispatch(&mut self, now: Nanos, event: Event) {
+        match event {
+            Event::FrameFromHost { host, packet } => {
+                let len = packet.wire_len();
+                let link = if host == 1 {
+                    &mut self.host1_to_sw
+                } else {
+                    &mut self.host2_to_sw
+                };
+                match link.enqueue(now, len) {
+                    Some(arrival) => self.queue.schedule(
+                        arrival,
+                        Event::FrameAtSwitch {
+                            in_port: PortNo(host),
+                            packet,
+                        },
+                    ),
+                    None => self.data_drops += 1,
+                }
+            }
+            Event::FrameAtSwitch { in_port, packet } => {
+                if let Some(id) = packet_id(&packet) {
+                    if let Some(rec) = self.records.get_mut(&id) {
+                        rec.entered_switch.get_or_insert(now);
+                    }
+                }
+                let flow = FlowKey::of(&packet);
+                let outputs = self.switch.handle_frame(now, in_port, packet);
+                self.process_switch_outputs(outputs, flow);
+                self.arm_timer();
+            }
+            Event::EgressAtSwitch { port, queue, packet } => {
+                let len = packet.wire_len();
+                if let Some(id) = packet_id(&packet) {
+                    if let Some(rec) = self.records.get_mut(&id) {
+                        rec.left_switch.get_or_insert(now);
+                    }
+                }
+                let (link, host) = match port {
+                    PortNo(1) => (&mut self.sw_to_host1, 1),
+                    PortNo(2) => (&mut self.sw_to_host2, 2),
+                    other => {
+                        debug_assert!(false, "egress on unknown port {other}");
+                        return;
+                    }
+                };
+                match link.enqueue(now, queue, len) {
+                    Some(arrival) => self
+                        .queue
+                        .schedule(arrival, Event::FrameAtHost { host, packet }),
+                    None => self.data_drops += 1,
+                }
+            }
+            Event::FrameAtHost { packet, .. } => {
+                if let Some(id) = packet_id(&packet) {
+                    if let Some(rec) = self.records.get_mut(&id) {
+                        rec.delivered.get_or_insert(now);
+                    }
+                }
+            }
+            Event::CtrlFromSwitch { xid, msg } => {
+                let len = msg.wire_len();
+                self.trace.record(now, Direction::ToController, xid, &msg);
+                if now >= self.data_start {
+                    self.meter_to_controller.record(now, len);
+                }
+                if self.inject_ctrl_loss() {
+                    return;
+                }
+                match self.sw_to_ctrl.enqueue(now, len) {
+                    Some(arrival) => self
+                        .queue
+                        .schedule(arrival, Event::CtrlAtController { xid, msg }),
+                    None => self.ctrl_drops += 1,
+                }
+            }
+            Event::CtrlAtController { xid, msg } => {
+                let outputs = self.controller.handle_message(now, msg, xid);
+                for ControllerOutput::ToSwitch { at, xid, msg } in outputs {
+                    if now >= self.data_start {
+                        match &msg {
+                            OfpMessage::FlowMod(_) => self.flow_mod_count += 1,
+                            OfpMessage::PacketOut(_) => self.pkt_out_count += 1,
+                            _ => {}
+                        }
+                    }
+                    self.queue
+                        .schedule(at, Event::CtrlFromController { xid, msg });
+                }
+            }
+            Event::CtrlFromController { xid, msg } => {
+                let len = msg.wire_len();
+                self.trace.record(now, Direction::ToSwitch, xid, &msg);
+                if now >= self.data_start {
+                    self.meter_to_switch.record(now, len);
+                }
+                if self.inject_ctrl_loss() {
+                    return;
+                }
+                match self.ctrl_to_sw.enqueue(now, len) {
+                    Some(arrival) => self
+                        .queue
+                        .schedule(arrival, Event::CtrlAtSwitch { xid, msg }),
+                    None => self.ctrl_drops += 1,
+                }
+            }
+            Event::CtrlAtSwitch { xid, msg } => {
+                // Controller delay: pkt_in left the switch -> first
+                // response with the same xid arrives back (the paper's
+                // t2 - t1).
+                if let Some((sent_at, flow)) = self.pkt_in_sent.remove(&xid) {
+                    let delay = now.saturating_sub(sent_at);
+                    self.controller_delays_ms.push(delay.as_millis_f64());
+                    if let Some(flow) = flow {
+                        self.controller_delay_of_flow.entry(flow).or_insert(delay);
+                    }
+                }
+                let outputs = self.switch.handle_controller_msg(now, msg, xid);
+                self.process_switch_outputs(outputs, None);
+                self.arm_timer();
+            }
+            Event::SwitchTimer => {
+                if self.timer_armed == Some(now) {
+                    self.timer_armed = None;
+                }
+                if self.switch.next_timer().is_some_and(|t| t <= now) {
+                    let outputs = self.switch.on_timer(now);
+                    self.process_switch_outputs(outputs, None);
+                }
+                self.arm_timer();
+            }
+            Event::ControllerKeepalive => {
+                let ControllerOutput::ToSwitch { at, xid, msg } = self.controller.keepalive(now);
+                self.queue
+                    .schedule(at, Event::CtrlFromController { xid, msg });
+            }
+            Event::ControllerStatsPoll => {
+                let ControllerOutput::ToSwitch { at, xid, msg } =
+                    self.controller.poll_flow_stats(now);
+                self.queue
+                    .schedule(at, Event::CtrlFromController { xid, msg });
+            }
+        }
+    }
+
+    /// Routes the switch's timed outputs into the event queue.
+    /// `originating_flow` is the flow of the packet that triggered them
+    /// (known when handling a data frame), used to attribute the pkt_in for
+    /// per-flow controller-delay accounting; otherwise the pkt_in's own
+    /// payload headers are consulted.
+    fn process_switch_outputs(
+        &mut self,
+        outputs: Vec<SwitchOutput>,
+        originating_flow: Option<FlowKey>,
+    ) {
+        for output in outputs {
+            match output {
+                SwitchOutput::Forward {
+                    at,
+                    port,
+                    queue,
+                    packet,
+                } => {
+                    self.queue
+                        .schedule(at, Event::EgressAtSwitch { port, queue, packet });
+                }
+                SwitchOutput::ToController { at, xid, msg } => {
+                    // The warm-up ARPs are plumbing, not measurement
+                    // traffic; the paper's capture window starts with the
+                    // pktgen run.
+                    if let OfpMessage::PacketIn(pin) = &msg {
+                        if at >= self.data_start {
+                            self.pkt_in_count += 1;
+                            let flow = originating_flow.or_else(|| {
+                                ParsedHeaders::parse(&pin.data)
+                                    .ok()
+                                    .and_then(|h| h.flow_key())
+                            });
+                            self.pkt_in_sent.insert(xid, (at, flow));
+                        }
+                    }
+                    self.queue.schedule(at, Event::CtrlFromSwitch { xid, msg });
+                }
+                SwitchOutput::Drop { .. } => {
+                    self.data_drops += 1;
+                }
+            }
+        }
+    }
+
+    /// Deterministic control-channel fault injection: drops every Nth
+    /// control message when configured.
+    fn inject_ctrl_loss(&mut self) -> bool {
+        let Some(n) = self.config.control_loss_one_in else {
+            return false;
+        };
+        self.ctrl_msg_seq += 1;
+        if self.ctrl_msg_seq % n == 0 {
+            self.ctrl_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn arm_timer(&mut self) {
+        if let Some(t) = self.switch.next_timer() {
+            if self.timer_armed.map_or(true, |armed| t < armed) {
+                self.queue.schedule(t, Event::SwitchTimer);
+                self.timer_armed = Some(t);
+            }
+        }
+    }
+
+    fn collect(&mut self, packets_sent: u64, flows_total: usize) -> RunResult {
+        use sdnbuf_metrics::Summary;
+        // The measurement window ends with the last data-driven activity
+        // (delivery or control message); the rule-expiry housekeeping that
+        // trails for idle-timeout seconds afterwards is not part of the
+        // experiment, just as the paper's captures stop when pktgen does.
+        let last_delivery = self
+            .records
+            .values()
+            .filter_map(|r| r.delivered)
+            .max()
+            .unwrap_or(self.data_start);
+        let end = last_delivery
+            .max(self.meter_to_controller.last_at())
+            .max(self.meter_to_switch.last_at());
+        let active = end.saturating_sub(self.data_start).max(Nanos::from_micros(1));
+
+        // Per-flow delay extraction.
+        let mut setup_ms = Vec::new();
+        let mut forwarding_ms = Vec::new();
+        let mut switch_ms = Vec::new();
+        // Per flow: first packet's (enter, left, key), last left time,
+        // delivered count, total count.
+        type FlowAgg = (Option<(Nanos, Nanos, FlowKey)>, Option<Nanos>, usize, usize);
+        let mut per_flow: HashMap<usize, FlowAgg> = HashMap::new();
+        for (id, rec) in &self.records {
+            let entry = per_flow.entry(rec.flow_index).or_insert((None, None, 0, 0));
+            entry.3 += 1;
+            if rec.delivered.is_some() {
+                entry.2 += 1;
+            }
+            if rec.seq_in_flow == 0 {
+                if let (Some(e), Some(l)) = (rec.entered_switch, rec.left_switch) {
+                    entry.0 = Some((e, l, id.0));
+                }
+            }
+            if let Some(l) = rec.left_switch {
+                entry.1 = Some(entry.1.map_or(l, |prev: Nanos| prev.max(l)));
+            }
+        }
+        let mut flows_completed = 0usize;
+        for (first, last_left, delivered, total) in per_flow.values() {
+            if *delivered == *total && *total > 0 {
+                flows_completed += 1;
+            }
+            if let Some((enter, left, key)) = first {
+                let setup = left.saturating_sub(*enter);
+                setup_ms.push(setup.as_millis_f64());
+                if let Some(ctrl) = self.controller_delay_of_flow.get(key) {
+                    switch_ms.push(setup.saturating_sub(*ctrl).as_millis_f64());
+                }
+                if let Some(last) = last_left {
+                    forwarding_ms.push(last.saturating_sub(*enter).as_millis_f64());
+                }
+            }
+        }
+
+        let delivered = self
+            .records
+            .values()
+            .filter(|r| r.delivered.is_some())
+            .count() as u64;
+        let gauge = &self.switch.stats().buffer_occupancy;
+        // Rescale the gauge's whole-run mean to the active span.
+        let mean_occ = gauge.time_weighted_mean(end) * end.as_secs_f64() / active.as_secs_f64();
+        let buf_stats = self.switch.buffer().stats();
+
+        RunResult {
+            label: self.config.switch.buffer.label(),
+            sending_rate_mbps: 0.0, // set by the experiment driver
+            active_span: active,
+            ctrl_load_to_controller_mbps: self.meter_to_controller.bytes() as f64 * 8.0
+                / active.as_secs_f64()
+                / 1e6,
+            ctrl_load_to_switch_mbps: self.meter_to_switch.bytes() as f64 * 8.0
+                / active.as_secs_f64()
+                / 1e6,
+            pkt_in_count: self.pkt_in_count,
+            ctrl_bytes_to_controller: self.meter_to_controller.bytes(),
+            ctrl_bytes_to_switch: self.meter_to_switch.bytes(),
+            flow_mod_count: self.flow_mod_count,
+            pkt_out_count: self.pkt_out_count,
+            controller_cpu_percent: self.controller.cpu_percent(active),
+            switch_cpu_percent: self.switch.cpu_percent(active),
+            flow_setup_delay: Summary::of(&setup_ms),
+            controller_delay: Summary::of(&self.controller_delays_ms),
+            switch_delay: Summary::of(&switch_ms),
+            flow_forwarding_delay: Summary::of(&forwarding_ms),
+            buffer_mean_occupancy: mean_occ,
+            buffer_peak_occupancy: buf_stats.peak_occupancy,
+            buffer_fallbacks: buf_stats.fallback_full,
+            rerequests: buf_stats.rerequests,
+            packets_sent,
+            packets_delivered: delivered,
+            packets_dropped: self.data_drops,
+            ctrl_drops: self.ctrl_drops,
+            flows_completed,
+            flows_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_sim::BitRate;
+    use sdnbuf_switch::BufferChoice;
+    use sdnbuf_workload::{single_packet_flows, PktgenConfig};
+
+    fn small_workload(rate_mbps: u64, n: usize) -> Vec<Departure> {
+        single_packet_flows(
+            &PktgenConfig {
+                rate: BitRate::from_mbps(rate_mbps),
+                ..PktgenConfig::default()
+            },
+            n,
+            7,
+        )
+    }
+
+    fn run_with(buffer: BufferChoice, rate: u64, n: usize) -> RunResult {
+        let mut tb = Testbed::new(TestbedConfig::with_buffer(buffer));
+        tb.run(&small_workload(rate, n))
+    }
+
+    #[test]
+    fn every_packet_is_delivered_no_buffer() {
+        let r = run_with(BufferChoice::NoBuffer, 20, 50);
+        assert_eq!(r.packets_sent, 50);
+        assert_eq!(r.packets_delivered, 50);
+        assert_eq!(r.flows_completed, 50);
+        assert_eq!(r.packets_dropped, 0);
+    }
+
+    #[test]
+    fn every_packet_is_delivered_packet_granularity() {
+        let r = run_with(BufferChoice::PacketGranularity { capacity: 256 }, 20, 50);
+        assert_eq!(r.packets_delivered, 50);
+        assert_eq!(r.flows_completed, 50);
+    }
+
+    #[test]
+    fn every_packet_is_delivered_flow_granularity() {
+        let r = run_with(
+            BufferChoice::FlowGranularity {
+                capacity: 256,
+                timeout: Nanos::from_millis(50),
+            },
+            20,
+            50,
+        );
+        assert_eq!(r.packets_delivered, 50);
+        assert_eq!(r.flows_completed, 50);
+    }
+
+    #[test]
+    fn buffering_shrinks_control_traffic() {
+        let no_buf = run_with(BufferChoice::NoBuffer, 20, 100);
+        let buffered = run_with(BufferChoice::PacketGranularity { capacity: 256 }, 20, 100);
+        assert!(
+            buffered.ctrl_bytes_to_controller < no_buf.ctrl_bytes_to_controller / 4,
+            "buffered {} vs no-buffer {}",
+            buffered.ctrl_bytes_to_controller,
+            no_buf.ctrl_bytes_to_controller
+        );
+        assert!(buffered.ctrl_bytes_to_switch < no_buf.ctrl_bytes_to_switch / 4);
+        // Same number of requests, though: packet granularity does not
+        // reduce the message count.
+        assert_eq!(buffered.pkt_in_count, no_buf.pkt_in_count);
+    }
+
+    #[test]
+    fn controller_delay_is_measured_and_sane() {
+        let r = run_with(BufferChoice::PacketGranularity { capacity: 256 }, 10, 30);
+        assert_eq!(r.controller_delay.n, 30);
+        // Two 300 us propagation legs bound it from below.
+        assert!(r.controller_delay.mean > 0.6, "{}", r.controller_delay);
+        assert!(r.controller_delay.mean < 5.0, "{}", r.controller_delay);
+        // Setup includes the controller round trip.
+        assert!(r.flow_setup_delay.mean >= r.controller_delay.mean * 0.9);
+        assert_eq!(r.flow_setup_delay.n, 30);
+        assert_eq!(r.switch_delay.n, 30);
+    }
+
+    #[test]
+    fn warmup_teaches_controller_host_locations() {
+        let mut tb = Testbed::new(TestbedConfig::default());
+        let r = tb.run(&small_workload(10, 5));
+        assert_eq!(r.packets_delivered, 5);
+        use sdnbuf_net::MacAddr;
+        assert_eq!(
+            tb.controller().location_of(MacAddr::from_host_index(2)),
+            Some(PortNo(2))
+        );
+        assert_eq!(
+            tb.controller().location_of(MacAddr::from_host_index(1)),
+            Some(PortNo(1))
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_with(BufferChoice::NoBuffer, 30, 40);
+        let b = run_with(BufferChoice::NoBuffer, 30, 40);
+        assert_eq!(a, b);
+    }
+}

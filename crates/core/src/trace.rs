@@ -1,0 +1,164 @@
+//! Control-plane transaction tracing — a readable log of every OpenFlow
+//! message that crossed the control channel, for debugging and teaching.
+
+use sdnbuf_openflow::OfpMessage;
+use sdnbuf_sim::Nanos;
+use std::fmt;
+
+/// Which way a control message travelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Switch → controller.
+    ToController,
+    /// Controller → switch.
+    ToSwitch,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::ToController => write!(f, "sw->ctrl"),
+            Direction::ToSwitch => write!(f, "ctrl->sw"),
+        }
+    }
+}
+
+/// One control message observed on the channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it was put on the channel.
+    pub at: Nanos,
+    /// Which way it went.
+    pub direction: Direction,
+    /// Transaction id.
+    pub xid: u32,
+    /// Wire size in bytes.
+    pub wire_len: usize,
+    /// Human-readable message description (`packet_in(buf#3, 128B…)`).
+    pub description: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}  {}  xid={:<10} {:>5}B  {}",
+            self.at.to_string(),
+            self.direction,
+            self.xid,
+            self.wire_len,
+            self.description
+        )
+    }
+}
+
+/// A bounded log of control-channel activity.
+///
+/// Disabled by default (zero capacity); enable via
+/// [`crate::TestbedConfig::trace_capacity`]. Bounded so a runaway
+/// experiment cannot exhaust memory; older entries win.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    capacity: usize,
+    entries: Vec<TraceEntry>,
+    suppressed: u64,
+}
+
+impl TraceLog {
+    /// Creates a log keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> TraceLog {
+        TraceLog {
+            capacity,
+            entries: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records a message (no-op when disabled or full).
+    pub fn record(&mut self, at: Nanos, direction: Direction, xid: u32, msg: &OfpMessage) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.suppressed += 1;
+            return;
+        }
+        self.entries.push(TraceEntry {
+            at,
+            direction,
+            xid,
+            wire_len: msg.wire_len(),
+            description: msg.to_string(),
+        });
+    }
+
+    /// The recorded entries, in channel order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Messages that arrived after the log filled up.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Renders the whole log as text, one entry per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.suppressed > 0 {
+            out.push_str(&format!("... {} more messages suppressed\n", self.suppressed));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> OfpMessage {
+        OfpMessage::Hello
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(0);
+        assert!(!log.is_enabled());
+        log.record(Nanos::ZERO, Direction::ToSwitch, 1, &msg());
+        assert!(log.entries().is_empty());
+        assert_eq!(log.suppressed(), 0);
+    }
+
+    #[test]
+    fn bounded_capacity_keeps_oldest() {
+        let mut log = TraceLog::new(2);
+        for i in 0..5 {
+            log.record(Nanos::from_micros(i), Direction::ToController, i as u32, &msg());
+        }
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries()[0].xid, 0);
+        assert_eq!(log.entries()[1].xid, 1);
+        assert_eq!(log.suppressed(), 3);
+        assert!(log.to_text().contains("3 more messages suppressed"));
+    }
+
+    #[test]
+    fn entries_render_readably() {
+        let mut log = TraceLog::new(4);
+        log.record(Nanos::from_millis(2), Direction::ToSwitch, 7, &msg());
+        let text = log.to_text();
+        assert!(text.contains("ctrl->sw"), "{text}");
+        assert!(text.contains("xid=7"), "{text}");
+        assert!(text.contains("Hello"), "{text}");
+        assert!(text.contains("8B"), "{text}");
+    }
+}

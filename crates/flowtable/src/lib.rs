@@ -1,0 +1,36 @@
+//! The SDN flow table for `sdn-buffer-lab`.
+//!
+//! A size-limited, priority-ordered rule table with OpenFlow semantics:
+//! wildcard matching, idle/hard timeouts, per-rule statistics, and an
+//! eviction policy. The **size limit** is load-bearing for the paper:
+//! Section VI.B's TCP discussion hinges on rules being "kicked out from the
+//! size limited flow tables" while a connection is briefly idle, so eviction
+//! and timeouts are first-class here.
+//!
+//! # Example
+//!
+//! ```
+//! use sdnbuf_flowtable::{FlowRule, FlowTable, InsertOutcome};
+//! use sdnbuf_openflow::{Action, Match, MatchView, PortNo};
+//! use sdnbuf_net::PacketBuilder;
+//! use sdnbuf_sim::Nanos;
+//!
+//! let mut table = FlowTable::new(1024);
+//! let pkt = PacketBuilder::udp().build();
+//! let rule = FlowRule::new(Match::exact_from_packet(PortNo(1), &pkt), 100)
+//!     .with_actions(vec![Action::output(PortNo(2))]);
+//! assert_eq!(table.insert(Nanos::ZERO, rule), InsertOutcome::Installed);
+//!
+//! let view = MatchView::of(PortNo(1), &pkt);
+//! let hit = table.match_packet(Nanos::from_micros(1), &view, 1000).unwrap();
+//! assert_eq!(hit.actions, vec![Action::output(PortNo(2))]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rule;
+mod table;
+
+pub use rule::FlowRule;
+pub use table::{EvictionPolicy, FlowTable, InsertOutcome, RemovedRule};

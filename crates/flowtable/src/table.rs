@@ -1,0 +1,490 @@
+//! The size-limited flow table.
+
+use crate::FlowRule;
+use sdnbuf_openflow::{msg::FlowRemovedReason, Match, MatchView};
+use sdnbuf_sim::Nanos;
+
+/// What the table does when an insert arrives while full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Reject the new rule (the switch would return an `OFPET_FLOW_MOD_FAILED`
+    /// error).
+    #[default]
+    RejectNew,
+    /// Evict the least-recently-hit rule to make room — the behaviour the
+    /// paper's Section VI.B TCP-eviction scenario relies on.
+    EvictLru,
+}
+
+/// Outcome of [`FlowTable::insert`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum InsertOutcome {
+    /// The rule was added to a free slot.
+    Installed,
+    /// A rule with the same match and priority was overwritten.
+    Replaced,
+    /// The table was full; this rule was evicted to make room.
+    Evicted(
+        /// The victim.
+        FlowRule,
+    ),
+    /// The table was full and the policy rejects new rules.
+    Rejected,
+}
+
+/// A rule removed by expiry or deletion, with the reason — the payload a
+/// `flow_removed` message is built from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemovedRule {
+    /// The removed rule (with final statistics).
+    pub rule: FlowRule,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+}
+
+/// A size-limited, priority-ordered flow table.
+///
+/// Lookup returns the highest-priority matching rule (ties broken by
+/// insertion order, matching Open vSwitch). The capacity limit plus the
+/// eviction policy produce the "rule kicked out of a size-limited table"
+/// behaviour the paper discusses for TCP flows.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_flowtable::{EvictionPolicy, FlowRule, FlowTable, InsertOutcome};
+/// use sdnbuf_openflow::Match;
+/// use sdnbuf_sim::Nanos;
+///
+/// let mut t = FlowTable::with_eviction(1, EvictionPolicy::EvictLru);
+/// t.insert(Nanos::ZERO, FlowRule::new(Match::any(), 1));
+/// // Table is full; the next insert evicts the LRU rule.
+/// let outcome = t.insert(Nanos::from_secs(1), FlowRule::new(Match::any(), 2));
+/// assert!(matches!(outcome, InsertOutcome::Evicted(_)));
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowTable {
+    capacity: usize,
+    policy: EvictionPolicy,
+    rules: Vec<FlowRule>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table holding at most `capacity` rules, rejecting
+    /// inserts when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FlowTable {
+        FlowTable::with_eviction(capacity, EvictionPolicy::RejectNew)
+    }
+
+    /// Creates an empty table with an explicit eviction policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_eviction(capacity: usize, policy: EvictionPolicy) -> FlowTable {
+        assert!(capacity > 0, "flow table capacity must be positive");
+        FlowTable {
+            capacity,
+            policy,
+            rules: Vec::new(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Maximum number of rules.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.rules.len() >= self.capacity
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a matching rule.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Iterates over installed rules in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowRule> {
+        self.rules.iter()
+    }
+
+    /// Installs `rule` at time `now`.
+    ///
+    /// A rule with an identical match and priority is replaced in place
+    /// (standard `OFPFC_ADD` overlap semantics). When the table is full the
+    /// eviction policy decides between rejecting and evicting the
+    /// least-recently-active rule.
+    pub fn insert(&mut self, now: Nanos, mut rule: FlowRule) -> InsertOutcome {
+        rule.installed_at = now;
+        rule.last_hit = now;
+        if let Some(existing) = self
+            .rules
+            .iter_mut()
+            .find(|r| r.match_fields == rule.match_fields && r.priority == rule.priority)
+        {
+            // Re-adding an identical rule must not make it stop matching
+            // while the new install is processed: keep the earlier effect
+            // time (OVS treats the duplicate as a modify of the live rule).
+            rule.installed_at = existing.installed_at.min(rule.installed_at);
+            *existing = rule;
+            return InsertOutcome::Replaced;
+        }
+        if self.is_full() {
+            match self.policy {
+                EvictionPolicy::RejectNew => return InsertOutcome::Rejected,
+                EvictionPolicy::EvictLru => {
+                    let victim_idx = self
+                        .rules
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, r)| r.last_hit)
+                        .map(|(i, _)| i)
+                        .expect("full table is non-empty");
+                    let victim = self.rules.remove(victim_idx);
+                    self.rules.push(rule);
+                    return InsertOutcome::Evicted(victim);
+                }
+            }
+        }
+        self.rules.push(rule);
+        InsertOutcome::Installed
+    }
+
+    /// Looks up the best rule for a packet **and** updates that rule's hit
+    /// statistics — the datapath's per-packet operation.
+    ///
+    /// Rules whose installation completes in the future (`installed_at >
+    /// now`) do not match yet: this reproduces the paper's `t_e` semantics,
+    /// where packets arriving before a `flow_mod` takes effect still miss
+    /// and trigger further requests.
+    pub fn match_packet(
+        &mut self,
+        now: Nanos,
+        view: &MatchView,
+        packet_bytes: usize,
+    ) -> Option<&FlowRule> {
+        self.lookups += 1;
+        let best = self.best_index(now, view)?;
+        self.hits += 1;
+        let rule = &mut self.rules[best];
+        rule.last_hit = now;
+        rule.packet_count += 1;
+        rule.byte_count += packet_bytes as u64;
+        Some(&self.rules[best])
+    }
+
+    /// Looks up without touching statistics (for inspection and tests),
+    /// ignoring rule effect times.
+    pub fn peek(&self, view: &MatchView) -> Option<&FlowRule> {
+        self.best_index(Nanos::MAX, view).map(|i| &self.rules[i])
+    }
+
+    fn best_index(&self, now: Nanos, view: &MatchView) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.installed_at > now || !rule.match_fields.matches(view) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if rule.priority > self.rules[b].priority => best = Some(i),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Removes every rule whose idle or hard timeout has elapsed at `now`;
+    /// returns them with the applicable reason.
+    pub fn expire(&mut self, now: Nanos) -> Vec<RemovedRule> {
+        let mut removed = Vec::new();
+        self.rules.retain(|r| {
+            let last_activity = r.installed_at.max(r.last_hit);
+            if r.is_expired(now, last_activity) {
+                let reason = if r.hard_timeout != Nanos::ZERO
+                    && now >= r.installed_at + r.hard_timeout
+                {
+                    FlowRemovedReason::HardTimeout
+                } else {
+                    FlowRemovedReason::IdleTimeout
+                };
+                removed.push(RemovedRule {
+                    rule: r.clone(),
+                    reason,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// The earliest moment any installed rule can expire, for scheduling the
+    /// next expiry sweep. `None` when no rule has a timeout.
+    pub fn next_expiry(&self) -> Option<Nanos> {
+        self.rules
+            .iter()
+            .filter_map(|r| r.expiry_deadline(r.installed_at.max(r.last_hit)))
+            .min()
+    }
+
+    /// Deletes rules matching `pattern` (`OFPFC_DELETE` semantics: a rule is
+    /// deleted when `pattern` is equal to or more general than its match).
+    /// With `strict`, only an exact match+priority match deletes.
+    pub fn delete(&mut self, pattern: &Match, priority: u16, strict: bool) -> Vec<RemovedRule> {
+        let mut removed = Vec::new();
+        self.rules.retain(|r| {
+            let doomed = if strict {
+                r.match_fields == *pattern && r.priority == priority
+            } else {
+                // Non-strict OpenFlow delete: the pattern removes every
+                // rule whose match it subsumes (is equal to or more
+                // general than).
+                pattern.subsumes(&r.match_fields)
+            };
+            if doomed {
+                removed.push(RemovedRule {
+                    rule: r.clone(),
+                    reason: FlowRemovedReason::Delete,
+                });
+            }
+            !doomed
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_net::PacketBuilder;
+    use sdnbuf_openflow::{Action, PortNo};
+
+    fn exact_rule(src_port: u16, priority: u16) -> (FlowRule, MatchView) {
+        let pkt = PacketBuilder::udp().src_port(src_port).build();
+        let m = Match::exact_from_packet(PortNo(1), &pkt);
+        let view = MatchView::of(PortNo(1), &pkt);
+        (
+            FlowRule::new(m, priority).with_actions(vec![Action::output(PortNo(2))]),
+            view,
+        )
+    }
+
+    #[test]
+    fn insert_and_match() {
+        let mut t = FlowTable::new(10);
+        let (rule, view) = exact_rule(5, 100);
+        assert_eq!(t.insert(Nanos::ZERO, rule), InsertOutcome::Installed);
+        let hit = t.match_packet(Nanos::from_micros(3), &view, 500).unwrap();
+        assert_eq!(hit.packet_count, 1);
+        assert_eq!(hit.byte_count, 500);
+        assert_eq!(hit.last_hit, Nanos::from_micros(3));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.lookups(), 1);
+    }
+
+    #[test]
+    fn miss_counts_lookup_only() {
+        let mut t = FlowTable::new(10);
+        let (_, view) = exact_rule(5, 100);
+        assert!(t.match_packet(Nanos::ZERO, &view, 100).is_none());
+        assert_eq!(t.lookups(), 1);
+        assert_eq!(t.hits(), 0);
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new(10);
+        let (low, view) = exact_rule(5, 1);
+        t.insert(Nanos::ZERO, low);
+        let mut high = FlowRule::new(Match::any(), 50);
+        high.actions = vec![Action::output(PortNo(9))];
+        t.insert(Nanos::ZERO, high);
+        let hit = t.peek(&view).unwrap();
+        assert_eq!(hit.priority, 50);
+    }
+
+    #[test]
+    fn equal_priority_first_installed_wins() {
+        let mut t = FlowTable::new(10);
+        let a = FlowRule::new(Match::any(), 5).with_cookie(1);
+        let b = FlowRule::new(Match::from_flow_key(
+            &sdnbuf_net::FlowKey::of(&PacketBuilder::udp().build()).unwrap(),
+        ), 5)
+        .with_cookie(2);
+        t.insert(Nanos::ZERO, a);
+        t.insert(Nanos::ZERO, b);
+        let view = MatchView::of(PortNo(1), &PacketBuilder::udp().build());
+        assert_eq!(t.peek(&view).unwrap().cookie, 1);
+    }
+
+    #[test]
+    fn same_match_same_priority_replaces() {
+        let mut t = FlowTable::new(10);
+        let (r1, view) = exact_rule(5, 100);
+        let (mut r2, _) = exact_rule(5, 100);
+        r2.cookie = 77;
+        t.insert(Nanos::ZERO, r1);
+        assert_eq!(t.insert(Nanos::from_secs(1), r2), InsertOutcome::Replaced);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.peek(&view).unwrap().cookie, 77);
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full() {
+        let mut t = FlowTable::new(1);
+        let (r1, _) = exact_rule(1, 1);
+        let (r2, _) = exact_rule(2, 1);
+        t.insert(Nanos::ZERO, r1);
+        assert!(t.is_full());
+        assert_eq!(t.insert(Nanos::ZERO, r2), InsertOutcome::Rejected);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lru_policy_evicts_least_recently_hit() {
+        let mut t = FlowTable::with_eviction(2, EvictionPolicy::EvictLru);
+        let (r1, v1) = exact_rule(1, 1);
+        let (r2, _) = exact_rule(2, 1);
+        let (r3, _) = exact_rule(3, 1);
+        t.insert(Nanos::ZERO, r1);
+        t.insert(Nanos::ZERO, r2);
+        // Hit rule 1 so rule 2 becomes the LRU victim.
+        t.match_packet(Nanos::from_secs(1), &v1, 100);
+        match t.insert(Nanos::from_secs(2), r3) {
+            InsertOutcome::Evicted(victim) => {
+                // Victim must be rule 2 (src port 2 in its match).
+                assert_eq!(victim.match_fields.tp_src, 2);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(t.len(), 2);
+        // Rule 1 survived.
+        assert!(t.peek(&v1).is_some());
+    }
+
+    #[test]
+    fn idle_expiry_removes_and_reports() {
+        let mut t = FlowTable::new(10);
+        let (rule, view) = exact_rule(5, 1);
+        t.insert(Nanos::ZERO, rule.with_idle_timeout(Nanos::from_secs(5)));
+        assert!(t.expire(Nanos::from_secs(4)).is_empty());
+        // A hit resets the idle clock.
+        t.match_packet(Nanos::from_secs(4), &view, 100);
+        assert!(t.expire(Nanos::from_secs(8)).is_empty());
+        let removed = t.expire(Nanos::from_secs(9));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn hard_expiry_ignores_hits() {
+        let mut t = FlowTable::new(10);
+        let (rule, view) = exact_rule(5, 1);
+        t.insert(Nanos::ZERO, rule.with_hard_timeout(Nanos::from_secs(10)));
+        for s in 1..10 {
+            t.match_packet(Nanos::from_secs(s), &view, 100);
+        }
+        let removed = t.expire(Nanos::from_secs(10));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::HardTimeout);
+        // Final stats ride along for the flow_removed message.
+        assert_eq!(removed[0].rule.packet_count, 9);
+    }
+
+    #[test]
+    fn next_expiry_is_earliest_deadline() {
+        let mut t = FlowTable::new(10);
+        assert_eq!(t.next_expiry(), None);
+        let (r1, _) = exact_rule(1, 1);
+        let (r2, _) = exact_rule(2, 1);
+        t.insert(Nanos::ZERO, r1.with_idle_timeout(Nanos::from_secs(7)));
+        t.insert(Nanos::ZERO, r2.with_hard_timeout(Nanos::from_secs(3)));
+        assert_eq!(t.next_expiry(), Some(Nanos::from_secs(3)));
+    }
+
+    #[test]
+    fn strict_delete_requires_exact_identity() {
+        let mut t = FlowTable::new(10);
+        let (r, _) = exact_rule(5, 100);
+        let m = r.match_fields;
+        t.insert(Nanos::ZERO, r);
+        assert!(t.delete(&m, 99, true).is_empty()); // wrong priority
+        let removed = t.delete(&m, 100, true);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::Delete);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nonstrict_delete_uses_subsumption() {
+        let mut t = FlowTable::new(10);
+        let (r5, _) = exact_rule(5, 1);
+        let (r6, _) = exact_rule(6, 1);
+        t.insert(Nanos::ZERO, r5.clone());
+        t.insert(Nanos::ZERO, r6);
+        // A 5-tuple pattern for src port 5 deletes only that rule.
+        let pkt = PacketBuilder::udp().src_port(5).build();
+        let tuple = Match::from_flow_key(&sdnbuf_net::FlowKey::of(&pkt).unwrap());
+        let removed = t.delete(&tuple, 0, false);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].rule.match_fields, r5.match_fields);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_delete_clears_table() {
+        let mut t = FlowTable::new(10);
+        for p in 0..5 {
+            let (r, _) = exact_rule(p, 1);
+            t.insert(Nanos::ZERO, r);
+        }
+        let removed = t.delete(&Match::any(), 0, false);
+        assert_eq!(removed.len(), 5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_walks_rules() {
+        let mut t = FlowTable::new(10);
+        for p in 0..3 {
+            let (r, _) = exact_rule(p, 1);
+            t.insert(Nanos::ZERO, r);
+        }
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = FlowTable::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests: flow-table invariants under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use sdnbuf_flowtable::{EvictionPolicy, FlowRule, FlowTable, InsertOutcome};
+use sdnbuf_net::PacketBuilder;
+use sdnbuf_openflow::{Match, MatchView, PortNo};
+use sdnbuf_sim::Nanos;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { src_port: u16, priority: u16, idle_s: u64 },
+    Packet { src_port: u16 },
+    Expire,
+    DeleteAll,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..40, 0u16..8, 0u64..5).prop_map(|(src_port, priority, idle_s)| Op::Insert {
+            src_port,
+            priority,
+            idle_s
+        }),
+        (0u16..40).prop_map(|src_port| Op::Packet { src_port }),
+        Just(Op::Expire),
+        Just(Op::DeleteAll),
+    ]
+}
+
+fn rule_for(src_port: u16, priority: u16, idle_s: u64) -> FlowRule {
+    let pkt = PacketBuilder::udp().src_port(src_port).build();
+    FlowRule::new(Match::exact_from_packet(PortNo(1), &pkt), priority)
+        .with_idle_timeout(Nanos::from_secs(idle_s))
+}
+
+proptest! {
+    #[test]
+    fn table_never_exceeds_capacity(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        capacity in 1usize..16,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { EvictionPolicy::EvictLru } else { EvictionPolicy::RejectNew };
+        let mut t = FlowTable::with_eviction(capacity, policy);
+        let mut now = Nanos::ZERO;
+        for op in ops {
+            now += Nanos::from_millis(100);
+            match op {
+                Op::Insert { src_port, priority, idle_s } => {
+                    let outcome = t.insert(now, rule_for(src_port, priority, idle_s));
+                    if let InsertOutcome::Rejected = outcome {
+                        prop_assert!(!lru, "LRU policy must never reject");
+                    }
+                }
+                Op::Packet { src_port } => {
+                    let pkt = PacketBuilder::udp().src_port(src_port).build();
+                    let view = MatchView::of(PortNo(1), &pkt);
+                    let _ = t.match_packet(now, &view, pkt.wire_len());
+                }
+                Op::Expire => { let _ = t.expire(now); }
+                Op::DeleteAll => { let _ = t.delete(&Match::any(), 0, false); }
+            }
+            prop_assert!(t.len() <= capacity, "len {} > capacity {}", t.len(), capacity);
+        }
+    }
+
+    #[test]
+    fn hits_never_exceed_lookups(ops in proptest::collection::vec(arb_op(), 1..100)) {
+        let mut t = FlowTable::new(8);
+        let mut now = Nanos::ZERO;
+        for op in ops {
+            now += Nanos::from_millis(10);
+            match op {
+                Op::Insert { src_port, priority, idle_s } => {
+                    let _ = t.insert(now, rule_for(src_port, priority, idle_s));
+                }
+                Op::Packet { src_port } => {
+                    let pkt = PacketBuilder::udp().src_port(src_port).build();
+                    let _ = t.match_packet(now, &MatchView::of(PortNo(1), &pkt), 100);
+                }
+                Op::Expire => { let _ = t.expire(now); }
+                Op::DeleteAll => { let _ = t.delete(&Match::any(), 0, false); }
+            }
+        }
+        prop_assert!(t.hits() <= t.lookups());
+    }
+
+    #[test]
+    fn expired_rules_never_match(
+        idle_s in 1u64..10,
+        gap_s in 0u64..20,
+        src_port in 0u16..100,
+    ) {
+        let mut t = FlowTable::new(4);
+        t.insert(Nanos::ZERO, rule_for(src_port, 1, idle_s));
+        let now = Nanos::from_secs(gap_s);
+        let _ = t.expire(now);
+        let pkt = PacketBuilder::udp().src_port(src_port).build();
+        let hit = t.match_packet(now, &MatchView::of(PortNo(1), &pkt), 100).is_some();
+        if gap_s >= idle_s {
+            prop_assert!(!hit, "rule idle for {gap_s}s with timeout {idle_s}s must be gone");
+        } else {
+            prop_assert!(hit);
+        }
+    }
+
+    #[test]
+    fn match_packet_agrees_with_peek(
+        inserts in proptest::collection::vec((0u16..20, 0u16..8), 1..20),
+        probe in 0u16..20,
+    ) {
+        let mut t = FlowTable::with_eviction(32, EvictionPolicy::EvictLru);
+        let mut now = Nanos::ZERO;
+        for (sp, pr) in inserts {
+            now += Nanos::from_millis(1);
+            let _ = t.insert(now, rule_for(sp, pr, 0));
+        }
+        let pkt = PacketBuilder::udp().src_port(probe).build();
+        let view = MatchView::of(PortNo(1), &pkt);
+        let peeked = t.peek(&view).map(|r| (r.match_fields, r.priority));
+        let matched = t.match_packet(now, &view, 100).map(|r| (r.match_fields, r.priority));
+        prop_assert_eq!(peeked, matched);
+    }
+}

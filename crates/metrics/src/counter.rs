@@ -1,0 +1,66 @@
+//! Monotonic event counters.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_metrics::Counter;
+/// let mut c = Counter::new();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 12);
+        assert_eq!(c.to_string(), "12");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Counter::default().get(), 0);
+    }
+}

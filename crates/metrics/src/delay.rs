@@ -1,0 +1,118 @@
+//! Latency sample recorders.
+
+use crate::Summary;
+use sdnbuf_sim::Nanos;
+
+/// Collects latency samples and summarizes them.
+///
+/// Used for the paper's flow-setup delay, controller delay, switch delay and
+/// flow-forwarding delay figures.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_metrics::DelayRecorder;
+/// use sdnbuf_sim::Nanos;
+///
+/// let mut d = DelayRecorder::new();
+/// d.record(Nanos::from_micros(500));
+/// d.record(Nanos::from_micros(1500));
+/// assert_eq!(d.len(), 2);
+/// assert!((d.summary().mean - 1.0).abs() < 1e-9); // summarized in ms
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DelayRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl DelayRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        DelayRecorder::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, delay: Nanos) {
+        self.samples_ms.push(delay.as_millis_f64());
+    }
+
+    /// Records the difference `end - start` (saturating at zero).
+    pub fn record_span(&mut self, start: Nanos, end: Nanos) {
+        self.record(end.saturating_sub(start));
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// The raw samples in milliseconds, in recording order.
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Summary statistics, in milliseconds.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples_ms)
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &DelayRecorder) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_millis() {
+        let mut d = DelayRecorder::new();
+        d.record(Nanos::from_millis(2));
+        assert_eq!(d.samples_ms(), &[2.0]);
+    }
+
+    #[test]
+    fn span_saturates() {
+        let mut d = DelayRecorder::new();
+        d.record_span(Nanos::from_millis(5), Nanos::from_millis(7));
+        d.record_span(Nanos::from_millis(7), Nanos::from_millis(5));
+        assert_eq!(d.samples_ms(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_over_samples() {
+        let mut d = DelayRecorder::new();
+        for ms in [1u64, 2, 3] {
+            d.record(Nanos::from_millis(ms));
+        }
+        let s = d.summary();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = DelayRecorder::new();
+        a.record(Nanos::from_millis(1));
+        let mut b = DelayRecorder::new();
+        b.record(Nanos::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!((a.summary().mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let d = DelayRecorder::new();
+        assert!(d.is_empty());
+        assert_eq!(d.summary().n, 0);
+    }
+}

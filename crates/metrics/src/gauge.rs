@@ -1,0 +1,143 @@
+//! Time-weighted occupancy gauges.
+
+use sdnbuf_sim::Nanos;
+
+/// A sampled occupancy value (e.g. buffer units in use) with time-weighted
+/// mean and observed maximum.
+///
+/// Every [`Gauge::set`] closes the interval since the previous sample and
+/// weights the previous value by its duration, so the mean is exact for a
+/// piecewise-constant signal — which buffer occupancy is.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_metrics::Gauge;
+/// use sdnbuf_sim::Nanos;
+///
+/// let mut g = Gauge::new();
+/// g.set(Nanos::ZERO, 0.0);
+/// g.set(Nanos::from_secs(1), 10.0);     // value was 0 for 1 s
+/// g.set(Nanos::from_secs(3), 0.0);      // value was 10 for 2 s
+/// let mean = g.time_weighted_mean(Nanos::from_secs(4)); // then 0 for 1 s
+/// assert!((mean - 5.0).abs() < 1e-9);
+/// assert_eq!(g.max(), 10.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+    last_at: Nanos,
+    integral: f64, // value-seconds
+    max: f64,
+    samples: u64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Updates the value at time `now`. Out-of-order updates (earlier than
+    /// the previous sample) are treated as happening at the previous time.
+    pub fn set(&mut self, now: Nanos, value: f64) {
+        let dt = now.saturating_sub(self.last_at);
+        self.integral += self.value * dt.as_secs_f64();
+        self.last_at = self.last_at.max(now);
+        self.value = value;
+        self.max = self.max.max(value);
+        self.samples += 1;
+    }
+
+    /// Adds `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: Nanos, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The largest value ever set.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of updates.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Time-weighted mean over `[ZERO, horizon]`, extending the current
+    /// value to the horizon.
+    pub fn time_weighted_mean(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            return 0.0;
+        }
+        let tail = horizon.saturating_sub(self.last_at);
+        let integral = self.integral + self.value * tail.as_secs_f64();
+        integral / horizon.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_constant_mean_is_exact() {
+        let mut g = Gauge::new();
+        g.set(Nanos::ZERO, 4.0);
+        g.set(Nanos::from_secs(2), 8.0);
+        // 4 for 2 s, 8 for 2 s => mean 6.
+        assert!((g.time_weighted_mean(Nanos::from_secs(4)) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_tracks_peak_not_current() {
+        let mut g = Gauge::new();
+        g.set(Nanos::ZERO, 42.0);
+        g.set(Nanos::from_secs(1), 1.0);
+        assert_eq!(g.max(), 42.0);
+        assert_eq!(g.value(), 1.0);
+    }
+
+    #[test]
+    fn add_is_relative() {
+        let mut g = Gauge::new();
+        g.add(Nanos::ZERO, 3.0);
+        g.add(Nanos::from_secs(1), 2.0);
+        g.add(Nanos::from_secs(2), -4.0);
+        assert_eq!(g.value(), 1.0);
+        assert_eq!(g.max(), 5.0);
+        assert_eq!(g.samples(), 3);
+    }
+
+    #[test]
+    fn mean_extends_current_value_to_horizon() {
+        let mut g = Gauge::new();
+        g.set(Nanos::ZERO, 10.0);
+        // Value 10 held for the whole horizon.
+        assert!((g.time_weighted_mean(Nanos::from_secs(5)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_horizon_is_zero() {
+        let mut g = Gauge::new();
+        g.set(Nanos::ZERO, 10.0);
+        assert_eq!(g.time_weighted_mean(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_updates_do_not_go_negative() {
+        let mut g = Gauge::new();
+        g.set(Nanos::from_secs(2), 5.0);
+        g.set(Nanos::from_secs(1), 7.0); // earlier than previous
+        assert_eq!(g.value(), 7.0);
+        // Mean must stay finite and sane.
+        let m = g.time_weighted_mean(Nanos::from_secs(3));
+        assert!((0.0..=7.0).contains(&m));
+    }
+}

@@ -1,0 +1,125 @@
+//! Byte/message meters — the packet-capture tap on a link.
+
+use sdnbuf_sim::Nanos;
+use std::fmt;
+
+/// Measures traffic volume at a tap point: total bytes, total messages, and
+/// the average bit-rate over an observation horizon.
+///
+/// The paper's control-path-load figures (Figs. 2 and 9) are exactly this:
+/// `tcpdump` on the controller-facing interface, reduced to Mbps per
+/// direction.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_metrics::ByteMeter;
+/// use sdnbuf_sim::Nanos;
+///
+/// let mut m = ByteMeter::new();
+/// m.record(Nanos::ZERO, 500_000);
+/// m.record(Nanos::from_millis(10), 750_000);
+/// assert_eq!(m.messages(), 2);
+/// assert_eq!(m.bytes(), 1_250_000);
+/// // 10 Mbit over 1 s = 10 Mbps.
+/// assert!((m.mbps(Nanos::from_secs(1)) - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByteMeter {
+    bytes: u64,
+    messages: u64,
+    last_at: Nanos,
+}
+
+impl ByteMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        ByteMeter::default()
+    }
+
+    /// Records a message of `bytes` bytes observed at `now`.
+    pub fn record(&mut self, now: Nanos, bytes: usize) {
+        self.bytes += bytes as u64;
+        self.messages += 1;
+        self.last_at = self.last_at.max(now);
+    }
+
+    /// Total bytes observed.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total messages observed.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Timestamp of the latest observation.
+    pub fn last_at(&self) -> Nanos {
+        self.last_at
+    }
+
+    /// Average rate over `[ZERO, horizon]` in Mbps (10^6 bits per second).
+    pub fn mbps(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / horizon.as_secs_f64() / 1e6
+    }
+
+    /// Mean message size in bytes (zero when no messages were seen).
+    pub fn mean_message_size(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+}
+
+impl fmt::Display for ByteMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} msgs, {} bytes", self.messages, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = ByteMeter::new();
+        m.record(Nanos::from_micros(1), 100);
+        m.record(Nanos::from_micros(5), 200);
+        assert_eq!(m.bytes(), 300);
+        assert_eq!(m.messages(), 2);
+        assert_eq!(m.last_at(), Nanos::from_micros(5));
+        assert_eq!(m.mean_message_size(), 150.0);
+    }
+
+    #[test]
+    fn rate_math() {
+        let mut m = ByteMeter::new();
+        m.record(Nanos::ZERO, 12_500_000); // 100 Mbit
+        assert!((m.mbps(Nanos::from_secs(1)) - 100.0).abs() < 1e-9);
+        assert!((m.mbps(Nanos::from_secs(2)) - 50.0).abs() < 1e-9);
+        assert_eq!(m.mbps(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empty_meter() {
+        let m = ByteMeter::new();
+        assert_eq!(m.mean_message_size(), 0.0);
+        assert_eq!(m.mbps(Nanos::from_secs(1)), 0.0);
+        assert_eq!(m.to_string(), "0 msgs, 0 bytes");
+    }
+
+    #[test]
+    fn last_at_is_monotonic() {
+        let mut m = ByteMeter::new();
+        m.record(Nanos::from_secs(2), 1);
+        m.record(Nanos::from_secs(1), 1); // out of order
+        assert_eq!(m.last_at(), Nanos::from_secs(2));
+    }
+}

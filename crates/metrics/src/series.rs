@@ -1,0 +1,186 @@
+//! Time series of sampled values.
+
+use sdnbuf_sim::Nanos;
+
+/// An append-only time series of `(time, value)` samples with bucketed
+/// down-sampling — used to look *inside* a run (e.g. buffer occupancy over
+/// time) rather than only at run-level aggregates.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_metrics::TimeSeries;
+/// use sdnbuf_sim::Nanos;
+///
+/// let mut s = TimeSeries::new();
+/// for ms in 0..10u64 {
+///     s.record(Nanos::from_millis(ms), ms as f64);
+/// }
+/// let buckets = s.bucketed(5);
+/// assert_eq!(buckets.len(), 5);
+/// // Each bucket averages two consecutive samples.
+/// assert!((buckets[0].1 - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(Nanos, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. Out-of-order timestamps are accepted and sorted
+    /// lazily by readers.
+    pub fn record(&mut self, at: Nanos, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw samples in recording order.
+    pub fn points(&self) -> &[(Nanos, f64)] {
+        &self.points
+    }
+
+    /// The time span covered by the samples.
+    pub fn span(&self) -> Option<(Nanos, Nanos)> {
+        let min = self.points.iter().map(|p| p.0).min()?;
+        let max = self.points.iter().map(|p| p.0).max()?;
+        Some((min, max))
+    }
+
+    /// Down-samples into `n` equal-width time buckets; each bucket carries
+    /// its midpoint time and the mean of the samples falling into it
+    /// (empty buckets repeat the previous bucket's value, starting at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn bucketed(&self, n: usize) -> Vec<(Nanos, f64)> {
+        assert!(n > 0, "bucket count must be positive");
+        let Some((start, end)) = self.span() else {
+            return Vec::new();
+        };
+        let width = (end.saturating_sub(start) / n as u64).max(Nanos::from_nanos(1));
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for &(at, v) in &self.points {
+            let idx = ((at.saturating_sub(start)).as_nanos() / width.as_nanos()) as usize;
+            let idx = idx.min(n - 1);
+            sums[idx] += v;
+            counts[idx] += 1;
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut last = 0.0;
+        for i in 0..n {
+            let value = if counts[i] > 0 {
+                last = sums[i] / counts[i] as f64;
+                last
+            } else {
+                last
+            };
+            let mid = start + width * i as u64 + width / 2;
+            out.push((mid, value));
+        }
+        out
+    }
+
+    /// Renders the series as a unicode sparkline over `n` buckets, scaled
+    /// to the observed maximum. Returns an empty string for an empty
+    /// series.
+    pub fn sparkline(&self, n: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let buckets = self.bucketed(n.max(1));
+        let max = buckets.iter().map(|b| b.1).fold(0.0f64, f64::max);
+        if buckets.is_empty() || max <= 0.0 {
+            return buckets.iter().map(|_| BARS[0]).collect();
+        }
+        buckets
+            .iter()
+            .map(|&(_, v)| {
+                let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+                BARS[idx]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for i in 0..100u64 {
+            s.record(Nanos::from_millis(i), i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn records_and_spans() {
+        let s = ramp();
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        assert_eq!(
+            s.span(),
+            Some((Nanos::ZERO, Nanos::from_millis(99)))
+        );
+    }
+
+    #[test]
+    fn bucketed_means_are_monotone_for_a_ramp() {
+        let b = ramp().bucketed(10);
+        assert_eq!(b.len(), 10);
+        for w in b.windows(2) {
+            assert!(w[1].1 > w[0].1, "ramp buckets must increase");
+            assert!(w[1].0 > w[0].0, "bucket times must increase");
+        }
+    }
+
+    #[test]
+    fn empty_buckets_repeat_previous_value() {
+        let mut s = TimeSeries::new();
+        s.record(Nanos::ZERO, 4.0);
+        s.record(Nanos::from_millis(100), 8.0);
+        let b = s.bucketed(10);
+        // Middle buckets hold the last seen value (4.0).
+        assert_eq!(b[5].1, 4.0);
+        assert_eq!(b[9].1, 8.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.span(), None);
+        assert!(s.bucketed(5).is_empty());
+        assert_eq!(s.sparkline(5), "");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let line = ramp().sparkline(8);
+        assert_eq!(line.chars().count(), 8);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(*chars.last().unwrap(), '█');
+        assert!(chars[0] < chars[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_buckets_panics() {
+        ramp().bucketed(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-width text tables and TSV output for the figure harness.
+
+use std::fmt;
+
+/// A simple column-aligned table that renders as readable text or as TSV —
+/// the format every figure-reproduction binary prints its data series in.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_metrics::Table;
+/// let mut t = Table::new(vec!["rate_mbps", "no_buffer", "buffer_256"]);
+/// t.row(vec!["5".into(), "5.1".into(), "0.9".into()]);
+/// t.row(vec!["100".into(), "96.2".into(), "10.6".into()]);
+/// let text = t.to_text();
+/// assert!(text.contains("rate_mbps"));
+/// let tsv = t.to_tsv();
+/// assert!(tsv.starts_with("rate_mbps\tno_buffer\tbuffer_256\n"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of floats formatted with `decimals` decimal places,
+    /// after a leading label cell.
+    pub fn row_f64<S: Into<String>>(&mut self, label: S, values: &[f64], decimals: usize) {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.into());
+        cells.extend(values.iter().map(|v| format!("{v:.decimals$}")));
+        self.row(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with space-padded, aligned columns.
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            out.push('\n');
+        };
+        render(&mut out, &self.headers);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as tab-separated values with a header line.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert_eq!(lines[0], "  a  bb");
+        assert_eq!(lines[2], "  1   2");
+        assert_eq!(lines[3], "333   4");
+    }
+
+    #[test]
+    fn tsv_round_trips_cells() {
+        let tsv = sample().to_tsv();
+        assert_eq!(tsv, "a\tbb\n1\t2\n333\t4\n");
+    }
+
+    #[test]
+    fn row_f64_formats() {
+        let mut t = Table::new(vec!["rate", "x", "y"]);
+        t.row_f64("10", &[1.23456, 2.0], 2);
+        assert_eq!(t.to_tsv(), "rate\tx\ty\n10\t1.23\t2.00\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.to_text());
+    }
+}

@@ -1,0 +1,85 @@
+//! Decode errors shared by all packet codecs.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while decoding a packet from wire bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// An IPv4 header advertised a version other than 4.
+    BadIpVersion(u8),
+    /// An IPv4 header advertised an IHL shorter than the minimum 5 words.
+    BadIpHeaderLen(u8),
+    /// A header checksum did not verify.
+    BadChecksum {
+        /// Checksum found on the wire.
+        found: u16,
+        /// Checksum computed over the received bytes.
+        computed: u16,
+    },
+    /// A length field disagreed with the number of bytes present.
+    BadLengthField {
+        /// Length claimed by the header.
+        claimed: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// An ARP packet used an unsupported hardware/protocol combination.
+    UnsupportedArp,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            DecodeError::BadIpVersion(v) => write!(f, "unsupported IP version {v}"),
+            DecodeError::BadIpHeaderLen(ihl) => write!(f, "invalid IPv4 IHL {ihl}"),
+            DecodeError::BadChecksum { found, computed } => write!(
+                f,
+                "checksum mismatch: found {found:#06x}, computed {computed:#06x}"
+            ),
+            DecodeError::BadLengthField { claimed, actual } => write!(
+                f,
+                "length field claims {claimed} bytes but {actual} are present"
+            ),
+            DecodeError::UnsupportedArp => write!(f, "unsupported ARP hardware/protocol type"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DecodeError::Truncated { needed: 20, got: 4 };
+        assert_eq!(e.to_string(), "truncated packet: needed 20 bytes, got 4");
+        let e = DecodeError::BadChecksum {
+            found: 0x1234,
+            computed: 0xabcd,
+        };
+        assert!(e.to_string().contains("0x1234"));
+        assert!(e.to_string().contains("0xabcd"));
+        assert!(DecodeError::BadIpVersion(6).to_string().contains('6'));
+        assert!(DecodeError::BadIpHeaderLen(2).to_string().contains('2'));
+        assert!(DecodeError::UnsupportedArp.to_string().contains("ARP"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DecodeError>();
+    }
+}

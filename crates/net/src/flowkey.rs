@@ -1,0 +1,196 @@
+//! The 5-tuple flow identity used by the flow-granularity buffer mechanism.
+
+use crate::{Packet, Payload, Transport};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IP transport protocol, as carried in the IPv4 protocol field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IpProto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl IpProto {
+    /// The wire protocol number.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+}
+
+impl From<u8> for IpProto {
+    fn from(v: u8) -> Self {
+        match v {
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for IpProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProto::Tcp => write!(f, "tcp"),
+            IpProto::Udp => write!(f, "udp"),
+            IpProto::Other(v) => write!(f, "proto{v}"),
+        }
+    }
+}
+
+/// The (source IP, source port, destination IP, destination port, protocol)
+/// tuple that identifies a flow.
+///
+/// Algorithm 1 of the paper computes the shared `buffer_id` of a flow's
+/// miss-match packets "based on the tuple of (src_ip, src_port, dst_ip,
+/// dst_port, protocol)"; this type is that tuple.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_net::{FlowKey, PacketBuilder};
+/// use std::net::Ipv4Addr;
+///
+/// let p1 = PacketBuilder::udp().src_port(100).build();
+/// let p2 = PacketBuilder::udp().src_port(100).frame_size(1400).build();
+/// let p3 = PacketBuilder::udp().src_port(200).build();
+/// assert_eq!(FlowKey::of(&p1), FlowKey::of(&p2)); // same flow, different size
+/// assert_ne!(FlowKey::of(&p1), FlowKey::of(&p3)); // different flow
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port (zero for non-TCP/UDP).
+    pub src_port: u16,
+    /// Destination transport port (zero for non-TCP/UDP).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: IpProto,
+}
+
+impl FlowKey {
+    /// Extracts the flow key of an IPv4 packet; `None` for non-IP traffic
+    /// (e.g. ARP), which has no 5-tuple.
+    pub fn of(packet: &Packet) -> Option<FlowKey> {
+        let ip = match &packet.payload {
+            Payload::Ipv4(ip) => ip,
+            _ => return None,
+        };
+        let (src_port, dst_port, protocol) = match &ip.transport {
+            Transport::Udp(udp, _) => (udp.src_port, udp.dst_port, IpProto::Udp),
+            Transport::Tcp(tcp, _) => (tcp.src_port, tcp.dst_port, IpProto::Tcp),
+            Transport::Other(proto, _) => (0, 0, IpProto::Other(*proto)),
+        };
+        Some(FlowKey {
+            src_ip: ip.header.src,
+            dst_ip: ip.header.dst,
+            src_port,
+            dst_port,
+            protocol,
+        })
+    }
+
+    /// The reverse direction of this flow (addresses and ports swapped).
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}/{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    #[test]
+    fn udp_key_extraction() {
+        let p = PacketBuilder::udp()
+            .src_ip(Ipv4Addr::new(10, 0, 0, 1))
+            .dst_ip(Ipv4Addr::new(10, 0, 0, 2))
+            .src_port(1111)
+            .dst_port(2222)
+            .build();
+        let k = FlowKey::of(&p).unwrap();
+        assert_eq!(k.src_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(k.dst_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(k.src_port, 1111);
+        assert_eq!(k.dst_port, 2222);
+        assert_eq!(k.protocol, IpProto::Udp);
+    }
+
+    #[test]
+    fn tcp_key_extraction() {
+        let p = PacketBuilder::tcp().src_port(5).dst_port(6).build();
+        let k = FlowKey::of(&p).unwrap();
+        assert_eq!(k.protocol, IpProto::Tcp);
+        assert_eq!((k.src_port, k.dst_port), (5, 6));
+    }
+
+    #[test]
+    fn arp_has_no_key() {
+        let p = PacketBuilder::gratuitous_arp(
+            crate::MacAddr::from_host_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert_eq!(FlowKey::of(&p), None);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let p = PacketBuilder::udp().src_port(1).dst_port(2).build();
+        let k = FlowKey::of(&p).unwrap();
+        let r = k.reversed();
+        assert_eq!(r.src_port, 2);
+        assert_eq!(r.dst_port, 1);
+        assert_eq!(r.src_ip, k.dst_ip);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn proto_conversions() {
+        assert_eq!(IpProto::from(6), IpProto::Tcp);
+        assert_eq!(IpProto::from(17), IpProto::Udp);
+        assert_eq!(IpProto::from(1), IpProto::Other(1));
+        assert_eq!(IpProto::Tcp.as_u8(), 6);
+        assert_eq!(IpProto::Udp.as_u8(), 17);
+        assert_eq!(IpProto::Other(89).as_u8(), 89);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = PacketBuilder::udp()
+            .src_ip(Ipv4Addr::new(1, 2, 3, 4))
+            .dst_ip(Ipv4Addr::new(5, 6, 7, 8))
+            .src_port(9)
+            .dst_port(10)
+            .build();
+        let k = FlowKey::of(&p).unwrap();
+        assert_eq!(k.to_string(), "1.2.3.4:9->5.6.7.8:10/udp");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: every packet the builder can produce round-trips
+//! through the wire codec, and decoding never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use sdnbuf_net::{FlowKey, MacAddr, Packet, PacketBuilder, TcpFlags};
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn udp_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        frame in 0usize..3000,
+    ) {
+        let p = PacketBuilder::udp()
+            .src_ip(src).dst_ip(dst)
+            .src_port(sport).dst_port(dport)
+            .frame_size(frame)
+            .build();
+        let bytes = p.encode();
+        prop_assert_eq!(bytes.len(), p.wire_len());
+        let back = Packet::decode(&bytes).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn tcp_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        flags in 0u8..32,
+        frame in 0usize..3000,
+    ) {
+        let p = PacketBuilder::tcp()
+            .src_ip(src).dst_ip(dst)
+            .src_port(sport).dst_port(dport)
+            .tcp_flags(TcpFlags::from_bits(flags))
+            .frame_size(frame)
+            .build();
+        let back = Packet::decode(&p.encode()).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn arp_round_trip(mac in any::<[u8; 6]>(), ip in arb_ip()) {
+        let p = PacketBuilder::gratuitous_arp(MacAddr::new(mac), ip);
+        let back = Packet::decode(&p.encode()).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Must return Ok or Err, never panic.
+        let _ = Packet::decode(&bytes);
+    }
+
+    #[test]
+    fn flow_key_ignores_payload_size(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        a in 42usize..1500,
+        b in 42usize..1500,
+    ) {
+        let p1 = PacketBuilder::udp().src_port(sport).dst_port(dport).frame_size(a).build();
+        let p2 = PacketBuilder::udp().src_port(sport).dst_port(dport).frame_size(b).build();
+        prop_assert_eq!(FlowKey::of(&p1), FlowKey::of(&p2));
+    }
+
+    #[test]
+    fn flow_key_reversal_is_involution(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+    ) {
+        let p = PacketBuilder::udp().src_ip(src).dst_ip(dst).src_port(sport).dst_port(dport).build();
+        let k = FlowKey::of(&p).unwrap();
+        prop_assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn header_slice_is_prefix(n in 0usize..2000, frame in 42usize..1500) {
+        let p = PacketBuilder::udp().frame_size(frame).build();
+        let full = p.encode();
+        let slice = p.header_slice(n);
+        prop_assert_eq!(slice.len(), n.min(full.len()));
+        prop_assert_eq!(&full[..slice.len()], &slice[..]);
+    }
+}

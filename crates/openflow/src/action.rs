@@ -1,0 +1,278 @@
+//! OpenFlow 1.0 actions.
+
+use crate::wire;
+use crate::{OfpError, PortNo};
+use std::fmt;
+
+const OFPAT_OUTPUT: u16 = 0;
+const OFPAT_SET_NW_TOS: u16 = 8;
+const OFPAT_ENQUEUE: u16 = 11;
+const OUTPUT_LEN: usize = 8;
+const SET_NW_TOS_LEN: usize = 8;
+const ENQUEUE_LEN: usize = 16;
+
+/// An OpenFlow 1.0 action.
+///
+/// The actions the testbed exercises are implemented: `OUTPUT` (the action
+/// every reactive forwarding decision uses), `SET_NW_TOS` and `ENQUEUE`
+/// (used by the egress-QoS extension, the paper's stated future work). An
+/// empty action list means *drop*.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_openflow::{Action, PortNo};
+/// let a = Action::Output { port: PortNo(2), max_len: 0 };
+/// let mut buf = Vec::new();
+/// a.encode_into(&mut buf);
+/// assert_eq!(buf.len(), a.wire_len());
+/// let (back, used) = Action::decode(&buf).unwrap();
+/// assert_eq!(back, a);
+/// assert_eq!(used, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward out a port. `max_len` caps bytes sent when the port is
+    /// `CONTROLLER`.
+    Output {
+        /// Destination port.
+        port: PortNo,
+        /// Max bytes to send when outputting to the controller.
+        max_len: u16,
+    },
+    /// Rewrite the IP ToS/DSCP bits.
+    SetNwTos(
+        /// The new ToS value.
+        u8,
+    ),
+    /// Forward through a specific egress queue of a port (`OFPAT_ENQUEUE`)
+    /// — how OpenFlow 1.0 expresses QoS scheduling.
+    Enqueue {
+        /// Destination port.
+        port: PortNo,
+        /// Queue on that port.
+        queue_id: u32,
+    },
+}
+
+impl Action {
+    /// Convenience constructor for a plain output action.
+    pub fn output(port: PortNo) -> Action {
+        Action::Output { port, max_len: 0 }
+    }
+
+    /// Encoded length in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Action::Output { .. } => OUTPUT_LEN,
+            Action::SetNwTos(_) => SET_NW_TOS_LEN,
+            Action::Enqueue { .. } => ENQUEUE_LEN,
+        }
+    }
+
+    /// Appends the wire form.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Action::Output { port, max_len } => {
+                buf.extend_from_slice(&OFPAT_OUTPUT.to_be_bytes());
+                buf.extend_from_slice(&(OUTPUT_LEN as u16).to_be_bytes());
+                buf.extend_from_slice(&port.as_u16().to_be_bytes());
+                buf.extend_from_slice(&max_len.to_be_bytes());
+            }
+            Action::SetNwTos(tos) => {
+                buf.extend_from_slice(&OFPAT_SET_NW_TOS.to_be_bytes());
+                buf.extend_from_slice(&(SET_NW_TOS_LEN as u16).to_be_bytes());
+                buf.push(*tos);
+                buf.extend_from_slice(&[0, 0, 0]); // pad
+            }
+            Action::Enqueue { port, queue_id } => {
+                buf.extend_from_slice(&OFPAT_ENQUEUE.to_be_bytes());
+                buf.extend_from_slice(&(ENQUEUE_LEN as u16).to_be_bytes());
+                buf.extend_from_slice(&port.as_u16().to_be_bytes());
+                buf.extend_from_slice(&[0u8; 6]); // pad
+                buf.extend_from_slice(&queue_id.to_be_bytes());
+            }
+        }
+    }
+
+    /// Decodes one action from the start of `buf`; returns the action and
+    /// the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`OfpError::Truncated`] or [`OfpError::BadAction`] for unknown types
+    /// or inconsistent length fields.
+    pub fn decode(buf: &[u8]) -> Result<(Action, usize), OfpError> {
+        let kind = wire::get_u16(buf, 0)?;
+        let len = wire::get_u16(buf, 2)?;
+        match (kind, len as usize) {
+            (OFPAT_OUTPUT, OUTPUT_LEN) => {
+                wire::need(buf, OUTPUT_LEN)?;
+                Ok((
+                    Action::Output {
+                        port: PortNo(wire::get_u16(buf, 4)?),
+                        max_len: wire::get_u16(buf, 6)?,
+                    },
+                    OUTPUT_LEN,
+                ))
+            }
+            (OFPAT_SET_NW_TOS, SET_NW_TOS_LEN) => {
+                wire::need(buf, SET_NW_TOS_LEN)?;
+                Ok((Action::SetNwTos(wire::get_u8(buf, 4)?), SET_NW_TOS_LEN))
+            }
+            (OFPAT_ENQUEUE, ENQUEUE_LEN) => {
+                wire::need(buf, ENQUEUE_LEN)?;
+                Ok((
+                    Action::Enqueue {
+                        port: PortNo(wire::get_u16(buf, 4)?),
+                        queue_id: wire::get_u32(buf, 12)?,
+                    },
+                    ENQUEUE_LEN,
+                ))
+            }
+            _ => Err(OfpError::BadAction { kind, len }),
+        }
+    }
+
+    /// Encodes a whole action list.
+    pub fn encode_list(actions: &[Action], buf: &mut Vec<u8>) {
+        for a in actions {
+            a.encode_into(buf);
+        }
+    }
+
+    /// Total encoded length of an action list.
+    pub fn list_len(actions: &[Action]) -> usize {
+        actions.iter().map(Action::wire_len).sum()
+    }
+
+    /// Decodes exactly `len` bytes of actions.
+    ///
+    /// # Errors
+    ///
+    /// Any per-action decode error, or [`OfpError::Truncated`] if `len`
+    /// exceeds the buffer.
+    pub fn decode_list(buf: &[u8], len: usize) -> Result<Vec<Action>, OfpError> {
+        wire::need(buf, len)?;
+        let mut actions = Vec::new();
+        let mut at = 0;
+        while at < len {
+            let (a, used) = Action::decode(&buf[at..len])?;
+            actions.push(a);
+            at += used;
+        }
+        Ok(actions)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output { port, max_len: 0 } => write!(f, "output:{port}"),
+            Action::Output { port, max_len } => write!(f, "output:{port}(max {max_len}B)"),
+            Action::SetNwTos(tos) => write!(f, "set_tos:{tos}"),
+            Action::Enqueue { port, queue_id } => write!(f, "enqueue:{port}:q{queue_id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_round_trip() {
+        let a = Action::Output {
+            port: PortNo::CONTROLLER,
+            max_len: 128,
+        };
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(Action::decode(&buf).unwrap(), (a, 8));
+    }
+
+    #[test]
+    fn set_tos_round_trip() {
+        let a = Action::SetNwTos(0xb8);
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        assert_eq!(Action::decode(&buf).unwrap(), (a, 8));
+    }
+
+    #[test]
+    fn enqueue_round_trip() {
+        let a = Action::Enqueue {
+            port: PortNo(2),
+            queue_id: 7,
+        };
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        assert_eq!(buf.len(), 16);
+        assert_eq!(Action::decode(&buf).unwrap(), (a, 16));
+        assert_eq!(a.to_string(), "enqueue:port2:q7");
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let actions = vec![
+            Action::SetNwTos(4),
+            Action::output(PortNo(2)),
+            Action::Enqueue {
+                port: PortNo(1),
+                queue_id: 0,
+            },
+            Action::output(PortNo::FLOOD),
+        ];
+        let mut buf = Vec::new();
+        Action::encode_list(&actions, &mut buf);
+        assert_eq!(buf.len(), Action::list_len(&actions));
+        assert_eq!(Action::decode_list(&buf, buf.len()).unwrap(), actions);
+    }
+
+    #[test]
+    fn empty_list_is_drop() {
+        assert_eq!(Action::list_len(&[]), 0);
+        assert_eq!(Action::decode_list(&[], 0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let buf = [0x00, 0x63, 0x00, 0x08, 0, 0, 0, 0]; // type 99
+        assert_eq!(
+            Action::decode(&buf),
+            Err(OfpError::BadAction { kind: 99, len: 8 })
+        );
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let buf = [0x00, 0x00, 0x00, 0x04, 0, 0, 0, 0]; // output with len 4
+        assert!(matches!(
+            Action::decode(&buf),
+            Err(OfpError::BadAction { kind: 0, len: 4 })
+        ));
+    }
+
+    #[test]
+    fn truncated_list_rejected() {
+        let a = Action::output(PortNo(1));
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        assert!(Action::decode_list(&buf, 16).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Action::output(PortNo(2)).to_string(), "output:port2");
+        assert_eq!(
+            Action::Output {
+                port: PortNo::CONTROLLER,
+                max_len: 64
+            }
+            .to_string(),
+            "output:CONTROLLER(max 64B)"
+        );
+        assert_eq!(Action::SetNwTos(8).to_string(), "set_tos:8");
+    }
+}

@@ -1,0 +1,105 @@
+//! The opaque id of a packet parked in switch buffer memory.
+
+use std::fmt;
+
+/// Identifies a packet buffered at the switch, carried in `packet_in`,
+/// `packet_out` and `flow_mod` messages.
+///
+/// Quoting the paper (Section V.A): *"In the OpenFlow specification,
+/// `buffer_id` is used to identify a packet buffered at the switch and sent
+/// to the controller by a `pkt_in` message. A `pkt_out` message including a
+/// valid `buffer_id` removes the corresponding packet from the buffer and
+/// processes the packet by the actions of the message."*
+///
+/// The distinguished value [`BufferId::NO_BUFFER`] (`0xffff_ffff`) means no
+/// packet is buffered and the full packet travels inside the message.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_openflow::BufferId;
+/// let id = BufferId::new(5);
+/// assert!(id.is_buffered());
+/// assert!(!BufferId::NO_BUFFER.is_buffered());
+/// assert_eq!(id.to_string(), "buf#5");
+/// assert_eq!(BufferId::NO_BUFFER.to_string(), "no-buffer");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(u32);
+
+impl BufferId {
+    /// "No packet is buffered": `0xffff_ffff` (`OFP_NO_BUFFER`).
+    pub const NO_BUFFER: BufferId = BufferId(0xffff_ffff);
+
+    /// Creates a buffer id from its raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` equals the reserved `OFP_NO_BUFFER` value; use
+    /// [`BufferId::NO_BUFFER`] for that.
+    pub fn new(id: u32) -> Self {
+        assert_ne!(id, 0xffff_ffff, "0xffffffff is reserved for NO_BUFFER");
+        BufferId(id)
+    }
+
+    /// Reconstructs a buffer id from the wire, allowing the reserved value.
+    pub const fn from_wire(id: u32) -> Self {
+        BufferId(id)
+    }
+
+    /// The raw 32-bit value as carried on the wire.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// `true` unless this is [`BufferId::NO_BUFFER`].
+    pub fn is_buffered(self) -> bool {
+        self != BufferId::NO_BUFFER
+    }
+}
+
+impl Default for BufferId {
+    fn default() -> Self {
+        BufferId::NO_BUFFER
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_buffered() {
+            write!(f, "buf#{}", self.0)
+        } else {
+            write!(f, "no-buffer")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_buffer_is_reserved() {
+        assert_eq!(BufferId::NO_BUFFER.as_u32(), 0xffff_ffff);
+        assert!(!BufferId::NO_BUFFER.is_buffered());
+        assert_eq!(BufferId::default(), BufferId::NO_BUFFER);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn new_rejects_reserved_value() {
+        let _ = BufferId::new(0xffff_ffff);
+    }
+
+    #[test]
+    fn from_wire_allows_reserved_value() {
+        assert_eq!(BufferId::from_wire(0xffff_ffff), BufferId::NO_BUFFER);
+        assert_eq!(BufferId::from_wire(3), BufferId::new(3));
+    }
+
+    #[test]
+    fn ordinary_ids_are_buffered() {
+        assert!(BufferId::new(0).is_buffered());
+        assert!(BufferId::new(12345).is_buffered());
+    }
+}

@@ -1,0 +1,37 @@
+//! Protocol constants from the OpenFlow 1.0.0 specification.
+
+/// Wire protocol version: OpenFlow 1.0.
+pub const OFP_VERSION: u8 = 0x01;
+
+/// Length of the common message header (`ofp_header`).
+pub const OFP_HEADER_LEN: usize = 8;
+
+/// Length of the OpenFlow 1.0 match structure (`ofp_match`).
+pub const OFP_MATCH_LEN: usize = 40;
+
+/// Default number of bytes of a buffered miss-match packet copied into a
+/// `packet_in` message (`OFP_DEFAULT_MISS_SEND_LEN`).
+pub const OFP_DEFAULT_MISS_SEND_LEN: u16 = 128;
+
+/// Fixed part of a `packet_in` message: header + buffer_id + total_len +
+/// in_port + reason + pad.
+pub const OFP_PACKET_IN_LEN: usize = 18;
+
+/// Fixed part of a `packet_out` message: header + buffer_id + in_port +
+/// actions_len.
+pub const OFP_PACKET_OUT_LEN: usize = 16;
+
+/// Fixed length of a `flow_mod` message without actions.
+pub const OFP_FLOW_MOD_LEN: usize = 72;
+
+/// Length of a `flow_removed` message.
+pub const OFP_FLOW_REMOVED_LEN: usize = 88;
+
+/// Length of an `ofp_phy_port` structure in `features_reply`.
+pub const OFP_PHY_PORT_LEN: usize = 48;
+
+/// Fixed part of `features_reply` without ports.
+pub const OFP_FEATURES_REPLY_LEN: usize = 32;
+
+/// Length of `get_config_reply` / `set_config`.
+pub const OFP_SWITCH_CONFIG_LEN: usize = 12;

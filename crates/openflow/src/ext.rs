@@ -1,0 +1,191 @@
+//! The vendor/experimenter extension carrying the paper's flow-granularity
+//! buffer mechanism negotiation.
+//!
+//! Section V of the paper notes the proposed mechanism "requires to extend
+//! the OpenFlow protocol". OpenFlow's sanctioned extension point in v1.0 is
+//! the `OFPT_VENDOR` message; this module defines the payloads a switch and
+//! controller exchange to negotiate flow-granularity buffering:
+//!
+//! * [`FlowBufferExt::Announce`] — switch → controller: "I support
+//!   flow-granularity buffering with this capacity and re-request timeout."
+//! * [`FlowBufferExt::Configure`] — controller → switch: enable or disable
+//!   the mechanism and set the timeout of Algorithm 1, line 12.
+
+use crate::wire;
+use crate::OfpError;
+
+/// Vendor/experimenter id used by this reproduction's extension messages.
+pub const FLOW_BUFFER_VENDOR_ID: u32 = 0x00C0_FFEE;
+
+const SUBTYPE_ANNOUNCE: u16 = 1;
+const SUBTYPE_CONFIGURE: u16 = 2;
+const PAYLOAD_LEN: usize = 12;
+
+/// Payload of a flow-granularity-buffer vendor message.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_openflow::{FlowBufferExt, OfpMessage};
+///
+/// let msg = OfpMessage::from(FlowBufferExt::Announce {
+///     capacity: 256,
+///     timeout_ms: 50,
+/// });
+/// let bytes = msg.encode(1);
+/// let (back, _) = OfpMessage::decode(&bytes).unwrap();
+/// let ext = FlowBufferExt::from_message(&back).unwrap().unwrap();
+/// assert_eq!(ext, FlowBufferExt::Announce { capacity: 256, timeout_ms: 50 });
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowBufferExt {
+    /// Switch → controller capability announcement.
+    Announce {
+        /// Total buffer units available.
+        capacity: u32,
+        /// Re-request timeout (Algorithm 1, line 12) in milliseconds.
+        timeout_ms: u32,
+    },
+    /// Controller → switch configuration.
+    Configure {
+        /// Whether flow-granularity buffering is enabled.
+        enabled: bool,
+        /// Re-request timeout in milliseconds.
+        timeout_ms: u32,
+    },
+}
+
+impl FlowBufferExt {
+    /// Encodes the vendor-message payload (excluding the vendor id).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PAYLOAD_LEN);
+        match *self {
+            FlowBufferExt::Announce {
+                capacity,
+                timeout_ms,
+            } => {
+                buf.extend_from_slice(&SUBTYPE_ANNOUNCE.to_be_bytes());
+                buf.extend_from_slice(&[0, 0]); // pad
+                buf.extend_from_slice(&capacity.to_be_bytes());
+                buf.extend_from_slice(&timeout_ms.to_be_bytes());
+            }
+            FlowBufferExt::Configure {
+                enabled,
+                timeout_ms,
+            } => {
+                buf.extend_from_slice(&SUBTYPE_CONFIGURE.to_be_bytes());
+                buf.extend_from_slice(&[0, 0]); // pad
+                buf.extend_from_slice(&u32::from(enabled).to_be_bytes());
+                buf.extend_from_slice(&timeout_ms.to_be_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a vendor-message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`OfpError::BadVendorPayload`] for unknown subtypes or wrong sizes.
+    pub fn decode_payload(data: &[u8]) -> Result<FlowBufferExt, OfpError> {
+        if data.len() != PAYLOAD_LEN {
+            return Err(OfpError::BadVendorPayload);
+        }
+        let subtype = wire::get_u16(data, 0)?;
+        match subtype {
+            SUBTYPE_ANNOUNCE => Ok(FlowBufferExt::Announce {
+                capacity: wire::get_u32(data, 4)?,
+                timeout_ms: wire::get_u32(data, 8)?,
+            }),
+            SUBTYPE_CONFIGURE => {
+                let raw = wire::get_u32(data, 4)?;
+                if raw > 1 {
+                    return Err(OfpError::BadVendorPayload);
+                }
+                Ok(FlowBufferExt::Configure {
+                    enabled: raw == 1,
+                    timeout_ms: wire::get_u32(data, 8)?,
+                })
+            }
+            _ => Err(OfpError::BadVendorPayload),
+        }
+    }
+
+    /// Extracts a flow-buffer extension from a decoded message.
+    ///
+    /// Returns `None` for messages that are not flow-buffer vendor messages;
+    /// `Some(Err(_))` when the message claims to be one but is malformed.
+    pub fn from_message(msg: &crate::OfpMessage) -> Option<Result<FlowBufferExt, OfpError>> {
+        match msg {
+            crate::OfpMessage::Vendor(v) if v.vendor == FLOW_BUFFER_VENDOR_ID => {
+                Some(FlowBufferExt::decode_payload(&v.data))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_round_trip() {
+        let e = FlowBufferExt::Announce {
+            capacity: 256,
+            timeout_ms: 50,
+        };
+        assert_eq!(FlowBufferExt::decode_payload(&e.encode_payload()), Ok(e));
+    }
+
+    #[test]
+    fn configure_round_trip() {
+        for enabled in [true, false] {
+            let e = FlowBufferExt::Configure {
+                enabled,
+                timeout_ms: 10,
+            };
+            assert_eq!(FlowBufferExt::decode_payload(&e.encode_payload()), Ok(e));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        assert_eq!(
+            FlowBufferExt::decode_payload(&[0; 11]),
+            Err(OfpError::BadVendorPayload)
+        );
+        assert_eq!(
+            FlowBufferExt::decode_payload(&[0; 13]),
+            Err(OfpError::BadVendorPayload)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_subtype() {
+        let mut p = FlowBufferExt::Announce {
+            capacity: 1,
+            timeout_ms: 1,
+        }
+        .encode_payload();
+        p[1] = 9;
+        assert_eq!(
+            FlowBufferExt::decode_payload(&p),
+            Err(OfpError::BadVendorPayload)
+        );
+    }
+
+    #[test]
+    fn rejects_non_boolean_enable() {
+        let mut p = FlowBufferExt::Configure {
+            enabled: true,
+            timeout_ms: 1,
+        }
+        .encode_payload();
+        p[7] = 2;
+        assert_eq!(
+            FlowBufferExt::decode_payload(&p),
+            Err(OfpError::BadVendorPayload)
+        );
+    }
+}

@@ -1,0 +1,652 @@
+//! The OpenFlow 1.0 `ofp_match` structure, its wildcards, and packet-field
+//! extraction for matching.
+
+use crate::wire;
+use crate::{OfpError, PortNo, OFP_MATCH_LEN};
+use sdnbuf_net::{EtherType, FlowKey, MacAddr, Packet, Payload, Transport};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// `OFP_VLAN_NONE`: no VLAN tag present.
+const OFP_VLAN_NONE: u16 = 0xffff;
+
+/// The OpenFlow 1.0 wildcard bitmap.
+///
+/// Bits 0–7 and 20–21 wildcard whole fields; bits 8–13 and 14–19 hold
+/// "ignore the N least-significant bits" counts for the IPv4 source and
+/// destination addresses respectively (N ≥ 32 wildcards the whole address).
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_openflow::Wildcards;
+/// let w = Wildcards::ALL.without(Wildcards::NW_PROTO);
+/// assert!(!w.is_wildcarded(Wildcards::NW_PROTO));
+/// assert!(w.is_wildcarded(Wildcards::IN_PORT));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Wildcards(u32);
+
+impl Wildcards {
+    /// Wildcard the ingress port.
+    pub const IN_PORT: Wildcards = Wildcards(1 << 0);
+    /// Wildcard the VLAN id.
+    pub const DL_VLAN: Wildcards = Wildcards(1 << 1);
+    /// Wildcard the Ethernet source.
+    pub const DL_SRC: Wildcards = Wildcards(1 << 2);
+    /// Wildcard the Ethernet destination.
+    pub const DL_DST: Wildcards = Wildcards(1 << 3);
+    /// Wildcard the EtherType.
+    pub const DL_TYPE: Wildcards = Wildcards(1 << 4);
+    /// Wildcard the IP protocol.
+    pub const NW_PROTO: Wildcards = Wildcards(1 << 5);
+    /// Wildcard the transport source port.
+    pub const TP_SRC: Wildcards = Wildcards(1 << 6);
+    /// Wildcard the transport destination port.
+    pub const TP_DST: Wildcards = Wildcards(1 << 7);
+    /// Wildcard the VLAN priority.
+    pub const DL_VLAN_PCP: Wildcards = Wildcards(1 << 20);
+    /// Wildcard the IP ToS.
+    pub const NW_TOS: Wildcards = Wildcards(1 << 21);
+    /// Everything wildcarded (`OFPFW_ALL`).
+    pub const ALL: Wildcards = Wildcards((1 << 22) - 1);
+    /// Nothing wildcarded: a fully exact match.
+    pub const NONE: Wildcards = Wildcards(0);
+
+    const NW_SRC_SHIFT: u32 = 8;
+    const NW_DST_SHIFT: u32 = 14;
+
+    /// Creates a bitmap from the raw wire value (masked to defined bits).
+    pub fn from_bits(bits: u32) -> Self {
+        Wildcards(bits & Wildcards::ALL.0)
+    }
+
+    /// The raw wire value.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns this bitmap with the given whole-field wildcard(s) added.
+    #[must_use]
+    pub fn with(self, other: Wildcards) -> Wildcards {
+        Wildcards(self.0 | other.0)
+    }
+
+    /// Returns this bitmap with the given whole-field wildcard(s) removed.
+    #[must_use]
+    pub fn without(self, other: Wildcards) -> Wildcards {
+        Wildcards(self.0 & !other.0)
+    }
+
+    /// `true` when all bits in `flag` are set.
+    pub fn is_wildcarded(self, flag: Wildcards) -> bool {
+        self.0 & flag.0 == flag.0
+    }
+
+    /// Number of wildcarded low bits of the IPv4 source (0–63 on the wire;
+    /// ≥ 32 means fully wildcarded).
+    pub fn nw_src_bits(self) -> u32 {
+        (self.0 >> Self::NW_SRC_SHIFT) & 0x3f
+    }
+
+    /// Number of wildcarded low bits of the IPv4 destination.
+    pub fn nw_dst_bits(self) -> u32 {
+        (self.0 >> Self::NW_DST_SHIFT) & 0x3f
+    }
+
+    /// Returns this bitmap with the IPv4-source wildcard bit count set.
+    #[must_use]
+    pub fn with_nw_src_bits(self, bits: u32) -> Wildcards {
+        let b = bits.min(63);
+        Wildcards((self.0 & !(0x3f << Self::NW_SRC_SHIFT)) | (b << Self::NW_SRC_SHIFT))
+    }
+
+    /// Returns this bitmap with the IPv4-destination wildcard bit count set.
+    #[must_use]
+    pub fn with_nw_dst_bits(self, bits: u32) -> Wildcards {
+        let b = bits.min(63);
+        Wildcards((self.0 & !(0x3f << Self::NW_DST_SHIFT)) | (b << Self::NW_DST_SHIFT))
+    }
+}
+
+fn prefix_mask(wildcarded_bits: u32) -> u32 {
+    if wildcarded_bits >= 32 {
+        0
+    } else {
+        u32::MAX << wildcarded_bits
+    }
+}
+
+/// The fields of a packet relevant to flow matching, pre-extracted.
+///
+/// This is the "parsed header" view a switch datapath computes once per
+/// packet and then compares against every candidate rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatchView {
+    /// Ingress port.
+    pub in_port: PortNo,
+    /// Ethernet source.
+    pub dl_src: MacAddr,
+    /// Ethernet destination.
+    pub dl_dst: MacAddr,
+    /// EtherType.
+    pub dl_type: u16,
+    /// IPv4 source (or ARP SPA), zero otherwise.
+    pub nw_src: u32,
+    /// IPv4 destination (or ARP TPA), zero otherwise.
+    pub nw_dst: u32,
+    /// IP ToS (upper 6 bits of DSCP/ECN), zero for non-IP.
+    pub nw_tos: u8,
+    /// IP protocol (or ARP opcode low byte), zero otherwise.
+    pub nw_proto: u8,
+    /// Transport source port, zero for non-TCP/UDP.
+    pub tp_src: u16,
+    /// Transport destination port, zero for non-TCP/UDP.
+    pub tp_dst: u16,
+}
+
+impl MatchView {
+    /// Extracts the match fields of `packet` as received on `in_port`,
+    /// following the OpenFlow 1.0 field-extraction rules (including the ARP
+    /// convention: `nw_src`/`nw_dst` carry the ARP addresses and `nw_proto`
+    /// the opcode).
+    pub fn of(in_port: PortNo, packet: &Packet) -> MatchView {
+        let mut view = MatchView {
+            in_port,
+            dl_src: packet.ethernet.src,
+            dl_dst: packet.ethernet.dst,
+            dl_type: packet.ethernet.ethertype.as_u16(),
+            nw_src: 0,
+            nw_dst: 0,
+            nw_tos: 0,
+            nw_proto: 0,
+            tp_src: 0,
+            tp_dst: 0,
+        };
+        match &packet.payload {
+            Payload::Ipv4(ip) => {
+                view.nw_src = u32::from(ip.header.src);
+                view.nw_dst = u32::from(ip.header.dst);
+                view.nw_tos = ip.header.dscp_ecn & 0xfc;
+                view.nw_proto = ip.header.protocol;
+                match &ip.transport {
+                    Transport::Udp(udp, _) => {
+                        view.tp_src = udp.src_port;
+                        view.tp_dst = udp.dst_port;
+                    }
+                    Transport::Tcp(tcp, _) => {
+                        view.tp_src = tcp.src_port;
+                        view.tp_dst = tcp.dst_port;
+                    }
+                    Transport::Other(..) => {}
+                }
+            }
+            Payload::Arp(arp) => {
+                view.nw_src = u32::from(arp.sender_ip);
+                view.nw_dst = u32::from(arp.target_ip);
+                view.nw_proto = (arp.op.as_u16() & 0xff) as u8;
+            }
+            Payload::Raw(_) => {}
+        }
+        view
+    }
+}
+
+/// The OpenFlow 1.0 `ofp_match` structure (40 bytes on the wire).
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_openflow::{Match, MatchView, PortNo};
+/// use sdnbuf_net::{FlowKey, PacketBuilder};
+///
+/// let pkt = PacketBuilder::udp().build();
+/// let key = FlowKey::of(&pkt).unwrap();
+/// let m = Match::from_flow_key(&key);       // 5-tuple match
+/// let view = MatchView::of(PortNo(1), &pkt);
+/// assert!(m.matches(&view));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Which fields are wildcarded.
+    pub wildcards: Wildcards,
+    /// Ingress port.
+    pub in_port: PortNo,
+    /// Ethernet source.
+    pub dl_src: MacAddr,
+    /// Ethernet destination.
+    pub dl_dst: MacAddr,
+    /// VLAN id (`0xffff` = untagged).
+    pub dl_vlan: u16,
+    /// VLAN priority.
+    pub dl_vlan_pcp: u8,
+    /// EtherType.
+    pub dl_type: u16,
+    /// IP ToS.
+    pub nw_tos: u8,
+    /// IP protocol / ARP opcode.
+    pub nw_proto: u8,
+    /// IPv4 source.
+    pub nw_src: Ipv4Addr,
+    /// IPv4 destination.
+    pub nw_dst: Ipv4Addr,
+    /// Transport source port.
+    pub tp_src: u16,
+    /// Transport destination port.
+    pub tp_dst: u16,
+}
+
+impl Match {
+    /// A match with every field wildcarded — matches all packets.
+    pub fn any() -> Match {
+        Match {
+            wildcards: Wildcards::ALL.with_nw_src_bits(63).with_nw_dst_bits(63),
+            in_port: PortNo(0),
+            dl_src: MacAddr::ZERO,
+            dl_dst: MacAddr::ZERO,
+            dl_vlan: OFP_VLAN_NONE,
+            dl_vlan_pcp: 0,
+            dl_type: 0,
+            nw_tos: 0,
+            nw_proto: 0,
+            nw_src: Ipv4Addr::UNSPECIFIED,
+            nw_dst: Ipv4Addr::UNSPECIFIED,
+            tp_src: 0,
+            tp_dst: 0,
+        }
+    }
+
+    /// An exact match on every field of `packet` as seen on `in_port` —
+    /// what a reactive controller installs for a miss-match packet.
+    pub fn exact_from_packet(in_port: PortNo, packet: &Packet) -> Match {
+        let v = MatchView::of(in_port, packet);
+        Match {
+            wildcards: Wildcards::NONE,
+            in_port,
+            dl_src: v.dl_src,
+            dl_dst: v.dl_dst,
+            dl_vlan: OFP_VLAN_NONE,
+            dl_vlan_pcp: 0,
+            dl_type: v.dl_type,
+            nw_tos: v.nw_tos,
+            nw_proto: v.nw_proto,
+            nw_src: Ipv4Addr::from(v.nw_src),
+            nw_dst: Ipv4Addr::from(v.nw_dst),
+            tp_src: v.tp_src,
+            tp_dst: v.tp_dst,
+        }
+        .with_vlan_wildcarded()
+    }
+
+    /// A match on the transport 5-tuple only (the flow identity the paper's
+    /// mechanism uses); link-layer fields and ingress port are wildcarded.
+    pub fn from_flow_key(key: &FlowKey) -> Match {
+        let mut m = Match::any();
+        m.wildcards = m
+            .wildcards
+            .without(Wildcards::DL_TYPE)
+            .without(Wildcards::NW_PROTO)
+            .without(Wildcards::TP_SRC)
+            .without(Wildcards::TP_DST)
+            .with_nw_src_bits(0)
+            .with_nw_dst_bits(0);
+        m.dl_type = EtherType::Ipv4.as_u16();
+        m.nw_proto = key.protocol.as_u8();
+        m.nw_src = key.src_ip;
+        m.nw_dst = key.dst_ip;
+        m.tp_src = key.src_port;
+        m.tp_dst = key.dst_port;
+        m
+    }
+
+    fn with_vlan_wildcarded(mut self) -> Match {
+        self.wildcards = self
+            .wildcards
+            .with(Wildcards::DL_VLAN)
+            .with(Wildcards::DL_VLAN_PCP);
+        self
+    }
+
+    /// Whether this match covers the given packet-field view.
+    pub fn matches(&self, v: &MatchView) -> bool {
+        let w = self.wildcards;
+        if !w.is_wildcarded(Wildcards::IN_PORT) && self.in_port != v.in_port {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::DL_SRC) && self.dl_src != v.dl_src {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::DL_DST) && self.dl_dst != v.dl_dst {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::DL_TYPE) && self.dl_type != v.dl_type {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::NW_TOS) && self.nw_tos != v.nw_tos {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::NW_PROTO) && self.nw_proto != v.nw_proto {
+            return false;
+        }
+        let src_mask = prefix_mask(w.nw_src_bits());
+        if u32::from(self.nw_src) & src_mask != v.nw_src & src_mask {
+            return false;
+        }
+        let dst_mask = prefix_mask(w.nw_dst_bits());
+        if u32::from(self.nw_dst) & dst_mask != v.nw_dst & dst_mask {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::TP_SRC) && self.tp_src != v.tp_src {
+            return false;
+        }
+        if !w.is_wildcarded(Wildcards::TP_DST) && self.tp_dst != v.tp_dst {
+            return false;
+        }
+        true
+    }
+
+    /// `true` when this match is equal to or more general than `other`:
+    /// every packet `other` matches, `self` matches too. This is the
+    /// OpenFlow 1.0 non-strict `flow_mod` delete criterion.
+    pub fn subsumes(&self, other: &Match) -> bool {
+        let w = self.wildcards;
+        let ow = other.wildcards;
+        // A field constrained in self must be equally constrained (and
+        // equal) in other.
+        let field = |flag: Wildcards, eq: bool| -> bool {
+            w.is_wildcarded(flag) || (!ow.is_wildcarded(flag) && eq)
+        };
+        if !field(Wildcards::IN_PORT, self.in_port == other.in_port) {
+            return false;
+        }
+        if !field(Wildcards::DL_SRC, self.dl_src == other.dl_src) {
+            return false;
+        }
+        if !field(Wildcards::DL_DST, self.dl_dst == other.dl_dst) {
+            return false;
+        }
+        if !field(Wildcards::DL_TYPE, self.dl_type == other.dl_type) {
+            return false;
+        }
+        if !field(Wildcards::NW_TOS, self.nw_tos == other.nw_tos) {
+            return false;
+        }
+        if !field(Wildcards::NW_PROTO, self.nw_proto == other.nw_proto) {
+            return false;
+        }
+        if !field(Wildcards::TP_SRC, self.tp_src == other.tp_src) {
+            return false;
+        }
+        if !field(Wildcards::TP_DST, self.tp_dst == other.tp_dst) {
+            return false;
+        }
+        // Address prefixes: self's prefix must be no longer than other's
+        // and agree on the shared bits.
+        let src_ok = {
+            let my_mask = prefix_mask(w.nw_src_bits());
+            let other_mask = prefix_mask(ow.nw_src_bits());
+            (my_mask & other_mask) == my_mask
+                && (u32::from(self.nw_src) & my_mask) == (u32::from(other.nw_src) & my_mask)
+        };
+        let dst_ok = {
+            let my_mask = prefix_mask(w.nw_dst_bits());
+            let other_mask = prefix_mask(ow.nw_dst_bits());
+            (my_mask & other_mask) == my_mask
+                && (u32::from(self.nw_dst) & my_mask) == (u32::from(other.nw_dst) & my_mask)
+        };
+        src_ok && dst_ok
+    }
+
+    /// `true` when no field is wildcarded (an exact-match rule).
+    pub fn is_exact(&self) -> bool {
+        // VLAN fields are always wildcarded by this workspace's
+        // constructors; "exact" means exact on every modeled field.
+        let w = self
+            .wildcards
+            .without(Wildcards::DL_VLAN)
+            .without(Wildcards::DL_VLAN_PCP);
+        w.bits() == 0
+    }
+
+    /// Appends the 40-byte wire form.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.wildcards.bits().to_be_bytes());
+        buf.extend_from_slice(&self.in_port.as_u16().to_be_bytes());
+        buf.extend_from_slice(&self.dl_src.octets());
+        buf.extend_from_slice(&self.dl_dst.octets());
+        buf.extend_from_slice(&self.dl_vlan.to_be_bytes());
+        buf.push(self.dl_vlan_pcp);
+        buf.push(0); // pad
+        buf.extend_from_slice(&self.dl_type.to_be_bytes());
+        buf.push(self.nw_tos);
+        buf.push(self.nw_proto);
+        buf.extend_from_slice(&[0, 0]); // pad
+        buf.extend_from_slice(&self.nw_src.octets());
+        buf.extend_from_slice(&self.nw_dst.octets());
+        buf.extend_from_slice(&self.tp_src.to_be_bytes());
+        buf.extend_from_slice(&self.tp_dst.to_be_bytes());
+    }
+
+    /// Decodes the 40-byte wire form from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`OfpError::Truncated`] if fewer than 40 bytes are present.
+    pub fn decode(buf: &[u8]) -> Result<Match, OfpError> {
+        wire::need(buf, OFP_MATCH_LEN)?;
+        let mut dl_src = [0u8; 6];
+        let mut dl_dst = [0u8; 6];
+        dl_src.copy_from_slice(&buf[6..12]);
+        dl_dst.copy_from_slice(&buf[12..18]);
+        Ok(Match {
+            wildcards: Wildcards::from_bits(wire::get_u32(buf, 0)?),
+            in_port: PortNo(wire::get_u16(buf, 4)?),
+            dl_src: dl_src.into(),
+            dl_dst: dl_dst.into(),
+            dl_vlan: wire::get_u16(buf, 18)?,
+            dl_vlan_pcp: wire::get_u8(buf, 20)?,
+            dl_type: wire::get_u16(buf, 22)?,
+            nw_tos: wire::get_u8(buf, 24)?,
+            nw_proto: wire::get_u8(buf, 25)?,
+            nw_src: Ipv4Addr::new(buf[28], buf[29], buf[30], buf[31]),
+            nw_dst: Ipv4Addr::new(buf[32], buf[33], buf[34], buf[35]),
+            tp_src: wire::get_u16(buf, 36)?,
+            tp_dst: wire::get_u16(buf, 38)?,
+        })
+    }
+}
+
+impl fmt::Display for Match {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.wildcards == Wildcards::ALL.with_nw_src_bits(63).with_nw_dst_bits(63) {
+            return write!(f, "match(*)");
+        }
+        write!(
+            f,
+            "match({}:{} -> {}:{} proto {})",
+            self.nw_src, self.tp_src, self.nw_dst, self.tp_dst, self.nw_proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_net::PacketBuilder;
+
+    #[test]
+    fn match_wire_len_is_40() {
+        let mut buf = Vec::new();
+        Match::any().encode_into(&mut buf);
+        assert_eq!(buf.len(), OFP_MATCH_LEN);
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let pkt = PacketBuilder::udp().frame_size(200).build();
+        let m = Match::exact_from_packet(PortNo(3), &pkt);
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        assert_eq!(Match::decode(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let m = Match::any();
+        for frame in [64usize, 1000] {
+            let pkt = PacketBuilder::udp().frame_size(frame).build();
+            assert!(m.matches(&MatchView::of(PortNo(1), &pkt)));
+            let tcp = PacketBuilder::tcp().build();
+            assert!(m.matches(&MatchView::of(PortNo(9), &tcp)));
+        }
+    }
+
+    #[test]
+    fn exact_match_requires_same_packet_and_port() {
+        let pkt = PacketBuilder::udp().src_port(100).build();
+        let m = Match::exact_from_packet(PortNo(1), &pkt);
+        assert!(m.matches(&MatchView::of(PortNo(1), &pkt)));
+        // Different ingress port: no match.
+        assert!(!m.matches(&MatchView::of(PortNo(2), &pkt)));
+        // Different source port: no match.
+        let other = PacketBuilder::udp().src_port(101).build();
+        assert!(!m.matches(&MatchView::of(PortNo(1), &other)));
+        // Same 5-tuple but bigger payload: still matches.
+        let bigger = PacketBuilder::udp().src_port(100).frame_size(1400).build();
+        assert!(m.matches(&MatchView::of(PortNo(1), &bigger)));
+    }
+
+    #[test]
+    fn flow_key_match_ignores_port_and_macs() {
+        let pkt = PacketBuilder::udp().src_port(5).dst_port(6).build();
+        let key = FlowKey::of(&pkt).unwrap();
+        let m = Match::from_flow_key(&key);
+        assert!(m.matches(&MatchView::of(PortNo(1), &pkt)));
+        assert!(m.matches(&MatchView::of(PortNo(7), &pkt)));
+        let othermac = PacketBuilder::udp()
+            .src_port(5)
+            .dst_port(6)
+            .src_mac(MacAddr::from_host_index(77))
+            .build();
+        assert!(m.matches(&MatchView::of(PortNo(1), &othermac)));
+        let otherflow = PacketBuilder::udp().src_port(5).dst_port(7).build();
+        assert!(!m.matches(&MatchView::of(PortNo(1), &otherflow)));
+    }
+
+    #[test]
+    fn tcp_packets_do_not_match_udp_flow_rules() {
+        let udp = PacketBuilder::udp().src_port(5).dst_port(6).build();
+        let tcp = PacketBuilder::tcp().src_port(5).dst_port(6).build();
+        let m = Match::from_flow_key(&FlowKey::of(&udp).unwrap());
+        assert!(!m.matches(&MatchView::of(PortNo(1), &tcp)));
+    }
+
+    #[test]
+    fn nw_prefix_wildcards() {
+        let pkt = PacketBuilder::udp()
+            .src_ip(Ipv4Addr::new(10, 0, 1, 200))
+            .build();
+        let mut m = Match::from_flow_key(&FlowKey::of(&pkt).unwrap());
+        // Wildcard the low 8 bits of the source: 10.0.1.0/24.
+        m.wildcards = m.wildcards.with_nw_src_bits(8);
+        m.nw_src = Ipv4Addr::new(10, 0, 1, 0);
+        assert!(m.matches(&MatchView::of(PortNo(1), &pkt)));
+        let outside = PacketBuilder::udp()
+            .src_ip(Ipv4Addr::new(10, 0, 2, 200))
+            .build();
+        assert!(!m.matches(&MatchView::of(PortNo(1), &outside)));
+    }
+
+    #[test]
+    fn arp_fields_follow_of10_convention() {
+        let arp = PacketBuilder::gratuitous_arp(
+            MacAddr::from_host_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let v = MatchView::of(PortNo(2), &arp);
+        assert_eq!(v.dl_type, 0x0806);
+        assert_eq!(v.nw_src, u32::from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(v.nw_proto, 1); // ARP request opcode
+        assert_eq!(v.tp_src, 0);
+    }
+
+    #[test]
+    fn wildcard_bit_arithmetic() {
+        let w = Wildcards::NONE.with_nw_src_bits(24).with_nw_dst_bits(63);
+        assert_eq!(w.nw_src_bits(), 24);
+        assert_eq!(w.nw_dst_bits(), 63);
+        assert_eq!(prefix_mask(0), u32::MAX);
+        assert_eq!(prefix_mask(8), 0xffff_ff00);
+        assert_eq!(prefix_mask(32), 0);
+        assert_eq!(prefix_mask(63), 0);
+        // Counts clamp at 63.
+        assert_eq!(Wildcards::NONE.with_nw_src_bits(200).nw_src_bits(), 63);
+    }
+
+    #[test]
+    fn is_exact_classification() {
+        let pkt = PacketBuilder::udp().build();
+        assert!(Match::exact_from_packet(PortNo(1), &pkt).is_exact());
+        assert!(!Match::any().is_exact());
+        assert!(!Match::from_flow_key(&FlowKey::of(&pkt).unwrap()).is_exact());
+    }
+
+    #[test]
+    fn display_forms() {
+        let pkt = PacketBuilder::udp().build();
+        assert_eq!(Match::any().to_string(), "match(*)");
+        let m = Match::exact_from_packet(PortNo(1), &pkt);
+        assert!(m.to_string().contains("10.0.0.1"));
+    }
+
+    #[test]
+    fn subsumption_semantics() {
+        let pkt = PacketBuilder::udp().src_port(5).dst_port(6).build();
+        let exact = Match::exact_from_packet(PortNo(1), &pkt);
+        let tuple = Match::from_flow_key(&FlowKey::of(&pkt).unwrap());
+        let any = Match::any();
+        // any >= tuple >= exact; each subsumes itself.
+        assert!(any.subsumes(&any));
+        assert!(any.subsumes(&tuple));
+        assert!(any.subsumes(&exact));
+        assert!(tuple.subsumes(&tuple));
+        assert!(tuple.subsumes(&exact));
+        assert!(exact.subsumes(&exact));
+        // Not the other way around.
+        assert!(!exact.subsumes(&tuple));
+        assert!(!exact.subsumes(&any));
+        assert!(!tuple.subsumes(&any));
+        // A different flow's tuple is not subsumed.
+        let other = PacketBuilder::udp().src_port(7).dst_port(6).build();
+        let other_tuple = Match::from_flow_key(&FlowKey::of(&other).unwrap());
+        assert!(!tuple.subsumes(&other_tuple));
+        assert!(!other_tuple.subsumes(&tuple));
+    }
+
+    #[test]
+    fn prefix_subsumption() {
+        let pkt = PacketBuilder::udp()
+            .src_ip(Ipv4Addr::new(10, 0, 1, 5))
+            .build();
+        let mut slash24 = Match::from_flow_key(&FlowKey::of(&pkt).unwrap());
+        slash24.wildcards = slash24.wildcards.with_nw_src_bits(8);
+        slash24.nw_src = Ipv4Addr::new(10, 0, 1, 0);
+        let mut slash16 = slash24;
+        slash16.wildcards = slash16.wildcards.with_nw_src_bits(16);
+        slash16.nw_src = Ipv4Addr::new(10, 0, 0, 0);
+        assert!(slash16.subsumes(&slash24), "/16 covers /24");
+        assert!(!slash24.subsumes(&slash16), "/24 cannot cover /16");
+        // Disjoint /24s do not subsume each other.
+        let mut other24 = slash24;
+        other24.nw_src = Ipv4Addr::new(10, 0, 2, 0);
+        assert!(!other24.subsumes(&slash24));
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        assert!(matches!(
+            Match::decode(&[0u8; 39]),
+            Err(OfpError::Truncated { .. })
+        ));
+    }
+}

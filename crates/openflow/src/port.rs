@@ -1,0 +1,98 @@
+//! OpenFlow 1.0 port numbers.
+
+use std::fmt;
+
+/// An OpenFlow 1.0 port number (16 bits), including the reserved virtual
+/// ports.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_openflow::PortNo;
+/// assert!(PortNo(1).is_physical());
+/// assert!(!PortNo::FLOOD.is_physical());
+/// assert_eq!(PortNo::CONTROLLER.to_string(), "CONTROLLER");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortNo(pub u16);
+
+impl PortNo {
+    /// Maximum physical port number (`OFPP_MAX`).
+    pub const MAX: PortNo = PortNo(0xff00);
+    /// Send back out the input port (`OFPP_IN_PORT`).
+    pub const IN_PORT: PortNo = PortNo(0xfff8);
+    /// Submit to the flow table (`OFPP_TABLE`).
+    pub const TABLE: PortNo = PortNo(0xfff9);
+    /// Process with normal L2/L3 switching (`OFPP_NORMAL`).
+    pub const NORMAL: PortNo = PortNo(0xfffa);
+    /// All physical ports except input and those disabled (`OFPP_FLOOD`).
+    pub const FLOOD: PortNo = PortNo(0xfffb);
+    /// All physical ports except input (`OFPP_ALL`).
+    pub const ALL: PortNo = PortNo(0xfffc);
+    /// Send to controller (`OFPP_CONTROLLER`).
+    pub const CONTROLLER: PortNo = PortNo(0xfffd);
+    /// Local openflow "port" (`OFPP_LOCAL`).
+    pub const LOCAL: PortNo = PortNo(0xfffe);
+    /// Not associated with any port (`OFPP_NONE`).
+    pub const NONE: PortNo = PortNo(0xffff);
+
+    /// `true` for real, addressable switch ports.
+    pub fn is_physical(self) -> bool {
+        self.0 >= 1 && self <= PortNo::MAX
+    }
+
+    /// The raw 16-bit value.
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for PortNo {
+    fn from(v: u16) -> Self {
+        PortNo(v)
+    }
+}
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PortNo::IN_PORT => write!(f, "IN_PORT"),
+            PortNo::TABLE => write!(f, "TABLE"),
+            PortNo::NORMAL => write!(f, "NORMAL"),
+            PortNo::FLOOD => write!(f, "FLOOD"),
+            PortNo::ALL => write!(f, "ALL"),
+            PortNo::CONTROLLER => write!(f, "CONTROLLER"),
+            PortNo::LOCAL => write!(f, "LOCAL"),
+            PortNo::NONE => write!(f, "NONE"),
+            PortNo(n) => write!(f, "port{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physicality() {
+        assert!(PortNo(1).is_physical());
+        assert!(PortNo::MAX.is_physical());
+        assert!(!PortNo(0).is_physical());
+        assert!(!PortNo::FLOOD.is_physical());
+        assert!(!PortNo::CONTROLLER.is_physical());
+        assert!(!PortNo::NONE.is_physical());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PortNo(3).to_string(), "port3");
+        assert_eq!(PortNo::FLOOD.to_string(), "FLOOD");
+        assert_eq!(PortNo::NONE.to_string(), "NONE");
+    }
+
+    #[test]
+    fn from_u16_round_trips() {
+        let p: PortNo = 7u16.into();
+        assert_eq!(p.as_u16(), 7);
+    }
+}

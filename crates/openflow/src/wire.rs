@@ -1,0 +1,43 @@
+//! Big-endian cursor helpers shared by the message codecs.
+
+use crate::OfpError;
+
+pub fn get_u8(buf: &[u8], at: usize) -> Result<u8, OfpError> {
+    buf.get(at).copied().ok_or(OfpError::Truncated {
+        needed: at + 1,
+        got: buf.len(),
+    })
+}
+
+pub fn get_u16(buf: &[u8], at: usize) -> Result<u16, OfpError> {
+    need(buf, at + 2)?;
+    Ok(u16::from_be_bytes([buf[at], buf[at + 1]]))
+}
+
+pub fn get_u32(buf: &[u8], at: usize) -> Result<u32, OfpError> {
+    need(buf, at + 4)?;
+    Ok(u32::from_be_bytes([
+        buf[at],
+        buf[at + 1],
+        buf[at + 2],
+        buf[at + 3],
+    ]))
+}
+
+pub fn get_u64(buf: &[u8], at: usize) -> Result<u64, OfpError> {
+    need(buf, at + 8)?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    Ok(u64::from_be_bytes(b))
+}
+
+pub fn need(buf: &[u8], len: usize) -> Result<(), OfpError> {
+    if buf.len() < len {
+        Err(OfpError::Truncated {
+            needed: len,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,178 @@
+//! The future-event list: a stable priority queue keyed on virtual time.
+
+use crate::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A deterministic future-event list.
+///
+/// Events are popped in ascending time order; ties are broken by insertion
+/// order (FIFO), which makes simulation runs fully reproducible even when
+/// many events share a timestamp.
+///
+/// # Example
+///
+/// ```
+/// use sdnbuf_sim::{EventQueue, Nanos};
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_micros(2), "late");
+/// q.schedule(Nanos::from_micros(1), "early");
+/// q.schedule(Nanos::from_micros(1), "early-second");
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(1), "early")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(1), "early-second")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 1, 9, 3, 7] {
+            q.schedule(Nanos::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_micros(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_stable() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), "a");
+        q.schedule(Nanos::from_nanos(10), "b");
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(10), "a")));
+        q.schedule(Nanos::from_nanos(10), "c");
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(10), "b")));
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(10), "c")));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(4), ());
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::ZERO, 1);
+        q.schedule(Nanos::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,1311 @@
+//! The switch state machine.
+
+use crate::{BufferChoice, SwitchConfig, SwitchStats};
+use sdnbuf_flowtable::{FlowRule, FlowTable, InsertOutcome, RemovedRule};
+use sdnbuf_net::Packet;
+use sdnbuf_openflow::{
+    msg::{
+        self, FlowModCommand, FlowRemoved, PacketIn, PacketInReason, StatsReply, StatsRequest,
+    },
+    Action, BufferId, FlowBufferExt, Match, MatchView, OfpMessage, PortNo,
+};
+use sdnbuf_sim::{Bus, CpuResource, Nanos};
+use sdnbuf_switchbuf::{
+    BufferMechanism, FlowGranularityBuffer, MissAction, NoBuffer, PacketGranularityBuffer,
+};
+
+/// A timed effect produced by the switch, to be scheduled by the caller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SwitchOutput {
+    /// Emit `packet` on `port` at time `at` (the caller puts it on the
+    /// egress link).
+    Forward {
+        /// When the packet leaves the switch.
+        at: Nanos,
+        /// Egress port.
+        port: PortNo,
+        /// Egress queue on that port selected by an `ENQUEUE` action;
+        /// `None` = the port's default (best-effort) queue.
+        queue: Option<u32>,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Send `msg` to the controller at time `at` (the caller puts it on the
+    /// control channel).
+    ToController {
+        /// When the message leaves the switch.
+        at: Nanos,
+        /// Transaction id.
+        xid: u32,
+        /// The message.
+        msg: OfpMessage,
+    },
+    /// The packet was dropped (empty action list or undecodable
+    /// `packet_out` payload).
+    Drop {
+        /// The dropped packet, when it could be reconstructed.
+        packet: Option<Packet>,
+    },
+}
+
+/// The Open vSwitch model: flow table, buffer mechanism, CPU, bus.
+///
+/// See the crate docs for the timing model. All handlers take the current
+/// virtual time and return timed [`SwitchOutput`]s with `at >= now`.
+pub struct Switch {
+    config: SwitchConfig,
+    table: FlowTable,
+    buffer: Box<dyn BufferMechanism>,
+    cpu: CpuResource,
+    bus: Bus,
+    /// The serial rule-install pipeline (ofproto): one rule at a time.
+    installer: CpuResource,
+    next_xid: u32,
+    miss_send_len: u16,
+    stats: SwitchStats,
+}
+
+impl std::fmt::Debug for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Switch")
+            .field("buffer", &self.buffer.name())
+            .field("rules", &self.table.len())
+            .field("occupancy", &self.buffer.occupancy())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Switch {
+    /// Creates a switch from its configuration.
+    pub fn new(config: SwitchConfig) -> Switch {
+        let buffer: Box<dyn BufferMechanism> = match config.buffer {
+            BufferChoice::NoBuffer => Box::new(NoBuffer::new()),
+            BufferChoice::PacketGranularity { capacity } => Box::new(
+                PacketGranularityBuffer::with_free_lag(capacity, config.buffer_free_lag),
+            ),
+            BufferChoice::FlowGranularity { capacity, timeout } => {
+                Box::new(FlowGranularityBuffer::new(capacity, timeout))
+            }
+        };
+        Switch {
+            table: FlowTable::with_eviction(config.flow_table_capacity, config.eviction),
+            buffer,
+            cpu: CpuResource::new(config.cpu_cores),
+            bus: Bus::new(config.bus_rate),
+            installer: CpuResource::new(1),
+            next_xid: 1,
+            miss_send_len: config.miss_send_len,
+            stats: SwitchStats::default(),
+            config,
+        }
+    }
+
+    /// The switch's configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// The flow table (for inspection).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// The buffer mechanism (for inspection).
+    pub fn buffer(&self) -> &dyn BufferMechanism {
+        self.buffer.as_ref()
+    }
+
+    /// Switch-side counters and gauges.
+    pub fn stats(&self) -> &SwitchStats {
+        &self.stats
+    }
+
+    /// `top`-style CPU utilization over `[ZERO, horizon]`, in percent
+    /// (up to `cores × 100`).
+    pub fn cpu_percent(&self, horizon: Nanos) -> f64 {
+        self.cpu.utilization().percent(horizon)
+    }
+
+    /// The current `miss_send_len` (mutable via `set_config`).
+    pub fn miss_send_len(&self) -> u16 {
+        self.miss_send_len
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        xid
+    }
+
+    fn touch_gauge(&mut self, now: Nanos) {
+        let occupancy = self.buffer.occupancy() as f64;
+        self.stats.buffer_occupancy.set(now, occupancy);
+        self.stats.occupancy_series.record(now, occupancy);
+    }
+
+    fn data_ports(&self) -> impl Iterator<Item = PortNo> {
+        (1..=self.config.data_ports as u16).map(PortNo)
+    }
+
+    /// Expands an action list into concrete (egress port, queue) pairs for
+    /// a packet that arrived on `in_port`. `ENQUEUE` actions select a QoS
+    /// queue; plain `OUTPUT` uses the port's default queue.
+    fn egress_ports(&self, actions: &[Action], in_port: PortNo) -> Vec<(PortNo, Option<u32>)> {
+        let mut ports = Vec::new();
+        for action in actions {
+            let (port, queue) = match action {
+                Action::Output { port, .. } => (*port, None),
+                Action::Enqueue { port, queue_id } => (*port, Some(*queue_id)),
+                Action::SetNwTos(_) => continue,
+            };
+            match port {
+                PortNo::FLOOD | PortNo::ALL => {
+                    ports.extend(
+                        self.data_ports()
+                            .filter(|&p| p != in_port)
+                            .map(|p| (p, queue)),
+                    );
+                }
+                PortNo::IN_PORT => ports.push((in_port, queue)),
+                p if p.is_physical() => ports.push((p, queue)),
+                _ => {}
+            }
+        }
+        ports
+    }
+
+    /// Handles a frame arriving on a data port at time `now`.
+    pub fn handle_frame(
+        &mut self,
+        now: Nanos,
+        in_port: PortNo,
+        packet: Packet,
+    ) -> Vec<SwitchOutput> {
+        let view = MatchView::of(in_port, &packet);
+        let wire_len = packet.wire_len();
+        self.stats.count_rx(in_port.as_u16(), wire_len);
+        if let Some(rule) = self.table.match_packet(now, &view, wire_len) {
+            // Fast path: datapath CPU cost, then out the rule's ports.
+            let actions = rule.actions.clone();
+            let done = self.cpu.submit(now, self.config.cost_forward);
+            let ports = self.egress_ports(&actions, in_port);
+            if ports.is_empty() {
+                self.stats.drops.incr();
+                return vec![SwitchOutput::Drop {
+                    packet: Some(packet),
+                }];
+            }
+            self.stats.fastpath_forwards.add(ports.len() as u64);
+            return ports
+                .into_iter()
+                .map(|(port, queue)| {
+                    self.stats.count_tx(port.as_u16(), wire_len);
+                    SwitchOutput::Forward {
+                        at: done,
+                        port,
+                        queue,
+                        packet: packet.clone(),
+                    }
+                })
+                .collect();
+        }
+        // Slow path: table miss.
+        self.stats.table_misses.incr();
+        let total_len = wire_len as u16;
+        let outputs = match self.buffer.on_miss(now, packet.clone(), in_port) {
+            MissAction::SendFullPacketIn => {
+                // The whole frame crosses the bus, then the CPU builds a
+                // packet_in carrying it all.
+                let at_cpu = self.bus.transfer(now, wire_len);
+                let cost = self.config.cost_pkt_in_base + self.config.payload_cost(wire_len);
+                let at = self.cpu.submit(at_cpu, cost);
+                vec![self.packet_in_output(
+                    at,
+                    BufferId::NO_BUFFER,
+                    total_len,
+                    in_port,
+                    packet.encode(),
+                )]
+            }
+            MissAction::SendBufferedPacketIn { buffer_id } => {
+                // Only the header slice crosses the bus; the packet body
+                // stays in the buffer unit.
+                let slice = packet.header_slice(self.miss_send_len as usize);
+                let at_cpu = self.bus.transfer(now, slice.len());
+                let cost = self.config.cost_buffer_store
+                    + self.config.cost_pkt_in_base
+                    + self.config.payload_cost(slice.len());
+                let at = self.cpu.submit(at_cpu, cost);
+                vec![self.packet_in_output(at, buffer_id, total_len, in_port, slice)]
+            }
+            MissAction::Buffered { .. } => {
+                // Algorithm 1 line 11: buffered silently; only the store
+                // cost is paid, no message is generated.
+                self.cpu.submit(now, self.config.cost_buffer_store);
+                Vec::new()
+            }
+        };
+        self.touch_gauge(now);
+        outputs
+    }
+
+    fn packet_in_output(
+        &mut self,
+        at: Nanos,
+        buffer_id: BufferId,
+        total_len: u16,
+        in_port: PortNo,
+        data: Vec<u8>,
+    ) -> SwitchOutput {
+        let xid = self.fresh_xid();
+        self.stats.pkt_in_sent.incr();
+        self.stats.pkt_in_bytes.add(data.len() as u64);
+        SwitchOutput::ToController {
+            at,
+            xid,
+            msg: OfpMessage::PacketIn(PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                reason: PacketInReason::NoMatch,
+                data,
+            }),
+        }
+    }
+
+    /// Handles a control message arriving from the controller at `now`.
+    pub fn handle_controller_msg(
+        &mut self,
+        now: Nanos,
+        msg: OfpMessage,
+        xid: u32,
+    ) -> Vec<SwitchOutput> {
+        match msg {
+            OfpMessage::FlowMod(fm) => self.handle_flow_mod(now, fm),
+            OfpMessage::PacketOut(po) => self.handle_packet_out(now, po),
+            OfpMessage::SetConfig(c) => {
+                self.cpu.submit(now, self.config.cost_control_misc);
+                self.miss_send_len = c.miss_send_len;
+                Vec::new()
+            }
+            OfpMessage::GetConfigRequest => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::GetConfigReply(msg::SwitchConfig {
+                        flags: 0,
+                        miss_send_len: self.miss_send_len,
+                    }),
+                }]
+            }
+            OfpMessage::EchoRequest(data) => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::EchoReply(data),
+                }]
+            }
+            OfpMessage::Hello => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::Hello,
+                }]
+            }
+            OfpMessage::FeaturesRequest => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                let ports = self
+                    .data_ports()
+                    .map(|p| msg::PhyPort {
+                        port_no: p,
+                        hw_addr: sdnbuf_net::MacAddr::from_host_index(0xff00 + p.as_u16() as u32),
+                        name: format!("eth{}", p.as_u16()),
+                    })
+                    .collect();
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::FeaturesReply(msg::FeaturesReply {
+                        datapath_id: 1,
+                        n_buffers: self.buffer.capacity() as u32,
+                        n_tables: 1,
+                        capabilities: 0,
+                        actions: 0xfff,
+                        ports,
+                    }),
+                }]
+            }
+            OfpMessage::BarrierRequest => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::BarrierReply,
+                }]
+            }
+            OfpMessage::StatsRequest(req) => self.handle_stats_request(now, xid, req),
+            OfpMessage::QueueGetConfigRequest(port) => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::QueueGetConfigReply {
+                        port,
+                        queues: self
+                            .config
+                            .egress_queue_rates
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &r)| msg::PacketQueue {
+                                queue_id: i as u32,
+                                min_rate_tenths_percent: r,
+                            })
+                            .collect(),
+                    },
+                }]
+            }
+            OfpMessage::PortMod(_) => {
+                // Port administration is modeled as a no-op acknowledgement
+                // (the testbed's ports are always up).
+                self.cpu.submit(now, self.config.cost_control_misc);
+                Vec::new()
+            }
+            ref vendor @ OfpMessage::Vendor(_) => {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                match FlowBufferExt::from_message(vendor) {
+                    Some(Ok(FlowBufferExt::Configure { .. }))
+                        if self.buffer.name() == "flow-granularity" =>
+                    {
+                        Vec::new() // accepted
+                    }
+                    _ => vec![SwitchOutput::ToController {
+                        at,
+                        xid,
+                        msg: OfpMessage::Error(msg::ErrorMsg {
+                            err_type: 1, // OFPET_BAD_REQUEST
+                            code: 3,     // OFPBRC_BAD_VENDOR
+                            data: Vec::new(),
+                        }),
+                    }],
+                }
+            }
+            other => {
+                // Messages a switch should never receive.
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                vec![SwitchOutput::ToController {
+                    at,
+                    xid,
+                    msg: OfpMessage::Error(msg::ErrorMsg {
+                        err_type: 1, // OFPET_BAD_REQUEST
+                        code: 1,     // OFPBRC_BAD_TYPE
+                        data: other.encode(xid),
+                    }),
+                }]
+            }
+        }
+    }
+
+    fn handle_flow_mod(&mut self, now: Nanos, fm: msg::FlowMod) -> Vec<SwitchOutput> {
+        self.stats.flow_mods.incr();
+        match fm.command {
+            FlowModCommand::Add | FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                // The rule takes effect when the serial install pipeline
+                // finishes it — the paper's t_e. Packets arriving before
+                // t_e still miss and re-trigger the slow path.
+                let parsed_at = self.cpu.submit(now, self.config.cost_flow_mod);
+                let effective_at = self
+                    .installer
+                    .submit(parsed_at, self.config.cost_rule_install);
+                let mut rule = FlowRule::new(fm.match_fields, fm.priority)
+                    .with_actions(fm.actions)
+                    .with_cookie(fm.cookie)
+                    .with_idle_timeout(Nanos::from_secs(u64::from(fm.idle_timeout)))
+                    .with_hard_timeout(Nanos::from_secs(u64::from(fm.hard_timeout)));
+                if fm.flags & msg::OFPFF_SEND_FLOW_REM != 0 {
+                    rule = rule.with_removal_notification();
+                }
+                match self.table.insert(effective_at, rule) {
+                    InsertOutcome::Evicted(victim) if victim.notify_on_removal => {
+                        vec![self.flow_removed_output(
+                            effective_at,
+                            RemovedRule {
+                                rule: victim,
+                                reason: msg::FlowRemovedReason::Delete,
+                            },
+                        )]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let at = self.cpu.submit(now, self.config.cost_flow_mod);
+                let strict = fm.command == FlowModCommand::DeleteStrict;
+                self.table
+                    .delete(&fm.match_fields, fm.priority, strict)
+                    .into_iter()
+                    .filter(|r| r.rule.notify_on_removal)
+                    .map(|r| self.flow_removed_output(at, r))
+                    .collect()
+            }
+        }
+    }
+
+    fn flow_removed_output(&mut self, at: Nanos, removed: RemovedRule) -> SwitchOutput {
+        self.stats.flow_removed_sent.incr();
+        let xid = self.fresh_xid();
+        let rule = removed.rule;
+        let duration = at.saturating_sub(rule.installed_at);
+        SwitchOutput::ToController {
+            at,
+            xid,
+            msg: OfpMessage::FlowRemoved(FlowRemoved {
+                match_fields: rule.match_fields,
+                cookie: rule.cookie,
+                priority: rule.priority,
+                reason: removed.reason,
+                duration_sec: (duration.as_nanos() / 1_000_000_000) as u32,
+                duration_nsec: (duration.as_nanos() % 1_000_000_000) as u32,
+                idle_timeout: (rule.idle_timeout.as_nanos() / 1_000_000_000) as u16,
+                packet_count: rule.packet_count,
+                byte_count: rule.byte_count,
+            }),
+        }
+    }
+
+    fn handle_packet_out(&mut self, now: Nanos, po: msg::PacketOut) -> Vec<SwitchOutput> {
+        self.stats.pkt_outs.incr();
+        if po.buffer_id.is_buffered() {
+            // Algorithm 2: release and forward every packet filed under
+            // this id, one by one, in FIFO order.
+            let parse_done = self.cpu.submit(now, self.config.cost_pkt_out_base);
+            let released = self.buffer.release(parse_done, po.buffer_id);
+            self.touch_gauge(parse_done);
+            if released.is_empty() {
+                return Vec::new();
+            }
+            let mut outputs = Vec::new();
+            let mut t = parse_done;
+            for bp in released {
+                t = self.cpu.submit(t, self.config.cost_buffer_release);
+                let ports = self.egress_ports(&po.actions, bp.in_port);
+                if ports.is_empty() {
+                    self.stats.drops.incr();
+                    outputs.push(SwitchOutput::Drop {
+                        packet: Some(bp.packet),
+                    });
+                    continue;
+                }
+                self.stats.slowpath_forwards.add(ports.len() as u64);
+                for (port, queue) in ports {
+                    self.stats.count_tx(port.as_u16(), bp.packet.wire_len());
+                    outputs.push(SwitchOutput::Forward {
+                        at: t,
+                        port,
+                        queue,
+                        packet: bp.packet.clone(),
+                    });
+                }
+            }
+            outputs
+        } else {
+            // Unbuffered: the full packet rides in the message and must
+            // cross the bus back to the forwarding plane.
+            let data_len = po.data.len();
+            let cost = self.config.cost_pkt_out_base + self.config.payload_cost(data_len);
+            let cpu_done = self.cpu.submit(now, cost);
+            let at = self.bus.transfer(cpu_done, data_len);
+            match Packet::decode(&po.data) {
+                Ok(packet) => {
+                    let ports = self.egress_ports(&po.actions, po.in_port);
+                    if ports.is_empty() {
+                        self.stats.drops.incr();
+                        return vec![SwitchOutput::Drop {
+                            packet: Some(packet),
+                        }];
+                    }
+                    self.stats.slowpath_forwards.add(ports.len() as u64);
+                    ports
+                        .into_iter()
+                        .map(|(port, queue)| {
+                            self.stats.count_tx(port.as_u16(), packet.wire_len());
+                            SwitchOutput::Forward {
+                                at,
+                                port,
+                                queue,
+                                packet: packet.clone(),
+                            }
+                        })
+                        .collect()
+                }
+                Err(_) => {
+                    self.stats.drops.incr();
+                    vec![SwitchOutput::Drop { packet: None }]
+                }
+            }
+        }
+    }
+
+    fn handle_stats_request(
+        &mut self,
+        now: Nanos,
+        xid: u32,
+        req: StatsRequest,
+    ) -> Vec<SwitchOutput> {
+        let per_rule = self.config.cost_control_misc;
+        let cost = self.config.cost_control_misc + per_rule * self.table.len() as u64;
+        let at = self.cpu.submit(now, cost);
+        let matching = |m: &Match| -> Vec<&FlowRule> {
+            self.table
+                .iter()
+                .filter(|r| *m == Match::any() || r.match_fields == *m)
+                .collect()
+        };
+        let reply = match req {
+            StatsRequest::Desc => StatsReply::Desc(msg::DescStats {
+                mfr_desc: "sdn-buffer-lab".to_owned(),
+                hw_desc: "discrete-event switch model".to_owned(),
+                sw_desc: format!("sdnbuf-switch ({})", self.buffer.name()),
+                serial_num: "0001".to_owned(),
+                dp_desc: "Fig.1 testbed switch".to_owned(),
+            }),
+            StatsRequest::Table => StatsReply::Table(vec![msg::TableStatsEntry {
+                table_id: 0,
+                name: "main".to_owned(),
+                wildcards: sdnbuf_openflow::Wildcards::ALL.bits(),
+                max_entries: self.table.capacity() as u32,
+                active_count: self.table.len() as u32,
+                lookup_count: self.table.lookups(),
+                matched_count: self.table.hits(),
+            }]),
+            StatsRequest::Port { port_no } => {
+                let entry = |p: u16, c: &crate::PortCounters| msg::PortStatsEntry {
+                    port_no: PortNo(p),
+                    rx_packets: c.rx_packets,
+                    tx_packets: c.tx_packets,
+                    rx_bytes: c.rx_bytes,
+                    tx_bytes: c.tx_bytes,
+                    rx_dropped: 0,
+                    tx_dropped: 0,
+                };
+                let entries = if port_no == PortNo::NONE {
+                    self.stats.ports.iter().map(|(p, c)| entry(*p, c)).collect()
+                } else {
+                    self.stats
+                        .ports
+                        .get(&port_no.as_u16())
+                        .map(|c| entry(port_no.as_u16(), c))
+                        .into_iter()
+                        .collect()
+                };
+                StatsReply::Port(entries)
+            }
+            StatsRequest::Flow { match_fields, .. } => {
+                let entries = matching(&match_fields)
+                    .into_iter()
+                    .map(|r| {
+                        let duration = now.saturating_sub(r.installed_at);
+                        msg::FlowStatsEntry {
+                            table_id: 0,
+                            match_fields: r.match_fields,
+                            duration_sec: (duration.as_nanos() / 1_000_000_000) as u32,
+                            duration_nsec: (duration.as_nanos() % 1_000_000_000) as u32,
+                            priority: r.priority,
+                            idle_timeout: (r.idle_timeout.as_nanos() / 1_000_000_000) as u16,
+                            hard_timeout: (r.hard_timeout.as_nanos() / 1_000_000_000) as u16,
+                            cookie: r.cookie,
+                            packet_count: r.packet_count,
+                            byte_count: r.byte_count,
+                            actions: r.actions.clone(),
+                        }
+                    })
+                    .collect();
+                StatsReply::Flow(entries)
+            }
+            StatsRequest::Aggregate { match_fields, .. } => {
+                let rules = matching(&match_fields);
+                StatsReply::Aggregate {
+                    packet_count: rules.iter().map(|r| r.packet_count).sum(),
+                    byte_count: rules.iter().map(|r| r.byte_count).sum(),
+                    flow_count: rules.len() as u32,
+                }
+            }
+        };
+        vec![SwitchOutput::ToController {
+            at,
+            xid,
+            msg: OfpMessage::StatsReply(reply),
+        }]
+    }
+
+    /// Announces the flow-granularity buffer capability over the vendor
+    /// extension (Section V: the mechanism "requires to extend the
+    /// OpenFlow protocol"). Emits nothing for the standard mechanisms.
+    pub fn announce_capabilities(&mut self, now: Nanos) -> Vec<SwitchOutput> {
+        let BufferChoice::FlowGranularity { capacity, timeout } = self.config.buffer else {
+            return Vec::new();
+        };
+        let at = self.cpu.submit(now, self.config.cost_control_misc);
+        let xid = self.fresh_xid();
+        vec![SwitchOutput::ToController {
+            at,
+            xid,
+            msg: OfpMessage::from(FlowBufferExt::Announce {
+                capacity: capacity as u32,
+                timeout_ms: (timeout.as_nanos() / 1_000_000) as u32,
+            }),
+        }]
+    }
+
+    /// The earliest moment the switch needs a timer callback: flow-table
+    /// expiry or a buffer re-request deadline.
+    pub fn next_timer(&self) -> Option<Nanos> {
+        match (self.table.next_expiry(), self.buffer.next_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Runs expiry sweeps and buffer re-requests due at `now`.
+    pub fn on_timer(&mut self, now: Nanos) -> Vec<SwitchOutput> {
+        let mut outputs = Vec::new();
+        for removed in self.table.expire(now) {
+            if removed.rule.notify_on_removal {
+                let at = self.cpu.submit(now, self.config.cost_control_misc);
+                let mut out = self.flow_removed_output(at, removed);
+                if let SwitchOutput::ToController { at: ref mut t, .. } = out {
+                    *t = at;
+                }
+                outputs.push(out);
+            }
+        }
+        for rerequest in self.buffer.poll_timeouts(now) {
+            let slice = rerequest.packet.header_slice(self.miss_send_len as usize);
+            let at_cpu = self.bus.transfer(now, slice.len());
+            let cost = self.config.cost_pkt_in_base + self.config.payload_cost(slice.len());
+            let at = self.cpu.submit(at_cpu, cost);
+            let total_len = rerequest.packet.wire_len() as u16;
+            outputs.push(self.packet_in_output(
+                at,
+                rerequest.buffer_id,
+                total_len,
+                rerequest.in_port,
+                slice,
+            ));
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_net::PacketBuilder;
+    use sdnbuf_openflow::msg::{FlowMod, PacketOut};
+
+    fn switch_with(buffer: BufferChoice) -> Switch {
+        Switch::new(SwitchConfig {
+            buffer,
+            ..SwitchConfig::default()
+        })
+    }
+
+    fn udp(src_port: u16) -> Packet {
+        PacketBuilder::udp().src_port(src_port).frame_size(1000).build()
+    }
+
+    fn flow_mod_for(pkt: &Packet, in_port: PortNo, out_port: PortNo) -> OfpMessage {
+        OfpMessage::FlowMod(FlowMod {
+            match_fields: Match::exact_from_packet(in_port, pkt),
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 5,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: BufferId::NO_BUFFER,
+            out_port: PortNo::NONE,
+            flags: 0,
+            actions: vec![Action::output(out_port)],
+        })
+    }
+
+    fn first_pkt_in(outputs: &[SwitchOutput]) -> (&PacketIn, u32, Nanos) {
+        for o in outputs {
+            if let SwitchOutput::ToController {
+                at,
+                xid,
+                msg: OfpMessage::PacketIn(pin),
+            } = o
+            {
+                return (pin, *xid, *at);
+            }
+        }
+        panic!("no packet_in in {outputs:?}");
+    }
+
+    #[test]
+    fn miss_without_buffer_sends_full_packet() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(1);
+        let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let (pin, _, at) = first_pkt_in(&outputs);
+        assert_eq!(pin.buffer_id, BufferId::NO_BUFFER);
+        assert_eq!(pin.data, pkt.encode());
+        assert_eq!(pin.total_len, 1000);
+        assert!(at > Nanos::ZERO);
+        assert_eq!(sw.stats().table_misses.get(), 1);
+    }
+
+    #[test]
+    fn miss_with_buffer_sends_header_slice() {
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
+        let pkt = udp(1);
+        let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let (pin, _, _) = first_pkt_in(&outputs);
+        assert!(pin.buffer_id.is_buffered());
+        assert_eq!(pin.data.len(), 128); // miss_send_len
+        assert_eq!(pin.data, pkt.header_slice(128));
+        assert_eq!(pin.total_len, 1000);
+        assert_eq!(sw.buffer().occupancy(), 1);
+    }
+
+    #[test]
+    fn buffered_miss_is_faster_to_generate_than_full_miss() {
+        let mut nobuf = switch_with(BufferChoice::NoBuffer);
+        let mut buf = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
+        let (_, _, t_full) = {
+            let outs = nobuf.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+            let (_, x, t) = first_pkt_in(&outs);
+            ((), x, t)
+        };
+        let outs = buf.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        let (_, _, t_buf) = first_pkt_in(&outs);
+        assert!(
+            t_buf < t_full,
+            "buffered pkt_in ({t_buf}) must beat full pkt_in ({t_full})"
+        );
+    }
+
+    #[test]
+    fn flow_mod_then_hit_forwards_on_fast_path() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(7);
+        sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        sw.handle_controller_msg(Nanos::from_millis(1), flow_mod_for(&pkt, PortNo(1), PortNo(2)), 9);
+        // Well after t_e: the same flow now hits.
+        let outputs = sw.handle_frame(Nanos::from_millis(10), PortNo(1), pkt.clone());
+        match &outputs[..] {
+            [SwitchOutput::Forward {
+                at,
+                port,
+                queue,
+                packet,
+            }] => {
+                assert_eq!(*port, PortNo(2));
+                assert_eq!(*queue, None);
+                assert_eq!(packet, &pkt);
+                assert!(*at >= Nanos::from_millis(10));
+            }
+            other => panic!("expected fast-path forward, got {other:?}"),
+        }
+        assert_eq!(sw.stats().fastpath_forwards.get(), 1);
+    }
+
+    #[test]
+    fn rule_does_not_match_before_effect_time() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(7);
+        // Install at t=0; effect time is cost_flow_mod later.
+        sw.handle_controller_msg(Nanos::ZERO, flow_mod_for(&pkt, PortNo(1), PortNo(2)), 1);
+        // A packet arriving immediately still misses (t_e > t_2 case).
+        let outputs = sw.handle_frame(Nanos::from_nanos(1), PortNo(1), pkt.clone());
+        assert!(matches!(outputs[0], SwitchOutput::ToController { .. }));
+        assert_eq!(sw.stats().table_misses.get(), 1);
+        // After t_e it hits.
+        let outputs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
+        assert!(matches!(outputs[0], SwitchOutput::Forward { .. }));
+    }
+
+    #[test]
+    fn packet_out_releases_buffered_packet() {
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
+        let pkt = udp(3);
+        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let (pin, _, t_pkt_in) = first_pkt_in(&outs);
+        let id = pin.buffer_id;
+        let outs = sw.handle_controller_msg(
+            t_pkt_in + Nanos::from_millis(1),
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: id,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![],
+            }),
+            5,
+        );
+        match &outs[..] {
+            [SwitchOutput::Forward { port, packet, .. }] => {
+                assert_eq!(*port, PortNo(2));
+                assert_eq!(packet, &pkt);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sw.buffer().occupancy(), 0);
+        assert_eq!(sw.stats().slowpath_forwards.get(), 1);
+    }
+
+    #[test]
+    fn packet_out_with_data_crosses_bus_and_forwards() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(3);
+        let outs = sw.handle_controller_msg(
+            Nanos::ZERO,
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: pkt.encode(),
+            }),
+            5,
+        );
+        match &outs[..] {
+            [SwitchOutput::Forward {
+                at, port, packet, ..
+            }] => {
+                assert_eq!(*port, PortNo(2));
+                assert_eq!(packet, &pkt);
+                assert!(*at > Nanos::ZERO);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_out_flood_replicates_to_other_ports() {
+        let mut sw = Switch::new(SwitchConfig {
+            data_ports: 4,
+            ..SwitchConfig::default()
+        });
+        let pkt = udp(3);
+        let outs = sw.handle_controller_msg(
+            Nanos::ZERO,
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo::FLOOD)],
+                data: pkt.encode(),
+            }),
+            5,
+        );
+        let ports: Vec<PortNo> = outs
+            .iter()
+            .filter_map(|o| match o {
+                SwitchOutput::Forward { port, .. } => Some(*port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ports, vec![PortNo(2), PortNo(3), PortNo(4)]);
+    }
+
+    #[test]
+    fn flow_granularity_single_request_and_bulk_release() {
+        let mut sw = switch_with(BufferChoice::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(50),
+        });
+        let pkt = udp(9);
+        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let (pin, _, _) = first_pkt_in(&outs);
+        let id = pin.buffer_id;
+        // Four more packets of the same flow: silent.
+        for i in 1..5u64 {
+            let outs = sw.handle_frame(Nanos::from_micros(i * 10), PortNo(1), pkt.clone());
+            assert!(outs.is_empty(), "subsequent packets must be silent");
+        }
+        assert_eq!(sw.stats().pkt_in_sent.get(), 1);
+        assert_eq!(sw.buffer().occupancy(), 5);
+        // One packet_out drains all five.
+        let outs = sw.handle_controller_msg(
+            Nanos::from_millis(1),
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: id,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![],
+            }),
+            5,
+        );
+        let forwards = outs
+            .iter()
+            .filter(|o| matches!(o, SwitchOutput::Forward { .. }))
+            .count();
+        assert_eq!(forwards, 5);
+        // Forward times are non-decreasing (released one by one).
+        let times: Vec<Nanos> = outs
+            .iter()
+            .filter_map(|o| match o {
+                SwitchOutput::Forward { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        assert_eq!(sw.buffer().occupancy(), 0);
+    }
+
+    #[test]
+    fn buffer_exhaustion_falls_back_to_full_pkt_in() {
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 2 });
+        for i in 0..3u16 {
+            sw.handle_frame(Nanos::from_micros(u64::from(i)), PortNo(1), udp(i));
+        }
+        assert_eq!(sw.stats().pkt_in_sent.get(), 3);
+        // The third pkt_in carried the full kilobyte.
+        assert_eq!(sw.stats().pkt_in_bytes.get(), 128 + 128 + 1000);
+    }
+
+    #[test]
+    fn timer_rerequests_unanswered_flows() {
+        let timeout = Nanos::from_millis(10);
+        let mut sw = switch_with(BufferChoice::FlowGranularity {
+            capacity: 16,
+            timeout,
+        });
+        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        assert_eq!(sw.next_timer(), Some(timeout));
+        let outs = sw.on_timer(timeout);
+        assert_eq!(outs.len(), 1);
+        let (pin, _, _) = first_pkt_in(&outs);
+        assert!(pin.buffer_id.is_buffered());
+        assert_eq!(sw.stats().pkt_in_sent.get(), 2);
+    }
+
+    #[test]
+    fn idle_rule_expiry_notifies_when_requested() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(1);
+        let mut fm = match flow_mod_for(&pkt, PortNo(1), PortNo(2)) {
+            OfpMessage::FlowMod(fm) => fm,
+            _ => unreachable!(),
+        };
+        fm.flags = msg::OFPFF_SEND_FLOW_REM;
+        sw.handle_controller_msg(Nanos::ZERO, OfpMessage::FlowMod(fm), 1);
+        let expiry = sw.next_timer().expect("rule has idle timeout");
+        let outs = sw.on_timer(expiry);
+        assert_eq!(outs.len(), 1);
+        assert!(matches!(
+            outs[0],
+            SwitchOutput::ToController {
+                msg: OfpMessage::FlowRemoved(_),
+                ..
+            }
+        ));
+        assert_eq!(sw.table().len(), 0);
+    }
+
+    #[test]
+    fn echo_features_config_barrier_replies() {
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 256 });
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::EchoRequest(vec![1]), 3);
+        assert!(matches!(
+            &outs[0],
+            SwitchOutput::ToController { xid: 3, msg: OfpMessage::EchoReply(d), .. } if d == &vec![1]
+        ));
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::FeaturesRequest, 4);
+        match &outs[0] {
+            SwitchOutput::ToController {
+                msg: OfpMessage::FeaturesReply(fr),
+                ..
+            } => {
+                assert_eq!(fr.n_buffers, 256);
+                assert_eq!(fr.ports.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::GetConfigRequest, 5);
+        assert!(matches!(
+            outs[0],
+            SwitchOutput::ToController {
+                msg: OfpMessage::GetConfigReply(_),
+                ..
+            }
+        ));
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::BarrierRequest, 6);
+        assert!(matches!(
+            outs[0],
+            SwitchOutput::ToController {
+                msg: OfpMessage::BarrierReply,
+                ..
+            }
+        ));
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::Hello, 7);
+        assert!(matches!(
+            outs[0],
+            SwitchOutput::ToController {
+                msg: OfpMessage::Hello,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn set_config_changes_miss_send_len() {
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
+        sw.handle_controller_msg(
+            Nanos::ZERO,
+            OfpMessage::SetConfig(msg::SwitchConfig {
+                flags: 0,
+                miss_send_len: 64,
+            }),
+            1,
+        );
+        assert_eq!(sw.miss_send_len(), 64);
+        let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), udp(1));
+        let (pin, _, _) = first_pkt_in(&outs);
+        assert_eq!(pin.data.len(), 64);
+    }
+
+    #[test]
+    fn stats_requests_are_answered() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(1);
+        sw.handle_controller_msg(Nanos::ZERO, flow_mod_for(&pkt, PortNo(1), PortNo(2)), 1);
+        let outs = sw.handle_controller_msg(
+            Nanos::from_millis(1),
+            OfpMessage::StatsRequest(StatsRequest::Aggregate {
+                match_fields: Match::any(),
+                table_id: 0xff,
+                out_port: PortNo::NONE,
+            }),
+            2,
+        );
+        match &outs[0] {
+            SwitchOutput::ToController {
+                msg: OfpMessage::StatsReply(StatsReply::Aggregate { flow_count, .. }),
+                ..
+            } => assert_eq!(*flow_count, 1),
+            other => panic!("{other:?}"),
+        }
+        let outs = sw.handle_controller_msg(
+            Nanos::from_millis(1),
+            OfpMessage::StatsRequest(StatsRequest::Flow {
+                match_fields: Match::any(),
+                table_id: 0xff,
+                out_port: PortNo::NONE,
+            }),
+            3,
+        );
+        match &outs[0] {
+            SwitchOutput::ToController {
+                msg: OfpMessage::StatsReply(StatsReply::Flow(entries)),
+                ..
+            } => assert_eq!(entries.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_config_request_describes_egress_queues() {
+        let mut sw = Switch::new(SwitchConfig {
+            egress_queue_rates: &[200, 800],
+            ..SwitchConfig::default()
+        });
+        let outs = sw.handle_controller_msg(
+            Nanos::ZERO,
+            OfpMessage::QueueGetConfigRequest(PortNo(2)),
+            8,
+        );
+        match &outs[0] {
+            SwitchOutput::ToController {
+                msg: OfpMessage::QueueGetConfigReply { port, queues },
+                ..
+            } => {
+                assert_eq!(*port, PortNo(2));
+                assert_eq!(queues.len(), 2);
+                assert_eq!(queues[0].min_rate_tenths_percent, 200);
+                assert_eq!(queues[1].queue_id, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn port_mod_is_acknowledged_silently() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let outs = sw.handle_controller_msg(
+            Nanos::ZERO,
+            OfpMessage::PortMod(msg::PortMod {
+                port_no: PortNo(1),
+                hw_addr: sdnbuf_net::MacAddr::from_host_index(1),
+                config: 1,
+                mask: 1,
+                advertise: 0,
+            }),
+            9,
+        );
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn enqueue_rule_forwards_with_queue_tag() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(4);
+        let fm = OfpMessage::FlowMod(FlowMod {
+            match_fields: Match::exact_from_packet(PortNo(1), &pkt),
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: BufferId::NO_BUFFER,
+            out_port: PortNo::NONE,
+            flags: 0,
+            actions: vec![Action::Enqueue {
+                port: PortNo(2),
+                queue_id: 1,
+            }],
+        });
+        sw.handle_controller_msg(Nanos::ZERO, fm, 1);
+        let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
+        match &outs[..] {
+            [SwitchOutput::Forward { port, queue, .. }] => {
+                assert_eq!(*port, PortNo(2));
+                assert_eq!(*queue, Some(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn desc_table_and_port_stats_are_answered() {
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 256 });
+        let pkt = udp(1);
+        sw.handle_controller_msg(Nanos::ZERO, flow_mod_for(&pkt, PortNo(1), PortNo(2)), 1);
+        sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt.clone());
+        sw.handle_frame(Nanos::from_millis(2), PortNo(1), pkt.clone());
+        let ask = |sw: &mut Switch, req| {
+            let outs = sw.handle_controller_msg(
+                Nanos::from_millis(3),
+                OfpMessage::StatsRequest(req),
+                9,
+            );
+            match outs.into_iter().next() {
+                Some(SwitchOutput::ToController {
+                    msg: OfpMessage::StatsReply(reply),
+                    ..
+                }) => reply,
+                other => panic!("{other:?}"),
+            }
+        };
+        match ask(&mut sw, StatsRequest::Desc) {
+            StatsReply::Desc(d) => {
+                assert!(d.sw_desc.contains("packet-granularity"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match ask(&mut sw, StatsRequest::Table) {
+            StatsReply::Table(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].active_count, 1);
+                assert_eq!(entries[0].lookup_count, 2);
+                assert_eq!(entries[0].matched_count, 2);
+                assert_eq!(entries[0].max_entries, 4096);
+            }
+            other => panic!("{other:?}"),
+        }
+        match ask(
+            &mut sw,
+            StatsRequest::Port {
+                port_no: PortNo::NONE,
+            },
+        ) {
+            StatsReply::Port(entries) => {
+                assert_eq!(entries.len(), 2, "{entries:?}"); // rx on 1, tx on 2
+                let p1 = entries.iter().find(|e| e.port_no == PortNo(1)).unwrap();
+                assert_eq!(p1.rx_packets, 2);
+                assert_eq!(p1.rx_bytes, 2000);
+                let p2 = entries.iter().find(|e| e.port_no == PortNo(2)).unwrap();
+                assert_eq!(p2.tx_packets, 2);
+                assert_eq!(p2.tx_bytes, 2000);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A specific port filters.
+        match ask(&mut sw, StatsRequest::Port { port_no: PortNo(1) }) {
+            StatsReply::Port(entries) => assert_eq!(entries.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn vendor_configure_accepted_only_for_flow_granularity() {
+        let mut fg = switch_with(BufferChoice::FlowGranularity {
+            capacity: 16,
+            timeout: Nanos::from_millis(50),
+        });
+        let cfg = OfpMessage::from(FlowBufferExt::Configure {
+            enabled: true,
+            timeout_ms: 20,
+        });
+        assert!(fg.handle_controller_msg(Nanos::ZERO, cfg.clone(), 1).is_empty());
+        let mut pg = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
+        let outs = pg.handle_controller_msg(Nanos::ZERO, cfg, 1);
+        assert!(matches!(
+            outs[0],
+            SwitchOutput::ToController {
+                msg: OfpMessage::Error(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unexpected_message_gets_error_reply() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::BarrierReply, 1);
+        assert!(matches!(
+            outs[0],
+            SwitchOutput::ToController {
+                msg: OfpMessage::Error(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn drop_rule_drops() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        let pkt = udp(1);
+        let fm = OfpMessage::FlowMod(FlowMod {
+            match_fields: Match::exact_from_packet(PortNo(1), &pkt),
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: BufferId::NO_BUFFER,
+            out_port: PortNo::NONE,
+            flags: 0,
+            actions: vec![], // drop
+        });
+        sw.handle_controller_msg(Nanos::ZERO, fm, 1);
+        let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
+        assert!(matches!(outs[0], SwitchOutput::Drop { .. }));
+        assert_eq!(sw.stats().drops.get(), 1);
+    }
+
+    #[test]
+    fn cpu_usage_accumulates() {
+        let mut sw = switch_with(BufferChoice::NoBuffer);
+        assert_eq!(sw.cpu_percent(Nanos::from_secs(1)), 0.0);
+        for i in 0..50u16 {
+            sw.handle_frame(Nanos::from_micros(u64::from(i) * 100), PortNo(1), udp(i));
+        }
+        assert!(sw.cpu_percent(Nanos::from_millis(5)) > 0.0);
+    }
+}

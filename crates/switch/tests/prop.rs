@@ -1,0 +1,189 @@
+//! Property-based tests of the switch state machine: arbitrary interleaved
+//! frames and control messages never panic, outputs are causally timed,
+//! and buffered packets are conserved.
+
+use proptest::prelude::*;
+use sdnbuf_net::PacketBuilder;
+use sdnbuf_openflow::{
+    msg::{FlowMod, FlowModCommand, PacketOut},
+    Action, BufferId, Match, OfpMessage, PortNo,
+};
+use sdnbuf_sim::Nanos;
+use sdnbuf_switch::{BufferChoice, Switch, SwitchConfig, SwitchOutput};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Frame { flow: u16, size: usize },
+    FlowModAdd { flow: u16 },
+    PacketOutFor { nth_buffer_id: usize },
+    PacketOutInvalid { raw: u32 },
+    Timer,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u16..6, 60usize..1400).prop_map(|(flow, size)| Op::Frame { flow, size }),
+        2 => (0u16..6).prop_map(|flow| Op::FlowModAdd { flow }),
+        2 => (0usize..8).prop_map(|nth_buffer_id| Op::PacketOutFor { nth_buffer_id }),
+        1 => any::<u32>().prop_map(|raw| Op::PacketOutInvalid { raw }),
+        1 => Just(Op::Timer),
+    ]
+}
+
+fn arb_buffer() -> impl Strategy<Value = BufferChoice> {
+    prop_oneof![
+        Just(BufferChoice::NoBuffer),
+        (1usize..32).prop_map(|capacity| BufferChoice::PacketGranularity { capacity }),
+        (1usize..32).prop_map(|capacity| BufferChoice::FlowGranularity {
+            capacity,
+            timeout: Nanos::from_millis(20),
+        }),
+    ]
+}
+
+/// Checks outputs for causality and wire validity; returns buffered ids.
+fn check_outputs(now: Nanos, outs: &[SwitchOutput]) -> Result<Vec<BufferId>, TestCaseError> {
+    let mut ids = Vec::new();
+    for out in outs {
+        match out {
+            SwitchOutput::Forward { at, .. } => {
+                prop_assert!(*at >= now, "forward scheduled in the past");
+            }
+            SwitchOutput::ToController { at, msg, .. } => {
+                prop_assert!(*at >= now, "message scheduled in the past");
+                // Every emitted message must be wire-encodable.
+                let bytes = msg.encode(1);
+                prop_assert_eq!(bytes.len(), msg.wire_len());
+                if let OfpMessage::PacketIn(pin) = msg {
+                    if pin.buffer_id.is_buffered() {
+                        ids.push(pin.buffer_id);
+                    }
+                }
+            }
+            SwitchOutput::Drop { .. } => {}
+        }
+    }
+    Ok(ids)
+}
+
+proptest! {
+    #[test]
+    fn switch_never_panics_and_outputs_are_causal(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        buffer in arb_buffer(),
+    ) {
+        let mut sw = Switch::new(SwitchConfig { buffer, ..SwitchConfig::default() });
+        let mut now = Nanos::ZERO;
+        let mut seen_buffer_ids: Vec<BufferId> = Vec::new();
+        for op in ops {
+            now += Nanos::from_micros(200);
+            match op {
+                Op::Frame { flow, size } => {
+                    let pkt = PacketBuilder::udp().src_port(flow).frame_size(size).build();
+                    let outs = sw.handle_frame(now, PortNo(1), pkt);
+                    seen_buffer_ids.extend(check_outputs(now, &outs)?);
+                }
+                Op::FlowModAdd { flow } => {
+                    let pkt = PacketBuilder::udp().src_port(flow).build();
+                    let fm = OfpMessage::FlowMod(FlowMod {
+                        match_fields: Match::exact_from_packet(PortNo(1), &pkt),
+                        cookie: 0,
+                        command: FlowModCommand::Add,
+                        idle_timeout: 1,
+                        hard_timeout: 0,
+                        priority: 10,
+                        buffer_id: BufferId::NO_BUFFER,
+                        out_port: PortNo::NONE,
+                        flags: 0,
+                        actions: vec![Action::output(PortNo(2))],
+                    });
+                    let outs = sw.handle_controller_msg(now, fm, 1);
+                    seen_buffer_ids.extend(check_outputs(now, &outs)?);
+                }
+                Op::PacketOutFor { nth_buffer_id } => {
+                    if !seen_buffer_ids.is_empty() {
+                        let id = seen_buffer_ids.remove(nth_buffer_id % seen_buffer_ids.len());
+                        let po = OfpMessage::PacketOut(PacketOut {
+                            buffer_id: id,
+                            in_port: PortNo(1),
+                            actions: vec![Action::output(PortNo(2))],
+                            data: vec![],
+                        });
+                        let outs = sw.handle_controller_msg(now, po, 2);
+                        check_outputs(now, &outs)?;
+                    }
+                }
+                Op::PacketOutInvalid { raw } => {
+                    let po = OfpMessage::PacketOut(PacketOut {
+                        buffer_id: BufferId::from_wire(raw),
+                        in_port: PortNo(1),
+                        actions: vec![Action::output(PortNo(2))],
+                        data: vec![],
+                    });
+                    let outs = sw.handle_controller_msg(now, po, 3);
+                    check_outputs(now, &outs)?;
+                }
+                Op::Timer => {
+                    if let Some(t) = sw.next_timer() {
+                        let t = t.max(now);
+                        let outs = sw.on_timer(t);
+                        check_outputs(t, &outs)?;
+                        now = t;
+                    }
+                }
+            }
+            prop_assert!(sw.buffer().occupancy() <= sw.buffer().capacity());
+        }
+    }
+
+    #[test]
+    fn switch_buffered_packet_conservation(
+        frames in proptest::collection::vec((0u16..4, 100usize..1200), 1..60),
+        capacity in 1usize..24,
+    ) {
+        // Buffer everything, then release everything: every buffered packet
+        // must come back out exactly once.
+        let mut sw = Switch::new(SwitchConfig {
+            buffer: BufferChoice::FlowGranularity {
+                capacity,
+                timeout: Nanos::from_secs(10),
+            },
+            ..SwitchConfig::default()
+        });
+        let mut now = Nanos::ZERO;
+        let mut ids = Vec::new();
+        for (flow, size) in frames {
+            now += Nanos::from_micros(50);
+            let pkt = PacketBuilder::udp().src_port(flow).frame_size(size).build();
+            for out in sw.handle_frame(now, PortNo(1), pkt) {
+                if let SwitchOutput::ToController {
+                    msg: OfpMessage::PacketIn(pin),
+                    ..
+                } = out
+                {
+                    if pin.buffer_id.is_buffered() {
+                        ids.push(pin.buffer_id);
+                    }
+                }
+            }
+        }
+        let buffered = sw.buffer().occupancy() as u64;
+        let mut released = 0u64;
+        for id in ids {
+            now += Nanos::from_micros(50);
+            let po = OfpMessage::PacketOut(PacketOut {
+                buffer_id: id,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![],
+            });
+            for out in sw.handle_controller_msg(now, po, 1) {
+                if matches!(out, SwitchOutput::Forward { .. }) {
+                    released += 1;
+                }
+            }
+        }
+        prop_assert_eq!(released, buffered);
+        prop_assert_eq!(sw.buffer().occupancy(), 0);
+    }
+}

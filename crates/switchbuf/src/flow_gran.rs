@@ -1,0 +1,435 @@
+//! The flow-granularity buffer mechanism — Algorithms 1 and 2 of the paper.
+
+use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
+use sdnbuf_net::{FlowKey, Packet};
+use sdnbuf_openflow::{BufferId, PortNo};
+use sdnbuf_sim::Nanos;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Clone, Debug)]
+struct FlowQueue {
+    buffer_id: BufferId,
+    packets: VecDeque<BufferedPacket>,
+    /// When the last `packet_in` for this flow was sent (Algorithm 1's
+    /// "timestamp").
+    last_request_at: Nanos,
+}
+
+/// The paper's proposed mechanism: buffer **all** miss-match packets of a
+/// flow under one shared `buffer_id` and send the controller a single
+/// request per flow.
+///
+/// Implements Algorithm 1 (buffering) and Algorithm 2 (release) verbatim:
+///
+/// * The first miss of a flow allocates a `buffer_id` **calculated from the
+///   (src_ip, src_port, dst_ip, dst_port, protocol) tuple** (a hash with
+///   deterministic collision probing), stores it in the `buffer_id` map,
+///   buffers the packet, and sends a `packet_in` (lines 5–9).
+/// * Subsequent misses of the same flow are buffered silently under the
+///   same id (lines 10–11), unless the request timestamp has expired, in
+///   which case another `packet_in` is sent (lines 12–13).
+/// * A `packet_out` carrying the flow's id drains the **entire** per-flow
+///   queue in FIFO order and frees all its units at once (Algorithm 2) —
+///   the fast unit turnover behind the 71.6 % buffer-utilization gain.
+///
+/// Non-IP packets (no 5-tuple) are not flow-bufferable and fall back to
+/// full-packet `packet_in`s, as does any miss arriving while all units are
+/// occupied.
+#[derive(Clone, Debug)]
+pub struct FlowGranularityBuffer {
+    capacity: usize,
+    timeout: Nanos,
+    flows: HashMap<FlowKey, FlowQueue>,
+    by_id: HashMap<u32, FlowKey>,
+    total: usize,
+    stats: BufferStats,
+}
+
+impl FlowGranularityBuffer {
+    /// Creates a buffer with `capacity` total units (packets, across all
+    /// flows) and the Algorithm 1 re-request `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `timeout` is zero (a zero timeout
+    /// would re-request on every packet).
+    pub fn new(capacity: usize, timeout: Nanos) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        assert!(timeout > Nanos::ZERO, "re-request timeout must be positive");
+        FlowGranularityBuffer {
+            capacity,
+            timeout,
+            flows: HashMap::new(),
+            by_id: HashMap::new(),
+            total: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// The configured re-request timeout.
+    pub fn timeout(&self) -> Nanos {
+        self.timeout
+    }
+
+    /// Number of distinct flows currently buffered.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Derives the flow's buffer id from its 5-tuple ("calculated based on
+    /// the tuple of (src_ip, src_port, dst_ip, dst_port, protocol)"),
+    /// probing deterministically past ids already held by other flows.
+    fn id_for(&self, key: &FlowKey) -> BufferId {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&key.src_ip.octets());
+        eat(&key.dst_ip.octets());
+        eat(&key.src_port.to_be_bytes());
+        eat(&key.dst_port.to_be_bytes());
+        eat(&[key.protocol.as_u8()]);
+        let mut candidate = (h ^ (h >> 32)) as u32;
+        loop {
+            if candidate != BufferId::NO_BUFFER.as_u32() && !self.by_id.contains_key(&candidate)
+            {
+                return BufferId::new(candidate);
+            }
+            candidate = candidate.wrapping_add(1);
+        }
+    }
+}
+
+impl BufferMechanism for FlowGranularityBuffer {
+    fn name(&self) -> &'static str {
+        "flow-granularity"
+    }
+
+    fn on_miss(&mut self, now: Nanos, packet: Packet, in_port: PortNo) -> MissAction {
+        // Non-IP traffic has no 5-tuple: not flow-bufferable.
+        let Some(key) = FlowKey::of(&packet) else {
+            self.stats.fallback_full += 1;
+            return MissAction::SendFullPacketIn;
+        };
+        if self.total >= self.capacity {
+            self.stats.fallback_full += 1;
+            return MissAction::SendFullPacketIn;
+        }
+        // Algorithm 1 line 5: getBufferIdFromMap(p_i).
+        if let Some(queue) = self.flows.get_mut(&key) {
+            // Lines 10–11: buffer the subsequent packet silently.
+            let buffer_id = queue.buffer_id;
+            queue.packets.push_back(BufferedPacket {
+                packet,
+                in_port,
+                buffered_at: now,
+                buffer_id,
+            });
+            self.total += 1;
+            self.stats.buffered += 1;
+            self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.total);
+            // Lines 12–13: if the request timestamp expired, send another
+            // packet_in for this flow.
+            if now >= queue.last_request_at + self.timeout {
+                queue.last_request_at = now;
+                self.stats.rerequests += 1;
+                return MissAction::SendBufferedPacketIn { buffer_id };
+            }
+            return MissAction::Buffered { buffer_id };
+        }
+        // Lines 6–9: first packet of the flow.
+        let buffer_id = self.id_for(&key);
+        let mut packets = VecDeque::new();
+        packets.push_back(BufferedPacket {
+            packet,
+            in_port,
+            buffered_at: now,
+            buffer_id,
+        });
+        self.flows.insert(
+            key,
+            FlowQueue {
+                buffer_id,
+                packets,
+                last_request_at: now,
+            },
+        );
+        self.by_id.insert(buffer_id.as_u32(), key);
+        self.total += 1;
+        self.stats.buffered += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.total);
+        MissAction::SendBufferedPacketIn { buffer_id }
+    }
+
+    fn release(&mut self, _now: Nanos, buffer_id: BufferId) -> Vec<BufferedPacket> {
+        // Algorithm 2: drain the whole per-flow queue in FIFO order and
+        // free every unit.
+        let Some(key) = self.by_id.remove(&buffer_id.as_u32()) else {
+            self.stats.invalid_releases += 1;
+            return Vec::new();
+        };
+        let queue = self
+            .flows
+            .remove(&key)
+            .expect("by_id and flows maps stay consistent");
+        self.total -= queue.packets.len();
+        self.stats.released += queue.packets.len() as u64;
+        queue.packets.into()
+    }
+
+    fn next_timeout(&self) -> Option<Nanos> {
+        self.flows
+            .values()
+            .map(|q| q.last_request_at + self.timeout)
+            .min()
+    }
+
+    fn poll_timeouts(&mut self, now: Nanos) -> Vec<Rerequest> {
+        let mut due: Vec<(&FlowKey, &mut FlowQueue)> = self
+            .flows
+            .iter_mut()
+            .filter(|(_, q)| now >= q.last_request_at + self.timeout)
+            .collect();
+        // Deterministic order regardless of hash-map iteration order.
+        due.sort_by_key(|(key, _)| **key);
+        let mut out = Vec::with_capacity(due.len());
+        for (_, q) in due {
+            q.last_request_at = now;
+            self.stats.rerequests += 1;
+            let first = q.packets.front().expect("buffered flows are non-empty");
+            out.push(Rerequest {
+                buffer_id: q.buffer_id,
+                packet: first.packet.clone(),
+                in_port: first.in_port,
+            });
+        }
+        out
+    }
+
+    fn occupancy(&self) -> usize {
+        self.total
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_net::{MacAddr, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn mk() -> FlowGranularityBuffer {
+        FlowGranularityBuffer::new(256, Nanos::from_millis(50))
+    }
+
+    fn pkt(src_port: u16, size: usize) -> Packet {
+        PacketBuilder::udp().src_port(src_port).frame_size(size).build()
+    }
+
+    #[test]
+    fn one_packet_in_per_flow() {
+        let mut b = mk();
+        let a1 = b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        let id = match a1 {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        // 19 more packets of the same flow: all silent.
+        for i in 0..19 {
+            let a = b.on_miss(Nanos::from_micros(i + 1), pkt(1, 100), PortNo(1));
+            assert_eq!(a, MissAction::Buffered { buffer_id: id });
+        }
+        assert_eq!(b.occupancy(), 20);
+        assert_eq!(b.flow_count(), 1);
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ids() {
+        let mut b = mk();
+        let mut ids = Vec::new();
+        for port in 0..50u16 {
+            match b.on_miss(Nanos::ZERO, pkt(port, 100), PortNo(1)) {
+                MissAction::SendBufferedPacketIn { buffer_id } => ids.push(buffer_id),
+                other => panic!("{other:?}"),
+            }
+        }
+        let mut sorted: Vec<u32> = ids.iter().map(|i| i.as_u32()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+        assert_eq!(b.flow_count(), 50);
+    }
+
+    #[test]
+    fn buffer_id_is_deterministic_function_of_tuple() {
+        let mut a = mk();
+        let mut b = mk();
+        let ida = a.on_miss(Nanos::ZERO, pkt(7, 100), PortNo(1));
+        let idb = b.on_miss(Nanos::from_secs(9), pkt(7, 1400), PortNo(3));
+        // Same 5-tuple => same id, regardless of time, size or port.
+        assert_eq!(
+            match ida {
+                MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+                _ => panic!(),
+            },
+            match idb {
+                MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+                _ => panic!(),
+            }
+        );
+    }
+
+    #[test]
+    fn release_drains_whole_flow_fifo() {
+        let mut b = mk();
+        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        for i in 1..5u64 {
+            b.on_miss(Nanos::from_micros(i), pkt(1, 100 + i as usize), PortNo(1));
+        }
+        let out = b.release(Nanos::from_millis(1), id);
+        assert_eq!(out.len(), 5);
+        // FIFO: arrival order preserved.
+        let times: Vec<Nanos> = out.iter().map(|p| p.buffered_at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.flow_count(), 0);
+        assert_eq!(b.stats().released, 5);
+    }
+
+    #[test]
+    fn release_only_affects_its_flow() {
+        let mut b = mk();
+        let id1 = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        b.on_miss(Nanos::ZERO, pkt(2, 100), PortNo(1));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        assert_eq!(b.release(Nanos::ZERO, id1).len(), 2);
+        assert_eq!(b.occupancy(), 1); // flow 2 untouched
+        assert_eq!(b.flow_count(), 1);
+    }
+
+    #[test]
+    fn unknown_id_release_is_noop() {
+        let mut b = mk();
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        assert!(b.release(Nanos::ZERO, BufferId::new(42)).is_empty());
+        assert_eq!(b.occupancy(), 1);
+        assert_eq!(b.stats().invalid_releases, 1);
+    }
+
+    #[test]
+    fn timeout_rerequests_on_subsequent_packet() {
+        let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        // Within the timeout: silent.
+        assert!(matches!(
+            b.on_miss(Nanos::from_millis(5), pkt(1, 100), PortNo(1)),
+            MissAction::Buffered { .. }
+        ));
+        // Past the timeout: Algorithm 1 line 13 sends another packet_in.
+        assert!(matches!(
+            b.on_miss(Nanos::from_millis(10), pkt(1, 100), PortNo(1)),
+            MissAction::SendBufferedPacketIn { .. }
+        ));
+        assert_eq!(b.stats().rerequests, 1);
+        // Timer was reset: the next packet is silent again.
+        assert!(matches!(
+            b.on_miss(Nanos::from_millis(15), pkt(1, 100), PortNo(1)),
+            MissAction::Buffered { .. }
+        ));
+    }
+
+    #[test]
+    fn proactive_timeout_polling() {
+        let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(4));
+        b.on_miss(Nanos::from_millis(2), pkt(2, 100), PortNo(4));
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(10)));
+        assert!(b.poll_timeouts(Nanos::from_millis(9)).is_empty());
+        let due = b.poll_timeouts(Nanos::from_millis(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].in_port, PortNo(4));
+        // Timer reset: next deadline is flow 2's, then flow 1's new one.
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(12)));
+        let due = b.poll_timeouts(Nanos::from_millis(30));
+        assert_eq!(due.len(), 2);
+        assert_eq!(b.stats().rerequests, 3);
+    }
+
+    #[test]
+    fn exhaustion_falls_back() {
+        let mut b = FlowGranularityBuffer::new(3, Nanos::from_millis(50));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        b.on_miss(Nanos::ZERO, pkt(2, 100), PortNo(1));
+        assert_eq!(
+            b.on_miss(Nanos::ZERO, pkt(3, 100), PortNo(1)),
+            MissAction::SendFullPacketIn
+        );
+        assert_eq!(b.stats().fallback_full, 1);
+        assert_eq!(b.occupancy(), 3);
+    }
+
+    #[test]
+    fn non_ip_traffic_falls_back() {
+        let mut b = mk();
+        let arp = PacketBuilder::gratuitous_arp(
+            MacAddr::from_host_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert_eq!(
+            b.on_miss(Nanos::ZERO, arp, PortNo(1)),
+            MissAction::SendFullPacketIn
+        );
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn no_pending_requests_no_timeout() {
+        let mut b = mk();
+        assert_eq!(b.next_timeout(), None);
+        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        b.release(Nanos::from_millis(1), id);
+        assert_eq!(b.next_timeout(), None);
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let b = FlowGranularityBuffer::new(8, Nanos::from_millis(20));
+        assert_eq!(b.name(), "flow-granularity");
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.timeout(), Nanos::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = FlowGranularityBuffer::new(0, Nanos::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout")]
+    fn zero_timeout_panics() {
+        let _ = FlowGranularityBuffer::new(1, Nanos::ZERO);
+    }
+}

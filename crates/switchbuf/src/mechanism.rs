@@ -1,0 +1,142 @@
+//! The buffer-mechanism abstraction shared by all three mechanisms.
+
+use sdnbuf_net::Packet;
+use sdnbuf_openflow::{BufferId, PortNo};
+use sdnbuf_sim::Nanos;
+
+/// A miss-match packet parked in switch buffer memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferedPacket {
+    /// The full original packet.
+    pub packet: Packet,
+    /// The port it arrived on.
+    pub in_port: PortNo,
+    /// When it entered the buffer.
+    pub buffered_at: Nanos,
+    /// The id it is filed under.
+    pub buffer_id: BufferId,
+}
+
+/// What the slow path must do with a miss-match packet, as decided by the
+/// buffer mechanism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MissAction {
+    /// Not buffered (no buffer configured, buffer exhausted, or non-IP
+    /// traffic under the flow-granularity mechanism): send a `packet_in`
+    /// carrying the **entire** packet with [`BufferId::NO_BUFFER`].
+    SendFullPacketIn,
+    /// The packet was buffered: send a `packet_in` carrying only the first
+    /// `miss_send_len` bytes, referencing `buffer_id`.
+    SendBufferedPacketIn {
+        /// Id the packet was filed under.
+        buffer_id: BufferId,
+    },
+    /// The packet was buffered under an already-announced flow `buffer_id`;
+    /// **no** `packet_in` is sent (Algorithm 1, line 11).
+    Buffered {
+        /// The flow's shared id.
+        buffer_id: BufferId,
+    },
+}
+
+/// A re-request the mechanism wants sent because the controller's response
+/// timed out (Algorithm 1, lines 12–13).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rerequest {
+    /// The flow's shared buffer id.
+    pub buffer_id: BufferId,
+    /// A clone of the first buffered packet, whose header rides in the
+    /// re-sent `packet_in`.
+    pub packet: Packet,
+    /// Ingress port of that packet.
+    pub in_port: PortNo,
+}
+
+/// Running statistics of a buffer mechanism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Packets successfully parked in buffer units.
+    pub buffered: u64,
+    /// Misses that could not be buffered (exhaustion or unsupported
+    /// traffic) and fell back to full-packet `packet_in`s.
+    pub fallback_full: u64,
+    /// Packets released by `packet_out`s.
+    pub released: u64,
+    /// `packet_out`s naming an id with nothing buffered under it.
+    pub invalid_releases: u64,
+    /// Timeout-driven re-requests sent.
+    pub rerequests: u64,
+    /// Highest occupancy ever observed, in buffer units.
+    pub peak_occupancy: usize,
+}
+
+/// A switch packet-buffer mechanism.
+///
+/// The switch's slow path calls [`BufferMechanism::on_miss`] for every
+/// table-miss packet and [`BufferMechanism::release`] for every valid
+/// `packet_out`; the mechanism decides how requests to the controller are
+/// generated. Implementations must uphold:
+///
+/// * **No loss, no duplication** — every buffered packet is returned by
+///   exactly one `release` call (or remains buffered).
+/// * **FIFO per flow** — `release` returns packets in arrival order.
+/// * **Bounded occupancy** — `occupancy() <= capacity()` at all times.
+pub trait BufferMechanism {
+    /// A short human-readable name ("no-buffer", "packet-granularity", …).
+    fn name(&self) -> &'static str;
+
+    /// Handles a table-miss packet; decides whether it is buffered and what
+    /// kind of `packet_in` (if any) must be sent.
+    fn on_miss(&mut self, now: Nanos, packet: Packet, in_port: PortNo) -> MissAction;
+
+    /// Releases the packet(s) filed under `buffer_id` for a `packet_out`.
+    /// Returns them in FIFO order; empty when the id is unknown (the
+    /// `packet_out` then applies to nothing, per the OpenFlow spec).
+    fn release(&mut self, now: Nanos, buffer_id: BufferId) -> Vec<BufferedPacket>;
+
+    /// The earliest pending re-request deadline, for scheduler integration.
+    /// `None` when no request is outstanding or the mechanism never
+    /// re-requests.
+    fn next_timeout(&self) -> Option<Nanos>;
+
+    /// Collects the re-requests due at or before `now`, resetting their
+    /// timers.
+    fn poll_timeouts(&mut self, now: Nanos) -> Vec<Rerequest>;
+
+    /// Buffer units currently in use.
+    fn occupancy(&self) -> usize;
+
+    /// Total buffer units.
+    fn capacity(&self) -> usize;
+
+    /// Running statistics.
+    fn stats(&self) -> BufferStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_action_equality() {
+        assert_eq!(MissAction::SendFullPacketIn, MissAction::SendFullPacketIn);
+        assert_ne!(
+            MissAction::SendFullPacketIn,
+            MissAction::Buffered {
+                buffer_id: BufferId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = BufferStats::default();
+        assert_eq!(s.buffered, 0);
+        assert_eq!(s.peak_occupancy, 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &mut dyn BufferMechanism) {}
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the workload generators: ordering, counts,
+//! flow identity and rate conformance for arbitrary parameters.
+
+use proptest::prelude::*;
+use sdnbuf_net::{FlowKey, Payload};
+use sdnbuf_sim::BitRate;
+use sdnbuf_workload::{
+    cross_sequenced_flows, is_time_ordered, single_packet_flows, tcp_with_idle_gap, ArrivalProcess,
+    PktgenConfig,
+};
+use std::collections::HashSet;
+
+fn cfg(rate_mbps: u64, frame: usize, jitter: u32, arrival: ArrivalProcess) -> PktgenConfig {
+    PktgenConfig {
+        rate: BitRate::from_mbps(rate_mbps),
+        frame_size: frame,
+        jitter_permille: jitter,
+        arrival,
+        ..PktgenConfig::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn single_packet_flows_invariants(
+        n in 1usize..500,
+        rate in 5u64..100,
+        frame in 64usize..1500,
+        jitter in 0u32..200,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let arrival = if poisson { ArrivalProcess::Poisson } else { ArrivalProcess::Cbr };
+        let deps = single_packet_flows(&cfg(rate, frame, jitter, arrival), n, seed);
+        prop_assert_eq!(deps.len(), n);
+        prop_assert!(is_time_ordered(&deps));
+        // Every packet is a distinct flow of the requested size.
+        let keys: HashSet<_> = deps.iter().map(|d| FlowKey::of(&d.packet).unwrap()).collect();
+        prop_assert_eq!(keys.len(), n);
+        for (i, d) in deps.iter().enumerate() {
+            prop_assert_eq!(d.flow_index, i);
+            prop_assert_eq!(d.seq_in_flow, 0);
+            prop_assert!(d.packet.wire_len() >= 42);
+            if frame >= 42 {
+                prop_assert_eq!(d.packet.wire_len(), frame);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_sequenced_invariants(
+        flows in 1usize..30,
+        ppf in 1usize..30,
+        group in 1usize..8,
+        rate in 5u64..100,
+        seed in any::<u64>(),
+    ) {
+        let deps = cross_sequenced_flows(&cfg(rate, 1000, 20, ArrivalProcess::Cbr), flows, ppf, group, seed);
+        prop_assert_eq!(deps.len(), flows * ppf);
+        prop_assert!(is_time_ordered(&deps));
+        // Each flow has exactly ppf packets, sequenced 0..ppf, with unique
+        // (flow, ident) identities.
+        let mut seen = HashSet::new();
+        let mut per_flow = vec![0usize; flows];
+        for d in &deps {
+            per_flow[d.flow_index] += 1;
+            let ident = match &d.packet.payload {
+                Payload::Ipv4(ip) => ip.header.identification,
+                _ => unreachable!("workloads are IPv4"),
+            };
+            prop_assert_eq!(ident as usize, d.seq_in_flow);
+            prop_assert!(seen.insert((d.flow_index, ident)));
+        }
+        prop_assert!(per_flow.iter().all(|&c| c == ppf));
+        // Batch structure: a flow's packets only appear inside its batch.
+        for d in &deps {
+            let batch = d.flow_index / group;
+            let batch_start = batch * group;
+            prop_assert!(d.flow_index >= batch_start);
+        }
+    }
+
+    #[test]
+    fn cbr_rate_is_respected(
+        rate in 5u64..100,
+        seed in any::<u64>(),
+    ) {
+        let n = 400;
+        let deps = single_packet_flows(&cfg(rate, 1000, 20, ArrivalProcess::Cbr), n, seed);
+        let span = deps.last().unwrap().at - deps[0].at;
+        let measured = (n as f64 - 1.0) * 1000.0 * 8.0 / span.as_secs_f64() / 1e6;
+        prop_assert!(
+            (measured - rate as f64).abs() < rate as f64 * 0.05,
+            "wanted {rate} Mbps, measured {measured:.2}"
+        );
+    }
+
+    #[test]
+    fn tcp_scenario_is_one_flow_with_gap(
+        first in 1usize..20,
+        second in 1usize..40,
+        gap_ms in 100u64..10_000,
+        seed in any::<u64>(),
+    ) {
+        let gap = sdnbuf_sim::Nanos::from_millis(gap_ms);
+        let deps = tcp_with_idle_gap(&cfg(50, 1000, 20, ArrivalProcess::Cbr), first, gap, second, seed);
+        prop_assert_eq!(deps.len(), 2 + first + second);
+        prop_assert!(is_time_ordered(&deps));
+        let keys: HashSet<_> = deps.iter().map(|d| FlowKey::of(&d.packet).unwrap()).collect();
+        prop_assert_eq!(keys.len(), 1);
+        // The idle gap sits between the bursts.
+        let last_first_burst = deps[1 + first].at;
+        let first_second_burst = deps[2 + first].at;
+        prop_assert!(first_second_burst - last_first_burst >= gap);
+    }
+}

@@ -1,0 +1,44 @@
+//! Looking *inside* a run: how buffer occupancy evolves over time under
+//! each mechanism, rendered as sparklines — the dynamics behind the
+//! paper's Fig. 13 averages.
+//!
+//! ```sh
+//! cargo run --release --example buffer_timeline
+//! ```
+
+use sdn_buffer_lab::core::{Testbed, TestbedConfig, WorkloadKind};
+use sdn_buffer_lab::prelude::*;
+use sdn_buffer_lab::workload::PktgenConfig;
+
+fn main() {
+    let workload = WorkloadKind::paper_section_v(); // 50 flows x 20 packets
+    let pktgen = PktgenConfig {
+        rate: BitRate::from_mbps(90),
+        ..PktgenConfig::default()
+    };
+    println!("Buffer occupancy over time, 50 flows x 20 packets at 90 Mbps:");
+    println!();
+    for buffer in [
+        BufferMode::PacketGranularity { capacity: 256 },
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(50),
+        },
+    ] {
+        let mut testbed = Testbed::new(TestbedConfig::with_buffer(buffer));
+        let departures = workload.generate(&pktgen, 1);
+        let run = testbed.run(&departures);
+        let series = &testbed.switch().stats().occupancy_series;
+        println!(
+            "{:<18} peak {:>3} units  {}",
+            run.label,
+            run.buffer_peak_occupancy,
+            series.sparkline(64)
+        );
+    }
+    println!();
+    println!("Packet granularity hoards units (each awaits its own packet_out and");
+    println!("OVS reclaims lazily); the flow-granularity mechanism drains a whole");
+    println!("flow per packet_out, so its occupancy stays near zero — the 71.6%");
+    println!("utilization-efficiency gain of the paper's Section V.B.5.");
+}

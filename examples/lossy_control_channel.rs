@@ -1,0 +1,56 @@
+//! Fault injection: what happens when the control channel drops messages?
+//!
+//! The flow-granularity mechanism's re-request timeout (Algorithm 1, lines
+//! 12–13) recovers lost `packet_in`s; the default packet-granularity buffer
+//! has no such guard and strands buffered packets forever.
+//!
+//! ```sh
+//! cargo run --release --example lossy_control_channel
+//! ```
+
+use sdn_buffer_lab::core::WorkloadKind;
+use sdn_buffer_lab::prelude::*;
+
+fn run_with_loss(buffer: BufferMode, one_in: u64) -> RunResult {
+    let mut config = ExperimentConfig {
+        buffer,
+        workload: WorkloadKind::paper_section_v(),
+        sending_rate: BitRate::from_mbps(50),
+        seed: 13,
+        ..ExperimentConfig::default()
+    };
+    config.testbed.control_loss_one_in = Some(one_in);
+    Experiment::new(config).run()
+}
+
+fn main() {
+    println!("50 flows x 20 packets at 50 Mbps; every Nth control message dropped.\n");
+    println!(
+        "{:>6}  {:<18}  {:>9}  {:>10}  {:>10}",
+        "loss", "mechanism", "delivered", "rerequests", "ctrl_drops"
+    );
+    for one_in in [20u64, 10, 5] {
+        for buffer in [
+            BufferMode::PacketGranularity { capacity: 1024 },
+            BufferMode::FlowGranularity {
+                capacity: 1024,
+                timeout: Nanos::from_millis(20),
+            },
+        ] {
+            let run = run_with_loss(buffer, one_in);
+            println!(
+                "{:>5.0}%  {:<18}  {:>4}/{:<4}  {:>10}  {:>10}",
+                100.0 / one_in as f64,
+                run.label,
+                run.packets_delivered,
+                run.packets_sent,
+                run.rerequests,
+                run.ctrl_drops
+            );
+        }
+    }
+    println!();
+    println!("The proposed mechanism keeps delivering everything (re-requests kick");
+    println!("in); the default buffer silently loses whatever its lost requests had");
+    println!("parked.");
+}

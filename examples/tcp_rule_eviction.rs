@@ -1,0 +1,58 @@
+//! The Section VI.B scenario: a TCP connection transfers data, goes quiet
+//! just long enough for its flow rule to be kicked out of the size-limited
+//! table, then resumes a large transfer. The buffer absorbs the resumed
+//! burst instead of spraying full packets at the controller.
+//!
+//! ```sh
+//! cargo run --release --example tcp_rule_eviction
+//! ```
+
+use sdn_buffer_lab::core::WorkloadKind;
+use sdn_buffer_lab::prelude::*;
+
+fn run_scenario(buffer: BufferMode) -> RunResult {
+    Experiment::new(ExperimentConfig {
+        buffer,
+        workload: WorkloadKind::TcpEviction {
+            first_burst: 20,
+            // Longer than the reactive rule's 5 s idle timeout: the rule is
+            // gone when the transfer resumes, but the connection is not.
+            idle_gap: Nanos::from_secs(6),
+            second_burst: 60,
+        },
+        sending_rate: BitRate::from_mbps(80),
+        seed: 3,
+        ..ExperimentConfig::default()
+    })
+    .run()
+}
+
+fn main() {
+    println!("TCP connection: SYN+ACK, 20 segments, 6 s idle (rule evicted),");
+    println!("then a resumed 60-segment burst at 80 Mbps.\n");
+    for buffer in [
+        BufferMode::NoBuffer,
+        BufferMode::PacketGranularity { capacity: 256 },
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(50),
+        },
+    ] {
+        let run = run_scenario(buffer);
+        println!("--- {} ---", run.label);
+        println!(
+            "  rule setups (packet_ins): {:>4}   control bytes: {:>7}",
+            run.pkt_in_count,
+            run.ctrl_bytes_to_controller + run.ctrl_bytes_to_switch
+        );
+        println!(
+            "  delivered: {}/{}   peak buffer: {} units",
+            run.packets_delivered, run.packets_sent, run.buffer_peak_occupancy
+        );
+        println!("  flow setup delay: {}", run.flow_setup_delay);
+        println!();
+    }
+    println!("Both bursts miss the table (the rule was evicted in between), so the");
+    println!("buffer pays off twice — exactly the paper's argument for why buffering");
+    println!("helps TCP flows, not just UDP floods.");
+}

@@ -1,0 +1,71 @@
+//! The paper's motivating scenario (Section VI.A): a UDP sender suddenly
+//! blasts many packets of a brand-new flow with no negotiation. Compare how
+//! the three buffer mechanisms cope, side by side, across sending rates.
+//!
+//! ```sh
+//! cargo run --release --example udp_burst
+//! ```
+
+use sdn_buffer_lab::core::WorkloadKind;
+use sdn_buffer_lab::metrics::Table;
+use sdn_buffer_lab::prelude::*;
+
+fn main() {
+    // 40 brand-new UDP flows, 25 packets each, arriving in bursts of 8
+    // interleaved flows — no handshake, no warning.
+    let workload = WorkloadKind::CrossSequenced {
+        n_flows: 40,
+        packets_per_flow: 25,
+        group_size: 8,
+    };
+    let mechanisms = [
+        BufferMode::NoBuffer,
+        BufferMode::PacketGranularity { capacity: 256 },
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(50),
+        },
+    ];
+
+    let mut table = Table::new(vec![
+        "rate_mbps",
+        "mechanism",
+        "pkt_ins",
+        "ctrl_kbytes",
+        "setup_ms",
+        "fwd_ms",
+        "peak_buf",
+        "delivered",
+    ]);
+    for rate in [20u64, 60, 100] {
+        for buffer in mechanisms {
+            let run = Experiment::new(ExperimentConfig {
+                buffer,
+                workload,
+                sending_rate: BitRate::from_mbps(rate),
+                seed: 7,
+                ..ExperimentConfig::default()
+            })
+            .run();
+            table.row(vec![
+                rate.to_string(),
+                run.label.clone(),
+                run.pkt_in_count.to_string(),
+                format!(
+                    "{:.1}",
+                    (run.ctrl_bytes_to_controller + run.ctrl_bytes_to_switch) as f64 / 1000.0
+                ),
+                format!("{:.2}", run.flow_setup_delay.mean),
+                format!("{:.2}", run.flow_forwarding_delay.mean),
+                run.buffer_peak_occupancy.to_string(),
+                format!("{}/{}", run.packets_delivered, run.packets_sent),
+            ]);
+        }
+    }
+    println!("UDP burst: 40 new flows x 25 packets, cross-sequenced in groups of 8");
+    println!();
+    println!("{table}");
+    println!("Reading guide: the flow-granularity buffer sends one request per flow");
+    println!("(fewest pkt_ins, fewest control bytes) and drains whole flows per");
+    println!("packet_out (lowest peak buffer, competitive forwarding delay).");
+}

@@ -1,0 +1,269 @@
+//! `sdnlab` — command-line front end for the testbed.
+//!
+//! ```text
+//! sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]
+//! sdnlab sweep [--section iv|v] [--reps N]
+//! sdnlab claims [--reps N]
+//! sdnlab help
+//! ```
+//!
+//! Mechanisms: `none`, `packet:<capacity>`, `flow:<capacity>[:<timeout_ms>]`.
+//! Workloads: `iv` (1000 single-packet flows), `v` (50×20 cross-sequenced),
+//! `single:<n>`, `cross:<flows>x<ppf>/<group>`.
+
+use sdn_buffer_lab::core::{figures, RateSweep};
+use sdn_buffer_lab::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "sdnlab — SDN switch-buffer testbed (reproduction of ICDCS'17)\n\
+     \n\
+     USAGE:\n\
+       sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]\n\
+       sdnlab sweep [--section iv|v] [--reps N]\n\
+       sdnlab claims [--reps N]\n\
+     \n\
+     MECH: none | packet:<capacity> | flow:<capacity>[:<timeout_ms>]\n\
+     WL:   iv | v | single:<n> | cross:<flows>x<ppf>/<group>\n\
+     \n\
+     EXAMPLES:\n\
+       sdnlab run --buffer packet:256 --rate 80\n\
+       sdnlab run --buffer flow:256:50 --workload v --rate 95\n\
+       sdnlab sweep --section iv --reps 20\n"
+}
+
+#[derive(Debug)]
+struct ParseError(String);
+
+fn parse_buffer(s: &str) -> Result<BufferMode, ParseError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["none"] => Ok(BufferMode::NoBuffer),
+        ["packet", cap] => cap
+            .parse()
+            .map(|capacity| BufferMode::PacketGranularity { capacity })
+            .map_err(|_| ParseError(format!("bad capacity in '{s}'"))),
+        ["flow", cap] | ["flow", cap, _] => {
+            let capacity = cap
+                .parse()
+                .map_err(|_| ParseError(format!("bad capacity in '{s}'")))?;
+            let timeout_ms = match parts.get(2) {
+                Some(t) => t
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad timeout in '{s}'")))?,
+                None => 50,
+            };
+            Ok(BufferMode::FlowGranularity {
+                capacity,
+                timeout: Nanos::from_millis(timeout_ms),
+            })
+        }
+        _ => Err(ParseError(format!("unknown buffer mechanism '{s}'"))),
+    }
+}
+
+fn parse_workload(s: &str) -> Result<WorkloadKind, ParseError> {
+    if s == "iv" {
+        return Ok(WorkloadKind::paper_section_iv());
+    }
+    if s == "v" {
+        return Ok(WorkloadKind::paper_section_v());
+    }
+    if let Some(n) = s.strip_prefix("single:") {
+        let n = n
+            .parse()
+            .map_err(|_| ParseError(format!("bad flow count in '{s}'")))?;
+        return Ok(WorkloadKind::single_packet_flows(n));
+    }
+    if let Some(rest) = s.strip_prefix("cross:") {
+        let (flows, rest) = rest
+            .split_once('x')
+            .ok_or_else(|| ParseError(format!("expected cross:<flows>x<ppf>/<group> in '{s}'")))?;
+        let (ppf, group) = rest
+            .split_once('/')
+            .ok_or_else(|| ParseError(format!("expected cross:<flows>x<ppf>/<group> in '{s}'")))?;
+        let parse = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError(format!("bad number '{v}' in '{s}'")))
+        };
+        return Ok(WorkloadKind::CrossSequenced {
+            n_flows: parse(flows)?,
+            packets_per_flow: parse(ppf)?,
+            group_size: parse(group)?,
+        });
+    }
+    Err(ParseError(format!("unknown workload '{s}'")))
+}
+
+/// Key-value flag extraction: `--key value` pairs after the subcommand.
+fn flag(args: &[String], key: &str) -> Result<Option<String>, ParseError> {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == key {
+            return match iter.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(ParseError(format!("{key} needs a value"))),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), ParseError> {
+    let buffer = match flag(args, "--buffer")? {
+        Some(s) => parse_buffer(&s)?,
+        None => BufferMode::PacketGranularity { capacity: 256 },
+    };
+    let workload = match flag(args, "--workload")? {
+        Some(s) => parse_workload(&s)?,
+        None => WorkloadKind::paper_section_iv(),
+    };
+    let rate: u64 = match flag(args, "--rate")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseError(format!("bad rate '{s}'")))?,
+        None => 50,
+    };
+    let seed: u64 = match flag(args, "--seed")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseError(format!("bad seed '{s}'")))?,
+        None => 1,
+    };
+    let run = Experiment::new(ExperimentConfig {
+        buffer,
+        workload,
+        sending_rate: BitRate::from_mbps(rate),
+        seed,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    println!("{run:#?}");
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
+    let reps: usize = match flag(args, "--reps")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseError(format!("bad reps '{s}'")))?,
+        None => 5,
+    };
+    let section = flag(args, "--section")?.unwrap_or_else(|| "iv".to_owned());
+    let sweep = match section.as_str() {
+        "iv" => RateSweep::paper_section_iv(reps),
+        "v" => RateSweep::paper_section_v(reps),
+        other => return Err(ParseError(format!("unknown section '{other}'"))),
+    }
+    .run();
+    println!("{}", figures::fig_control_load_to_controller(&sweep));
+    println!("{}", figures::fig_controller_usage(&sweep));
+    println!("{}", figures::fig_switch_usage(&sweep));
+    println!("{}", figures::fig_flow_setup_delay(&sweep));
+    println!("{}", figures::fig_buffer_utilization_mean(&sweep));
+    Ok(())
+}
+
+fn cmd_claims(args: &[String]) -> Result<(), ParseError> {
+    let reps: usize = match flag(args, "--reps")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseError(format!("bad reps '{s}'")))?,
+        None => 5,
+    };
+    let iv = RateSweep::paper_section_iv(reps).run();
+    let v = RateSweep::paper_section_v(reps).run();
+    println!("{}", figures::summary_claims(&iv, &v));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("claims") => cmd_claims(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(ParseError(format!("unknown command '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(ParseError(msg)) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_parsing() {
+        assert_eq!(parse_buffer("none").unwrap(), BufferMode::NoBuffer);
+        assert_eq!(
+            parse_buffer("packet:16").unwrap(),
+            BufferMode::PacketGranularity { capacity: 16 }
+        );
+        assert_eq!(
+            parse_buffer("flow:256").unwrap(),
+            BufferMode::FlowGranularity {
+                capacity: 256,
+                timeout: Nanos::from_millis(50)
+            }
+        );
+        assert_eq!(
+            parse_buffer("flow:64:20").unwrap(),
+            BufferMode::FlowGranularity {
+                capacity: 64,
+                timeout: Nanos::from_millis(20)
+            }
+        );
+        assert!(parse_buffer("bogus").is_err());
+        assert!(parse_buffer("packet:x").is_err());
+        assert!(parse_buffer("flow:1:y").is_err());
+    }
+
+    #[test]
+    fn workload_parsing() {
+        assert_eq!(
+            parse_workload("iv").unwrap(),
+            WorkloadKind::paper_section_iv()
+        );
+        assert_eq!(
+            parse_workload("v").unwrap(),
+            WorkloadKind::paper_section_v()
+        );
+        assert_eq!(
+            parse_workload("single:42").unwrap(),
+            WorkloadKind::single_packet_flows(42)
+        );
+        assert_eq!(
+            parse_workload("cross:10x5/2").unwrap(),
+            WorkloadKind::CrossSequenced {
+                n_flows: 10,
+                packets_per_flow: 5,
+                group_size: 2
+            }
+        );
+        assert!(parse_workload("nope").is_err());
+        assert!(parse_workload("cross:10").is_err());
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let args: Vec<String> = ["--rate", "80", "--seed", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&args, "--rate").unwrap(), Some("80".to_owned()));
+        assert_eq!(flag(&args, "--seed").unwrap(), Some("3".to_owned()));
+        assert_eq!(flag(&args, "--missing").unwrap(), None);
+        let bad: Vec<String> = vec!["--rate".to_owned()];
+        assert!(flag(&bad, "--rate").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Wire-level conformance: drive a complete flow-setup transaction between
+//! the switch and controller models through **encoded OpenFlow bytes**, the
+//! way a real TCP control channel would carry them. Every message must
+//! survive encode → decode losslessly, and the transaction must still
+//! produce the correct forwarding behaviour.
+
+use sdn_buffer_lab::controller::{Controller, ControllerConfig, ControllerOutput};
+use sdn_buffer_lab::net::{MacAddr, PacketBuilder};
+use sdn_buffer_lab::openflow::OfpMessage;
+use sdn_buffer_lab::prelude::*;
+use sdn_buffer_lab::switch::{BufferChoice, Switch, SwitchConfig, SwitchOutput};
+use sdn_buffer_lab::openflow::PortNo;
+use std::net::Ipv4Addr;
+
+/// Serializes a message to wire bytes and parses it back, asserting the
+/// round trip is lossless — the "TCP channel" between the two models.
+fn over_the_wire(msg: OfpMessage, xid: u32) -> (OfpMessage, u32) {
+    let bytes = msg.encode(xid);
+    assert_eq!(bytes.len(), msg.wire_len(), "wire_len mismatch for {msg}");
+    let (decoded, decoded_xid) = OfpMessage::decode(&bytes).expect("switch emitted invalid bytes");
+    assert_eq!(decoded, msg, "lossy wire round trip");
+    assert_eq!(decoded_xid, xid);
+    (decoded, decoded_xid)
+}
+
+#[test]
+fn full_flow_setup_transaction_over_encoded_bytes() {
+    let mut switch = Switch::new(SwitchConfig {
+        buffer: BufferChoice::PacketGranularity { capacity: 256 },
+        ..SwitchConfig::default()
+    });
+    let mut controller = Controller::new(ControllerConfig::default());
+    controller.learn(MacAddr::from_host_index(2), PortNo(2));
+
+    // 1. Handshake messages cross the wire.
+    let mut t = Nanos::ZERO;
+    for out in controller.initiate_handshake(t, 128) {
+        let ControllerOutput::ToSwitch { at, xid, msg } = out;
+        let (msg, xid) = over_the_wire(msg, xid);
+        for reply in switch.handle_controller_msg(at, msg, xid) {
+            if let SwitchOutput::ToController { at, xid, msg } = reply {
+                let (msg, xid) = over_the_wire(msg, xid);
+                controller.handle_message(at, msg, xid);
+                t = t.max(at);
+            }
+        }
+    }
+    assert!(controller.switch_features().is_some());
+
+    // 2. A miss-match packet triggers the request/response transaction.
+    let pkt = PacketBuilder::udp()
+        .src_ip(Ipv4Addr::new(10, 9, 9, 9))
+        .frame_size(1000)
+        .build();
+    let t0 = t + Nanos::from_millis(1);
+    let outs = switch.handle_frame(t0, PortNo(1), pkt.clone());
+    let mut forwarded = Vec::new();
+    for out in outs {
+        match out {
+            SwitchOutput::ToController { at, xid, msg } => {
+                // packet_in crosses the wire...
+                let (msg, xid) = over_the_wire(msg, xid);
+                // ...controller decides...
+                for ControllerOutput::ToSwitch { at: rat, xid, msg } in
+                    controller.handle_message(at, msg, xid)
+                {
+                    // ...flow_mod + packet_out cross back...
+                    let (msg, xid) = over_the_wire(msg, xid);
+                    for eff in switch.handle_controller_msg(rat, msg, xid) {
+                        if let SwitchOutput::Forward { port, packet, .. } = eff {
+                            forwarded.push((port, packet));
+                        }
+                    }
+                }
+            }
+            SwitchOutput::Forward { port, packet, .. } => forwarded.push((port, packet)),
+            SwitchOutput::Drop { .. } => panic!("transaction must not drop"),
+        }
+    }
+    // 3. The miss-match packet came out port 2, byte-identical.
+    assert_eq!(forwarded.len(), 1);
+    assert_eq!(forwarded[0].0, PortNo(2));
+    assert_eq!(forwarded[0].1, pkt);
+    // 4. The rule is installed: the next packet of the flow fast-paths.
+    let outs = switch.handle_frame(t0 + Nanos::from_secs(1), PortNo(1), pkt.clone());
+    assert!(
+        matches!(&outs[..], [SwitchOutput::Forward { port: PortNo(2), .. }]),
+        "{outs:?}"
+    );
+}
+
+#[test]
+fn flow_granularity_vendor_negotiation_over_encoded_bytes() {
+    let mut switch = Switch::new(SwitchConfig {
+        buffer: BufferChoice::FlowGranularity {
+            capacity: 128,
+            timeout: Nanos::from_millis(25),
+        },
+        ..SwitchConfig::default()
+    });
+    let mut controller = Controller::new(ControllerConfig::default());
+
+    // The switch announces; the announcement crosses the wire; the
+    // controller's Configure reply crosses back and is accepted.
+    let announce = switch.announce_capabilities(Nanos::ZERO);
+    assert_eq!(announce.len(), 1);
+    let SwitchOutput::ToController { at, xid, msg } = announce.into_iter().next().unwrap() else {
+        panic!("announce must be a control message");
+    };
+    let (msg, xid) = over_the_wire(msg, xid);
+    let replies = controller.handle_message(at, msg, xid);
+    assert_eq!(replies.len(), 1, "controller must acknowledge with Configure");
+    let ControllerOutput::ToSwitch { at, xid, msg } = replies.into_iter().next().unwrap();
+    let (msg, xid) = over_the_wire(msg, xid);
+    let outcome = switch.handle_controller_msg(at, msg, xid);
+    assert!(
+        outcome.is_empty(),
+        "flow-granularity switch must accept Configure silently, got {outcome:?}"
+    );
+}
+
+#[test]
+fn packet_granularity_switch_rejects_flow_buffer_configure() {
+    let mut switch = Switch::new(SwitchConfig {
+        buffer: BufferChoice::PacketGranularity { capacity: 16 },
+        ..SwitchConfig::default()
+    });
+    // No announcement from a default-buffer switch...
+    assert!(switch.announce_capabilities(Nanos::ZERO).is_empty());
+    // ...and a stray Configure gets a wire-valid error back.
+    let cfg = OfpMessage::from(sdn_buffer_lab::openflow::FlowBufferExt::Configure {
+        enabled: true,
+        timeout_ms: 10,
+    });
+    let (msg, xid) = over_the_wire(cfg, 77);
+    let outs = switch.handle_controller_msg(Nanos::ZERO, msg, xid);
+    match &outs[..] {
+        [SwitchOutput::ToController { msg, xid, .. }] => {
+            let (decoded, _) = over_the_wire(msg.clone(), *xid);
+            assert!(matches!(decoded, OfpMessage::Error(_)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
