@@ -49,7 +49,9 @@ fn bench_openflow_codec(c: &mut Criterion) {
         flags: 0,
         actions: vec![sdnbuf_openflow::Action::output(PortNo(2))],
     });
-    c.bench_function("ofp_flow_mod_encode", |b| b.iter(|| black_box(&fm).encode(1)));
+    c.bench_function("ofp_flow_mod_encode", |b| {
+        b.iter(|| black_box(&fm).encode(1))
+    });
 }
 
 fn bench_flow_table(c: &mut Criterion) {

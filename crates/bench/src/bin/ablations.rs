@@ -14,19 +14,26 @@
 //! 5. **Arrival process** — the paper's CBR pktgen traffic vs Poisson
 //!    arrivals of the same mean rate: burstiness stresses the buffer.
 
-use sdnbuf_core::{BufferMode, Experiment, ExperimentConfig, TestbedConfig, WorkloadKind};
+use sdnbuf_core::{
+    BufferMode, Executor, Experiment, ExperimentConfig, Metric, Parallelism, RunResult,
+    TestbedConfig, WorkloadKind,
+};
 use sdnbuf_metrics::Table;
 use sdnbuf_sim::{BitRate, Nanos};
 
-fn mean_of(
-    make: impl Fn(u64) -> ExperimentConfig,
-    reps: u64,
-    metric: impl Fn(&sdnbuf_core::RunResult) -> f64,
-) -> f64 {
-    let total: f64 = (0..reps)
-        .map(|rep| metric(&Experiment::new(make(rep)).run()))
-        .sum();
-    total / reps as f64
+/// Runs `reps` seeded repetitions of `make` on the executor and returns
+/// every result; metrics are then read out with [`RunResult::get`].
+fn runs_of(make: impl Fn(u64) -> ExperimentConfig + Sync, reps: u64) -> Vec<RunResult> {
+    let (runs, _) = Executor::new(Parallelism::from_env()).run(
+        reps as usize,
+        |rep| Experiment::new(make(rep as u64)).run(),
+        |_, _, _| {},
+    );
+    runs
+}
+
+fn mean(runs: &[RunResult], metric: Metric) -> f64 {
+    RunResult::mean_over(runs, |r| r.get(metric))
 }
 
 fn ablate_miss_send_len(reps: u64) {
@@ -37,27 +44,28 @@ fn ablate_miss_send_len(reps: u64) {
         "parse_failures_possible",
     ]);
     for msl in [42u16, 64, 128, 256, 512] {
-        let make = |rep: u64| {
-            let mut testbed = TestbedConfig::default();
-            testbed.switch.miss_send_len = msl;
-            ExperimentConfig {
-                buffer: BufferMode::PacketGranularity { capacity: 256 },
-                workload: WorkloadKind::paper_section_iv(),
-                sending_rate: BitRate::from_mbps(60),
-                seed: 100 + rep,
-                testbed,
-                ..ExperimentConfig::default()
-            }
-        };
-        let load = mean_of(make, reps, |r| r.ctrl_load_to_controller_mbps);
-        let delay = mean_of(make, reps, |r| r.controller_delay.mean);
+        let runs = runs_of(
+            |rep| {
+                let mut testbed = TestbedConfig::default();
+                testbed.switch.miss_send_len = msl;
+                ExperimentConfig {
+                    buffer: BufferMode::PacketGranularity { capacity: 256 },
+                    workload: WorkloadKind::paper_section_iv(),
+                    sending_rate: BitRate::from_mbps(60),
+                    seed: 100 + rep,
+                    testbed,
+                    ..ExperimentConfig::default()
+                }
+            },
+            reps,
+        );
         // Below 42 bytes the UDP header would be cut off and the reactive
         // rule could not match the transport ports.
         let risky = if msl < 42 { "yes" } else { "no" };
         t.row(vec![
             msl.to_string(),
-            format!("{load:.3}"),
-            format!("{delay:.3}"),
+            format!("{:.3}", mean(&runs, Metric::ControlPathLoadUp)),
+            format!("{:.3}", mean(&runs, Metric::ControllerDelay)),
             risky.to_owned(),
         ]);
     }
@@ -76,21 +84,21 @@ fn ablate_buffer_capacity(reps: u64) {
         "peak_units",
     ]);
     for cap in [8usize, 16, 32, 64, 128, 256] {
-        let make = |rep: u64| ExperimentConfig {
-            buffer: BufferMode::PacketGranularity { capacity: cap },
-            workload: WorkloadKind::paper_section_iv(),
-            sending_rate: BitRate::from_mbps(80),
-            seed: 200 + rep,
-            ..ExperimentConfig::default()
-        };
+        let runs = runs_of(
+            |rep| ExperimentConfig {
+                buffer: BufferMode::PacketGranularity { capacity: cap },
+                workload: WorkloadKind::paper_section_iv(),
+                sending_rate: BitRate::from_mbps(80),
+                seed: 200 + rep,
+                ..ExperimentConfig::default()
+            },
+            reps,
+        );
         t.row(vec![
             cap.to_string(),
-            format!("{:.1}", mean_of(make, reps, |r| r.buffer_fallbacks as f64)),
-            format!("{:.3}", mean_of(make, reps, |r| r.flow_setup_delay.mean)),
-            format!(
-                "{:.1}",
-                mean_of(make, reps, |r| r.buffer_peak_occupancy as f64)
-            ),
+            format!("{:.1}", mean(&runs, Metric::BufferFallbacks)),
+            format!("{:.3}", mean(&runs, Metric::FlowSetupDelay)),
+            format!("{:.1}", mean(&runs, Metric::BufferPeakOccupancy)),
         ]);
     }
     sdnbuf_bench::emit(
@@ -108,36 +116,32 @@ fn ablate_rerequest_timeout(reps: u64) {
         "forwarding_delay_ms",
     ]);
     for timeout_ms in [5u64, 10, 20, 50, 100, 200] {
-        let make = |rep: u64| {
-            // One in 20 control messages is lost: requests do go missing.
-            let testbed = TestbedConfig {
-                control_loss_one_in: Some(20),
-                ..TestbedConfig::default()
-            };
-            ExperimentConfig {
-                buffer: BufferMode::FlowGranularity {
-                    capacity: 256,
-                    timeout: Nanos::from_millis(timeout_ms),
-                },
-                workload: WorkloadKind::paper_section_v(),
-                sending_rate: BitRate::from_mbps(50),
-                seed: 300 + rep,
-                testbed,
-                ..ExperimentConfig::default()
-            }
-        };
+        let runs = runs_of(
+            |rep| {
+                // One in 20 control messages is lost: requests do go missing.
+                let testbed = TestbedConfig {
+                    control_loss_one_in: Some(20),
+                    ..TestbedConfig::default()
+                };
+                ExperimentConfig {
+                    buffer: BufferMode::FlowGranularity {
+                        capacity: 256,
+                        timeout: Nanos::from_millis(timeout_ms),
+                    },
+                    workload: WorkloadKind::paper_section_v(),
+                    sending_rate: BitRate::from_mbps(50),
+                    seed: 300 + rep,
+                    testbed,
+                    ..ExperimentConfig::default()
+                }
+            },
+            reps,
+        );
         t.row(vec![
             timeout_ms.to_string(),
-            format!("{:.1}", mean_of(make, reps, |r| r.rerequests as f64)),
-            format!(
-                "{:.1}",
-                mean_of(make, reps, |r| 100.0 * r.packets_delivered as f64
-                    / r.packets_sent as f64)
-            ),
-            format!(
-                "{:.3}",
-                mean_of(make, reps, |r| r.flow_forwarding_delay.mean)
-            ),
+            format!("{:.1}", mean(&runs, Metric::Rerequests)),
+            format!("{:.1}", mean(&runs, Metric::DeliveredPercent)),
+            format!("{:.3}", mean(&runs, Metric::FlowForwardingDelay)),
         ]);
     }
     sdnbuf_bench::emit(
@@ -159,29 +163,26 @@ fn ablate_forwarding_mode(reps: u64) {
         ("learning", ForwardingMode::Learning),
         ("hub", ForwardingMode::Hub),
     ] {
-        let make = |rep: u64| {
-            let mut testbed = TestbedConfig::default();
-            testbed.controller.mode = mode;
-            ExperimentConfig {
-                buffer: BufferMode::PacketGranularity { capacity: 256 },
-                workload: WorkloadKind::paper_section_v(),
-                sending_rate: BitRate::from_mbps(50),
-                seed: 400 + rep,
-                testbed,
-                ..ExperimentConfig::default()
-            }
-        };
+        let runs = runs_of(
+            |rep| {
+                let mut testbed = TestbedConfig::default();
+                testbed.controller.mode = mode;
+                ExperimentConfig {
+                    buffer: BufferMode::PacketGranularity { capacity: 256 },
+                    workload: WorkloadKind::paper_section_v(),
+                    sending_rate: BitRate::from_mbps(50),
+                    seed: 400 + rep,
+                    testbed,
+                    ..ExperimentConfig::default()
+                }
+            },
+            reps,
+        );
         t.row(vec![
             name.to_owned(),
-            format!("{:.0}", mean_of(make, reps, |r| r.pkt_in_count as f64)),
-            format!(
-                "{:.3}",
-                mean_of(make, reps, |r| r.ctrl_load_to_controller_mbps)
-            ),
-            format!(
-                "{:.3}",
-                mean_of(make, reps, |r| r.flow_forwarding_delay.mean)
-            ),
+            format!("{:.0}", mean(&runs, Metric::PktInCount)),
+            format!("{:.3}", mean(&runs, Metric::ControlPathLoadUp)),
+            format!("{:.3}", mean(&runs, Metric::FlowForwardingDelay)),
         ]);
     }
     sdnbuf_bench::emit(
@@ -203,20 +204,20 @@ fn ablate_arrival_process(reps: u64) {
         ("cbr", ArrivalProcess::Cbr),
         ("poisson", ArrivalProcess::Poisson),
     ] {
-        let make = |rep: u64| ExperimentConfig {
-            buffer: BufferMode::PacketGranularity { capacity: 64 },
-            workload: WorkloadKind::paper_section_iv(),
-            sending_rate: BitRate::from_mbps(70),
-            seed: 500 + rep,
-            testbed: TestbedConfig::default(),
-            ..ExperimentConfig::default()
-        };
         // The arrival process lives in the pktgen config, which the
-        // experiment builds internally; emulate by generating departures
-        // explicitly and running the testbed directly.
-        let total: f64 = (0..reps)
-            .map(|rep| {
-                let cfg = make(rep);
+        // experiment builds internally; generate departures explicitly and
+        // run the testbed directly, fanned out on the executor.
+        let (runs, _) = Executor::new(Parallelism::from_env()).run(
+            reps as usize,
+            |rep| {
+                let cfg = ExperimentConfig {
+                    buffer: BufferMode::PacketGranularity { capacity: 64 },
+                    workload: WorkloadKind::paper_section_iv(),
+                    sending_rate: BitRate::from_mbps(70),
+                    seed: 500 + rep as u64,
+                    testbed: TestbedConfig::default(),
+                    ..ExperimentConfig::default()
+                };
                 let pktgen = sdnbuf_workload::PktgenConfig {
                     rate: cfg.sending_rate,
                     arrival,
@@ -230,37 +231,15 @@ fn ablate_arrival_process(reps: u64) {
                     },
                     ..cfg.testbed.clone()
                 });
-                testbed.run(&deps).buffer_peak_occupancy as f64
-            })
-            .sum();
-        let peak = total / reps as f64;
-        let run_metrics = |metric: &dyn Fn(&sdnbuf_core::RunResult) -> f64| -> f64 {
-            (0..reps)
-                .map(|rep| {
-                    let cfg = make(rep);
-                    let pktgen = sdnbuf_workload::PktgenConfig {
-                        rate: cfg.sending_rate,
-                        arrival,
-                        ..sdnbuf_workload::PktgenConfig::default()
-                    };
-                    let deps = cfg.workload.generate(&pktgen, cfg.seed);
-                    let mut testbed = sdnbuf_core::Testbed::new(sdnbuf_core::TestbedConfig {
-                        switch: sdnbuf_switch::SwitchConfig {
-                            buffer: cfg.buffer,
-                            ..cfg.testbed.switch
-                        },
-                        ..cfg.testbed.clone()
-                    });
-                    metric(&testbed.run(&deps))
-                })
-                .sum::<f64>()
-                / reps as f64
-        };
+                testbed.run(&deps)
+            },
+            |_, _, _| {},
+        );
         t.row(vec![
             name.to_owned(),
-            format!("{peak:.1}"),
-            format!("{:.1}", run_metrics(&|r| r.buffer_fallbacks as f64)),
-            format!("{:.3}", run_metrics(&|r| r.flow_setup_delay.mean)),
+            format!("{:.1}", mean(&runs, Metric::BufferPeakOccupancy)),
+            format!("{:.1}", mean(&runs, Metric::BufferFallbacks)),
+            format!("{:.3}", mean(&runs, Metric::FlowSetupDelay)),
         ]);
     }
     sdnbuf_bench::emit(

@@ -2,7 +2,11 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig02_control_path_load", "Fig. 2: Control Path Load under Different Sending Rates", &sdnbuf_core::figures::fig_control_load_to_controller(&sweep));
+    sdnbuf_bench::emit(
+        "fig02_control_path_load",
+        "Fig. 2: Control Path Load under Different Sending Rates",
+        &sdnbuf_core::figures::fig_control_load_to_controller(&sweep),
+    );
     sdnbuf_bench::emit(
         "fig02b_control_path_load_to_switch",
         "Fig. 2(b): Control Messages Sent to Switch",

@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig03_controller_usage", "Fig. 3: Controller Usages under Different Sending Rates", &sdnbuf_core::figures::fig_controller_usage(&sweep));
+    sdnbuf_bench::emit(
+        "fig03_controller_usage",
+        "Fig. 3: Controller Usages under Different Sending Rates",
+        &sdnbuf_core::figures::fig_controller_usage(&sweep),
+    );
 }

@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig04_switch_usage", "Fig. 4: Switch Usages under Different Sending Rates", &sdnbuf_core::figures::fig_switch_usage(&sweep));
+    sdnbuf_bench::emit(
+        "fig04_switch_usage",
+        "Fig. 4: Switch Usages under Different Sending Rates",
+        &sdnbuf_core::figures::fig_switch_usage(&sweep),
+    );
 }

@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig05_flow_setup_delay", "Fig. 5: Flow Setup Delay under Different Sending Rates", &sdnbuf_core::figures::fig_flow_setup_delay(&sweep));
+    sdnbuf_bench::emit(
+        "fig05_flow_setup_delay",
+        "Fig. 5: Flow Setup Delay under Different Sending Rates",
+        &sdnbuf_core::figures::fig_flow_setup_delay(&sweep),
+    );
 }

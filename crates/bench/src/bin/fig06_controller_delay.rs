@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig06_controller_delay", "Fig. 6: Controller Delay under Different Sending Rates", &sdnbuf_core::figures::fig_controller_delay(&sweep));
+    sdnbuf_bench::emit(
+        "fig06_controller_delay",
+        "Fig. 6: Controller Delay under Different Sending Rates",
+        &sdnbuf_core::figures::fig_controller_delay(&sweep),
+    );
 }

@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig07_switch_delay", "Fig. 7: Switch Delay under Different Sending Rates", &sdnbuf_core::figures::fig_switch_delay(&sweep));
+    sdnbuf_bench::emit(
+        "fig07_switch_delay",
+        "Fig. 7: Switch Delay under Different Sending Rates",
+        &sdnbuf_core::figures::fig_switch_delay(&sweep),
+    );
 }

@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_iv(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig08_buffer_utilization", "Fig. 8: Buffer Utilization under Different Sending Rates", &sdnbuf_core::figures::fig_buffer_utilization_mean(&sweep));
+    sdnbuf_bench::emit(
+        "fig08_buffer_utilization",
+        "Fig. 8: Buffer Utilization under Different Sending Rates",
+        &sdnbuf_core::figures::fig_buffer_utilization_mean(&sweep),
+    );
 }

@@ -2,7 +2,11 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_v(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig09_mech_control_path_load", "Fig. 9: Control Path Load (mechanism comparison)", &sdnbuf_core::figures::fig_control_load_to_controller(&sweep));
+    sdnbuf_bench::emit(
+        "fig09_mech_control_path_load",
+        "Fig. 9: Control Path Load (mechanism comparison)",
+        &sdnbuf_core::figures::fig_control_load_to_controller(&sweep),
+    );
     sdnbuf_bench::emit(
         "fig09b_mech_control_path_load_to_switch",
         "Fig. 9(b): Control Messages Sent to Switch",

@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_v(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig10_mech_controller_usage", "Fig. 10: Controller Usages (mechanism comparison)", &sdnbuf_core::figures::fig_controller_usage(&sweep));
+    sdnbuf_bench::emit(
+        "fig10_mech_controller_usage",
+        "Fig. 10: Controller Usages (mechanism comparison)",
+        &sdnbuf_core::figures::fig_controller_usage(&sweep),
+    );
 }

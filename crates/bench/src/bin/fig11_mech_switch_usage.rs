@@ -2,5 +2,9 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_v(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig11_mech_switch_usage", "Fig. 11: Switch Usages (mechanism comparison)", &sdnbuf_core::figures::fig_switch_usage(&sweep));
+    sdnbuf_bench::emit(
+        "fig11_mech_switch_usage",
+        "Fig. 11: Switch Usages (mechanism comparison)",
+        &sdnbuf_core::figures::fig_switch_usage(&sweep),
+    );
 }

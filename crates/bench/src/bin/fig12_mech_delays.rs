@@ -2,7 +2,11 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_v(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig12_mech_delays", "Fig. 12(a): Flow Setup Delay (mechanism comparison)", &sdnbuf_core::figures::fig_flow_setup_delay(&sweep));
+    sdnbuf_bench::emit(
+        "fig12_mech_delays",
+        "Fig. 12(a): Flow Setup Delay (mechanism comparison)",
+        &sdnbuf_core::figures::fig_flow_setup_delay(&sweep),
+    );
     sdnbuf_bench::emit(
         "fig12b_mech_flow_forwarding_delay",
         "Fig. 12(b): Flow Forwarding Delay",

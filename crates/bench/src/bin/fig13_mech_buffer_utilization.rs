@@ -2,7 +2,11 @@
 
 fn main() {
     let sweep = sdnbuf_bench::section_v(sdnbuf_bench::reps_from_env());
-    sdnbuf_bench::emit("fig13_mech_buffer_utilization", "Fig. 13(a): Buffer Utilization, mean units (mechanism comparison)", &sdnbuf_core::figures::fig_buffer_utilization_mean(&sweep));
+    sdnbuf_bench::emit(
+        "fig13_mech_buffer_utilization",
+        "Fig. 13(a): Buffer Utilization, mean units (mechanism comparison)",
+        &sdnbuf_core::figures::fig_buffer_utilization_mean(&sweep),
+    );
     sdnbuf_bench::emit(
         "fig13b_mech_buffer_utilization_max",
         "Fig. 13(b): Buffer Utilization, max units",

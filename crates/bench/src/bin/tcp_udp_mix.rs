@@ -1,27 +1,36 @@
 //! Section VI of the paper argues: "If switch buffer benefits UDP flows,
 //! it also benefits the mix of TCP and UDP flows." This harness checks that
 //! claim directly: a mixed workload (a UDP flow flood plus well-behaved TCP
-//! connections) swept across rates under all three mechanisms.
+//! connections) swept across rates under all three mechanisms, built with
+//! the sweep builder and run on the parallel executor.
 
-use sdnbuf_core::{BufferMode, Experiment, ExperimentConfig, WorkloadKind};
+use sdnbuf_core::WorkloadKind;
+use sdnbuf_core::{BufferMode, CellKey, Metric, Parallelism, RateSweep, StderrProgress};
 use sdnbuf_metrics::Table;
-use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_sim::Nanos;
 
 fn main() {
-    let reps = sdnbuf_bench::reps_from_env() as u64;
-    let workload = WorkloadKind::MixedUdpTcp {
-        n_udp_flows: 400,
-        n_tcp: 20,
-        segments_per_tcp: 15,
-    };
-    let mechanisms = [
-        BufferMode::NoBuffer,
-        BufferMode::PacketGranularity { capacity: 256 },
-        BufferMode::FlowGranularity {
-            capacity: 256,
-            timeout: Nanos::from_millis(50),
-        },
-    ];
+    let reps = sdnbuf_bench::reps_from_env();
+    let sweep = RateSweep::builder()
+        .rates([20, 40, 60, 80, 100])
+        .buffers([
+            BufferMode::NoBuffer,
+            BufferMode::PacketGranularity { capacity: 256 },
+            BufferMode::FlowGranularity {
+                capacity: 256,
+                timeout: Nanos::from_millis(50),
+            },
+        ])
+        .workload(WorkloadKind::MixedUdpTcp {
+            n_udp_flows: 400,
+            n_tcp: 20,
+            segments_per_tcp: 15,
+        })
+        .repetitions(reps)
+        .base_seed(700)
+        .build();
+    let result = sweep.run_with(Parallelism::from_env(), &StderrProgress::new("tcp-udp-mix"));
+
     let mut t = Table::new(vec![
         "rate_mbps",
         "mechanism",
@@ -29,33 +38,17 @@ fn main() {
         "setup_delay_ms",
         "delivered_pct",
     ]);
-    for rate in [20u64, 40, 60, 80, 100] {
-        for buffer in mechanisms {
-            let mut load = 0.0;
-            let mut setup = 0.0;
-            let mut delivered = 0.0;
-            let mut label = String::new();
-            for rep in 0..reps {
-                let r = Experiment::new(ExperimentConfig {
-                    buffer,
-                    workload,
-                    sending_rate: BitRate::from_mbps(rate),
-                    seed: 700 + rep,
-                    ..ExperimentConfig::default()
-                })
-                .run();
-                load += r.ctrl_load_to_controller_mbps;
-                setup += r.flow_setup_delay.mean;
-                delivered += 100.0 * r.packets_delivered as f64 / r.packets_sent as f64;
-                label = r.label;
-            }
-            let n = reps as f64;
+    for &rate in &sweep.rates_mbps {
+        for &buffer in &sweep.buffers {
+            let key = CellKey::new(buffer, rate);
+            let cell = result.cell_at(&key).expect("cell was swept");
+            let mean = |m: Metric| result.mean(&key, m).expect("cell was swept");
             t.row(vec![
                 rate.to_string(),
-                label,
-                format!("{:.3}", load / n),
-                format!("{:.3}", setup / n),
-                format!("{:.1}", delivered / n),
+                cell.label.clone(),
+                format!("{:.3}", mean(Metric::ControlPathLoadUp)),
+                format!("{:.3}", mean(Metric::FlowSetupDelay)),
+                format!("{:.1}", mean(Metric::DeliveredPercent)),
             ]);
         }
     }

@@ -6,16 +6,16 @@
 //!
 //! Repetitions default to 5 for quick runs; set `SDNBUF_REPS=20` for the
 //! paper's full procedure (20 repetitions per rate). `SDNBUF_RATES=coarse`
-//! halves the rate grid for smoke runs.
+//! halves the rate grid for smoke runs. Sweeps run on the parallel
+//! executor; `SDNBUF_THREADS=serial|auto|N` picks the worker count
+//! (default: one per CPU — results are identical either way).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sdnbuf_core::{RateSweep, SweepResult};
+use sdnbuf_core::{Parallelism, RateSweep, StderrProgress, SweepResult};
 use sdnbuf_metrics::Table;
-use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// Repetitions per (mechanism, rate) cell: `SDNBUF_REPS`, default 5.
 pub fn reps_from_env() -> usize {
@@ -35,22 +35,19 @@ pub fn rates_from_env() -> Vec<u64> {
     }
 }
 
-fn run_sweep(mut sweep: RateSweep, name: &str) -> SweepResult {
+/// Runs `sweep` on the executor with the env-selected rate grid and
+/// worker count, reporting progress on stderr.
+pub fn run_sweep(mut sweep: RateSweep, name: &str) -> SweepResult {
     sweep.rates_mbps = rates_from_env();
+    let parallelism = Parallelism::from_env();
     let cells = sweep.buffers.len() * sweep.rates_mbps.len();
     eprintln!(
-        "[{name}] running {} cells x {} repetitions ...",
-        cells, sweep.repetitions
+        "[{name}] running {} cells x {} repetitions on {} worker(s) ...",
+        cells,
+        sweep.repetitions,
+        parallelism.worker_count(),
     );
-    let started = Instant::now();
-    let mut progress = |done: usize, total: usize| {
-        eprint!("\r[{name}] {done}/{total} cells");
-        let _ = std::io::stderr().flush();
-        if done == total {
-            eprintln!(" ({:.1}s)", started.elapsed().as_secs_f64());
-        }
-    };
-    sweep.run_with_progress(Some(&mut progress))
+    sweep.run_with(parallelism, &StderrProgress::new(name))
 }
 
 /// Runs the Section IV sweep (no-buffer / buffer-16 / buffer-256, 1000

@@ -113,9 +113,6 @@ mod tests {
         let small = c.packet_in_cost(128);
         let large = c.packet_in_cost(1018);
         assert!(large > small);
-        assert_eq!(
-            large - small,
-            c.cost_per_byte * (1018 - 128)
-        );
+        assert_eq!(large - small, c.cost_per_byte * (1018 - 128));
     }
 }

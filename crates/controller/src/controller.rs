@@ -161,7 +161,12 @@ impl Controller {
     }
 
     /// Handles a message arriving from the switch at `now`.
-    pub fn handle_message(&mut self, now: Nanos, msg: OfpMessage, xid: u32) -> Vec<ControllerOutput> {
+    pub fn handle_message(
+        &mut self,
+        now: Nanos,
+        msg: OfpMessage,
+        xid: u32,
+    ) -> Vec<ControllerOutput> {
         // The message is first drained off the socket by the IO thread —
         // a serial, size-proportional stage.
         let now = self.ingest.transfer(now, msg.wire_len());
@@ -250,13 +255,12 @@ impl Controller {
         if !headers.src_mac.is_multicast() {
             self.learn(headers.src_mac, pin.in_port);
         }
-        let destination = if self.config.mode == ForwardingMode::Hub
-            || headers.dst_mac.is_multicast()
-        {
-            None
-        } else {
-            self.location_of(headers.dst_mac)
-        };
+        let destination =
+            if self.config.mode == ForwardingMode::Hub || headers.dst_mac.is_multicast() {
+                None
+            } else {
+                self.location_of(headers.dst_mac)
+            };
         // Cost: parse (size-dependent) + decision + encode; unbuffered
         // responses additionally pay to re-encapsulate the packet bytes.
         let mut cost = self.config.packet_in_cost(pin.data.len());
@@ -267,8 +271,7 @@ impl Controller {
         }
         // Allocation/GC stall: latency proportional to the bytes handled,
         // added after the CPU work completes.
-        let at = self.submit(now, cost)
-            + self.config.latency_per_byte * handled_bytes as u64;
+        let at = self.submit(now, cost) + self.config.latency_per_byte * handled_bytes as u64;
 
         let out_data = if pin.buffer_id.is_buffered() {
             Vec::new()
@@ -484,19 +487,14 @@ mod tests {
     #[test]
     fn learns_source_locations_from_pkt_ins() {
         let mut c = Controller::new(ControllerConfig::default());
-        let arp = PacketBuilder::gratuitous_arp(
-            MacAddr::from_host_index(9),
-            Ipv4Addr::new(10, 0, 0, 9),
-        );
+        let arp =
+            PacketBuilder::gratuitous_arp(MacAddr::from_host_index(9), Ipv4Addr::new(10, 0, 0, 9));
         c.handle_message(
             Nanos::ZERO,
             pkt_in_for(arp.encode(), BufferId::NO_BUFFER, 42),
             1,
         );
-        assert_eq!(
-            c.location_of(MacAddr::from_host_index(9)),
-            Some(PortNo(1))
-        );
+        assert_eq!(c.location_of(MacAddr::from_host_index(9)), Some(PortNo(1)));
         // Now traffic *to* host 9 gets a rule instead of a flood.
         let pkt = PacketBuilder::udp()
             .dst_mac(MacAddr::from_host_index(9))
@@ -564,13 +562,18 @@ mod tests {
         let mut c = Controller::new(ControllerConfig::default());
         let ControllerOutput::ToSwitch { msg, xid, .. } = c.keepalive(Nanos::ZERO);
         assert!(matches!(msg, OfpMessage::EchoRequest(_)));
-        let ControllerOutput::ToSwitch { msg: m2, xid: x2, .. } =
-            c.poll_flow_stats(Nanos::from_millis(1));
+        let ControllerOutput::ToSwitch {
+            msg: m2, xid: x2, ..
+        } = c.poll_flow_stats(Nanos::from_millis(1));
         assert!(matches!(m2, OfpMessage::StatsRequest(_)));
         assert_ne!(xid, x2, "probes use distinct xids");
         assert_eq!(c.stats().probes_sent.get(), 2);
         // Replies are consumed and counted.
-        c.handle_message(Nanos::from_millis(2), OfpMessage::EchoReply(vec![0x5a; 8]), xid);
+        c.handle_message(
+            Nanos::from_millis(2),
+            OfpMessage::EchoReply(vec![0x5a; 8]),
+            xid,
+        );
         c.handle_message(
             Nanos::from_millis(2),
             OfpMessage::StatsReply(sdnbuf_openflow::msg::StatsReply::Aggregate {

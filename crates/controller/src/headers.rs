@@ -122,10 +122,8 @@ mod tests {
 
     #[test]
     fn arp_has_no_flow_key() {
-        let arp = PacketBuilder::gratuitous_arp(
-            MacAddr::from_host_index(1),
-            Ipv4Addr::new(10, 0, 0, 1),
-        );
+        let arp =
+            PacketBuilder::gratuitous_arp(MacAddr::from_host_index(1), Ipv4Addr::new(10, 0, 0, 1));
         let h = ParsedHeaders::parse(&arp.encode()).unwrap();
         assert_eq!(h.ethertype, EtherType::Arp);
         assert_eq!(h.flow_key(), None);

@@ -3,14 +3,17 @@
 //!
 //! Each `figNN_*` function reduces a [`SweepResult`] to the same data
 //! series the corresponding figure plots — one row per sending rate, one
-//! column per buffer mechanism. `summary_claims` reproduces the paper's
-//! headline "on average" percentages side by side with the measured ones.
+//! column per buffer mechanism. Figures select their y-axis with
+//! [`Metric`]; [`metric_by_rate`] keeps a closure escape hatch for custom
+//! reductions. `summary_claims` reproduces the paper's headline "on
+//! average" percentages side by side with the measured ones.
 
-use crate::{RunResult, SweepResult};
+use crate::{BufferMode, Metric, RunResult, SweepResult};
 use sdnbuf_metrics::Table;
 
 /// Builds a rate-by-mechanism table of `metric`'s per-cell mean — the
-/// generic shape of every figure in the paper.
+/// generic shape of every figure in the paper. Closure form; figures use
+/// [`metric_table`] with a typed [`Metric`].
 pub fn metric_by_rate(
     sweep: &SweepResult,
     metric_name: &str,
@@ -30,66 +33,75 @@ pub fn metric_by_rate(
     table
 }
 
+/// [`metric_by_rate`] for a typed [`Metric`]; the column header is the
+/// metric's canonical name.
+pub fn metric_table(sweep: &SweepResult, metric: Metric) -> Table {
+    metric_by_rate(sweep, metric.name(), |r| r.get(metric))
+}
+
 /// Fig. 2(a) / Fig. 9(a): control-path load, switch → controller, Mbps.
 pub fn fig_control_load_to_controller(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "ctrl_load_to_controller_mbps", |r| {
-        r.ctrl_load_to_controller_mbps
-    })
+    metric_table(sweep, Metric::ControlPathLoadUp)
 }
 
 /// Fig. 2(b) / Fig. 9(b): control-path load, controller → switch, Mbps.
 pub fn fig_control_load_to_switch(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "ctrl_load_to_switch_mbps", |r| {
-        r.ctrl_load_to_switch_mbps
-    })
+    metric_table(sweep, Metric::ControlPathLoadDown)
 }
 
 /// Fig. 3 / Fig. 10: controller usages (CPU percent).
 pub fn fig_controller_usage(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "controller_cpu_pct", |r| r.controller_cpu_percent)
+    metric_table(sweep, Metric::ControllerCpu)
 }
 
 /// Fig. 4 / Fig. 11: switch usages (CPU percent).
 pub fn fig_switch_usage(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "switch_cpu_pct", |r| r.switch_cpu_percent)
+    metric_table(sweep, Metric::SwitchCpu)
 }
 
 /// Fig. 5 / Fig. 12(a): flow-setup delay, mean ms.
 pub fn fig_flow_setup_delay(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "flow_setup_delay_ms", |r| r.flow_setup_delay.mean)
+    metric_table(sweep, Metric::FlowSetupDelay)
 }
 
 /// Fig. 6: controller delay, mean ms.
 pub fn fig_controller_delay(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "controller_delay_ms", |r| r.controller_delay.mean)
+    metric_table(sweep, Metric::ControllerDelay)
 }
 
 /// Fig. 7: switch delay, mean ms.
 pub fn fig_switch_delay(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "switch_delay_ms", |r| r.switch_delay.mean)
+    metric_table(sweep, Metric::SwitchDelay)
 }
 
 /// Fig. 8 / Fig. 13(a): buffer utilization, time-weighted mean units.
 pub fn fig_buffer_utilization_mean(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "buffer_mean_units", |r| r.buffer_mean_occupancy)
+    metric_table(sweep, Metric::BufferMeanOccupancy)
 }
 
 /// Fig. 13(b): buffer utilization, peak units.
 pub fn fig_buffer_utilization_max(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "buffer_peak_units", |r| {
-        r.buffer_peak_occupancy as f64
-    })
+    metric_table(sweep, Metric::BufferPeakOccupancy)
 }
 
 /// Fig. 12(b): flow-forwarding delay, mean ms.
 pub fn fig_flow_forwarding_delay(sweep: &SweepResult) -> Table {
-    metric_by_rate(sweep, "flow_forwarding_delay_ms", |r| {
-        r.flow_forwarding_delay.mean
-    })
+    metric_table(sweep, Metric::FlowForwardingDelay)
 }
 
 /// Percentage reduction of `metric` going from mechanism `from` to `to`,
 /// averaged across the sweep (the paper's "reduce X % on average").
+pub fn reduction(sweep: &SweepResult, from: BufferMode, to: BufferMode, metric: Metric) -> f64 {
+    let base = sweep.sweep_mean_of(from, metric).unwrap_or(0.0);
+    let new = sweep.sweep_mean_of(to, metric).unwrap_or(0.0);
+    if base <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (1.0 - new / base)
+}
+
+/// Closure/label form of [`reduction`] for custom metrics; unknown labels
+/// behave as zero.
 pub fn reduction_percent(
     sweep: &SweepResult,
     from: &str,
@@ -117,69 +129,72 @@ pub fn summary_claims(section_iv: &SweepResult, section_v: &SweepResult) -> Tabl
             format!("{measured:.1}%"),
         ]);
     };
-    let nb = "no-buffer";
-    let b256 = "buffer-256";
-    let fg = "flow-buffer-256";
+    let nb = BufferMode::NoBuffer;
+    let b256 = BufferMode::PacketGranularity { capacity: 256 };
+    let fg = BufferMode::FlowGranularity {
+        capacity: 256,
+        timeout: sdnbuf_sim::Nanos::from_millis(50),
+    };
 
     row(
         "IV: control path load cut, switch->ctrl (buffer-256 vs no-buffer)",
         "78.7%",
-        reduction_percent(section_iv, nb, b256, |r| r.ctrl_load_to_controller_mbps),
+        reduction(section_iv, nb, b256, Metric::ControlPathLoadUp),
     );
     row(
         "IV: control path load cut, ctrl->switch",
         "96.0%",
-        reduction_percent(section_iv, nb, b256, |r| r.ctrl_load_to_switch_mbps),
+        reduction(section_iv, nb, b256, Metric::ControlPathLoadDown),
     );
     row(
         "IV: controller overhead cut",
         "37.0%",
-        reduction_percent(section_iv, nb, b256, |r| r.controller_cpu_percent),
+        reduction(section_iv, nb, b256, Metric::ControllerCpu),
     );
     row(
         "IV: switch overhead added by buffer (negative = added)",
         "-5.6%",
-        reduction_percent(section_iv, nb, b256, |r| r.switch_cpu_percent),
+        reduction(section_iv, nb, b256, Metric::SwitchCpu),
     );
     row(
         "IV: controller delay cut",
         "58.0%",
-        reduction_percent(section_iv, nb, b256, |r| r.controller_delay.mean),
+        reduction(section_iv, nb, b256, Metric::ControllerDelay),
     );
     row(
         "IV: switch delay cut",
         "87.0%",
-        reduction_percent(section_iv, nb, b256, |r| r.switch_delay.mean),
+        reduction(section_iv, nb, b256, Metric::SwitchDelay),
     );
     row(
         "IV: flow setup delay cut",
         "78.0%",
-        reduction_percent(section_iv, nb, b256, |r| r.flow_setup_delay.mean),
+        reduction(section_iv, nb, b256, Metric::FlowSetupDelay),
     );
     row(
         "V: control path load cut, switch->ctrl (flow- vs packet-granularity)",
         "64.0%",
-        reduction_percent(section_v, b256, fg, |r| r.ctrl_load_to_controller_mbps),
+        reduction(section_v, b256, fg, Metric::ControlPathLoadUp),
     );
     row(
         "V: control path load cut, ctrl->switch",
         "80.0%",
-        reduction_percent(section_v, b256, fg, |r| r.ctrl_load_to_switch_mbps),
+        reduction(section_v, b256, fg, Metric::ControlPathLoadDown),
     );
     row(
         "V: controller overhead cut",
         "35.7%",
-        reduction_percent(section_v, b256, fg, |r| r.controller_cpu_percent),
+        reduction(section_v, b256, fg, Metric::ControllerCpu),
     );
     row(
         "V: buffer utilization efficiency gain",
         "71.6%",
-        reduction_percent(section_v, b256, fg, |r| r.buffer_mean_occupancy),
+        reduction(section_v, b256, fg, Metric::BufferMeanOccupancy),
     );
     row(
         "V: flow forwarding delay cut",
         "18.0%",
-        reduction_percent(section_v, b256, fg, |r| r.flow_forwarding_delay.mean),
+        reduction(section_v, b256, fg, Metric::FlowForwardingDelay),
     );
     t
 }
@@ -187,22 +202,20 @@ pub fn summary_claims(section_iv: &SweepResult, section_v: &SweepResult) -> Tabl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BufferMode, RateSweep, TestbedConfig, WorkloadKind};
+    use crate::{BufferMode, RateSweep, WorkloadKind};
 
     fn tiny_sweep() -> SweepResult {
-        RateSweep {
-            rates_mbps: vec![10, 40],
-            buffers: vec![
+        RateSweep::builder()
+            .rates([10, 40])
+            .buffers([
                 BufferMode::NoBuffer,
                 BufferMode::PacketGranularity { capacity: 256 },
-            ],
-            workload: WorkloadKind::single_packet_flows(15),
-            repetitions: 1,
-            base_seed: 5,
-            frame_size: 1000,
-            testbed: TestbedConfig::default(),
-        }
-        .run()
+            ])
+            .workload(WorkloadKind::single_packet_flows(15))
+            .repetitions(1)
+            .base_seed(5)
+            .build()
+            .run()
     }
 
     #[test]
@@ -228,12 +241,27 @@ mod tests {
     }
 
     #[test]
+    fn typed_and_closure_tables_agree() {
+        let sweep = tiny_sweep();
+        let typed = metric_table(&sweep, Metric::PktInCount);
+        let closed = metric_by_rate(&sweep, "pkt_in_count", |r| r.pkt_in_count as f64);
+        assert_eq!(typed.to_tsv(), closed.to_tsv());
+    }
+
+    #[test]
     fn buffering_reduces_control_load_in_figures() {
         let sweep = tiny_sweep();
-        let cut = reduction_percent(&sweep, "no-buffer", "buffer-256", |r| {
+        let cut = reduction(
+            &sweep,
+            BufferMode::NoBuffer,
+            BufferMode::PacketGranularity { capacity: 256 },
+            Metric::ControlPathLoadUp,
+        );
+        assert!(cut > 50.0, "expected a large cut, got {cut:.1}%");
+        let closure_cut = reduction_percent(&sweep, "no-buffer", "buffer-256", |r| {
             r.ctrl_load_to_controller_mbps
         });
-        assert!(cut > 50.0, "expected a large cut, got {cut:.1}%");
+        assert_eq!(cut, closure_cut);
     }
 
     #[test]
@@ -241,6 +269,15 @@ mod tests {
         let sweep = SweepResult::default();
         assert_eq!(
             reduction_percent(&sweep, "a", "b", |r| r.pkt_in_count as f64),
+            0.0
+        );
+        assert_eq!(
+            reduction(
+                &sweep,
+                BufferMode::NoBuffer,
+                BufferMode::PacketGranularity { capacity: 256 },
+                Metric::PktInCount
+            ),
             0.0
         );
     }

@@ -33,14 +33,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod executor;
 mod experiment;
 pub mod figures;
+mod metric;
 pub mod report;
 mod result;
 mod testbed;
 mod trace;
 
-pub use experiment::{Experiment, ExperimentConfig, RateSweep, SweepResult, WorkloadKind};
+pub use executor::{
+    Executor, ExecutorReport, NullSink, Parallelism, Progress, ProgressSink, StderrProgress,
+    WorkerStats,
+};
+pub use experiment::{
+    CellKey, Experiment, ExperimentConfig, RateSweep, SweepBuilder, SweepCell, SweepResult,
+    WorkloadKind,
+};
+pub use metric::Metric;
 pub use result::RunResult;
 pub use testbed::{PacketTrace, Testbed, TestbedConfig};
 pub use trace::{Direction, TraceEntry, TraceLog};

@@ -1,0 +1,184 @@
+//! Typed figure metrics: every scalar a figure plots, as an enum instead
+//! of an ad-hoc field-access closure.
+//!
+//! `RunResult::get(Metric)` is the single access path the figure builders,
+//! bench binaries and CLI share; closures remain available on the sweep
+//! accessors for custom metrics.
+
+use crate::RunResult;
+
+/// A scalar measurement of one run — the y-axis of each figure in the
+/// paper, plus the conservation counters the harnesses report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Control traffic switch → controller, Mbps (Figs. 2a/9a).
+    ControlPathLoadUp,
+    /// Control traffic controller → switch, Mbps (Figs. 2b/9b).
+    ControlPathLoadDown,
+    /// Controller CPU percent (Figs. 3/10).
+    ControllerCpu,
+    /// Switch CPU percent (Figs. 4/11).
+    SwitchCpu,
+    /// Mean flow-setup delay, ms (Figs. 5/12a).
+    FlowSetupDelay,
+    /// Mean controller delay, ms (Fig. 6).
+    ControllerDelay,
+    /// Mean switch delay, ms (Fig. 7).
+    SwitchDelay,
+    /// Mean flow-forwarding delay, ms (Fig. 12b).
+    FlowForwardingDelay,
+    /// Time-weighted mean buffer occupancy, units (Figs. 8/13a).
+    BufferMeanOccupancy,
+    /// Peak buffer occupancy, units (Fig. 13b).
+    BufferPeakOccupancy,
+    /// Buffer misses that fell back to full-packet `packet_in`.
+    BufferFallbacks,
+    /// Timeout-driven `packet_in` re-requests (Algorithm 1).
+    Rerequests,
+    /// `packet_in` messages on the control path.
+    PktInCount,
+    /// `flow_mod` messages on the control path.
+    FlowModCount,
+    /// `packet_out` messages on the control path.
+    PktOutCount,
+    /// Data packets offered by the workload.
+    PacketsSent,
+    /// Data packets delivered to their destination host.
+    PacketsDelivered,
+    /// Data packets dropped anywhere.
+    PacketsDropped,
+    /// Delivered packets as a percentage of sent (100 when nothing sent).
+    DeliveredPercent,
+}
+
+impl Metric {
+    /// The column/series name used in tables and TSV headers (matches the
+    /// historical closure-based figure output, so result files diff
+    /// cleanly across versions).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::ControlPathLoadUp => "ctrl_load_to_controller_mbps",
+            Metric::ControlPathLoadDown => "ctrl_load_to_switch_mbps",
+            Metric::ControllerCpu => "controller_cpu_pct",
+            Metric::SwitchCpu => "switch_cpu_pct",
+            Metric::FlowSetupDelay => "flow_setup_delay_ms",
+            Metric::ControllerDelay => "controller_delay_ms",
+            Metric::SwitchDelay => "switch_delay_ms",
+            Metric::FlowForwardingDelay => "flow_forwarding_delay_ms",
+            Metric::BufferMeanOccupancy => "buffer_mean_units",
+            Metric::BufferPeakOccupancy => "buffer_peak_units",
+            Metric::BufferFallbacks => "buffer_fallbacks",
+            Metric::Rerequests => "rerequests",
+            Metric::PktInCount => "pkt_in_count",
+            Metric::FlowModCount => "flow_mod_count",
+            Metric::PktOutCount => "pkt_out_count",
+            Metric::PacketsSent => "packets_sent",
+            Metric::PacketsDelivered => "packets_delivered",
+            Metric::PacketsDropped => "packets_dropped",
+            Metric::DeliveredPercent => "delivered_pct",
+        }
+    }
+
+    /// Every metric, in declaration order.
+    pub fn all() -> &'static [Metric] {
+        &[
+            Metric::ControlPathLoadUp,
+            Metric::ControlPathLoadDown,
+            Metric::ControllerCpu,
+            Metric::SwitchCpu,
+            Metric::FlowSetupDelay,
+            Metric::ControllerDelay,
+            Metric::SwitchDelay,
+            Metric::FlowForwardingDelay,
+            Metric::BufferMeanOccupancy,
+            Metric::BufferPeakOccupancy,
+            Metric::BufferFallbacks,
+            Metric::Rerequests,
+            Metric::PktInCount,
+            Metric::FlowModCount,
+            Metric::PktOutCount,
+            Metric::PacketsSent,
+            Metric::PacketsDelivered,
+            Metric::PacketsDropped,
+            Metric::DeliveredPercent,
+        ]
+    }
+}
+
+impl RunResult {
+    /// The value of `metric` for this run.
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::ControlPathLoadUp => self.ctrl_load_to_controller_mbps,
+            Metric::ControlPathLoadDown => self.ctrl_load_to_switch_mbps,
+            Metric::ControllerCpu => self.controller_cpu_percent,
+            Metric::SwitchCpu => self.switch_cpu_percent,
+            Metric::FlowSetupDelay => self.flow_setup_delay.mean,
+            Metric::ControllerDelay => self.controller_delay.mean,
+            Metric::SwitchDelay => self.switch_delay.mean,
+            Metric::FlowForwardingDelay => self.flow_forwarding_delay.mean,
+            Metric::BufferMeanOccupancy => self.buffer_mean_occupancy,
+            Metric::BufferPeakOccupancy => self.buffer_peak_occupancy as f64,
+            Metric::BufferFallbacks => self.buffer_fallbacks as f64,
+            Metric::Rerequests => self.rerequests as f64,
+            Metric::PktInCount => self.pkt_in_count as f64,
+            Metric::FlowModCount => self.flow_mod_count as f64,
+            Metric::PktOutCount => self.pkt_out_count as f64,
+            Metric::PacketsSent => self.packets_sent as f64,
+            Metric::PacketsDelivered => self.packets_delivered as f64,
+            Metric::PacketsDropped => self.packets_dropped as f64,
+            Metric::DeliveredPercent => {
+                if self.packets_sent == 0 {
+                    100.0
+                } else {
+                    100.0 * self.packets_delivered as f64 / self.packets_sent as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_metrics::Summary;
+
+    #[test]
+    fn get_matches_fields() {
+        let r = RunResult {
+            ctrl_load_to_controller_mbps: 1.5,
+            ctrl_load_to_switch_mbps: 2.5,
+            controller_cpu_percent: 33.0,
+            switch_cpu_percent: 44.0,
+            flow_setup_delay: Summary::of(&[4.0]),
+            buffer_peak_occupancy: 17,
+            pkt_in_count: 9,
+            packets_sent: 200,
+            packets_delivered: 150,
+            ..RunResult::default()
+        };
+        assert_eq!(r.get(Metric::ControlPathLoadUp), 1.5);
+        assert_eq!(r.get(Metric::ControlPathLoadDown), 2.5);
+        assert_eq!(r.get(Metric::ControllerCpu), 33.0);
+        assert_eq!(r.get(Metric::SwitchCpu), 44.0);
+        assert_eq!(r.get(Metric::FlowSetupDelay), 4.0);
+        assert_eq!(r.get(Metric::BufferPeakOccupancy), 17.0);
+        assert_eq!(r.get(Metric::PktInCount), 9.0);
+        assert_eq!(r.get(Metric::DeliveredPercent), 75.0);
+    }
+
+    #[test]
+    fn delivered_percent_is_total_on_empty_run() {
+        assert_eq!(RunResult::default().get(Metric::DeliveredPercent), 100.0);
+    }
+
+    #[test]
+    fn names_are_unique_and_all_is_complete() {
+        let all = Metric::all();
+        let mut names: Vec<&str> = all.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

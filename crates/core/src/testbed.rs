@@ -387,9 +387,8 @@ impl Testbed {
 
         // Pre-schedule controller-originated probes across the run window
         // (the event loop must drain, so probes cannot self-reschedule).
-        let horizon = shift
-            + departures.last().map_or(Nanos::ZERO, |d| d.at)
-            + self.config.warmup_gap;
+        let horizon =
+            shift + departures.last().map_or(Nanos::ZERO, |d| d.at) + self.config.warmup_gap;
         if let Some(interval) = self.config.keepalive_interval {
             let mut t = shift + interval;
             while t < horizon {
@@ -443,7 +442,11 @@ impl Testbed {
                 self.process_switch_outputs(outputs, flow);
                 self.arm_timer();
             }
-            Event::EgressAtSwitch { port, queue, packet } => {
+            Event::EgressAtSwitch {
+                port,
+                queue,
+                packet,
+            } => {
                 let len = packet.wire_len();
                 if let Some(id) = packet_id(&packet) {
                     if let Some(rec) = self.records.get_mut(&id) {
@@ -575,8 +578,14 @@ impl Testbed {
                     queue,
                     packet,
                 } => {
-                    self.queue
-                        .schedule(at, Event::EgressAtSwitch { port, queue, packet });
+                    self.queue.schedule(
+                        at,
+                        Event::EgressAtSwitch {
+                            port,
+                            queue,
+                            packet,
+                        },
+                    );
                 }
                 SwitchOutput::ToController { at, xid, msg } => {
                     // The warm-up ARPs are plumbing, not measurement
@@ -641,7 +650,9 @@ impl Testbed {
         let end = last_delivery
             .max(self.meter_to_controller.last_at())
             .max(self.meter_to_switch.last_at());
-        let active = end.saturating_sub(self.data_start).max(Nanos::from_micros(1));
+        let active = end
+            .saturating_sub(self.data_start)
+            .max(Nanos::from_micros(1));
 
         // Per-flow delay extraction.
         let mut setup_ms = Vec::new();

@@ -115,7 +115,10 @@ impl TraceLog {
             out.push('\n');
         }
         if self.suppressed > 0 {
-            out.push_str(&format!("... {} more messages suppressed\n", self.suppressed));
+            out.push_str(&format!(
+                "... {} more messages suppressed\n",
+                self.suppressed
+            ));
         }
         out
     }
@@ -142,7 +145,12 @@ mod tests {
     fn bounded_capacity_keeps_oldest() {
         let mut log = TraceLog::new(2);
         for i in 0..5 {
-            log.record(Nanos::from_micros(i), Direction::ToController, i as u32, &msg());
+            log.record(
+                Nanos::from_micros(i),
+                Direction::ToController,
+                i as u32,
+                &msg(),
+            );
         }
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.entries()[0].xid, 0);

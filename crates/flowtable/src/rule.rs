@@ -115,8 +115,8 @@ impl FlowRule {
     /// The moment this rule will expire if it receives no further hits
     /// (`None` when it has no timeouts).
     pub fn expiry_deadline(&self, last_activity: Nanos) -> Option<Nanos> {
-        let hard = (self.hard_timeout != Nanos::ZERO)
-            .then(|| self.installed_at + self.hard_timeout);
+        let hard =
+            (self.hard_timeout != Nanos::ZERO).then(|| self.installed_at + self.hard_timeout);
         let idle = (self.idle_timeout != Nanos::ZERO).then(|| last_activity + self.idle_timeout);
         match (hard, idle) {
             (Some(h), Some(i)) => Some(h.min(i)),

@@ -227,13 +227,12 @@ impl FlowTable {
         self.rules.retain(|r| {
             let last_activity = r.installed_at.max(r.last_hit);
             if r.is_expired(now, last_activity) {
-                let reason = if r.hard_timeout != Nanos::ZERO
-                    && now >= r.installed_at + r.hard_timeout
-                {
-                    FlowRemovedReason::HardTimeout
-                } else {
-                    FlowRemovedReason::IdleTimeout
-                };
+                let reason =
+                    if r.hard_timeout != Nanos::ZERO && now >= r.installed_at + r.hard_timeout {
+                        FlowRemovedReason::HardTimeout
+                    } else {
+                        FlowRemovedReason::IdleTimeout
+                    };
                 removed.push(RemovedRule {
                     rule: r.clone(),
                     reason,
@@ -335,9 +334,10 @@ mod tests {
     fn equal_priority_first_installed_wins() {
         let mut t = FlowTable::new(10);
         let a = FlowRule::new(Match::any(), 5).with_cookie(1);
-        let b = FlowRule::new(Match::from_flow_key(
-            &sdnbuf_net::FlowKey::of(&PacketBuilder::udp().build()).unwrap(),
-        ), 5)
+        let b = FlowRule::new(
+            Match::from_flow_key(&sdnbuf_net::FlowKey::of(&PacketBuilder::udp().build()).unwrap()),
+            5,
+        )
         .with_cookie(2);
         t.insert(Nanos::ZERO, a);
         t.insert(Nanos::ZERO, b);

@@ -9,8 +9,14 @@ use sdnbuf_sim::Nanos;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Insert { src_port: u16, priority: u16, idle_s: u64 },
-    Packet { src_port: u16 },
+    Insert {
+        src_port: u16,
+        priority: u16,
+        idle_s: u64,
+    },
+    Packet {
+        src_port: u16,
+    },
     Expire,
     DeleteAll,
 }

@@ -133,10 +133,7 @@ mod tests {
         let s = ramp();
         assert_eq!(s.len(), 100);
         assert!(!s.is_empty());
-        assert_eq!(
-            s.span(),
-            Some((Nanos::ZERO, Nanos::from_millis(99)))
-        );
+        assert_eq!(s.span(), Some((Nanos::ZERO, Nanos::from_millis(99))));
     }
 
     #[test]

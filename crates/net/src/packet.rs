@@ -345,10 +345,8 @@ mod tests {
 
     #[test]
     fn arp_frame_round_trip() {
-        let p = PacketBuilder::gratuitous_arp(
-            MacAddr::from_host_index(7),
-            Ipv4Addr::new(10, 0, 0, 7),
-        );
+        let p =
+            PacketBuilder::gratuitous_arp(MacAddr::from_host_index(7), Ipv4Addr::new(10, 0, 0, 7));
         assert_eq!(p.wire_len(), 42);
         assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
     }

@@ -77,7 +77,9 @@ mod tests {
         }
         .to_string()
         .contains("100"));
-        assert!(OfpError::BadAction { kind: 7, len: 3 }.to_string().contains("7"));
+        assert!(OfpError::BadAction { kind: 7, len: 3 }
+            .to_string()
+            .contains("7"));
         assert!(OfpError::UnknownStatsType(5).to_string().contains("5"));
         assert!(!OfpError::BadVendorPayload.to_string().is_empty());
     }

@@ -559,10 +559,8 @@ mod tests {
 
     #[test]
     fn arp_fields_follow_of10_convention() {
-        let arp = PacketBuilder::gratuitous_arp(
-            MacAddr::from_host_index(1),
-            Ipv4Addr::new(10, 0, 0, 1),
-        );
+        let arp =
+            PacketBuilder::gratuitous_arp(MacAddr::from_host_index(1), Ipv4Addr::new(10, 0, 0, 1));
         let v = MatchView::of(PortNo(2), &arp);
         assert_eq!(v.dl_type, 0x0806);
         assert_eq!(v.nw_src, u32::from(Ipv4Addr::new(10, 0, 0, 1)));

@@ -575,9 +575,7 @@ impl OfpMessage {
                 OfpMessage::Error(e) => 4 + e.data.len(),
                 OfpMessage::EchoRequest(d) | OfpMessage::EchoReply(d) => d.len(),
                 OfpMessage::Vendor(v) => 4 + v.data.len(),
-                OfpMessage::FeaturesReply(f) => {
-                    24 + f.ports.len() * consts::OFP_PHY_PORT_LEN
-                }
+                OfpMessage::FeaturesReply(f) => 24 + f.ports.len() * consts::OFP_PHY_PORT_LEN,
                 OfpMessage::GetConfigReply(_) | OfpMessage::SetConfig(_) => 4,
                 OfpMessage::PacketIn(p) => 10 + p.data.len(),
                 OfpMessage::FlowRemoved(_) => consts::OFP_FLOW_REMOVED_LEN - OFP_HEADER_LEN,
@@ -853,7 +851,7 @@ impl OfpMessage {
                     buf.extend_from_slice(&q.queue_id.to_be_bytes());
                     buf.extend_from_slice(&24u16.to_be_bytes()); // queue len
                     buf.extend_from_slice(&[0, 0]); // pad
-                    // OFPQT_MIN_RATE property.
+                                                    // OFPQT_MIN_RATE property.
                     buf.extend_from_slice(&1u16.to_be_bytes());
                     buf.extend_from_slice(&16u16.to_be_bytes());
                     buf.extend_from_slice(&[0u8; 4]); // pad

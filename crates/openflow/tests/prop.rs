@@ -34,8 +34,19 @@ fn arb_action() -> BoxedStrategy<Action> {
 
 fn arb_match() -> impl Strategy<Value = Match> {
     (
-        (any::<u32>(), any::<u16>(), any::<[u8; 6]>(), any::<[u8; 6]>()),
-        (any::<u16>(), any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>()),
+        (
+            any::<u32>(),
+            any::<u16>(),
+            any::<[u8; 6]>(),
+            any::<[u8; 6]>(),
+        ),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+        ),
         (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()),
     )
         .prop_map(
@@ -76,15 +87,15 @@ fn arb_message() -> impl Strategy<Value = OfpMessage> {
         )),
         (any::<u32>(), data.clone())
             .prop_map(|(v, d)| OfpMessage::Vendor(Vendor { vendor: v, data: d })),
-        (arb_buffer_id(), any::<u16>(), any::<u16>(), data.clone()).prop_map(
-            |(b, t, p, d)| OfpMessage::PacketIn(PacketIn {
+        (arb_buffer_id(), any::<u16>(), any::<u16>(), data.clone()).prop_map(|(b, t, p, d)| {
+            OfpMessage::PacketIn(PacketIn {
                 buffer_id: b,
                 total_len: t,
                 in_port: PortNo(p),
                 reason: PacketInReason::NoMatch,
                 data: d,
             })
-        ),
+        }),
         (arb_buffer_id(), any::<u16>(), actions.clone()).prop_map(|(b, p, a)| {
             // Data only rides along when unbuffered (spec semantics).
             let data = if b == BufferId::NO_BUFFER {

@@ -133,6 +133,9 @@ mod tests {
     #[test]
     fn zero_byte_transfer_is_instant() {
         let mut bus = Bus::new(BitRate::from_mbps(10));
-        assert_eq!(bus.transfer(Nanos::from_micros(3), 0), Nanos::from_micros(3));
+        assert_eq!(
+            bus.transfer(Nanos::from_micros(3), 0),
+            Nanos::from_micros(3)
+        );
     }
 }

@@ -119,8 +119,8 @@ impl Link {
     /// remaining busy time × line rate).
     pub fn backlog_bytes(&self, now: Nanos) -> usize {
         let remaining = self.ready_at.saturating_sub(now);
-        let bits = remaining.as_nanos() as u128 * self.config.bandwidth.as_bps() as u128
-            / 1_000_000_000;
+        let bits =
+            remaining.as_nanos() as u128 * self.config.bandwidth.as_bps() as u128 / 1_000_000_000;
         (bits / 8) as usize
     }
 

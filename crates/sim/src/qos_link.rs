@@ -135,8 +135,14 @@ mod tests {
     #[test]
     fn per_queue_rates_apply() {
         let mut l = mk();
-        assert_eq!(l.enqueue(Nanos::ZERO, 0, 1000), Some(Nanos::from_micros(400)));
-        assert_eq!(l.enqueue(Nanos::ZERO, 1, 1000), Some(Nanos::from_micros(100)));
+        assert_eq!(
+            l.enqueue(Nanos::ZERO, 0, 1000),
+            Some(Nanos::from_micros(400))
+        );
+        assert_eq!(
+            l.enqueue(Nanos::ZERO, 1, 1000),
+            Some(Nanos::from_micros(100))
+        );
     }
 
     #[test]

@@ -178,7 +178,10 @@ mod tests {
         assert_eq!(cpu.queue_delay(Nanos::ZERO), Nanos::ZERO);
         cpu.submit(Nanos::ZERO, Nanos::from_micros(30));
         assert_eq!(cpu.queue_delay(Nanos::ZERO), Nanos::from_micros(30));
-        assert_eq!(cpu.queue_delay(Nanos::from_micros(10)), Nanos::from_micros(20));
+        assert_eq!(
+            cpu.queue_delay(Nanos::from_micros(10)),
+            Nanos::from_micros(20)
+        );
         assert_eq!(cpu.queue_delay(Nanos::from_micros(50)), Nanos::ZERO);
     }
 

@@ -5,7 +5,10 @@ use sdnbuf_sim::{BitRate, Nanos};
 
 /// Which buffer mechanism the switch runs — the single knob every
 /// experiment in the paper turns.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` so the mechanism can key sweep-result cells (`CellKey` in
+/// `sdnbuf-core`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BufferChoice {
     /// OpenFlow default behaviour: no buffering, full packets in every
     /// control message.

@@ -4,9 +4,7 @@ use crate::{BufferChoice, SwitchConfig, SwitchStats};
 use sdnbuf_flowtable::{FlowRule, FlowTable, InsertOutcome, RemovedRule};
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{
-    msg::{
-        self, FlowModCommand, FlowRemoved, PacketIn, PacketInReason, StatsReply, StatsRequest,
-    },
+    msg::{self, FlowModCommand, FlowRemoved, PacketIn, PacketInReason, StatsReply, StatsRequest},
     Action, BufferId, FlowBufferExt, Match, MatchView, OfpMessage, PortNo,
 };
 use sdnbuf_sim::{Bus, CpuResource, Nanos};
@@ -715,7 +713,10 @@ mod tests {
     }
 
     fn udp(src_port: u16) -> Packet {
-        PacketBuilder::udp().src_port(src_port).frame_size(1000).build()
+        PacketBuilder::udp()
+            .src_port(src_port)
+            .frame_size(1000)
+            .build()
     }
 
     fn flow_mod_for(pkt: &Packet, in_port: PortNo, out_port: PortNo) -> OfpMessage {
@@ -795,7 +796,11 @@ mod tests {
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(7);
         sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
-        sw.handle_controller_msg(Nanos::from_millis(1), flow_mod_for(&pkt, PortNo(1), PortNo(2)), 9);
+        sw.handle_controller_msg(
+            Nanos::from_millis(1),
+            flow_mod_for(&pkt, PortNo(1), PortNo(2)),
+            9,
+        );
         // Well after t_e: the same flow now hits.
         let outputs = sw.handle_frame(Nanos::from_millis(10), PortNo(1), pkt.clone());
         match &outputs[..] {
@@ -1115,11 +1120,8 @@ mod tests {
             egress_queue_rates: &[200, 800],
             ..SwitchConfig::default()
         });
-        let outs = sw.handle_controller_msg(
-            Nanos::ZERO,
-            OfpMessage::QueueGetConfigRequest(PortNo(2)),
-            8,
-        );
+        let outs =
+            sw.handle_controller_msg(Nanos::ZERO, OfpMessage::QueueGetConfigRequest(PortNo(2)), 8);
         match &outs[0] {
             SwitchOutput::ToController {
                 msg: OfpMessage::QueueGetConfigReply { port, queues },
@@ -1189,11 +1191,8 @@ mod tests {
         sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt.clone());
         sw.handle_frame(Nanos::from_millis(2), PortNo(1), pkt.clone());
         let ask = |sw: &mut Switch, req| {
-            let outs = sw.handle_controller_msg(
-                Nanos::from_millis(3),
-                OfpMessage::StatsRequest(req),
-                9,
-            );
+            let outs =
+                sw.handle_controller_msg(Nanos::from_millis(3), OfpMessage::StatsRequest(req), 9);
             match outs.into_iter().next() {
                 Some(SwitchOutput::ToController {
                     msg: OfpMessage::StatsReply(reply),
@@ -1252,7 +1251,9 @@ mod tests {
             enabled: true,
             timeout_ms: 20,
         });
-        assert!(fg.handle_controller_msg(Nanos::ZERO, cfg.clone(), 1).is_empty());
+        assert!(fg
+            .handle_controller_msg(Nanos::ZERO, cfg.clone(), 1)
+            .is_empty());
         let mut pg = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
         let outs = pg.handle_controller_msg(Nanos::ZERO, cfg, 1);
         assert!(matches!(

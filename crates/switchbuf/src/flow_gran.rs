@@ -94,8 +94,7 @@ impl FlowGranularityBuffer {
         eat(&[key.protocol.as_u8()]);
         let mut candidate = (h ^ (h >> 32)) as u32;
         loop {
-            if candidate != BufferId::NO_BUFFER.as_u32() && !self.by_id.contains_key(&candidate)
-            {
+            if candidate != BufferId::NO_BUFFER.as_u32() && !self.by_id.contains_key(&candidate) {
                 return BufferId::new(candidate);
             }
             candidate = candidate.wrapping_add(1);
@@ -233,7 +232,10 @@ mod tests {
     }
 
     fn pkt(src_port: u16, size: usize) -> Packet {
-        PacketBuilder::udp().src_port(src_port).frame_size(size).build()
+        PacketBuilder::udp()
+            .src_port(src_port)
+            .frame_size(size)
+            .build()
     }
 
     #[test]
@@ -390,10 +392,8 @@ mod tests {
     #[test]
     fn non_ip_traffic_falls_back() {
         let mut b = mk();
-        let arp = PacketBuilder::gratuitous_arp(
-            MacAddr::from_host_index(1),
-            Ipv4Addr::new(10, 0, 0, 1),
-        );
+        let arp =
+            PacketBuilder::gratuitous_arp(MacAddr::from_host_index(1), Ipv4Addr::new(10, 0, 0, 1));
         assert_eq!(
             b.on_miss(Nanos::ZERO, arp, PortNo(1)),
             MissAction::SendFullPacketIn

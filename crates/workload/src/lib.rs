@@ -153,8 +153,7 @@ impl PktgenConfig {
             }
             ArrivalProcess::Poisson => {
                 // Exponential gap with the same mean rate.
-                Nanos::from_secs_f64(rng.exp(base.as_secs_f64()))
-                    .max(Nanos::from_nanos(1))
+                Nanos::from_secs_f64(rng.exp(base.as_secs_f64())).max(Nanos::from_nanos(1))
             }
         }
     }
@@ -294,13 +293,23 @@ pub fn tcp_with_idle_gap(
     seq_in_flow += 1;
     for _ in 0..first_burst {
         at += cfg.next_gap(&mut rng);
-        out.push(push(at, TcpFlags::ACK | TcpFlags::PSH, cfg.frame_size, seq_in_flow));
+        out.push(push(
+            at,
+            TcpFlags::ACK | TcpFlags::PSH,
+            cfg.frame_size,
+            seq_in_flow,
+        ));
         seq_in_flow += 1;
     }
     // The transient inactivity: rule gets kicked out, connection survives.
     at += idle_gap;
     for _ in 0..second_burst {
-        out.push(push(at, TcpFlags::ACK | TcpFlags::PSH, cfg.frame_size, seq_in_flow));
+        out.push(push(
+            at,
+            TcpFlags::ACK | TcpFlags::PSH,
+            cfg.frame_size,
+            seq_in_flow,
+        ));
         seq_in_flow += 1;
         at += cfg.next_gap(&mut rng);
     }
@@ -324,9 +333,8 @@ pub fn mixed_udp_tcp(
         // Each connection is a light background stream (a tenth of the UDP
         // rate shared across connections), so the mix's total offered rate
         // stays near the configured rate instead of doubling it.
-        let tcp_rate = BitRate::from_bps(
-            (cfg.rate.as_bps() / (10 * n_tcp.max(1) as u64)).max(1_000_000),
-        );
+        let tcp_rate =
+            BitRate::from_bps((cfg.rate.as_bps() / (10 * n_tcp.max(1) as u64)).max(1_000_000));
         let tcp_cfg = PktgenConfig {
             start_at: cfg.start_at + cfg.interval() * (t as u64 + 1),
             rate: tcp_rate,
@@ -335,9 +343,9 @@ pub fn mixed_udp_tcp(
         let conn = tcp_with_idle_gap(&tcp_cfg, segments_per_tcp, Nanos::ZERO, 0, rng.next_u64());
         out.extend(conn.into_iter().map(|mut d| {
             d.flow_index = n_udp + t; // distinct flow numbering
-            // Give each connection its own ephemeral source port so the
-            // connections are distinct flows (and distinct packets on the
-            // measurement tap).
+                                      // Give each connection its own ephemeral source port so the
+                                      // connections are distinct flows (and distinct packets on the
+                                      // measurement tap).
             if let Payload::Ipv4(ip) = &mut d.packet.payload {
                 if let Transport::Tcp(tcp, _) = &mut ip.transport {
                     tcp.src_port = 40_000 + t as u16;

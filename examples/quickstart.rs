@@ -25,7 +25,10 @@ fn main() {
     println!();
     println!("packets sent         : {}", run.packets_sent);
     println!("packets delivered    : {}", run.packets_delivered);
-    println!("flows completed      : {}/{}", run.flows_completed, run.flows_total);
+    println!(
+        "flows completed      : {}/{}",
+        run.flows_completed, run.flows_total
+    );
     println!();
     println!(
         "control path load    : {:.2} Mbps to controller, {:.2} Mbps back",
@@ -47,4 +50,31 @@ fn main() {
         "buffer utilization   : mean {:.1} units, peak {} units",
         run.buffer_mean_occupancy, run.buffer_peak_occupancy
     );
+
+    // The same comparison the paper makes, as a small sweep: describe the
+    // grid with the builder, run it, and read cells back by key.
+    let sweep = RateSweep::builder()
+        .rates([20, 50, 80])
+        .buffers([
+            BufferMode::NoBuffer,
+            BufferMode::PacketGranularity { capacity: 256 },
+        ])
+        .workload(WorkloadKind::single_packet_flows(200))
+        .repetitions(2)
+        .build();
+    let result = sweep.run();
+    println!();
+    println!("rate   no-buffer   buffer-256   (flow setup delay, ms)");
+    for &rate in &sweep.rates_mbps {
+        let at = |mode| {
+            result
+                .mean(&CellKey::new(mode, rate), Metric::FlowSetupDelay)
+                .expect("swept above")
+        };
+        println!(
+            "{rate:>4}   {:>9.3}   {:>10.3}",
+            at(BufferMode::NoBuffer),
+            at(BufferMode::PacketGranularity { capacity: 256 }),
+        );
+    }
 }

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]
-//! sdnlab sweep [--section iv|v] [--reps N]
-//! sdnlab claims [--reps N]
+//! sdnlab sweep [--section iv|v] [--reps N] [--threads T]
+//! sdnlab claims [--reps N] [--threads T]
 //! sdnlab help
 //! ```
 //!
 //! Mechanisms: `none`, `packet:<capacity>`, `flow:<capacity>[:<timeout_ms>]`.
 //! Workloads: `iv` (1000 single-packet flows), `v` (50×20 cross-sequenced),
 //! `single:<n>`, `cross:<flows>x<ppf>/<group>`.
+//! Threads: `serial`, `auto` (one worker per CPU), or a worker count; the
+//! default honours `SDNBUF_THREADS` and falls back to `auto`. Results are
+//! identical for every setting.
 
-use sdn_buffer_lab::core::{figures, RateSweep};
+use sdn_buffer_lab::core::{figures, RateSweep, StderrProgress};
 use sdn_buffer_lab::prelude::*;
 use std::process::ExitCode;
 
@@ -20,16 +23,17 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]\n\
-       sdnlab sweep [--section iv|v] [--reps N]\n\
-       sdnlab claims [--reps N]\n\
+       sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
+       sdnlab claims [--reps N] [--threads T]\n\
      \n\
      MECH: none | packet:<capacity> | flow:<capacity>[:<timeout_ms>]\n\
      WL:   iv | v | single:<n> | cross:<flows>x<ppf>/<group>\n\
+     T:    serial | auto | <worker count>   (default: SDNBUF_THREADS or auto)\n\
      \n\
      EXAMPLES:\n\
        sdnlab run --buffer packet:256 --rate 80\n\
        sdnlab run --buffer flow:256:50 --workload v --rate 95\n\
-       sdnlab sweep --section iv --reps 20\n"
+       sdnlab sweep --section iv --reps 20 --threads 4\n"
 }
 
 #[derive(Debug)]
@@ -95,6 +99,25 @@ fn parse_workload(s: &str) -> Result<WorkloadKind, ParseError> {
     Err(ParseError(format!("unknown workload '{s}'")))
 }
 
+fn parse_parallelism(s: &str) -> Result<Parallelism, ParseError> {
+    match s {
+        "serial" => Ok(Parallelism::Serial),
+        "auto" => Ok(Parallelism::Auto),
+        n => n
+            .parse()
+            .map(Parallelism::Fixed)
+            .map_err(|_| ParseError(format!("bad thread count '{s}'"))),
+    }
+}
+
+/// The `--threads` flag, falling back to `SDNBUF_THREADS` / auto.
+fn threads_flag(args: &[String]) -> Result<Parallelism, ParseError> {
+    match flag(args, "--threads")? {
+        Some(s) => parse_parallelism(&s),
+        None => Ok(Parallelism::from_env()),
+    }
+}
+
 /// Key-value flag extraction: `--key value` pairs after the subcommand.
 fn flag(args: &[String], key: &str) -> Result<Option<String>, ParseError> {
     let mut iter = args.iter();
@@ -149,13 +172,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
             .map_err(|_| ParseError(format!("bad reps '{s}'")))?,
         None => 5,
     };
+    let threads = threads_flag(args)?;
     let section = flag(args, "--section")?.unwrap_or_else(|| "iv".to_owned());
     let sweep = match section.as_str() {
         "iv" => RateSweep::paper_section_iv(reps),
         "v" => RateSweep::paper_section_v(reps),
         other => return Err(ParseError(format!("unknown section '{other}'"))),
     }
-    .run();
+    .run_with(threads, &StderrProgress::new("sweep"));
     println!("{}", figures::fig_control_load_to_controller(&sweep));
     println!("{}", figures::fig_controller_usage(&sweep));
     println!("{}", figures::fig_switch_usage(&sweep));
@@ -171,8 +195,9 @@ fn cmd_claims(args: &[String]) -> Result<(), ParseError> {
             .map_err(|_| ParseError(format!("bad reps '{s}'")))?,
         None => 5,
     };
-    let iv = RateSweep::paper_section_iv(reps).run();
-    let v = RateSweep::paper_section_v(reps).run();
+    let threads = threads_flag(args)?;
+    let iv = RateSweep::paper_section_iv(reps).run_with(threads, &StderrProgress::new("iv"));
+    let v = RateSweep::paper_section_v(reps).run_with(threads, &StderrProgress::new("v"));
     println!("{}", figures::summary_claims(&iv, &v));
     Ok(())
 }
@@ -252,6 +277,14 @@ mod tests {
         );
         assert!(parse_workload("nope").is_err());
         assert!(parse_workload("cross:10").is_err());
+    }
+
+    #[test]
+    fn parallelism_parsing() {
+        assert_eq!(parse_parallelism("serial").unwrap(), Parallelism::Serial);
+        assert_eq!(parse_parallelism("auto").unwrap(), Parallelism::Auto);
+        assert_eq!(parse_parallelism("6").unwrap(), Parallelism::Fixed(6));
+        assert!(parse_parallelism("lots").is_err());
     }
 
     #[test]

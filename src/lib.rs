@@ -59,8 +59,8 @@ pub use sdnbuf_core as core;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use sdnbuf_core::{
-        BufferMode, Experiment, ExperimentConfig, RateSweep, RunResult, Testbed, TestbedConfig,
-        WorkloadKind,
+        BufferMode, CellKey, Experiment, ExperimentConfig, Metric, Parallelism, ProgressSink,
+        RateSweep, RunResult, SweepBuilder, Testbed, TestbedConfig, WorkloadKind,
     };
     pub use sdnbuf_metrics::Summary;
     pub use sdnbuf_sim::{BitRate, Nanos};

@@ -454,7 +454,13 @@ fn trace_log_captures_the_control_channel() {
     tb.run(&deps);
     let text = tb.trace().to_text();
     // The handshake and the three flow setups must all be visible.
-    for needle in ["Hello", "FeaturesReply", "packet_in", "flow_mod", "packet_out"] {
+    for needle in [
+        "Hello",
+        "FeaturesReply",
+        "packet_in",
+        "flow_mod",
+        "packet_out",
+    ] {
         assert!(text.contains(needle), "missing {needle} in trace:\n{text}");
     }
     assert_eq!(tb.trace().suppressed(), 0);

@@ -2,8 +2,8 @@
 //! hold for arbitrary small workloads under every buffer mechanism.
 
 use proptest::prelude::*;
-use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::core::WorkloadKind;
+use sdn_buffer_lab::prelude::*;
 
 fn arb_buffer() -> impl Strategy<Value = BufferMode> {
     prop_oneof![

@@ -7,9 +7,9 @@
 use sdn_buffer_lab::controller::{Controller, ControllerConfig, ControllerOutput};
 use sdn_buffer_lab::net::{MacAddr, PacketBuilder};
 use sdn_buffer_lab::openflow::OfpMessage;
+use sdn_buffer_lab::openflow::PortNo;
 use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::switch::{BufferChoice, Switch, SwitchConfig, SwitchOutput};
-use sdn_buffer_lab::openflow::PortNo;
 use std::net::Ipv4Addr;
 
 /// Serializes a message to wire bytes and parses it back, asserting the
@@ -84,7 +84,13 @@ fn full_flow_setup_transaction_over_encoded_bytes() {
     // 4. The rule is installed: the next packet of the flow fast-paths.
     let outs = switch.handle_frame(t0 + Nanos::from_secs(1), PortNo(1), pkt.clone());
     assert!(
-        matches!(&outs[..], [SwitchOutput::Forward { port: PortNo(2), .. }]),
+        matches!(
+            &outs[..],
+            [SwitchOutput::Forward {
+                port: PortNo(2),
+                ..
+            }]
+        ),
         "{outs:?}"
     );
 }
@@ -109,7 +115,11 @@ fn flow_granularity_vendor_negotiation_over_encoded_bytes() {
     };
     let (msg, xid) = over_the_wire(msg, xid);
     let replies = controller.handle_message(at, msg, xid);
-    assert_eq!(replies.len(), 1, "controller must acknowledge with Configure");
+    assert_eq!(
+        replies.len(),
+        1,
+        "controller must acknowledge with Configure"
+    );
     let ControllerOutput::ToSwitch { at, xid, msg } = replies.into_iter().next().unwrap();
     let (msg, xid) = over_the_wire(msg, xid);
     let outcome = switch.handle_controller_msg(at, msg, xid);
