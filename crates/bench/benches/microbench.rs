@@ -6,9 +6,11 @@ use sdnbuf_core::{BufferMode, Experiment, ExperimentConfig, WorkloadKind};
 use sdnbuf_flowtable::{FlowRule, FlowTable};
 use sdnbuf_net::{Packet, PacketBuilder};
 use sdnbuf_openflow::{msg, BufferId, Match, MatchView, OfpMessage, PortNo};
-use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_sim::{events, BitRate, ChannelDir, EventKind, EventSink, JsonlSink, Nanos, Tracer};
 use sdnbuf_switchbuf::{BufferMechanism, FlowGranularityBuffer, PacketGranularityBuffer};
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
 
 fn bench_packet_codec(c: &mut Criterion) {
     let pkt = PacketBuilder::udp().frame_size(1000).build();
@@ -107,6 +109,68 @@ fn bench_buffers(c: &mut Criterion) {
     });
 }
 
+/// One representative hot-path event: a control-channel message record,
+/// the largest `EventKind` variant and the one emitted most often.
+fn sample_event_kind() -> EventKind {
+    EventKind::CtrlMsg {
+        dir: ChannelDir::ToController,
+        xid: 42,
+        bytes: 90,
+        label: "packet_in",
+        arrive: Nanos::from_micros(12),
+    }
+}
+
+fn bench_event_sinks(c: &mut Criterion) {
+    let kind = sample_event_kind();
+    let at = Nanos::from_micros(3);
+
+    // The price of an *untraced* run: one branch per instrumentation point.
+    let off = Tracer::off();
+    c.bench_function("tracer_off_emit", |b| {
+        b.iter(|| black_box(&off).emit(at, kind))
+    });
+
+    // The price of the dynamic dispatch + RefCell borrow, with the event
+    // itself discarded.
+    let null = Tracer::new(Rc::new(RefCell::new(events::NullSink)));
+    c.bench_function("tracer_null_sink_emit", |b| {
+        b.iter(|| black_box(&null).emit(at, kind))
+    });
+
+    // In-memory recording: amortised Vec push per event.
+    c.bench_function("tracer_recording_emit_1k", |b| {
+        b.iter_batched(
+            || Tracer::recording(0),
+            |(tracer, sink)| {
+                for i in 0..1000u64 {
+                    tracer.emit(Nanos::from_nanos(i), kind);
+                }
+                black_box(sink.borrow().events().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Streaming JSONL: formats and writes every event (to memory here, so
+    // this measures encoding cost, not disk).
+    c.bench_function("jsonl_sink_emit_1k", |b| {
+        b.iter_batched(
+            || JsonlSink::new(Vec::with_capacity(128 * 1024)),
+            |mut sink| {
+                for i in 0..1000u64 {
+                    sink.emit(sdnbuf_sim::Event {
+                        at: Nanos::from_nanos(i),
+                        kind,
+                    });
+                }
+                black_box(sink.written())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_full_run(c: &mut Criterion) {
     c.bench_function("testbed_run_100_flows_50mbps", |b| {
         b.iter(|| {
@@ -128,6 +192,7 @@ criterion_group!(
     bench_openflow_codec,
     bench_flow_table,
     bench_buffers,
+    bench_event_sinks,
     bench_full_run
 );
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! `SDNBUF_RATES=coarse` for a quick smoke run.
 
 use sdnbuf_bench::{emit, reps_from_env, section_iv, section_v};
-use sdnbuf_core::figures;
+use sdnbuf_core::{figures, observe, BufferMode, Experiment, ExperimentConfig, WorkloadKind};
+use sdnbuf_sim::{BitRate, Nanos};
 
 fn main() {
     let reps = reps_from_env();
@@ -108,10 +109,39 @@ fn main() {
         &figures::summary_claims(&iv, &v),
     );
 
-    let report = sdnbuf_core::report::full_report(&iv, &v);
+    let mut report = sdnbuf_core::report::full_report(&iv, &v);
+    report.push('\n');
+    report.push_str(&occupancy_over_time());
     let path = sdnbuf_bench::results_dir().join("report.md");
     match std::fs::write(&path, report) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+}
+
+/// Looks inside the most interesting Section IV cell — buffer-16 at
+/// 100 Mbps, where the exhausted buffer stays pinned at capacity — by
+/// tracing one run, sampling occupancy/table-size/channel-load per 1 ms
+/// window, and rendering the report section (TSV to `results/` too).
+fn occupancy_over_time() -> String {
+    let (_, events) = Experiment::new(ExperimentConfig {
+        buffer: BufferMode::PacketGranularity { capacity: 16 },
+        workload: WorkloadKind::paper_section_iv(),
+        sending_rate: BitRate::from_mbps(100),
+        seed: 42,
+        ..ExperimentConfig::default()
+    })
+    .run_traced();
+    let samples = observe::sample_series(&events, Nanos::from_millis(1));
+    let path = sdnbuf_bench::results_dir().join("occupancy_buffer16_100mbps.tsv");
+    let tsv =
+        std::fs::File::create(&path).and_then(|mut f| observe::write_series_tsv(&samples, &mut f));
+    match tsv {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    sdnbuf_core::report::occupancy_markdown(
+        "Inside one run — buffer-16 @ 100 Mbps, occupancy over time",
+        &samples,
+    )
 }

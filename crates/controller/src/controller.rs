@@ -6,7 +6,7 @@ use sdnbuf_openflow::{
     msg::{FlowMod, FlowModCommand, PacketIn, PacketOut},
     Action, BufferId, Match, OfpMessage, PortNo, Wildcards,
 };
-use sdnbuf_sim::{Bus, CpuResource, Nanos};
+use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -36,6 +36,7 @@ pub struct Controller {
     /// Learned from `features_reply` during the handshake.
     switch_features: Option<SwitchFeatures>,
     stats: ControllerStats,
+    tracer: Tracer,
 }
 
 /// What the controller learned about its switch from the handshake.
@@ -68,8 +69,16 @@ impl Controller {
             next_xid: 0x8000_0000, // distinct from switch-allocated xids
             switch_features: None,
             stats: ControllerStats::default(),
+            tracer: Tracer::off(),
             config,
         }
+    }
+
+    /// Attaches an event tracer, propagating it to the ingest pipe so the
+    /// controller's socket-drain stage reports into the same stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.ingest.set_tracer(tracer.clone(), "controller-ingest");
+        self.tracer = tracer;
     }
 
     /// What the handshake learned about the switch, once the
@@ -246,6 +255,14 @@ impl Controller {
     fn handle_packet_in(&mut self, now: Nanos, pin: PacketIn, xid: u32) -> Vec<ControllerOutput> {
         self.stats.pkt_ins.incr();
         self.stats.pkt_in_bytes.add(pin.data.len() as u64);
+        self.tracer.emit(
+            now,
+            EventKind::PacketInReceived {
+                xid,
+                bytes: pin.data.len(),
+                buffered: pin.buffer_id.is_buffered(),
+            },
+        );
         let Ok(headers) = ParsedHeaders::parse(&pin.data) else {
             self.stats.parse_failures.incr();
             self.submit(now, self.config.cost_parse_base);
@@ -280,6 +297,13 @@ impl Controller {
         };
         match destination {
             Some(out_port) => {
+                self.tracer.emit(
+                    at,
+                    EventKind::Decision {
+                        xid,
+                        action: "install",
+                    },
+                );
                 // The paper's response pair: flow_mod installing the rule
                 // for subsequent packets, packet_out forwarding the
                 // miss-match packet itself.
@@ -303,6 +327,14 @@ impl Controller {
                 });
                 self.stats.flow_mods.incr();
                 self.stats.pkt_outs.incr();
+                self.tracer.emit(at, EventKind::FlowModSent { xid });
+                self.tracer.emit(
+                    at,
+                    EventKind::PacketOutSent {
+                        xid,
+                        buffer_id: pin.buffer_id.as_u32(),
+                    },
+                );
                 vec![
                     ControllerOutput::ToSwitch {
                         at,
@@ -320,6 +352,20 @@ impl Controller {
                 // Unknown or broadcast destination: flood, install nothing.
                 self.stats.floods.incr();
                 self.stats.pkt_outs.incr();
+                self.tracer.emit(
+                    at,
+                    EventKind::Decision {
+                        xid,
+                        action: "flood",
+                    },
+                );
+                self.tracer.emit(
+                    at,
+                    EventKind::PacketOutSent {
+                        xid,
+                        buffer_id: pin.buffer_id.as_u32(),
+                    },
+                );
                 vec![ControllerOutput::ToSwitch {
                     at,
                     xid,

@@ -8,7 +8,7 @@
 
 use crate::executor::{Executor, NullSink, Parallelism, Progress, ProgressSink};
 use crate::{BufferMode, Metric, RunResult, Testbed, TestbedConfig};
-use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_sim::{BitRate, Event, Nanos, Tracer};
 use sdnbuf_workload::{
     cross_sequenced_flows, mixed_udp_tcp, single_packet_flows, tcp_with_idle_gap, Departure,
     PktgenConfig,
@@ -153,6 +153,12 @@ impl Experiment {
 
     /// Runs it on a fresh testbed and returns the measurements.
     pub fn run(&mut self) -> RunResult {
+        self.run_with_tracer(Tracer::off())
+    }
+
+    /// Runs it on a fresh testbed with the given event tracer attached
+    /// (see [`Testbed::set_tracer`]).
+    pub fn run_with_tracer(&mut self, tracer: Tracer) -> RunResult {
         let mut testbed_cfg = self.config.testbed.clone();
         testbed_cfg.switch.buffer = self.config.buffer;
         let pktgen = PktgenConfig {
@@ -162,9 +168,21 @@ impl Experiment {
         };
         let departures = self.config.workload.generate(&pktgen, self.config.seed);
         let mut testbed = Testbed::new(testbed_cfg);
+        testbed.set_tracer(tracer);
         let mut result = testbed.run(&departures);
         result.sending_rate_mbps = self.config.sending_rate.as_mbps_f64();
         result
+    }
+
+    /// Runs it with an unbounded recording sink attached and returns the
+    /// measurements together with the structured event stream, in emission
+    /// order. The stream is deterministic for a fixed configuration and
+    /// seed — byte-identical JSONL across runs and worker counts.
+    pub fn run_traced(&mut self) -> (RunResult, Vec<Event>) {
+        let (tracer, sink) = Tracer::recording(0);
+        let result = self.run_with_tracer(tracer);
+        let events = sink.borrow_mut().take();
+        (result, events)
     }
 }
 
@@ -342,6 +360,22 @@ impl SweepResult {
             .sum::<f64>()
             / rates.len() as f64
     }
+}
+
+/// The event stream of one sweep run, tagged with the cell and repetition
+/// that produced it. Produced by [`RateSweep::run_traced_with`] in
+/// deterministic grid order (cell major, repetition minor) regardless of
+/// worker count.
+#[derive(Clone, Debug)]
+pub struct RunEvents {
+    /// The sweep cell the run belongs to.
+    pub key: CellKey,
+    /// The cell's mechanism label (`key.mode.label()`).
+    pub label: String,
+    /// Repetition index within the cell (seed = `base_seed + rep`).
+    pub rep: usize,
+    /// The run's structured events, in emission order.
+    pub events: Vec<Event>,
 }
 
 /// A full sweep: buffers × rates × repetitions, the paper's experimental
@@ -537,8 +571,8 @@ impl RateSweep {
         cells
     }
 
-    /// One run of the grid: cell `key`, repetition `rep`.
-    fn run_one(&self, key: CellKey, rep: usize) -> RunResult {
+    /// The [`Experiment`] for cell `key`, repetition `rep`.
+    fn experiment_for(&self, key: CellKey, rep: usize) -> Experiment {
         Experiment::new(ExperimentConfig {
             buffer: key.mode,
             workload: self.workload,
@@ -547,16 +581,17 @@ impl RateSweep {
             seed: self.base_seed + rep as u64,
             testbed: self.testbed.clone(),
         })
-        .run()
     }
 
-    /// Runs the whole grid across `parallelism` workers, reporting to
-    /// `sink` after every run and once at the end.
-    ///
-    /// The result is **identical to the serial run** for any worker
-    /// count: each (buffer, rate, repetition) run owns its seed and a
-    /// fresh testbed, and results merge back in grid order.
-    pub fn run_with(&self, parallelism: Parallelism, sink: &dyn ProgressSink) -> SweepResult {
+    /// Runs every (cell, repetition) job across `parallelism` workers with
+    /// per-run progress reporting, returning the per-job outputs merged in
+    /// deterministic grid order (cell major, repetition minor).
+    fn run_grid<T: Send>(
+        &self,
+        parallelism: Parallelism,
+        sink: &dyn ProgressSink,
+        job: impl Fn(CellKey, usize) -> T + Sync,
+    ) -> Vec<T> {
         let grid = self.grid();
         let reps = self.repetitions;
         let total_runs = grid.len() * reps;
@@ -567,11 +602,11 @@ impl RateSweep {
         let cells_done = AtomicUsize::new(0);
         let done = Mutex::new(0usize);
 
-        let (runs, report) = Executor::new(parallelism).run(
+        let (outputs, report) = Executor::new(parallelism).run(
             total_runs,
-            |job| self.run_one(grid[job / reps], job % reps),
-            |job, worker, _elapsed| {
-                let cell = job / reps;
+            |i| job(grid[i / reps], i % reps),
+            |i, worker, _elapsed| {
+                let cell = i / reps;
                 if remaining[cell].fetch_sub(1, Ordering::Relaxed) == 1 {
                     cells_done.fetch_add(1, Ordering::Relaxed);
                 }
@@ -596,19 +631,65 @@ impl RateSweep {
                 });
             },
         );
+        sink.on_finish(&report);
+        outputs
+    }
 
+    /// Folds per-job outputs (in grid order) back into a [`SweepResult`].
+    fn assemble(&self, runs: Vec<RunResult>) -> SweepResult {
         let mut result = SweepResult::default();
         let mut runs = runs.into_iter();
-        for key in grid {
+        for key in self.grid() {
             result.push(SweepCell {
                 label: key.mode.label(),
                 mode: key.mode,
                 rate_mbps: key.rate_mbps,
-                runs: runs.by_ref().take(reps).collect(),
+                runs: runs.by_ref().take(self.repetitions).collect(),
             });
         }
-        sink.on_finish(&report);
         result
+    }
+
+    /// Runs the whole grid across `parallelism` workers, reporting to
+    /// `sink` after every run and once at the end.
+    ///
+    /// The result is **identical to the serial run** for any worker
+    /// count: each (buffer, rate, repetition) run owns its seed and a
+    /// fresh testbed, and results merge back in grid order.
+    pub fn run_with(&self, parallelism: Parallelism, sink: &dyn ProgressSink) -> SweepResult {
+        let runs = self.run_grid(parallelism, sink, |key, rep| {
+            self.experiment_for(key, rep).run()
+        });
+        self.assemble(runs)
+    }
+
+    /// Like [`RateSweep::run_with`], but with a recording event sink
+    /// attached to every run. Event streams come back as one
+    /// [`RunEvents`] per (cell, repetition), merged in deterministic grid
+    /// order — the concatenated export is **byte-for-byte identical**
+    /// between serial and parallel execution.
+    pub fn run_traced_with(
+        &self,
+        parallelism: Parallelism,
+        sink: &dyn ProgressSink,
+    ) -> (SweepResult, Vec<RunEvents>) {
+        let outputs = self.run_grid(parallelism, sink, |key, rep| {
+            self.experiment_for(key, rep).run_traced()
+        });
+        let grid = self.grid();
+        let mut runs = Vec::with_capacity(outputs.len());
+        let mut streams = Vec::with_capacity(outputs.len());
+        for (i, (run, events)) in outputs.into_iter().enumerate() {
+            let key = grid[i / self.repetitions];
+            runs.push(run);
+            streams.push(RunEvents {
+                key,
+                label: key.mode.label(),
+                rep: i % self.repetitions,
+                events,
+            });
+        }
+        (self.assemble(runs), streams)
     }
 
     /// Runs the whole grid serially and silently.

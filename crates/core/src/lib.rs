@@ -37,6 +37,7 @@ mod executor;
 mod experiment;
 pub mod figures;
 mod metric;
+pub mod observe;
 pub mod report;
 mod result;
 mod testbed;
@@ -47,13 +48,19 @@ pub use executor::{
     WorkerStats,
 };
 pub use experiment::{
-    CellKey, Experiment, ExperimentConfig, RateSweep, SweepBuilder, SweepCell, SweepResult,
-    WorkloadKind,
+    CellKey, Experiment, ExperimentConfig, RateSweep, RunEvents, SweepBuilder, SweepCell,
+    SweepResult, WorkloadKind,
 };
 pub use metric::Metric;
 pub use result::RunResult;
 pub use testbed::{PacketTrace, Testbed, TestbedConfig};
-pub use trace::{Direction, TraceEntry, TraceLog};
+pub use trace::{Direction, MsgDesc, TraceEntry, TraceLog};
+
+/// The structured event layer, re-exported from the simulation engine.
+/// (The event layer's `NullSink` is *not* re-exported flat because this
+/// crate already exports the executor's progress `NullSink`; reach it as
+/// `sdnbuf_sim::events::NullSink`.)
+pub use sdnbuf_sim::{ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, Tracer};
 
 /// Egress QoS queue configuration, re-exported from the simulation engine.
 pub use sdnbuf_sim::QueueConfig;

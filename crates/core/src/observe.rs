@@ -1,0 +1,534 @@
+//! Exporters over the structured event stream: JSONL dumps, Chrome
+//! trace-event timelines (openable in Perfetto / `chrome://tracing`), and
+//! a periodic time-series sampler written as TSV.
+//!
+//! All three exporters are pure functions of recorded [`Event`]s, so their
+//! output inherits the stream's determinism: a fixed seed yields
+//! byte-for-byte identical files regardless of worker count (asserted by
+//! `tests/observability.rs`).
+//!
+//! # Timeline format
+//!
+//! [`export_timeline`] writes the Chrome trace-event JSON array format.
+//! Each sweep run becomes a process (`pid`), with four tracks (`tid`):
+//! `switch`, `bus`, `channel`, and `controller` (plus `links` for data
+//! ports). A flow-setup transaction is stitched across tracks by flow
+//! events (`ph: "s"/"t"/"f"`) keyed on the OpenFlow `xid`, so
+//! `packet_in → flow_mod → packet_out → drain` renders as linked spans.
+
+use crate::experiment::RunEvents;
+use sdnbuf_sim::{ChannelDir, Event, EventKind, EventSink, JsonlSink, Nanos};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Track ids used by the timeline exporter, in display order.
+const TID_SWITCH: u32 = 1;
+const TID_BUS: u32 = 2;
+const TID_CHANNEL: u32 = 3;
+const TID_CONTROLLER: u32 = 4;
+const TID_LINKS: u32 = 5;
+
+/// The per-line run-identity prefix stamped onto sweep JSONL exports:
+/// `"run":{"mode":"buffer-16","rate_mbps":100,"rep":3},`.
+pub fn run_prefix(label: &str, rate_mbps: u64, rep: usize) -> String {
+    format!("\"run\":{{\"mode\":\"{label}\",\"rate_mbps\":{rate_mbps},\"rep\":{rep}}},")
+}
+
+/// Streams `events` as JSON Lines to `w`, one object per event, with
+/// `prefix` inserted into every object (pass `""` for none). Returns the
+/// number of lines written.
+///
+/// # Errors
+///
+/// An [`io::ErrorKind::WriteZero`] error when the writer failed part-way
+/// (the sink itself swallows write errors and stops counting).
+pub fn write_events_jsonl(events: &[Event], prefix: &str, w: &mut dyn Write) -> io::Result<u64> {
+    let mut sink = JsonlSink::with_prefix(w, prefix.to_string());
+    for &event in events {
+        sink.emit(event);
+    }
+    let written = sink.written();
+    if written < events.len() as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::WriteZero,
+            format!("wrote {written} of {} events", events.len()),
+        ));
+    }
+    Ok(written)
+}
+
+/// Streams a whole traced sweep as JSON Lines: every run's events in grid
+/// order, each line stamped with its [`run_prefix`]. Returns the total
+/// line count.
+///
+/// # Errors
+///
+/// Propagates the first failed write (see [`write_events_jsonl`]).
+pub fn export_sweep_jsonl(runs: &[RunEvents], w: &mut dyn Write) -> io::Result<u64> {
+    let mut total = 0;
+    for run in runs {
+        let prefix = run_prefix(&run.label, run.key.rate_mbps, run.rep);
+        total += write_events_jsonl(&run.events, &prefix, w)?;
+    }
+    Ok(total)
+}
+
+/// Microseconds with fixed 3-decimal nanosecond remainder, via integer
+/// math only — `f64` never touches a timestamp, keeping exports
+/// byte-deterministic.
+fn ts_us(at: Nanos) -> String {
+    let ns = at.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn dur_us(from: Nanos, to: Nanos) -> String {
+    ts_us(to.saturating_sub(from))
+}
+
+/// One run's pid-unique flow id: xids are unique within a run but repeat
+/// across runs, so the pid disambiguates.
+fn flow_id(pid: u64, xid: u32) -> u64 {
+    (pid << 32) | u64::from(xid)
+}
+
+/// Internal accumulator for the timeline's JSON array.
+struct TimelineWriter<'w> {
+    w: &'w mut dyn Write,
+    first: bool,
+    scratch: String,
+}
+
+impl<'w> TimelineWriter<'w> {
+    fn new(w: &'w mut dyn Write) -> TimelineWriter<'w> {
+        TimelineWriter {
+            w,
+            first: true,
+            scratch: String::with_capacity(160),
+        }
+    }
+
+    /// Emits one trace entry; `body` is everything inside the braces.
+    fn entry(&mut self, body: std::fmt::Arguments<'_>) -> io::Result<()> {
+        self.scratch.clear();
+        if self.first {
+            self.first = false;
+        } else {
+            self.scratch.push_str(",\n");
+        }
+        self.scratch.push('{');
+        let _ = self.scratch.write_fmt(body);
+        self.scratch.push('}');
+        self.w.write_all(self.scratch.as_bytes())
+    }
+}
+
+/// Writes a Chrome trace-event / Perfetto timeline for the given traced
+/// runs. Open the file at <https://ui.perfetto.dev> or
+/// `chrome://tracing`.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn export_timeline(runs: &[RunEvents], w: &mut dyn Write) -> io::Result<()> {
+    w.write_all(b"{\"traceEvents\":[\n")?;
+    let mut out = TimelineWriter::new(w);
+    for (idx, run) in runs.iter().enumerate() {
+        let pid = idx as u64 + 1;
+        out.entry(format_args!(
+            "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{} @ {} Mbps rep {}\"}}",
+            run.label, run.key.rate_mbps, run.rep
+        ))?;
+        for (tid, name) in [
+            (TID_SWITCH, "switch"),
+            (TID_BUS, "bus"),
+            (TID_CHANNEL, "channel"),
+            (TID_CONTROLLER, "controller"),
+            (TID_LINKS, "links"),
+        ] {
+            out.entry(format_args!(
+                "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}"
+            ))?;
+        }
+        write_run_timeline(&mut out, pid, &run.events)?;
+    }
+    w.write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")
+}
+
+/// [`export_timeline`] for a single unlabelled run (e.g. `sdnlab run
+/// --timeline`).
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn export_run_timeline(
+    label: &str,
+    rate_mbps: u64,
+    events: Vec<Event>,
+    w: &mut dyn Write,
+) -> io::Result<()> {
+    let runs = [RunEvents {
+        key: crate::CellKey::new(crate::BufferMode::NoBuffer, rate_mbps),
+        label: label.to_string(),
+        rep: 0,
+        events,
+    }];
+    // The key's mode is only used for its label, which we override above —
+    // export_timeline never reads `key.mode` directly.
+    export_timeline(&runs, w)
+}
+
+fn write_run_timeline(out: &mut TimelineWriter<'_>, pid: u64, events: &[Event]) -> io::Result<()> {
+    // Controller handling spans: packet_in ingested -> last reply emitted,
+    // per xid, kept in first-seen order for determinism.
+    let mut handling: Vec<(u32, Nanos, Nanos)> = Vec::new();
+    let find = |v: &mut Vec<(u32, Nanos, Nanos)>, xid: u32| -> Option<usize> {
+        v.iter().position(|&(x, _, _)| x == xid)
+    };
+
+    for event in events {
+        let at = event.at;
+        let ts = ts_us(at);
+        match event.kind {
+            EventKind::LinkTx { link, bytes, arrive } => out.entry(format_args!(
+                "\"name\":\"{link}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{TID_LINKS},\"ts\":{ts},\"dur\":{},\"args\":{{\"bytes\":{bytes}}}",
+                dur_us(at, arrive)
+            ))?,
+            EventKind::LinkDrop { link, bytes } => out.entry(format_args!(
+                "\"name\":\"drop {link}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_LINKS},\"ts\":{ts},\"args\":{{\"bytes\":{bytes}}}"
+            ))?,
+            EventKind::BusTransfer { bus, bytes, done } => out.entry(format_args!(
+                "\"name\":\"{bus}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{TID_BUS},\"ts\":{ts},\"dur\":{},\"args\":{{\"bytes\":{bytes}}}",
+                dur_us(at, done)
+            ))?,
+            EventKind::TableMiss { in_port, bytes } => out.entry(format_args!(
+                "\"name\":\"table_miss\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"in_port\":{in_port},\"bytes\":{bytes}}}"
+            ))?,
+            EventKind::PacketInSent { xid, buffer_id, bytes } => {
+                out.entry(format_args!(
+                    "\"name\":\"packet_in\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"buffer_id\":{buffer_id},\"bytes\":{bytes}}}"
+                ))?;
+                out.entry(format_args!(
+                    "\"name\":\"flow-setup\",\"cat\":\"flow-setup\",\"ph\":\"s\",\"id\":{},\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts}",
+                    flow_id(pid, xid)
+                ))?;
+            }
+            EventKind::FlowRuleInstalled { xid, effective_at, table_size } => out.entry(format_args!(
+                "\"name\":\"install_rule\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"dur\":{},\"args\":{{\"xid\":{xid},\"table_size\":{table_size}}}",
+                dur_us(at, effective_at)
+            ))?,
+            EventKind::FlowRuleEvicted { table_size } => out.entry(format_args!(
+                "\"name\":\"evict_rule\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"table_size\":{table_size}}}"
+            ))?,
+            EventKind::FlowRuleExpired { table_size } => out.entry(format_args!(
+                "\"name\":\"expire_rule\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"table_size\":{table_size}}}"
+            ))?,
+            EventKind::BufferEnqueue { buffer_id, occupancy, fresh } => out.entry(format_args!(
+                "\"name\":\"buffer_enqueue\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"buffer_id\":{buffer_id},\"occupancy\":{occupancy},\"fresh\":{fresh}}}"
+            ))?,
+            EventKind::BufferDrain { xid, buffer_id, released, occupancy } => {
+                out.entry(format_args!(
+                    "\"name\":\"buffer_drain\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"buffer_id\":{buffer_id},\"released\":{released},\"occupancy\":{occupancy}}}"
+                ))?;
+                out.entry(format_args!(
+                    "\"name\":\"flow-setup\",\"cat\":\"flow-setup\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts}",
+                    flow_id(pid, xid)
+                ))?;
+            }
+            EventKind::BufferRerequest { buffer_id, occupancy } => out.entry(format_args!(
+                "\"name\":\"buffer_rerequest\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}}}"
+            ))?,
+            EventKind::BufferFallback { occupancy } => out.entry(format_args!(
+                "\"name\":\"buffer_fallback\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"occupancy\":{occupancy}}}"
+            ))?,
+            EventKind::PacketInReceived { xid, bytes, buffered } => {
+                out.entry(format_args!(
+                    "\"name\":\"packet_in_received\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"bytes\":{bytes},\"buffered\":{buffered}}}"
+                ))?;
+                out.entry(format_args!(
+                    "\"name\":\"flow-setup\",\"cat\":\"flow-setup\",\"ph\":\"t\",\"id\":{},\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts}",
+                    flow_id(pid, xid)
+                ))?;
+                match find(&mut handling, xid) {
+                    Some(i) => handling[i] = (xid, at, at),
+                    None => handling.push((xid, at, at)),
+                }
+            }
+            EventKind::Decision { xid, action } => {
+                out.entry(format_args!(
+                    "\"name\":\"decide: {action}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"xid\":{xid}}}"
+                ))?;
+                if let Some(i) = find(&mut handling, xid) {
+                    handling[i].2 = handling[i].2.max(at);
+                }
+            }
+            EventKind::FlowModSent { xid } | EventKind::PacketOutSent { xid, .. } => {
+                if let Some(i) = find(&mut handling, xid) {
+                    handling[i].2 = handling[i].2.max(at);
+                }
+            }
+            EventKind::CtrlMsg { dir, xid, bytes, label, arrive } => {
+                out.entry(format_args!(
+                    "\"name\":\"{label}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{TID_CHANNEL},\"ts\":{ts},\"dur\":{},\"args\":{{\"xid\":{xid},\"bytes\":{bytes},\"dir\":\"{}\"}}",
+                    dur_us(at, arrive),
+                    dir.label()
+                ))?;
+                if matches!(label, "packet_in" | "flow_mod" | "packet_out") {
+                    out.entry(format_args!(
+                        "\"name\":\"flow-setup\",\"cat\":\"flow-setup\",\"ph\":\"t\",\"id\":{},\"pid\":{pid},\"tid\":{TID_CHANNEL},\"ts\":{ts}",
+                        flow_id(pid, xid)
+                    ))?;
+                }
+            }
+            EventKind::CtrlDrop { dir, xid, bytes, label } => out.entry(format_args!(
+                "\"name\":\"drop {label}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_CHANNEL},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"bytes\":{bytes},\"dir\":\"{}\"}}",
+                dir.label()
+            ))?,
+        }
+    }
+
+    // The controller's per-xid handling spans, in first-ingest order.
+    for (xid, start, end) in handling {
+        out.entry(format_args!(
+            "\"name\":\"handle xid {xid}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{},\"dur\":{},\"args\":{{\"xid\":{xid}}}",
+            ts_us(start),
+            dur_us(start, end)
+        ))?;
+    }
+    Ok(())
+}
+
+/// One sampling window of [`sample_series`]: instantaneous gauges at the
+/// window's end plus per-window control-channel throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Window end (exclusive).
+    pub t: Nanos,
+    /// Buffer occupancy (packets) as of the last buffer event seen.
+    pub occupancy: usize,
+    /// Flow-table size as of the last table event seen.
+    pub table_size: usize,
+    /// Switch→controller load within the window, Mbps.
+    pub to_controller_mbps: f64,
+    /// Controller→switch load within the window, Mbps.
+    pub to_switch_mbps: f64,
+}
+
+/// Buckets an event stream into windows of `every`, tracking buffer
+/// occupancy, flow-table size, and per-direction control-channel
+/// throughput. Gauges carry forward across empty windows; the final
+/// partial window is emitted too.
+///
+/// # Panics
+///
+/// Panics when `every` is zero.
+pub fn sample_series(events: &[Event], every: Nanos) -> Vec<Sample> {
+    assert!(every > Nanos::ZERO, "sampling interval must be positive");
+    // Emission order is call order, and a component may emit with a
+    // timestamp in its near future (e.g. a rule's effective instant), so
+    // order by time first — stably, to keep ties deterministic.
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by_key(|e| e.at);
+    let events = ordered;
+    let mut samples = Vec::new();
+    let mut occupancy = 0usize;
+    let mut table_size = 0usize;
+    let mut bytes_to_controller = 0u64;
+    let mut bytes_to_switch = 0u64;
+    let mut window_end = every;
+    let window_secs = every.as_secs_f64();
+    let mbps = |bytes: u64| bytes as f64 * 8.0 / window_secs / 1e6;
+
+    for event in &events {
+        while event.at >= window_end {
+            samples.push(Sample {
+                t: window_end,
+                occupancy,
+                table_size,
+                to_controller_mbps: mbps(bytes_to_controller),
+                to_switch_mbps: mbps(bytes_to_switch),
+            });
+            bytes_to_controller = 0;
+            bytes_to_switch = 0;
+            window_end += every;
+        }
+        match event.kind {
+            EventKind::BufferEnqueue { occupancy: o, .. }
+            | EventKind::BufferDrain { occupancy: o, .. }
+            | EventKind::BufferRerequest { occupancy: o, .. }
+            | EventKind::BufferFallback { occupancy: o } => occupancy = o,
+            EventKind::FlowRuleInstalled { table_size: t, .. }
+            | EventKind::FlowRuleEvicted { table_size: t }
+            | EventKind::FlowRuleExpired { table_size: t } => table_size = t,
+            EventKind::CtrlMsg { dir, bytes, .. } => match dir {
+                ChannelDir::ToController => bytes_to_controller += bytes as u64,
+                ChannelDir::ToSwitch => bytes_to_switch += bytes as u64,
+            },
+            _ => {}
+        }
+    }
+    if !events.is_empty() {
+        samples.push(Sample {
+            t: window_end,
+            occupancy,
+            table_size,
+            to_controller_mbps: mbps(bytes_to_controller),
+            to_switch_mbps: mbps(bytes_to_switch),
+        });
+    }
+    samples
+}
+
+/// Writes samples as TSV (`results/*.tsv` style): header then one row per
+/// window. Times are milliseconds with microsecond precision, rendered by
+/// integer math for byte determinism.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_series_tsv(samples: &[Sample], w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "t_ms\tbuffer_occupancy\tflow_table_size\tto_controller_mbps\tto_switch_mbps"
+    )?;
+    for s in samples {
+        let ns = s.t.as_nanos();
+        writeln!(
+            w,
+            "{}.{:03}\t{}\t{}\t{:.3}\t{:.3}",
+            ns / 1_000_000,
+            (ns / 1000) % 1000,
+            s.occupancy,
+            s.table_size,
+            s.to_controller_mbps,
+            s.to_switch_mbps
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufferMode, Experiment, ExperimentConfig, WorkloadKind};
+    use sdnbuf_sim::BitRate;
+
+    fn traced_run() -> Vec<Event> {
+        let (_result, events) = Experiment::new(ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: 16 },
+            workload: WorkloadKind::single_packet_flows(10),
+            sending_rate: BitRate::from_mbps(20),
+            seed: 3,
+            ..ExperimentConfig::default()
+        })
+        .run_traced();
+        events
+    }
+
+    #[test]
+    fn traced_run_produces_events_of_every_layer() {
+        let events = traced_run();
+        assert!(!events.is_empty());
+        let has = |pred: fn(&EventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+        assert!(has(|k| matches!(k, EventKind::LinkTx { .. })), "link layer");
+        assert!(has(|k| matches!(k, EventKind::TableMiss { .. })), "switch");
+        assert!(
+            has(|k| matches!(k, EventKind::BufferEnqueue { .. })),
+            "buffer"
+        );
+        assert!(
+            has(|k| matches!(k, EventKind::PacketInReceived { .. })),
+            "controller"
+        );
+        assert!(has(|k| matches!(k, EventKind::CtrlMsg { .. })), "channel");
+        assert!(has(|k| matches!(k, EventKind::BufferDrain { .. })), "drain");
+    }
+
+    #[test]
+    fn jsonl_export_is_line_per_event_with_prefix() {
+        let events = traced_run();
+        let mut buf = Vec::new();
+        let n = write_events_jsonl(&events, &run_prefix("buffer-16", 20, 0), &mut buf).unwrap();
+        assert_eq!(n, events.len() as u64);
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for line in &lines {
+            assert!(
+                line.starts_with(
+                    "{\"run\":{\"mode\":\"buffer-16\",\"rate_mbps\":20,\"rep\":0},\"at\":"
+                ),
+                "{line}"
+            );
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn timeline_contains_linked_flow_spans() {
+        let events = traced_run();
+        let mut buf = Vec::new();
+        export_run_timeline("buffer-16", 20, events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"s\""), "flow start");
+        assert!(text.contains("\"ph\":\"t\""), "flow step");
+        assert!(text.contains("\"ph\":\"f\""), "flow finish");
+        assert!(text.contains("\"name\":\"install_rule\""));
+        assert!(text.contains("\"name\":\"handle xid"));
+        assert!(text.contains("\"name\":\"channel\""));
+    }
+
+    #[test]
+    fn sampler_windows_and_carries_gauges() {
+        let events = [
+            Event {
+                at: Nanos::from_millis(1),
+                kind: EventKind::BufferEnqueue {
+                    buffer_id: 1,
+                    occupancy: 3,
+                    fresh: true,
+                },
+            },
+            Event {
+                at: Nanos::from_millis(1),
+                kind: EventKind::CtrlMsg {
+                    dir: ChannelDir::ToController,
+                    xid: 1,
+                    bytes: 125_000,
+                    label: "packet_in",
+                    arrive: Nanos::from_millis(2),
+                },
+            },
+            Event {
+                at: Nanos::from_millis(25),
+                kind: EventKind::FlowRuleInstalled {
+                    xid: 1,
+                    effective_at: Nanos::from_millis(26),
+                    table_size: 7,
+                },
+            },
+        ];
+        let samples = sample_series(&events, Nanos::from_millis(10));
+        assert_eq!(samples.len(), 3);
+        // Window 1: the enqueue + 125 kB in 10 ms = 100 Mbps.
+        assert_eq!(samples[0].occupancy, 3);
+        assert!((samples[0].to_controller_mbps - 100.0).abs() < 1e-9);
+        // Window 2: gauges carry, no new bytes.
+        assert_eq!(samples[1].occupancy, 3);
+        assert_eq!(samples[1].to_controller_mbps, 0.0);
+        assert_eq!(samples[1].table_size, 0);
+        // Window 3: the rule install shows up.
+        assert_eq!(samples[2].table_size, 7);
+
+        let mut buf = Vec::new();
+        write_series_tsv(&samples, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("t_ms\tbuffer_occupancy"), "{text}");
+        assert!(text.contains("10.000\t3\t0\t100.000\t0.000"), "{text}");
+    }
+
+    #[test]
+    fn empty_stream_yields_no_samples() {
+        assert!(sample_series(&[], Nanos::from_millis(1)).is_empty());
+    }
+}

@@ -1,7 +1,8 @@
 //! Markdown report generation: renders sweep results into the
 //! `EXPERIMENTS.md`-style paper-vs-measured format automatically.
 
-use crate::{figures, RunResult, SweepResult};
+use crate::{figures, observe, RunResult, SweepResult};
+use sdnbuf_metrics::TimeSeries;
 use std::fmt::Write as _;
 
 /// Renders one run as a markdown definition list.
@@ -99,6 +100,54 @@ pub fn sweep_markdown(title: &str, sweep: &SweepResult) -> String {
     out
 }
 
+/// Renders an occupancy-over-time section from a sampled event stream
+/// (see [`observe::sample_series`]): one sparkline per series scaled to
+/// its own peak, plus the headline numbers. Looks *inside* a run where the
+/// sweep tables only report per-run aggregates — e.g. the buffer-16 cell
+/// at 100 Mbps shows the buffer pinned at capacity while `packet_in`
+/// traffic saturates the channel.
+pub fn occupancy_markdown(title: &str, samples: &[observe::Sample]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}\n");
+    if samples.is_empty() {
+        let _ = writeln!(out, "(no samples — run was not traced)");
+        return out;
+    }
+    let mut occupancy = TimeSeries::new();
+    let mut table_size = TimeSeries::new();
+    let mut to_ctrl = TimeSeries::new();
+    let mut to_switch = TimeSeries::new();
+    for s in samples {
+        occupancy.record(s.t, s.occupancy as f64);
+        table_size.record(s.t, s.table_size as f64);
+        to_ctrl.record(s.t, s.to_controller_mbps);
+        to_switch.record(s.t, s.to_switch_mbps);
+    }
+    let span_ms = samples.last().expect("non-empty").t.as_millis_f64();
+    let _ = writeln!(
+        out,
+        "{} windows spanning {span_ms:.0} ms of virtual time; sparklines\n\
+         scale each series to its own peak.\n",
+        samples.len()
+    );
+    let _ = writeln!(out, "| series | peak | over time |");
+    let _ = writeln!(out, "|---|---|---|");
+    let peak = |s: &TimeSeries| s.points().iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let mut row = |name: &str, unit: &str, s: &TimeSeries| {
+        let _ = writeln!(
+            out,
+            "| {name} | {:.1} {unit} | `{}` |",
+            peak(s),
+            s.sparkline(60)
+        );
+    };
+    row("buffer occupancy", "units", &occupancy);
+    row("flow-table size", "rules", &table_size);
+    row("control load, switch → controller", "Mbps", &to_ctrl);
+    row("control load, controller → switch", "Mbps", &to_switch);
+    out
+}
+
 /// Renders the full paper-reproduction report (both sweeps + claims).
 pub fn full_report(section_iv: &SweepResult, section_v: &SweepResult) -> String {
     let mut out = String::new();
@@ -145,6 +194,26 @@ mod tests {
         assert!(md.contains("buffer-64"));
         assert!(md.contains("10/10"));
         assert!(md.contains("flow setup delay"));
+    }
+
+    #[test]
+    fn occupancy_section_renders_sparklines() {
+        let (_, events) = Experiment::new(ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: 16 },
+            workload: WorkloadKind::single_packet_flows(50),
+            sending_rate: BitRate::from_mbps(100),
+            seed: 1,
+            ..ExperimentConfig::default()
+        })
+        .run_traced();
+        let samples = crate::observe::sample_series(&events, sdnbuf_sim::Nanos::from_millis(1));
+        let md = occupancy_markdown("Inside one run", &samples);
+        assert!(md.contains("## Inside one run"));
+        assert!(md.contains("buffer occupancy"));
+        assert!(md.contains("switch → controller"));
+        // At least one sparkline has a visible bar.
+        assert!(md.contains('█') || md.contains('▁'));
+        assert!(occupancy_markdown("Empty", &[]).contains("no samples"));
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The Fig. 1 testbed: two hosts, one switch, one controller, metered
 //! links, and the deterministic event loop that drives them.
 
+use crate::trace::MsgDesc;
 use crate::{Direction, RunResult, TraceLog};
 use sdnbuf_controller::{Controller, ControllerConfig, ControllerOutput, ParsedHeaders};
 use sdnbuf_metrics::ByteMeter;
 use sdnbuf_net::{FlowKey, Packet, PacketBuilder, Payload};
 use sdnbuf_openflow::{OfpMessage, PortNo};
-use sdnbuf_sim::{EventQueue, Link, LinkConfig, MultiQueueLink, Nanos, QueueConfig};
+use sdnbuf_sim::{
+    ChannelDir, EventKind, EventQueue, Link, LinkConfig, MultiQueueLink, Nanos, QueueConfig, Tracer,
+};
 use sdnbuf_switch::{Switch, SwitchConfig, SwitchOutput};
 use sdnbuf_workload::{Departure, HostAddr};
 use std::collections::HashMap;
@@ -196,6 +199,13 @@ enum EgressLink {
 }
 
 impl EgressLink {
+    fn set_tracer(&mut self, tracer: Tracer, label: &'static str) {
+        match self {
+            EgressLink::Fifo(link) => link.set_tracer(tracer, label),
+            EgressLink::Qos(link) => link.set_tracer(tracer, label),
+        }
+    }
+
     fn enqueue(&mut self, now: Nanos, queue: Option<u32>, bytes: usize) -> Option<Nanos> {
         match self {
             EgressLink::Fifo(link) => link.enqueue(now, bytes),
@@ -231,6 +241,7 @@ pub struct Testbed {
     data_drops: u64,
     ctrl_msg_seq: u64,
     trace: TraceLog,
+    tracer: Tracer,
     // Measurement state.
     records: HashMap<PacketId, PacketTimes>,
     pkt_in_sent: HashMap<u32, (Nanos, Option<FlowKey>)>,
@@ -269,6 +280,7 @@ impl Testbed {
             data_drops: 0,
             ctrl_msg_seq: 0,
             trace: TraceLog::new(config.trace_capacity),
+            tracer: Tracer::off(),
             records: HashMap::new(),
             pkt_in_sent: HashMap::new(),
             controller_delay_of_flow: HashMap::new(),
@@ -302,6 +314,23 @@ impl Testbed {
     /// The control-channel trace (empty unless `trace_capacity` was set).
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// Attaches a structured event tracer to the whole testbed: the
+    /// switch (bus, flow table, buffer mechanism), the controller (ingest
+    /// bus, decisions), every data link, and both control-channel
+    /// directions. Call before [`Testbed::run`]; tracing is off by default
+    /// and costs one branch per potential event when disabled.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.switch.set_tracer(tracer.clone());
+        self.controller.set_tracer(tracer.clone());
+        self.host1_to_sw.set_tracer(tracer.clone(), "h1->sw");
+        self.host2_to_sw.set_tracer(tracer.clone(), "h2->sw");
+        self.sw_to_host1.set_tracer(tracer.clone(), "sw->h1");
+        self.sw_to_host2.set_tracer(tracer.clone(), "sw->h2");
+        self.sw_to_ctrl.set_tracer(tracer.clone(), "sw->ctl");
+        self.ctrl_to_sw.set_tracer(tracer.clone(), "ctl->sw");
+        self.tracer = tracer;
     }
 
     /// The per-packet trace recorded during the run: when each workload
@@ -477,18 +506,50 @@ impl Testbed {
             }
             Event::CtrlFromSwitch { xid, msg } => {
                 let len = msg.wire_len();
+                let label = MsgDesc::of(&msg).label();
                 self.trace.record(now, Direction::ToController, xid, &msg);
                 if now >= self.data_start {
                     self.meter_to_controller.record(now, len);
                 }
                 if self.inject_ctrl_loss() {
+                    self.tracer.emit(
+                        now,
+                        EventKind::CtrlDrop {
+                            dir: ChannelDir::ToController,
+                            xid,
+                            bytes: len,
+                            label,
+                        },
+                    );
                     return;
                 }
                 match self.sw_to_ctrl.enqueue(now, len) {
-                    Some(arrival) => self
-                        .queue
-                        .schedule(arrival, Event::CtrlAtController { xid, msg }),
-                    None => self.ctrl_drops += 1,
+                    Some(arrival) => {
+                        self.tracer.emit(
+                            now,
+                            EventKind::CtrlMsg {
+                                dir: ChannelDir::ToController,
+                                xid,
+                                bytes: len,
+                                label,
+                                arrive: arrival,
+                            },
+                        );
+                        self.queue
+                            .schedule(arrival, Event::CtrlAtController { xid, msg })
+                    }
+                    None => {
+                        self.tracer.emit(
+                            now,
+                            EventKind::CtrlDrop {
+                                dir: ChannelDir::ToController,
+                                xid,
+                                bytes: len,
+                                label,
+                            },
+                        );
+                        self.ctrl_drops += 1
+                    }
                 }
             }
             Event::CtrlAtController { xid, msg } => {
@@ -507,18 +568,50 @@ impl Testbed {
             }
             Event::CtrlFromController { xid, msg } => {
                 let len = msg.wire_len();
+                let label = MsgDesc::of(&msg).label();
                 self.trace.record(now, Direction::ToSwitch, xid, &msg);
                 if now >= self.data_start {
                     self.meter_to_switch.record(now, len);
                 }
                 if self.inject_ctrl_loss() {
+                    self.tracer.emit(
+                        now,
+                        EventKind::CtrlDrop {
+                            dir: ChannelDir::ToSwitch,
+                            xid,
+                            bytes: len,
+                            label,
+                        },
+                    );
                     return;
                 }
                 match self.ctrl_to_sw.enqueue(now, len) {
-                    Some(arrival) => self
-                        .queue
-                        .schedule(arrival, Event::CtrlAtSwitch { xid, msg }),
-                    None => self.ctrl_drops += 1,
+                    Some(arrival) => {
+                        self.tracer.emit(
+                            now,
+                            EventKind::CtrlMsg {
+                                dir: ChannelDir::ToSwitch,
+                                xid,
+                                bytes: len,
+                                label,
+                                arrive: arrival,
+                            },
+                        );
+                        self.queue
+                            .schedule(arrival, Event::CtrlAtSwitch { xid, msg })
+                    }
+                    None => {
+                        self.tracer.emit(
+                            now,
+                            EventKind::CtrlDrop {
+                                dir: ChannelDir::ToSwitch,
+                                xid,
+                                bytes: len,
+                                label,
+                            },
+                        );
+                        self.ctrl_drops += 1
+                    }
                 }
             }
             Event::CtrlAtSwitch { xid, msg } => {

@@ -1,8 +1,16 @@
 //! Control-plane transaction tracing — a readable log of every OpenFlow
 //! message that crossed the control channel, for debugging and teaching.
+//!
+//! Since the observability rework this log is a thin *view* over the
+//! structured event stream: each entry stores a compact, `Copy`
+//! [`MsgDesc`] instead of an eagerly formatted `String`, and rendering is
+//! deferred to [`TraceLog::to_text`]. A log can also be reconstructed
+//! after the fact from recorded [`Event`]s via [`TraceLog::from_events`].
 
-use sdnbuf_openflow::OfpMessage;
-use sdnbuf_sim::Nanos;
+use sdnbuf_openflow::msg::FlowModCommand;
+use sdnbuf_openflow::{BufferId, Match, MsgType, OfpMessage, PortNo};
+use sdnbuf_sim::{ChannelDir, Event, EventKind, Nanos};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Which way a control message travelled.
@@ -23,8 +31,149 @@ impl fmt::Display for Direction {
     }
 }
 
+impl From<ChannelDir> for Direction {
+    fn from(dir: ChannelDir) -> Direction {
+        match dir {
+            ChannelDir::ToController => Direction::ToController,
+            ChannelDir::ToSwitch => Direction::ToSwitch,
+        }
+    }
+}
+
+/// A compact, allocation-free description of a control message, captured
+/// at record time and formatted only when the log is rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgDesc {
+    /// A `packet_in`: buffer reference, carried bytes, original size, port.
+    PacketIn {
+        /// Buffer the miss packet was filed under (or `NO_BUFFER`).
+        buffer_id: BufferId,
+        /// Bytes carried in the message.
+        data_len: u32,
+        /// Original packet size on the wire.
+        total_len: u32,
+        /// Ingress port of the miss packet.
+        in_port: PortNo,
+    },
+    /// A `packet_out`: buffer reference, action count, inline data bytes.
+    PacketOut {
+        /// Buffer the release applies to (or `NO_BUFFER`).
+        buffer_id: BufferId,
+        /// Number of actions attached.
+        actions: u16,
+        /// Inline payload bytes (0 when releasing a buffered packet).
+        data_len: u32,
+    },
+    /// A `flow_mod`: command plus the rule's match.
+    FlowMod {
+        /// Add / modify / delete.
+        command: FlowModCommand,
+        /// The rule's match fields.
+        match_fields: Match,
+    },
+    /// Any other message, described by its type alone.
+    Other(MsgType),
+    /// A message reconstructed from the event stream, where only its
+    /// snake_case label survives (see [`TraceLog::from_events`]).
+    Label(&'static str),
+}
+
+impl MsgDesc {
+    /// Captures the description of a message (no allocation).
+    pub fn of(msg: &OfpMessage) -> MsgDesc {
+        match msg {
+            OfpMessage::PacketIn(p) => MsgDesc::PacketIn {
+                buffer_id: p.buffer_id,
+                data_len: p.data.len() as u32,
+                total_len: p.total_len as u32,
+                in_port: p.in_port,
+            },
+            OfpMessage::PacketOut(p) => MsgDesc::PacketOut {
+                buffer_id: p.buffer_id,
+                actions: p.actions.len() as u16,
+                data_len: p.data.len() as u32,
+            },
+            OfpMessage::FlowMod(m) => MsgDesc::FlowMod {
+                command: m.command,
+                match_fields: m.match_fields,
+            },
+            other => MsgDesc::Other(other.msg_type()),
+        }
+    }
+
+    /// The message's snake_case label, as used in the structured event
+    /// stream (`ctrl_msg` events).
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgDesc::PacketIn { .. } => "packet_in",
+            MsgDesc::PacketOut { .. } => "packet_out",
+            MsgDesc::FlowMod { .. } => "flow_mod",
+            MsgDesc::Label(label) => label,
+            MsgDesc::Other(t) => match t {
+                MsgType::Hello => "hello",
+                MsgType::Error => "error",
+                MsgType::EchoRequest => "echo_request",
+                MsgType::EchoReply => "echo_reply",
+                MsgType::Vendor => "vendor",
+                MsgType::FeaturesRequest => "features_request",
+                MsgType::FeaturesReply => "features_reply",
+                MsgType::GetConfigRequest => "get_config_request",
+                MsgType::GetConfigReply => "get_config_reply",
+                MsgType::SetConfig => "set_config",
+                MsgType::PacketIn => "packet_in",
+                MsgType::FlowRemoved => "flow_removed",
+                MsgType::PortStatus => "port_status",
+                MsgType::PacketOut => "packet_out",
+                MsgType::FlowMod => "flow_mod",
+                MsgType::PortMod => "port_mod",
+                MsgType::StatsRequest => "stats_request",
+                MsgType::StatsReply => "stats_reply",
+                MsgType::BarrierRequest => "barrier_request",
+                MsgType::BarrierReply => "barrier_reply",
+                MsgType::QueueGetConfigRequest => "queue_get_config_request",
+                MsgType::QueueGetConfigReply => "queue_get_config_reply",
+            },
+        }
+    }
+}
+
+impl fmt::Display for MsgDesc {
+    /// Renders in the same shape [`OfpMessage`]'s own `Display` uses, so
+    /// trace text looks identical to the pre-rework log.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgDesc::PacketIn {
+                buffer_id,
+                data_len,
+                total_len,
+                in_port,
+            } => write!(
+                f,
+                "packet_in({buffer_id}, {data_len}B of {total_len}B, {in_port})"
+            ),
+            MsgDesc::PacketOut {
+                buffer_id,
+                actions,
+                data_len,
+            } => {
+                write!(f, "packet_out({buffer_id}, {actions} actions")?;
+                if *data_len > 0 {
+                    write!(f, ", {data_len}B data")?;
+                }
+                write!(f, ")")
+            }
+            MsgDesc::FlowMod {
+                command,
+                match_fields,
+            } => write!(f, "flow_mod({command:?}, {match_fields})"),
+            MsgDesc::Other(t) => write!(f, "{t}"),
+            MsgDesc::Label(label) => write!(f, "{label}"),
+        }
+    }
+}
+
 /// One control message observed on the channel.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
     /// When it was put on the channel.
     pub at: Nanos,
@@ -34,8 +183,17 @@ pub struct TraceEntry {
     pub xid: u32,
     /// Wire size in bytes.
     pub wire_len: usize,
-    /// Human-readable message description (`packet_in(buf#3, 128B…)`).
-    pub description: String,
+    /// Deferred message description (`packet_in(buf#3, 128B…)` when
+    /// rendered).
+    pub desc: MsgDesc,
+}
+
+impl TraceEntry {
+    /// The rendered human-readable description (allocates; use `desc`
+    /// directly for allocation-free inspection).
+    pub fn description(&self) -> String {
+        self.desc.to_string()
+    }
 }
 
 impl fmt::Display for TraceEntry {
@@ -47,21 +205,23 @@ impl fmt::Display for TraceEntry {
             self.direction,
             self.xid,
             self.wire_len,
-            self.description
+            self.desc
         )
     }
 }
 
-/// A bounded log of control-channel activity.
+/// A bounded ring log of control-channel activity.
 ///
 /// Disabled by default (zero capacity); enable via
 /// [`crate::TestbedConfig::trace_capacity`]. Bounded so a runaway
-/// experiment cannot exhaust memory; older entries win.
+/// experiment cannot exhaust memory; when full, the **oldest** entries are
+/// evicted so the log always shows the most recent window of traffic (the
+/// part a debugging session usually cares about).
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {
     capacity: usize,
-    entries: Vec<TraceEntry>,
-    suppressed: u64,
+    entries: VecDeque<TraceEntry>,
+    dropped_oldest: u64,
 }
 
 impl TraceLog {
@@ -69,8 +229,8 @@ impl TraceLog {
     pub fn new(capacity: usize) -> TraceLog {
         TraceLog {
             capacity,
-            entries: Vec::new(),
-            suppressed: 0,
+            entries: VecDeque::new(),
+            dropped_oldest: 0,
         }
     }
 
@@ -79,46 +239,95 @@ impl TraceLog {
         self.capacity > 0
     }
 
-    /// Records a message (no-op when disabled or full).
+    /// Records a message (no-op when disabled). No allocation per call
+    /// beyond ring growth up to `capacity`.
     pub fn record(&mut self, at: Nanos, direction: Direction, xid: u32, msg: &OfpMessage) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.entries.len() >= self.capacity {
-            self.suppressed += 1;
-            return;
-        }
-        self.entries.push(TraceEntry {
+        self.push(TraceEntry {
             at,
             direction,
             xid,
             wire_len: msg.wire_len(),
-            description: msg.to_string(),
+            desc: MsgDesc::of(msg),
         });
     }
 
-    /// The recorded entries, in channel order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    fn push(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped_oldest += 1;
+        }
+        self.entries.push_back(entry);
     }
 
-    /// Messages that arrived after the log filled up.
+    /// Rebuilds a trace view from a recorded event stream: every
+    /// `ctrl_msg` event becomes an entry (labelled, since the full message
+    /// no longer exists). This is how the log relates to the structured
+    /// observability layer — same data, different lens.
+    pub fn from_events(capacity: usize, events: &[Event]) -> TraceLog {
+        let mut log = TraceLog::new(capacity);
+        for event in events {
+            if let EventKind::CtrlMsg {
+                dir,
+                xid,
+                bytes,
+                label,
+                ..
+            } = event.kind
+            {
+                log.push(TraceEntry {
+                    at: event.at,
+                    direction: dir.into(),
+                    xid,
+                    wire_len: bytes,
+                    desc: MsgDesc::Label(label),
+                });
+            }
+        }
+        log
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Older messages evicted to make room after the ring filled up.
+    pub fn dropped_oldest(&self) -> u64 {
+        self.dropped_oldest
+    }
+
+    /// Alias of [`TraceLog::dropped_oldest`], kept for callers of the
+    /// pre-ring API.
     pub fn suppressed(&self) -> u64 {
-        self.suppressed
+        self.dropped_oldest
     }
 
-    /// Renders the whole log as text, one entry per line.
+    /// Renders the whole log as text, one entry per line (formatting
+    /// happens here, not at record time).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
+        if self.dropped_oldest > 0 {
+            out.push_str(&format!(
+                "... {} older messages dropped\n",
+                self.dropped_oldest
+            ));
+        }
         for e in &self.entries {
             out.push_str(&e.to_string());
             out.push('\n');
-        }
-        if self.suppressed > 0 {
-            out.push_str(&format!(
-                "... {} more messages suppressed\n",
-                self.suppressed
-            ));
         }
         out
     }
@@ -137,12 +346,12 @@ mod tests {
         let mut log = TraceLog::new(0);
         assert!(!log.is_enabled());
         log.record(Nanos::ZERO, Direction::ToSwitch, 1, &msg());
-        assert!(log.entries().is_empty());
-        assert_eq!(log.suppressed(), 0);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped_oldest(), 0);
     }
 
     #[test]
-    fn bounded_capacity_keeps_oldest() {
+    fn bounded_capacity_keeps_newest() {
         let mut log = TraceLog::new(2);
         for i in 0..5 {
             log.record(
@@ -152,11 +361,11 @@ mod tests {
                 &msg(),
             );
         }
-        assert_eq!(log.entries().len(), 2);
-        assert_eq!(log.entries()[0].xid, 0);
-        assert_eq!(log.entries()[1].xid, 1);
+        let xids: Vec<u32> = log.entries().map(|e| e.xid).collect();
+        assert_eq!(xids, [3, 4]);
+        assert_eq!(log.dropped_oldest(), 3);
         assert_eq!(log.suppressed(), 3);
-        assert!(log.to_text().contains("3 more messages suppressed"));
+        assert!(log.to_text().contains("3 older messages dropped"));
     }
 
     #[test]
@@ -168,5 +377,76 @@ mod tests {
         assert!(text.contains("xid=7"), "{text}");
         assert!(text.contains("Hello"), "{text}");
         assert!(text.contains("8B"), "{text}");
+    }
+
+    #[test]
+    fn record_is_allocation_free_per_entry() {
+        // The description is a Copy value, not a String: recording a
+        // packet_in defers all formatting to to_text() time.
+        use sdnbuf_openflow::msg::{PacketIn, PacketInReason};
+        let pin = OfpMessage::PacketIn(PacketIn {
+            buffer_id: BufferId::new(3),
+            total_len: 1000,
+            in_port: PortNo(1),
+            reason: PacketInReason::NoMatch,
+            data: vec![0u8; 128],
+        });
+        let mut log = TraceLog::new(4);
+        log.record(Nanos::from_micros(5), Direction::ToController, 9, &pin);
+        let entry = *log.entries().next().unwrap();
+        assert_eq!(
+            entry.desc,
+            MsgDesc::PacketIn {
+                buffer_id: BufferId::new(3),
+                data_len: 128,
+                total_len: 1000,
+                in_port: PortNo(1),
+            }
+        );
+        assert_eq!(
+            entry.description(),
+            "packet_in(buf#3, 128B of 1000B, port1)"
+        );
+        assert_eq!(entry.desc.label(), "packet_in");
+    }
+
+    #[test]
+    fn view_over_event_stream() {
+        let events = [
+            Event {
+                at: Nanos::from_micros(1),
+                kind: EventKind::TableMiss {
+                    in_port: 1,
+                    bytes: 1000,
+                },
+            },
+            Event {
+                at: Nanos::from_micros(2),
+                kind: EventKind::CtrlMsg {
+                    dir: ChannelDir::ToController,
+                    xid: 7,
+                    bytes: 146,
+                    label: "packet_in",
+                    arrive: Nanos::from_micros(300),
+                },
+            },
+            Event {
+                at: Nanos::from_micros(9),
+                kind: EventKind::CtrlMsg {
+                    dir: ChannelDir::ToSwitch,
+                    xid: 7,
+                    bytes: 80,
+                    label: "flow_mod",
+                    arrive: Nanos::from_micros(400),
+                },
+            },
+        ];
+        let log = TraceLog::from_events(16, &events);
+        assert_eq!(log.len(), 2);
+        let text = log.to_text();
+        assert!(text.contains("sw->ctrl"), "{text}");
+        assert!(text.contains("packet_in"), "{text}");
+        assert!(text.contains("flow_mod"), "{text}");
+        assert!(text.contains("146B"), "{text}");
     }
 }

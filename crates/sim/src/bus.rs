@@ -1,5 +1,6 @@
 //! The ASIC↔CPU bus inside a switch: a single-lane, byte-metered pipe.
 
+use crate::events::{EventKind, Tracer};
 use crate::{BitRate, Nanos};
 
 /// A single-lane byte pipe with FIFO service.
@@ -28,6 +29,8 @@ pub struct Bus {
     busy: Nanos,
     bytes: u64,
     transfers: u64,
+    tracer: Tracer,
+    label: &'static str,
 }
 
 impl Bus {
@@ -39,7 +42,16 @@ impl Bus {
             busy: Nanos::ZERO,
             bytes: 0,
             transfers: 0,
+            tracer: Tracer::off(),
+            label: "bus",
         }
+    }
+
+    /// Attaches an event tracer; `label` names this bus in the stream
+    /// (e.g. `"switch-bus"`).
+    pub fn set_tracer(&mut self, tracer: Tracer, label: &'static str) {
+        self.tracer = tracer;
+        self.label = label;
     }
 
     /// The configured throughput.
@@ -57,6 +69,14 @@ impl Bus {
         self.busy += t;
         self.bytes += bytes as u64;
         self.transfers += 1;
+        self.tracer.emit(
+            now,
+            EventKind::BusTransfer {
+                bus: self.label,
+                bytes,
+                done: self.ready_at,
+            },
+        );
         self.ready_at
     }
 

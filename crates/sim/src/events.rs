@@ -1,0 +1,686 @@
+//! Structured event tracing: typed records instead of eagerly formatted
+//! strings, zero-cost when disabled.
+//!
+//! Every instrumented component holds a [`Tracer`] — a cloneable handle that
+//! is *disabled by default*. A disabled tracer's [`Tracer::emit`] is a single
+//! branch on an `Option` and performs no heap allocation, so the hot path of
+//! an untraced run pays nothing (asserted by a counting-allocator test at the
+//! workspace root). When enabled, the tracer forwards [`Event`] records — a
+//! virtual timestamp plus a plain-data [`EventKind`] — to an [`EventSink`].
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`NullSink`] — discards everything (useful for overhead measurement),
+//! * [`RecordingSink`] — a bounded in-memory buffer drained after the run,
+//! * [`JsonlSink`] — streams one JSON object per event to any [`io::Write`].
+//!
+//! Event kinds cover the three layers of the emulated testbed: the sim
+//! substrate (link and bus transfers), the switch (table misses, rule
+//! install/evict/expire, buffer-slot lifecycle), and the controller
+//! (`packet_in` receipt, decision, `flow_mod`/`packet_out` emission). Flow
+//! setup transactions are linked across layers by the OpenFlow `xid`, which
+//! the controller echoes in its replies.
+//!
+//! Determinism: events are emitted in simulation call order, which is itself
+//! deterministic for a fixed seed, so a recorded stream (and any JSONL
+//! rendering of it) is byte-for-byte reproducible.
+
+use crate::Nanos;
+use std::cell::RefCell;
+use std::fmt;
+use std::io;
+use std::rc::Rc;
+
+/// Direction of a control-channel message, from the switch's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelDir {
+    /// Switch → controller (e.g. `packet_in`, replies).
+    ToController,
+    /// Controller → switch (e.g. `flow_mod`, `packet_out`).
+    ToSwitch,
+}
+
+impl ChannelDir {
+    /// Stable lowercase label used by the JSON encodings.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelDir::ToController => "to_controller",
+            ChannelDir::ToSwitch => "to_switch",
+        }
+    }
+}
+
+/// What happened. All variants are plain `Copy` data — numbers and
+/// `&'static str` labels — so constructing one never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A frame was accepted by a point-to-point link.
+    LinkTx {
+        /// Which link (static label assigned at wiring time).
+        link: &'static str,
+        /// Frame length in bytes.
+        bytes: usize,
+        /// Absolute arrival time at the far end.
+        arrive: Nanos,
+    },
+    /// A frame was tail-dropped by a full link queue.
+    LinkDrop {
+        /// Which link.
+        link: &'static str,
+        /// Frame length in bytes.
+        bytes: usize,
+    },
+    /// Bytes crossed an ASIC↔CPU bus (or the controller's ingest pipe).
+    BusTransfer {
+        /// Which bus.
+        bus: &'static str,
+        /// Transfer size in bytes.
+        bytes: usize,
+        /// Absolute completion time (including queueing).
+        done: Nanos,
+    },
+    /// A frame missed the flow table.
+    TableMiss {
+        /// Ingress port.
+        in_port: u16,
+        /// Frame length in bytes.
+        bytes: usize,
+    },
+    /// A `packet_in` left the switch CPU.
+    PacketInSent {
+        /// Transaction id linking the whole flow-setup exchange.
+        xid: u32,
+        /// Buffer slot carrying the packet, or the no-buffer sentinel.
+        buffer_id: u32,
+        /// Bytes of packet data included in the message.
+        bytes: usize,
+    },
+    /// A flow rule became active in the table.
+    FlowRuleInstalled {
+        /// `flow_mod` transaction id.
+        xid: u32,
+        /// Instant the rule starts matching (after install latency).
+        effective_at: Nanos,
+        /// Table occupancy after the insert.
+        table_size: usize,
+    },
+    /// A rule was evicted to make room for another.
+    FlowRuleEvicted {
+        /// Table occupancy after the eviction + insert.
+        table_size: usize,
+    },
+    /// A rule timed out and was removed.
+    FlowRuleExpired {
+        /// Table occupancy after the removal.
+        table_size: usize,
+    },
+    /// A packet was stored in the switch buffer.
+    BufferEnqueue {
+        /// Slot id handed to the controller.
+        buffer_id: u32,
+        /// Buffer occupancy (packets) after the enqueue.
+        occupancy: usize,
+        /// `true` when the slot was freshly allocated, `false` when the
+        /// packet joined an existing per-flow queue.
+        fresh: bool,
+    },
+    /// A buffer slot was drained by a `packet_out`/`flow_mod`.
+    BufferDrain {
+        /// Transaction id of the releasing message.
+        xid: u32,
+        /// Slot id drained.
+        buffer_id: u32,
+        /// Packets released from the slot.
+        released: usize,
+        /// Buffer occupancy (packets) after the drain.
+        occupancy: usize,
+    },
+    /// A buffered packet's timeout fired and it was re-announced.
+    BufferRerequest {
+        /// Slot id being re-announced.
+        buffer_id: u32,
+        /// Buffer occupancy (packets) at the rerequest.
+        occupancy: usize,
+    },
+    /// The buffer was full; the packet fell back to a full `packet_in`.
+    BufferFallback {
+        /// Buffer occupancy (packets) at the fallback.
+        occupancy: usize,
+    },
+    /// The controller finished ingesting a `packet_in`.
+    PacketInReceived {
+        /// Transaction id of the request.
+        xid: u32,
+        /// Bytes of packet data carried.
+        bytes: usize,
+        /// Whether the packet body stayed buffered at the switch.
+        buffered: bool,
+    },
+    /// The controller decided what to do with a `packet_in`.
+    Decision {
+        /// Transaction id of the request.
+        xid: u32,
+        /// `"install"` (destination known) or `"flood"`.
+        action: &'static str,
+    },
+    /// The controller emitted a `flow_mod` (echoing the request xid).
+    FlowModSent {
+        /// Transaction id, same as the triggering `packet_in`.
+        xid: u32,
+    },
+    /// The controller emitted a `packet_out` (echoing the request xid).
+    PacketOutSent {
+        /// Transaction id, same as the triggering `packet_in`.
+        xid: u32,
+        /// Buffer slot referenced, or the no-buffer sentinel.
+        buffer_id: u32,
+    },
+    /// A control-channel message was put on the wire.
+    CtrlMsg {
+        /// Direction of travel.
+        dir: ChannelDir,
+        /// OpenFlow transaction id.
+        xid: u32,
+        /// Wire length in bytes.
+        bytes: usize,
+        /// Message-type label (e.g. `"packet_in"`).
+        label: &'static str,
+        /// Absolute arrival time at the far end.
+        arrive: Nanos,
+    },
+    /// A control-channel message was dropped (full queue or injected loss).
+    CtrlDrop {
+        /// Direction of travel.
+        dir: ChannelDir,
+        /// OpenFlow transaction id.
+        xid: u32,
+        /// Wire length in bytes.
+        bytes: usize,
+        /// Message-type label.
+        label: &'static str,
+    },
+}
+
+/// One structured trace record: a virtual timestamp plus what happened.
+///
+/// Run identity (sweep cell, repetition, seed) is deliberately *not* stored
+/// per event — it is constant within a run, and the exporters in
+/// `sdnbuf-core` stamp it onto each line at export time instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time the event was emitted.
+    pub at: Nanos,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Appends this event as a JSON fragment `"at":…,"kind":…,…` (no
+    /// surrounding braces) with a stable field order, so renderings are
+    /// byte-for-byte reproducible. Written by hand: the workspace has no
+    /// serialization dependency.
+    pub fn write_json_fields(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "\"at\":{}", self.at.as_nanos());
+        match self.kind {
+            EventKind::LinkTx {
+                link,
+                bytes,
+                arrive,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"link_tx\",\"link\":\"{link}\",\"bytes\":{bytes},\"arrive\":{}",
+                    arrive.as_nanos()
+                );
+            }
+            EventKind::LinkDrop { link, bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"link_drop\",\"link\":\"{link}\",\"bytes\":{bytes}"
+                );
+            }
+            EventKind::BusTransfer { bus, bytes, done } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"bus_transfer\",\"bus\":\"{bus}\",\"bytes\":{bytes},\"done\":{}",
+                    done.as_nanos()
+                );
+            }
+            EventKind::TableMiss { in_port, bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"table_miss\",\"in_port\":{in_port},\"bytes\":{bytes}"
+                );
+            }
+            EventKind::PacketInSent {
+                xid,
+                buffer_id,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"packet_in_sent\",\"xid\":{xid},\"buffer_id\":{buffer_id},\"bytes\":{bytes}"
+                );
+            }
+            EventKind::FlowRuleInstalled {
+                xid,
+                effective_at,
+                table_size,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"flow_rule_installed\",\"xid\":{xid},\"effective_at\":{},\"table_size\":{table_size}",
+                    effective_at.as_nanos()
+                );
+            }
+            EventKind::FlowRuleEvicted { table_size } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"flow_rule_evicted\",\"table_size\":{table_size}"
+                );
+            }
+            EventKind::FlowRuleExpired { table_size } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"flow_rule_expired\",\"table_size\":{table_size}"
+                );
+            }
+            EventKind::BufferEnqueue {
+                buffer_id,
+                occupancy,
+                fresh,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_enqueue\",\"buffer_id\":{buffer_id},\"occupancy\":{occupancy},\"fresh\":{fresh}"
+                );
+            }
+            EventKind::BufferDrain {
+                xid,
+                buffer_id,
+                released,
+                occupancy,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_drain\",\"xid\":{xid},\"buffer_id\":{buffer_id},\"released\":{released},\"occupancy\":{occupancy}"
+                );
+            }
+            EventKind::BufferRerequest {
+                buffer_id,
+                occupancy,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_rerequest\",\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}"
+                );
+            }
+            EventKind::BufferFallback { occupancy } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_fallback\",\"occupancy\":{occupancy}"
+                );
+            }
+            EventKind::PacketInReceived {
+                xid,
+                bytes,
+                buffered,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"packet_in_received\",\"xid\":{xid},\"bytes\":{bytes},\"buffered\":{buffered}"
+                );
+            }
+            EventKind::Decision { xid, action } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"decision\",\"xid\":{xid},\"action\":\"{action}\""
+                );
+            }
+            EventKind::FlowModSent { xid } => {
+                let _ = write!(out, ",\"kind\":\"flow_mod_sent\",\"xid\":{xid}");
+            }
+            EventKind::PacketOutSent { xid, buffer_id } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"packet_out_sent\",\"xid\":{xid},\"buffer_id\":{buffer_id}"
+                );
+            }
+            EventKind::CtrlMsg {
+                dir,
+                xid,
+                bytes,
+                label,
+                arrive,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"ctrl_msg\",\"dir\":\"{}\",\"xid\":{xid},\"bytes\":{bytes},\"label\":\"{label}\",\"arrive\":{}",
+                    dir.label(),
+                    arrive.as_nanos()
+                );
+            }
+            EventKind::CtrlDrop {
+                dir,
+                xid,
+                bytes,
+                label,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"ctrl_drop\",\"dir\":\"{}\",\"xid\":{xid},\"bytes\":{bytes},\"label\":\"{label}\"",
+                    dir.label()
+                );
+            }
+        }
+    }
+
+    /// This event as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push('{');
+        self.write_json_fields(&mut s);
+        s.push('}');
+        s
+    }
+}
+
+/// Receiver of structured events. Implementations decide what to keep.
+pub trait EventSink {
+    /// Accepts one event. Called synchronously from the simulation.
+    fn emit(&mut self, event: Event);
+}
+
+/// Discards every event. Distinct from the executor's progress `NullSink`
+/// (`sdnbuf_core::NullSink`); this one lives at the event layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: Event) {}
+}
+
+/// A bounded in-memory buffer of events. Keeps the *first* `capacity`
+/// events (chronological prefix) and counts the overflow, so a bounded
+/// recording is still a deterministic function of the run.
+#[derive(Clone, Debug, Default)]
+pub struct RecordingSink {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RecordingSink {
+    /// A sink keeping at most `capacity` events (0 means unbounded).
+    pub fn new(capacity: usize) -> Self {
+        RecordingSink {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// An unbounded sink.
+    pub fn unbounded() -> Self {
+        Self::new(0)
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Takes the recorded events, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn emit(&mut self, event: Event) {
+        if self.capacity != 0 && self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(event);
+    }
+}
+
+/// Streams events as JSON Lines to a writer, one object per line. An
+/// optional prefix fragment (e.g. run metadata rendered once) is inserted
+/// at the start of every object.
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    writer: W,
+    prefix: String,
+    scratch: String,
+    written: u64,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// A sink writing bare event objects.
+    pub fn new(writer: W) -> Self {
+        Self::with_prefix(writer, String::new())
+    }
+
+    /// A sink inserting `prefix` (a complete JSON fragment such as
+    /// `"run":{…},`) immediately after the opening brace of every line.
+    pub fn with_prefix(writer: W, prefix: String) -> Self {
+        JsonlSink {
+            writer,
+            prefix,
+            scratch: String::with_capacity(128),
+            written: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: io::Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: Event) {
+        self.scratch.clear();
+        self.scratch.push('{');
+        self.scratch.push_str(&self.prefix);
+        event.write_json_fields(&mut self.scratch);
+        self.scratch.push_str("}\n");
+        // I/O errors cannot be surfaced from the hot path; a failed write
+        // simply stops counting (the exporter checks `written` at the end).
+        if self.writer.write_all(self.scratch.as_bytes()).is_ok() {
+            self.written += 1;
+        }
+    }
+}
+
+/// A cloneable handle to an optional shared [`EventSink`].
+///
+/// Components store one of these and call [`Tracer::emit`] at interesting
+/// points. The default ([`Tracer::off`]) holds no sink: `emit` is then a
+/// branch and nothing else. Handles are `Rc`-shared — the whole testbed,
+/// including its tracer, lives on one worker thread; only the drained
+/// `Vec<Event>` crosses threads.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn EventSink>>>,
+}
+
+impl Tracer {
+    /// The disabled tracer: `emit` does nothing and allocates nothing.
+    pub fn off() -> Tracer {
+        Tracer { sink: None }
+    }
+
+    /// A tracer forwarding to `sink`.
+    pub fn new(sink: Rc<RefCell<dyn EventSink>>) -> Tracer {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Convenience: a tracer backed by a fresh [`RecordingSink`] with the
+    /// given capacity (0 = unbounded), returning both the handle to hand
+    /// out and the shared sink to drain afterwards.
+    pub fn recording(capacity: usize) -> (Tracer, Rc<RefCell<RecordingSink>>) {
+        let sink = Rc::new(RefCell::new(RecordingSink::new(capacity)));
+        let tracer = Tracer::new(sink.clone());
+        (tracer, sink)
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits one event if enabled; a no-op (one branch, zero allocations)
+    /// otherwise.
+    #[inline]
+    pub fn emit(&self, at: Nanos, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().emit(Event { at, kind });
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64) -> Event {
+        Event {
+            at: Nanos::from_nanos(ns),
+            kind: EventKind::TableMiss {
+                in_port: 1,
+                bytes: 1000,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::off();
+        assert!(!t.is_enabled());
+        t.emit(
+            Nanos::ZERO,
+            EventKind::TableMiss {
+                in_port: 1,
+                bytes: 64,
+            },
+        );
+    }
+
+    #[test]
+    fn recording_tracer_collects_in_order() {
+        let (t, sink) = Tracer::recording(0);
+        assert!(t.is_enabled());
+        for i in 0..5 {
+            t.emit(
+                Nanos::from_nanos(i),
+                EventKind::TableMiss {
+                    in_port: i as u16,
+                    bytes: 100,
+                },
+            );
+        }
+        let events = sink.borrow_mut().take();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn bounded_recording_keeps_prefix_and_counts_drops() {
+        let mut sink = RecordingSink::new(3);
+        for i in 0..10 {
+            sink.emit(ev(i));
+        }
+        assert_eq!(sink.events().len(), 3);
+        assert_eq!(sink.events()[0].at, Nanos::from_nanos(0));
+        assert_eq!(sink.events()[2].at, Nanos::from_nanos(2));
+        assert_eq!(sink.dropped(), 7);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let (t, sink) = Tracer::recording(0);
+        let t2 = t.clone();
+        t.emit(Nanos::ZERO, EventKind::FlowModSent { xid: 1 });
+        t2.emit(Nanos::ZERO, EventKind::FlowModSent { xid: 2 });
+        assert_eq!(sink.borrow().events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(ev(42));
+        sink.emit(Event {
+            at: Nanos::from_nanos(43),
+            kind: EventKind::CtrlMsg {
+                dir: ChannelDir::ToController,
+                xid: 7,
+                bytes: 90,
+                label: "packet_in",
+                arrive: Nanos::from_nanos(99),
+            },
+        });
+        assert_eq!(sink.written(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"at":42,"kind":"table_miss","in_port":1,"bytes":1000}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"at":43,"kind":"ctrl_msg","dir":"to_controller","xid":7,"bytes":90,"label":"packet_in","arrive":99}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_prefix_is_inserted_per_line() {
+        let mut sink = JsonlSink::with_prefix(Vec::new(), r#""run":{"rep":0},"#.to_string());
+        sink.emit(ev(1));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text.trim_end(),
+            r#"{"run":{"rep":0},"at":1,"kind":"table_miss","in_port":1,"bytes":1000}"#
+        );
+    }
+
+    #[test]
+    fn json_field_order_is_stable() {
+        let e = Event {
+            at: Nanos::from_nanos(5),
+            kind: EventKind::BufferDrain {
+                xid: 3,
+                buffer_id: 9,
+                released: 2,
+                occupancy: 4,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"at":5,"kind":"buffer_drain","xid":3,"buffer_id":9,"released":2,"occupancy":4}"#
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`Bus`] — a single-lane byte pipe modelling the ASIC↔CPU path inside a
 //!   switch, the contended resource identified by the paper (He et al.,
 //!   SOSR'15) as the root of switch-side control-message latency.
+//! * [`events`] — structured event tracing: a [`Tracer`] handle that is
+//!   zero-cost when disabled, typed [`EventKind`] records, and pluggable
+//!   [`EventSink`] backends (null / recording / streaming JSONL).
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod bus;
+pub mod events;
 mod link;
 mod qos_link;
 mod queue;
@@ -51,6 +55,7 @@ mod rng;
 mod time;
 
 pub use bus::Bus;
+pub use events::{ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, Tracer};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use qos_link::{MultiQueueLink, QueueConfig};
 pub use queue::EventQueue;

@@ -1,6 +1,7 @@
 //! A point-to-point link with finite bandwidth, propagation delay and a
 //! bounded drop-tail FIFO queue.
 
+use crate::events::{EventKind, Tracer};
 use crate::{BitRate, Nanos};
 
 /// Static configuration of a [`Link`].
@@ -77,6 +78,8 @@ pub struct Link {
     /// Instant the serializer finishes everything accepted so far.
     ready_at: Nanos,
     stats: LinkStats,
+    tracer: Tracer,
+    label: &'static str,
 }
 
 impl Link {
@@ -86,7 +89,16 @@ impl Link {
             config,
             ready_at: Nanos::ZERO,
             stats: LinkStats::default(),
+            tracer: Tracer::off(),
+            label: "link",
         }
+    }
+
+    /// Attaches an event tracer; `label` names this link in the stream
+    /// (e.g. `"h1->sw"`).
+    pub fn set_tracer(&mut self, tracer: Tracer, label: &'static str) {
+        self.tracer = tracer;
+        self.label = label;
     }
 
     /// The link's static configuration.
@@ -103,6 +115,13 @@ impl Link {
         if backlog + bytes > self.config.queue_capacity_bytes {
             self.stats.frames_dropped += 1;
             self.stats.bytes_dropped += bytes as u64;
+            self.tracer.emit(
+                now,
+                EventKind::LinkDrop {
+                    link: self.label,
+                    bytes,
+                },
+            );
             return None;
         }
         self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(backlog + bytes);
@@ -112,7 +131,16 @@ impl Link {
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         self.stats.busy += tx;
-        Some(self.ready_at + self.config.propagation)
+        let arrive = self.ready_at + self.config.propagation;
+        self.tracer.emit(
+            now,
+            EventKind::LinkTx {
+                link: self.label,
+                bytes,
+                arrive,
+            },
+        );
+        Some(arrive)
     }
 
     /// Bytes currently waiting to be serialized (fluid approximation:

@@ -1,7 +1,7 @@
 //! A multi-queue egress link with per-queue rate guarantees (HTB-style
 //! bandwidth partitioning, as Open vSwitch QoS configures it).
 
-use crate::{BitRate, Link, LinkConfig, Nanos};
+use crate::{BitRate, Link, LinkConfig, Nanos, Tracer};
 
 /// Configuration of one egress queue of a [`MultiQueueLink`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +67,14 @@ impl MultiQueueLink {
                 })
                 .collect(),
             propagation,
+        }
+    }
+
+    /// Attaches an event tracer to every queue; all queues' transfers are
+    /// emitted under the shared link `label`.
+    pub fn set_tracer(&mut self, tracer: Tracer, label: &'static str) {
+        for q in &mut self.queues {
+            q.set_tracer(tracer.clone(), label);
         }
     }
 

@@ -7,7 +7,7 @@ use sdnbuf_openflow::{
     msg::{self, FlowModCommand, FlowRemoved, PacketIn, PacketInReason, StatsReply, StatsRequest},
     Action, BufferId, FlowBufferExt, Match, MatchView, OfpMessage, PortNo,
 };
-use sdnbuf_sim::{Bus, CpuResource, Nanos};
+use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
 use sdnbuf_switchbuf::{
     BufferMechanism, FlowGranularityBuffer, MissAction, NoBuffer, PacketGranularityBuffer,
 };
@@ -61,6 +61,7 @@ pub struct Switch {
     next_xid: u32,
     miss_send_len: u16,
     stats: SwitchStats,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Switch {
@@ -94,8 +95,17 @@ impl Switch {
             next_xid: 1,
             miss_send_len: config.miss_send_len,
             stats: SwitchStats::default(),
+            tracer: Tracer::off(),
             config,
         }
+    }
+
+    /// Attaches an event tracer, propagating it to the bus and the buffer
+    /// mechanism so the whole switch reports into one stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.bus.set_tracer(tracer.clone(), "switch-bus");
+        self.buffer.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The switch's configuration.
@@ -209,6 +219,13 @@ impl Switch {
         }
         // Slow path: table miss.
         self.stats.table_misses.incr();
+        self.tracer.emit(
+            now,
+            EventKind::TableMiss {
+                in_port: in_port.as_u16(),
+                bytes: wire_len,
+            },
+        );
         let total_len = wire_len as u16;
         let outputs = match self.buffer.on_miss(now, packet.clone(), in_port) {
             MissAction::SendFullPacketIn => {
@@ -258,6 +275,14 @@ impl Switch {
         let xid = self.fresh_xid();
         self.stats.pkt_in_sent.incr();
         self.stats.pkt_in_bytes.add(data.len() as u64);
+        self.tracer.emit(
+            at,
+            EventKind::PacketInSent {
+                xid,
+                buffer_id: buffer_id.as_u32(),
+                bytes: data.len(),
+            },
+        );
         SwitchOutput::ToController {
             at,
             xid,
@@ -279,8 +304,8 @@ impl Switch {
         xid: u32,
     ) -> Vec<SwitchOutput> {
         match msg {
-            OfpMessage::FlowMod(fm) => self.handle_flow_mod(now, fm),
-            OfpMessage::PacketOut(po) => self.handle_packet_out(now, po),
+            OfpMessage::FlowMod(fm) => self.handle_flow_mod(now, fm, xid),
+            OfpMessage::PacketOut(po) => self.handle_packet_out(now, po, xid),
             OfpMessage::SetConfig(c) => {
                 self.cpu.submit(now, self.config.cost_control_misc);
                 self.miss_send_len = c.miss_send_len;
@@ -406,7 +431,7 @@ impl Switch {
         }
     }
 
-    fn handle_flow_mod(&mut self, now: Nanos, fm: msg::FlowMod) -> Vec<SwitchOutput> {
+    fn handle_flow_mod(&mut self, now: Nanos, fm: msg::FlowMod, xid: u32) -> Vec<SwitchOutput> {
         self.stats.flow_mods.incr();
         match fm.command {
             FlowModCommand::Add | FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
@@ -425,15 +450,34 @@ impl Switch {
                 if fm.flags & msg::OFPFF_SEND_FLOW_REM != 0 {
                     rule = rule.with_removal_notification();
                 }
-                match self.table.insert(effective_at, rule) {
-                    InsertOutcome::Evicted(victim) if victim.notify_on_removal => {
-                        vec![self.flow_removed_output(
+                let outcome = self.table.insert(effective_at, rule);
+                self.tracer.emit(
+                    now,
+                    EventKind::FlowRuleInstalled {
+                        xid,
+                        effective_at,
+                        table_size: self.table.len(),
+                    },
+                );
+                match outcome {
+                    InsertOutcome::Evicted(victim) => {
+                        self.tracer.emit(
                             effective_at,
-                            RemovedRule {
-                                rule: victim,
-                                reason: msg::FlowRemovedReason::Delete,
+                            EventKind::FlowRuleEvicted {
+                                table_size: self.table.len(),
                             },
-                        )]
+                        );
+                        if victim.notify_on_removal {
+                            vec![self.flow_removed_output(
+                                effective_at,
+                                RemovedRule {
+                                    rule: victim,
+                                    reason: msg::FlowRemovedReason::Delete,
+                                },
+                            )]
+                        } else {
+                            Vec::new()
+                        }
                     }
                     _ => Vec::new(),
                 }
@@ -473,7 +517,7 @@ impl Switch {
         }
     }
 
-    fn handle_packet_out(&mut self, now: Nanos, po: msg::PacketOut) -> Vec<SwitchOutput> {
+    fn handle_packet_out(&mut self, now: Nanos, po: msg::PacketOut, xid: u32) -> Vec<SwitchOutput> {
         self.stats.pkt_outs.incr();
         if po.buffer_id.is_buffered() {
             // Algorithm 2: release and forward every packet filed under
@@ -481,6 +525,15 @@ impl Switch {
             let parse_done = self.cpu.submit(now, self.config.cost_pkt_out_base);
             let released = self.buffer.release(parse_done, po.buffer_id);
             self.touch_gauge(parse_done);
+            self.tracer.emit(
+                parse_done,
+                EventKind::BufferDrain {
+                    xid,
+                    buffer_id: po.buffer_id.as_u32(),
+                    released: released.len(),
+                    occupancy: self.buffer.occupancy(),
+                },
+            );
             if released.is_empty() {
                 return Vec::new();
             }
@@ -672,6 +725,12 @@ impl Switch {
     pub fn on_timer(&mut self, now: Nanos) -> Vec<SwitchOutput> {
         let mut outputs = Vec::new();
         for removed in self.table.expire(now) {
+            self.tracer.emit(
+                now,
+                EventKind::FlowRuleExpired {
+                    table_size: self.table.len(),
+                },
+            );
             if removed.rule.notify_on_removal {
                 let at = self.cpu.submit(now, self.config.cost_control_misc);
                 let mut out = self.flow_removed_output(at, removed);

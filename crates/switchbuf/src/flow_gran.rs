@@ -3,7 +3,7 @@
 use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
 use sdnbuf_net::{FlowKey, Packet};
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::Nanos;
+use sdnbuf_sim::{EventKind, Nanos, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Clone, Debug)]
@@ -43,6 +43,7 @@ pub struct FlowGranularityBuffer {
     by_id: HashMap<u32, FlowKey>,
     total: usize,
     stats: BufferStats,
+    tracer: Tracer,
 }
 
 impl FlowGranularityBuffer {
@@ -63,6 +64,7 @@ impl FlowGranularityBuffer {
             by_id: HashMap::new(),
             total: 0,
             stats: BufferStats::default(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -111,10 +113,22 @@ impl BufferMechanism for FlowGranularityBuffer {
         // Non-IP traffic has no 5-tuple: not flow-bufferable.
         let Some(key) = FlowKey::of(&packet) else {
             self.stats.fallback_full += 1;
+            self.tracer.emit(
+                now,
+                EventKind::BufferFallback {
+                    occupancy: self.total,
+                },
+            );
             return MissAction::SendFullPacketIn;
         };
         if self.total >= self.capacity {
             self.stats.fallback_full += 1;
+            self.tracer.emit(
+                now,
+                EventKind::BufferFallback {
+                    occupancy: self.total,
+                },
+            );
             return MissAction::SendFullPacketIn;
         }
         // Algorithm 1 line 5: getBufferIdFromMap(p_i).
@@ -130,11 +144,26 @@ impl BufferMechanism for FlowGranularityBuffer {
             self.total += 1;
             self.stats.buffered += 1;
             self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.total);
+            self.tracer.emit(
+                now,
+                EventKind::BufferEnqueue {
+                    buffer_id: buffer_id.as_u32(),
+                    occupancy: self.total,
+                    fresh: false,
+                },
+            );
             // Lines 12–13: if the request timestamp expired, send another
             // packet_in for this flow.
             if now >= queue.last_request_at + self.timeout {
                 queue.last_request_at = now;
                 self.stats.rerequests += 1;
+                self.tracer.emit(
+                    now,
+                    EventKind::BufferRerequest {
+                        buffer_id: buffer_id.as_u32(),
+                        occupancy: self.total,
+                    },
+                );
                 return MissAction::SendBufferedPacketIn { buffer_id };
             }
             return MissAction::Buffered { buffer_id };
@@ -160,6 +189,14 @@ impl BufferMechanism for FlowGranularityBuffer {
         self.total += 1;
         self.stats.buffered += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.total);
+        self.tracer.emit(
+            now,
+            EventKind::BufferEnqueue {
+                buffer_id: buffer_id.as_u32(),
+                occupancy: self.total,
+                fresh: true,
+            },
+        );
         MissAction::SendBufferedPacketIn { buffer_id }
     }
 
@@ -198,6 +235,13 @@ impl BufferMechanism for FlowGranularityBuffer {
         for (_, q) in due {
             q.last_request_at = now;
             self.stats.rerequests += 1;
+            self.tracer.emit(
+                now,
+                EventKind::BufferRerequest {
+                    buffer_id: q.buffer_id.as_u32(),
+                    occupancy: self.total,
+                },
+            );
             let first = q.packets.front().expect("buffered flows are non-empty");
             out.push(Rerequest {
                 buffer_id: q.buffer_id,
@@ -218,6 +262,10 @@ impl BufferMechanism for FlowGranularityBuffer {
 
     fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -2,7 +2,7 @@
 
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::Nanos;
+use sdnbuf_sim::{Nanos, Tracer};
 
 /// A miss-match packet parked in switch buffer memory.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,6 +111,12 @@ pub trait BufferMechanism {
 
     /// Running statistics.
     fn stats(&self) -> BufferStats;
+
+    /// Attaches an event tracer. Mechanisms emit buffer-slot lifecycle
+    /// events (`buffer_enqueue` / `buffer_rerequest` / `buffer_fallback`)
+    /// through it; the default implementation ignores the tracer, so
+    /// mechanisms with no buffer memory need not care.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 #[cfg(test)]

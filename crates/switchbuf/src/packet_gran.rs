@@ -3,7 +3,7 @@
 use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::Nanos;
+use sdnbuf_sim::{EventKind, Nanos, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// The default OpenFlow buffer the paper's Section IV analyses: each
@@ -39,6 +39,7 @@ pub struct PacketGranularityBuffer {
     free_lag: Nanos,
     next_id: u32,
     stats: BufferStats,
+    tracer: Tracer,
 }
 
 impl PacketGranularityBuffer {
@@ -70,6 +71,7 @@ impl PacketGranularityBuffer {
             free_lag,
             next_id: 0,
             stats: BufferStats::default(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -101,6 +103,12 @@ impl BufferMechanism for PacketGranularityBuffer {
         self.reclaim(now);
         if self.units.len() + self.pending_free.len() >= self.capacity {
             self.stats.fallback_full += 1;
+            self.tracer.emit(
+                now,
+                EventKind::BufferFallback {
+                    occupancy: self.units.len() + self.pending_free.len(),
+                },
+            );
             return MissAction::SendFullPacketIn;
         }
         let buffer_id = self.alloc_id();
@@ -118,6 +126,14 @@ impl BufferMechanism for PacketGranularityBuffer {
             .stats
             .peak_occupancy
             .max(self.units.len() + self.pending_free.len());
+        self.tracer.emit(
+            now,
+            EventKind::BufferEnqueue {
+                buffer_id: buffer_id.as_u32(),
+                occupancy: self.units.len() + self.pending_free.len(),
+                fresh: true,
+            },
+        );
         MissAction::SendBufferedPacketIn { buffer_id }
     }
 
@@ -158,6 +174,10 @@ impl BufferMechanism for PacketGranularityBuffer {
 
     fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

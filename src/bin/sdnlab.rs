@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]
+//!              [--events PATH] [--timeline PATH] [--sample-every DUR [--samples PATH]]
 //! sdnlab sweep [--section iv|v] [--reps N] [--threads T]
+//!              [--events PATH] [--timeline PATH]
 //! sdnlab claims [--reps N] [--threads T]
 //! sdnlab help
 //! ```
@@ -13,9 +15,17 @@
 //! Threads: `serial`, `auto` (one worker per CPU), or a worker count; the
 //! default honours `SDNBUF_THREADS` and falls back to `auto`. Results are
 //! identical for every setting.
+//!
+//! Observability: `--events` streams the structured event log as JSONL,
+//! `--timeline` writes a Chrome trace-event file (open it in Perfetto),
+//! `--sample-every` buckets buffer occupancy / table size / control load
+//! into a TSV time series. Setting `SDNBUF_TRACE=<path>` is equivalent to
+//! passing `--events <path>`. All outputs are byte-deterministic for a
+//! fixed seed, at any `--threads` setting.
 
-use sdn_buffer_lab::core::{figures, RateSweep, StderrProgress};
+use sdn_buffer_lab::core::{figures, observe, RateSweep, StderrProgress};
 use sdn_buffer_lab::prelude::*;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
@@ -23,16 +33,27 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]\n\
+                    [--events PATH] [--timeline PATH] [--sample-every DUR [--samples PATH]]\n\
        sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
+                    [--events PATH] [--timeline PATH]\n\
        sdnlab claims [--reps N] [--threads T]\n\
      \n\
      MECH: none | packet:<capacity> | flow:<capacity>[:<timeout_ms>]\n\
      WL:   iv | v | single:<n> | cross:<flows>x<ppf>/<group>\n\
      T:    serial | auto | <worker count>   (default: SDNBUF_THREADS or auto)\n\
+     DUR:  <n>[ns|us|ms|s], default unit ms\n\
+     \n\
+     OBSERVABILITY:\n\
+       --events PATH       structured event log, one JSON object per line\n\
+       --timeline PATH     Chrome trace-event JSON (open at ui.perfetto.dev)\n\
+       --sample-every DUR  TSV time series (occupancy, table size, ctrl Mbps)\n\
+       --samples PATH      where the TSV goes (default results/samples.tsv)\n\
+       SDNBUF_TRACE=PATH   environment fallback for --events\n\
      \n\
      EXAMPLES:\n\
        sdnlab run --buffer packet:256 --rate 80\n\
-       sdnlab run --buffer flow:256:50 --workload v --rate 95\n\
+       sdnlab run --buffer flow:256:50 --workload v --rate 95 --timeline trace.json\n\
+       sdnlab run --buffer packet:16 --rate 100 --sample-every 10ms\n\
        sdnlab sweep --section iv --reps 20 --threads 4\n"
 }
 
@@ -99,6 +120,23 @@ fn parse_workload(s: &str) -> Result<WorkloadKind, ParseError> {
     Err(ParseError(format!("unknown workload '{s}'")))
 }
 
+/// Parses `10ms` / `500us` / `2s` / `100` (plain numbers are milliseconds).
+fn parse_duration(s: &str) -> Result<Nanos, ParseError> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (num, unit) = s.split_at(split);
+    let v: u64 = num
+        .parse()
+        .map_err(|_| ParseError(format!("bad duration '{s}'")))?;
+    match unit {
+        "" | "ms" => Ok(Nanos::from_millis(v)),
+        "us" => Ok(Nanos::from_micros(v)),
+        "ns" => Ok(Nanos::from_nanos(v)),
+        "s" => Ok(Nanos::from_secs(v)),
+        _ => Err(ParseError(format!("bad duration unit in '{s}'"))),
+    }
+}
+
 fn parse_parallelism(s: &str) -> Result<Parallelism, ParseError> {
     match s {
         "serial" => Ok(Parallelism::Serial),
@@ -132,6 +170,27 @@ fn flag(args: &[String], key: &str) -> Result<Option<String>, ParseError> {
     Ok(None)
 }
 
+/// The `--events` flag, falling back to the `SDNBUF_TRACE` environment
+/// variable (empty value = unset).
+fn events_path_flag(args: &[String]) -> Result<Option<String>, ParseError> {
+    match flag(args, "--events")? {
+        Some(p) => Ok(Some(p)),
+        None => Ok(std::env::var("SDNBUF_TRACE").ok().filter(|s| !s.is_empty())),
+    }
+}
+
+/// Opens `path` for writing, creating parent directories as needed.
+fn create(path: &str) -> Result<std::io::BufWriter<std::fs::File>, ParseError> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| ParseError(format!("{path}: {e}")))?;
+        }
+    }
+    std::fs::File::create(path)
+        .map(std::io::BufWriter::new)
+        .map_err(|e| ParseError(format!("{path}: {e}")))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), ParseError> {
     let buffer = match flag(args, "--buffer")? {
         Some(s) => parse_buffer(&s)?,
@@ -153,15 +212,51 @@ fn cmd_run(args: &[String]) -> Result<(), ParseError> {
             .map_err(|_| ParseError(format!("bad seed '{s}'")))?,
         None => 1,
     };
-    let run = Experiment::new(ExperimentConfig {
+    let events_path = events_path_flag(args)?;
+    let timeline_path = flag(args, "--timeline")?;
+    let sample_every = match flag(args, "--sample-every")? {
+        Some(s) => Some(parse_duration(&s)?),
+        None => None,
+    };
+    let samples_path = flag(args, "--samples")?;
+
+    let mut exp = Experiment::new(ExperimentConfig {
         buffer,
         workload,
         sending_rate: BitRate::from_mbps(rate),
         seed,
         ..ExperimentConfig::default()
-    })
-    .run();
+    });
+    let tracing = events_path.is_some() || timeline_path.is_some() || sample_every.is_some();
+    if !tracing {
+        let run = exp.run();
+        println!("{run:#?}");
+        return Ok(());
+    }
+
+    let (run, events) = exp.run_traced();
     println!("{run:#?}");
+    if let Some(path) = &events_path {
+        let mut w = create(path)?;
+        let n = observe::write_events_jsonl(&events, "", &mut w)
+            .map_err(|e| ParseError(format!("{path}: {e}")))?;
+        eprintln!("wrote {n} events to {path}");
+    }
+    if let Some(every) = sample_every {
+        let samples = observe::sample_series(&events, every);
+        let path = samples_path.unwrap_or_else(|| "results/samples.tsv".to_owned());
+        let mut w = create(&path)?;
+        observe::write_series_tsv(&samples, &mut w)
+            .map_err(|e| ParseError(format!("{path}: {e}")))?;
+        eprintln!("wrote {} samples to {path}", samples.len());
+    }
+    if let Some(path) = &timeline_path {
+        let mut w = create(path)?;
+        observe::export_run_timeline(&run.label, rate, events, &mut w)
+            .map_err(|e| ParseError(format!("{path}: {e}")))?;
+        w.flush().map_err(|e| ParseError(format!("{path}: {e}")))?;
+        eprintln!("wrote timeline to {path} (open at https://ui.perfetto.dev)");
+    }
     Ok(())
 }
 
@@ -174,12 +269,32 @@ fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
     };
     let threads = threads_flag(args)?;
     let section = flag(args, "--section")?.unwrap_or_else(|| "iv".to_owned());
-    let sweep = match section.as_str() {
+    let events_path = events_path_flag(args)?;
+    let timeline_path = flag(args, "--timeline")?;
+    let grid = match section.as_str() {
         "iv" => RateSweep::paper_section_iv(reps),
         "v" => RateSweep::paper_section_v(reps),
         other => return Err(ParseError(format!("unknown section '{other}'"))),
-    }
-    .run_with(threads, &StderrProgress::new("sweep"));
+    };
+    let sweep = if events_path.is_some() || timeline_path.is_some() {
+        let (sweep, runs) = grid.run_traced_with(threads, &StderrProgress::new("sweep"));
+        if let Some(path) = &events_path {
+            let mut w = create(path)?;
+            let n = observe::export_sweep_jsonl(&runs, &mut w)
+                .map_err(|e| ParseError(format!("{path}: {e}")))?;
+            eprintln!("wrote {n} events to {path}");
+        }
+        if let Some(path) = &timeline_path {
+            let mut w = create(path)?;
+            observe::export_timeline(&runs, &mut w)
+                .map_err(|e| ParseError(format!("{path}: {e}")))?;
+            w.flush().map_err(|e| ParseError(format!("{path}: {e}")))?;
+            eprintln!("wrote timeline to {path} (open at https://ui.perfetto.dev)");
+        }
+        sweep
+    } else {
+        grid.run_with(threads, &StderrProgress::new("sweep"))
+    };
     println!("{}", figures::fig_control_load_to_controller(&sweep));
     println!("{}", figures::fig_controller_usage(&sweep));
     println!("{}", figures::fig_switch_usage(&sweep));
@@ -277,6 +392,17 @@ mod tests {
         );
         assert!(parse_workload("nope").is_err());
         assert!(parse_workload("cross:10").is_err());
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("10ms").unwrap(), Nanos::from_millis(10));
+        assert_eq!(parse_duration("10").unwrap(), Nanos::from_millis(10));
+        assert_eq!(parse_duration("500us").unwrap(), Nanos::from_micros(500));
+        assert_eq!(parse_duration("3s").unwrap(), Nanos::from_secs(3));
+        assert_eq!(parse_duration("7ns").unwrap(), Nanos::from_nanos(7));
+        assert!(parse_duration("fast").is_err());
+        assert!(parse_duration("10m").is_err());
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub use sdnbuf_core as core;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use sdnbuf_core::{
-        BufferMode, CellKey, Experiment, ExperimentConfig, Metric, Parallelism, ProgressSink,
-        RateSweep, RunResult, SweepBuilder, Testbed, TestbedConfig, WorkloadKind,
+        BufferMode, CellKey, Event, EventKind, Experiment, ExperimentConfig, Metric, Parallelism,
+        ProgressSink, RateSweep, RunEvents, RunResult, SweepBuilder, Testbed, TestbedConfig,
+        Tracer, WorkloadKind,
     };
     pub use sdnbuf_metrics::Summary;
     pub use sdnbuf_sim::{BitRate, Nanos};

@@ -1,0 +1,62 @@
+//! Asserts the *disabled* tracer hot path performs zero heap allocations.
+//!
+//! Every instrumentation point in the testbed calls `Tracer::emit`; when no
+//! sink is attached this must compile down to a branch on an `Option` and
+//! nothing else, so untraced runs pay no observability tax. A counting
+//! wrapper around the system allocator measures the emit loop directly.
+//!
+//! This lives in its own integration-test binary (not `observability.rs`)
+//! because `#[global_allocator]` is per-binary and concurrent tests in the
+//! same binary would perturb the allocation count.
+
+use sdn_buffer_lab::prelude::*;
+use sdn_buffer_lab::sim::ChannelDir;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_tracer_emit_allocates_nothing() {
+    let tracer = Tracer::off();
+    assert!(!tracer.is_enabled());
+    let kind = EventKind::CtrlMsg {
+        dir: ChannelDir::ToController,
+        xid: 42,
+        bytes: 90,
+        label: "packet_in",
+        arrive: Nanos::from_micros(12),
+    };
+
+    // Warm up once so any lazy runtime allocation happens outside the
+    // measured window.
+    tracer.emit(Nanos::ZERO, kind);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100_000u64 {
+        tracer.emit(Nanos::from_nanos(i), kind);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "Tracer::off().emit must not allocate on the heap"
+    );
+}
