@@ -6,7 +6,10 @@ use sdnbuf_core::{BufferMode, Experiment, ExperimentConfig, WorkloadKind};
 use sdnbuf_flowtable::{FlowRule, FlowTable};
 use sdnbuf_net::{Packet, PacketBuilder};
 use sdnbuf_openflow::{msg, BufferId, Match, MatchView, OfpMessage, PortNo};
-use sdnbuf_sim::{events, BitRate, ChannelDir, EventKind, EventSink, JsonlSink, Nanos, Tracer};
+use sdnbuf_sim::{
+    events, BitRate, ChannelDir, EventKind, EventSink, FaultPlan, FaultState, JsonlSink, LossModel,
+    Nanos, Tracer, Window,
+};
 use sdnbuf_switchbuf::{BufferMechanism, FlowGranularityBuffer, PacketGranularityBuffer};
 use std::cell::RefCell;
 use std::hint::black_box;
@@ -171,6 +174,63 @@ fn bench_event_sinks(c: &mut Criterion) {
     });
 }
 
+/// The fault plane sits on every control-message send, so its per-message
+/// decision must stay cheap: the empty plan is the every-run baseline and
+/// a fully loaded plan bounds the worst case (loss + jitter + duplication
+/// + reordering all drawing randomness).
+fn bench_fault_plane(c: &mut Criterion) {
+    c.bench_function("ctrl_effect_empty_plan", |b| {
+        let mut state = FaultState::new(FaultPlan::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            black_box(state.ctrl_effect(Nanos::from_nanos(t), ChannelDir::ToController))
+        })
+    });
+    c.bench_function("ctrl_effect_loaded_plan", |b| {
+        let mut plan = FaultPlan {
+            seed: 7,
+            ..FaultPlan::default()
+        };
+        plan.to_controller.loss = LossModel::Probabilistic(0.1);
+        plan.to_controller.delay = Nanos::from_micros(200);
+        plan.to_controller.jitter = Nanos::from_micros(500);
+        plan.to_controller.duplicate = 0.05;
+        plan.to_controller.reorder = 0.2;
+        plan.to_controller.reorder_by = Nanos::from_micros(300);
+        plan.stalls = vec![Window::new(Nanos::from_millis(55), Nanos::from_millis(58))];
+        let mut state = FaultState::new(plan);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            black_box(state.ctrl_effect(Nanos::from_nanos(t), ChannelDir::ToController))
+        })
+    });
+    c.bench_function("testbed_run_100_flows_faulted", |b| {
+        let mut plan = FaultPlan {
+            seed: 7,
+            ..FaultPlan::default()
+        };
+        plan.to_controller.loss = LossModel::Probabilistic(0.1);
+        plan.to_controller.jitter = Nanos::from_micros(500);
+        plan.to_switch.loss = LossModel::Probabilistic(0.05);
+        b.iter(|| {
+            let mut config = ExperimentConfig {
+                buffer: BufferMode::FlowGranularity {
+                    capacity: 256,
+                    timeout: Nanos::from_millis(20),
+                },
+                workload: WorkloadKind::single_packet_flows(100),
+                sending_rate: BitRate::from_mbps(50),
+                seed: 3,
+                ..ExperimentConfig::default()
+            };
+            config.testbed.faults = plan.clone();
+            black_box(Experiment::new(config).run())
+        })
+    });
+}
+
 fn bench_full_run(c: &mut Criterion) {
     c.bench_function("testbed_run_100_flows_50mbps", |b| {
         b.iter(|| {
@@ -193,6 +253,7 @@ criterion_group!(
     bench_flow_table,
     bench_buffers,
     bench_event_sinks,
+    bench_fault_plane,
     bench_full_run
 );
 criterion_main!(benches);

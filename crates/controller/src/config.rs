@@ -94,6 +94,24 @@ impl ControllerConfig {
             + self.cost_encode
             + self.cost_per_byte * (payload_bytes as u64)
     }
+
+    /// Checks the configuration for values that would wedge or corrupt the
+    /// queueing model at runtime.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpu_cores == 0 {
+            return Err("controller needs at least one CPU core".to_owned());
+        }
+        if !self.contention.is_finite() || self.contention < 0.0 {
+            return Err(format!(
+                "contention factor must be finite and non-negative, got {}",
+                self.contention
+            ));
+        }
+        if self.ingest_rate.as_mbps_f64() <= 0.0 {
+            return Err("controller ingest rate must be positive".to_owned());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +123,26 @@ mod tests {
         let c = ControllerConfig::default();
         assert_eq!(c.cpu_cores, 4);
         assert_eq!(c.rule_idle_timeout, 5);
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_nonsense() {
+        assert!(ControllerConfig::default().validate().is_ok());
+        let c = ControllerConfig {
+            cpu_cores: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ControllerConfig {
+            contention: f64::NAN,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ControllerConfig {
+            contention: -1.0,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,781 @@
+//! Seeded chaos harness over the fault-injection plane.
+//!
+//! Simulation testing in the FoundationDB style: [`ChaosScenario::generate`]
+//! samples a randomized but fully determined scenario from a master seed —
+//! a buffer mechanism, a small cross-sequenced workload and a composable
+//! [`FaultPlan`] — and [`run_scenario`] executes it on a fresh [`Testbed`]
+//! with the recording tracer attached, then checks the event stream against
+//! the protocol invariants in [`check_invariants`].
+//!
+//! Every scenario serializes to a one-line spec ([`ChaosScenario::to_spec`])
+//! that [`ChaosScenario::parse`] restores exactly, so a failing run prints a
+//! single replay command that reproduces the violation byte-identically.
+//! [`minimize`] greedily shrinks a failing plan to a minimal set of faults
+//! that still violates an invariant.
+
+use crate::{BufferMode, RunResult, Testbed, TestbedConfig, WorkloadKind};
+use sdnbuf_openflow::BufferId;
+use sdnbuf_sim::faults::{fmt_dur, parse_dur};
+use sdnbuf_sim::{
+    BitRate, ChannelDir, ChannelFaults, Event, EventKind, FaultPlan, LossModel, Nanos, SimRng,
+    Tracer, Window,
+};
+use sdnbuf_workload::PktgenConfig;
+use std::collections::HashMap;
+
+/// One sampled chaos scenario: everything needed to reproduce a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosScenario {
+    /// Buffer mechanism under test.
+    pub mech: BufferMode,
+    /// Offered workload.
+    pub workload: WorkloadKind,
+    /// Sending rate in Mbps.
+    pub rate_mbps: u64,
+    /// Workload seed (departure jitter).
+    pub seed: u64,
+    /// The fault plan.
+    pub plan: FaultPlan,
+}
+
+impl ChaosScenario {
+    /// Samples scenario `master_seed` for `mech` — a pure function of its
+    /// arguments, so the chaos sweep that found a violation and the replay
+    /// that debugs it construct the same scenario.
+    pub fn generate(master_seed: u64, mech: BufferMode) -> ChaosScenario {
+        let mut rng = SimRng::seed_from(master_seed ^ 0x9e37_79b9_7f4a_7c15);
+        let n_flows = 4 + rng.gen_range(5) as usize;
+        let packets_per_flow = 3 + rng.gen_range(4) as usize;
+        let workload = WorkloadKind::CrossSequenced {
+            n_flows,
+            packets_per_flow,
+            group_size: 2,
+        };
+        let rate_mbps = 20 + 10 * rng.gen_range(8);
+
+        let mut plan = FaultPlan {
+            seed: 1 + rng.gen_range(1_000_000),
+            ..FaultPlan::default()
+        };
+        plan.to_controller.loss = match rng.gen_range(4) {
+            0 => LossModel::None,
+            1 => LossModel::EveryNth(4 + rng.gen_range(17)),
+            _ => LossModel::Probabilistic(0.02 + rng.gen_range(2300) as f64 / 10_000.0),
+        };
+        // Deterministic every-nth loss on the controller→switch path can
+        // phase-lock with flow granularity's two-message re-request cycle
+        // (one flow_mod + one packet_out per cycle) and drop every
+        // packet_out forever, so this direction only samples memoryless
+        // loss — any probability below 1 eventually lets a release through.
+        plan.to_switch.loss = match rng.gen_range(3) {
+            0 => LossModel::None,
+            _ => LossModel::Probabilistic(0.02 + rng.gen_range(1800) as f64 / 10_000.0),
+        };
+        if rng.gen_range(2) == 0 {
+            plan.to_controller.delay = Nanos::from_micros(50 + rng.gen_range(950));
+        }
+        if rng.gen_range(3) == 0 {
+            plan.to_controller.jitter = Nanos::from_micros(100 + rng.gen_range(1900));
+        }
+        if rng.gen_range(2) == 0 {
+            plan.to_switch.delay = Nanos::from_micros(50 + rng.gen_range(950));
+        }
+        if rng.gen_range(3) == 0 {
+            plan.to_switch.jitter = Nanos::from_micros(100 + rng.gen_range(1900));
+        }
+        if rng.gen_range(3) == 0 {
+            plan.to_controller.duplicate = 0.05 + rng.gen_range(1500) as f64 / 10_000.0;
+        }
+        if rng.gen_range(3) == 0 {
+            plan.to_switch.duplicate = 0.05 + rng.gen_range(1500) as f64 / 10_000.0;
+        }
+        if rng.gen_range(3) == 0 {
+            plan.to_controller.reorder = 0.1 + rng.gen_range(2000) as f64 / 10_000.0;
+            plan.to_controller.reorder_by = Nanos::from_micros(200 + rng.gen_range(1300));
+        }
+        if rng.gen_range(3) == 0 {
+            plan.to_switch.reorder = 0.1 + rng.gen_range(2000) as f64 / 10_000.0;
+            plan.to_switch.reorder_by = Nanos::from_micros(200 + rng.gen_range(1300));
+        }
+        // The data phase starts at the 50 ms warm-up gap; windows sampled
+        // around it so they actually overlap traffic.
+        for _ in 0..rng.gen_range(3) {
+            plan.stalls.push(window_near_data_phase(&mut rng, 8));
+        }
+        if rng.gen_range(4) == 0 {
+            plan.flaps.push(window_near_data_phase(&mut rng, 4));
+        }
+        if rng.gen_range(4) == 0 {
+            plan.pressure.push(window_near_data_phase(&mut rng, 8));
+        }
+
+        ChaosScenario {
+            mech,
+            workload,
+            rate_mbps,
+            seed: 1 + rng.gen_range(1_000_000),
+            plan,
+        }
+    }
+
+    /// Serializes the scenario to the one-line spec that
+    /// `sdnlab chaos --replay` accepts. [`ChaosScenario::parse`] restores
+    /// it exactly, field for field.
+    pub fn to_spec(&self) -> String {
+        let mut parts = vec![
+            format!("mech={}", mech_spec(self.mech)),
+            format!("wl={}", wl_spec(&self.workload)),
+            format!("rate={}", self.rate_mbps),
+            format!("seed={}", self.seed),
+        ];
+        let plan = self.plan.to_spec();
+        if !plan.is_empty() {
+            parts.push(plan);
+        }
+        parts.join(",")
+    }
+
+    /// Parses a spec produced by [`ChaosScenario::to_spec`]. Keys the
+    /// scenario does not own are dispatched to [`FaultPlan::apply_kv`].
+    pub fn parse(spec: &str) -> Result<ChaosScenario, String> {
+        let mut mech = None;
+        let mut workload = None;
+        let mut rate_mbps = None;
+        let mut seed = None;
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{part}'"))?;
+            match key {
+                "mech" => mech = Some(parse_mech(value)?),
+                "wl" => workload = Some(parse_wl(value)?),
+                "rate" => {
+                    rate_mbps = Some(value.parse().map_err(|_| format!("bad rate '{value}'"))?);
+                }
+                "seed" => {
+                    seed = Some(value.parse().map_err(|_| format!("bad seed '{value}'"))?);
+                }
+                _ => {
+                    if !plan.apply_kv(key, value)? {
+                        return Err(format!("unknown scenario key '{key}'"));
+                    }
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(ChaosScenario {
+            mech: mech.ok_or_else(|| "scenario spec is missing mech=".to_owned())?,
+            workload: workload.ok_or_else(|| "scenario spec is missing wl=".to_owned())?,
+            rate_mbps: rate_mbps.ok_or_else(|| "scenario spec is missing rate=".to_owned())?,
+            seed: seed.ok_or_else(|| "scenario spec is missing seed=".to_owned())?,
+            plan,
+        })
+    }
+}
+
+/// A window of `1..=max_ms` milliseconds starting inside the data phase
+/// (which begins at the 50 ms warm-up gap).
+fn window_near_data_phase(rng: &mut SimRng, max_ms: u64) -> Window {
+    let from = Nanos::from_millis(48 + rng.gen_range(30));
+    Window::new(from, from + Nanos::from_millis(1 + rng.gen_range(max_ms)))
+}
+
+fn mech_spec(mech: BufferMode) -> String {
+    match mech {
+        BufferMode::NoBuffer => "none".to_owned(),
+        BufferMode::PacketGranularity { capacity } => format!("packet:{capacity}"),
+        BufferMode::FlowGranularity { capacity, timeout } => {
+            format!("flow:{capacity}:{}", fmt_dur(timeout))
+        }
+    }
+}
+
+fn parse_mech(s: &str) -> Result<BufferMode, String> {
+    if s == "none" {
+        return Ok(BufferMode::NoBuffer);
+    }
+    if let Some(c) = s.strip_prefix("packet:") {
+        return Ok(BufferMode::PacketGranularity {
+            capacity: c.parse().map_err(|_| format!("bad capacity '{c}'"))?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("flow:") {
+        let (c, t) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("expected flow:<capacity>:<timeout>, got '{s}'"))?;
+        return Ok(BufferMode::FlowGranularity {
+            capacity: c.parse().map_err(|_| format!("bad capacity '{c}'"))?,
+            timeout: parse_dur(t)?,
+        });
+    }
+    Err(format!(
+        "bad mechanism '{s}' (expected none, packet:<cap> or flow:<cap>:<timeout>)"
+    ))
+}
+
+fn wl_spec(wl: &WorkloadKind) -> String {
+    match *wl {
+        WorkloadKind::SinglePacketFlows { n_flows } => format!("single:{n_flows}"),
+        WorkloadKind::CrossSequenced {
+            n_flows,
+            packets_per_flow,
+            group_size,
+        } => format!("cross:{n_flows}x{packets_per_flow}/{group_size}"),
+        WorkloadKind::TcpEviction {
+            first_burst,
+            idle_gap,
+            second_burst,
+        } => format!("tcp:{first_burst}:{}:{second_burst}", fmt_dur(idle_gap)),
+        WorkloadKind::MixedUdpTcp {
+            n_udp_flows,
+            n_tcp,
+            segments_per_tcp,
+        } => format!("mixed:{n_udp_flows}:{n_tcp}:{segments_per_tcp}"),
+    }
+}
+
+fn parse_wl(s: &str) -> Result<WorkloadKind, String> {
+    let int = |v: &str| -> Result<usize, String> {
+        v.parse().map_err(|_| format!("bad workload number '{v}'"))
+    };
+    let (kind, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad workload '{s}'"))?;
+    match kind {
+        "single" => Ok(WorkloadKind::SinglePacketFlows {
+            n_flows: int(rest)?,
+        }),
+        "cross" => {
+            let bad = || format!("expected cross:<flows>x<pkts>/<group>, got '{s}'");
+            let (nf, tail) = rest.split_once('x').ok_or_else(bad)?;
+            let (pp, g) = tail.split_once('/').ok_or_else(bad)?;
+            Ok(WorkloadKind::CrossSequenced {
+                n_flows: int(nf)?,
+                packets_per_flow: int(pp)?,
+                group_size: int(g)?,
+            })
+        }
+        "tcp" => {
+            let bad = || format!("expected tcp:<first>:<gap>:<second>, got '{s}'");
+            let (first, tail) = rest.split_once(':').ok_or_else(bad)?;
+            let (gap, second) = tail.split_once(':').ok_or_else(bad)?;
+            Ok(WorkloadKind::TcpEviction {
+                first_burst: int(first)?,
+                idle_gap: parse_dur(gap)?,
+                second_burst: int(second)?,
+            })
+        }
+        "mixed" => {
+            let bad = || format!("expected mixed:<udp>:<tcp>:<segments>, got '{s}'");
+            let (udp, tail) = rest.split_once(':').ok_or_else(bad)?;
+            let (tcp, seg) = tail.split_once(':').ok_or_else(bad)?;
+            Ok(WorkloadKind::MixedUdpTcp {
+                n_udp_flows: int(udp)?,
+                n_tcp: int(tcp)?,
+                segments_per_tcp: int(seg)?,
+            })
+        }
+        _ => Err(format!("bad workload kind '{kind}'")),
+    }
+}
+
+/// Runs `scenario` on a fresh testbed with the recording tracer attached
+/// and returns the measurements plus the full event stream.
+///
+/// `rerequest_enabled = false` disables Algorithm 1's re-request lines in
+/// the mechanism under test — the intentionally broken variant the
+/// harness's self-test must catch via the eventual-delivery invariant.
+pub fn execute(scenario: &ChaosScenario, rerequest_enabled: bool) -> (RunResult, Vec<Event>) {
+    let mut cfg = TestbedConfig::default();
+    cfg.switch.buffer = scenario.mech;
+    cfg.faults = scenario.plan.clone();
+    let pktgen = PktgenConfig {
+        rate: BitRate::from_mbps(scenario.rate_mbps),
+        ..PktgenConfig::default()
+    };
+    let departures = scenario.workload.generate(&pktgen, scenario.seed);
+    let mut tb = Testbed::new(cfg);
+    if !rerequest_enabled {
+        tb.switch_mut().buffer_mut().set_rerequest_enabled(false);
+    }
+    let (tracer, sink) = Tracer::recording(0);
+    tb.set_tracer(tracer);
+    let mut result = tb.run(&departures);
+    result.sending_rate_mbps = scenario.rate_mbps as f64;
+    let events = sink.borrow_mut().take();
+    (result, events)
+}
+
+/// One invariant violation found in a run's event stream.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Short stable invariant name (test assertions key on it).
+    pub invariant: &'static str,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+/// Checks a run's event stream and measurements against the protocol
+/// invariants. An empty result means the scenario passed.
+///
+/// The invariants, per the mechanism design in Sections IV–V:
+/// * **packet-conservation** — every sent packet is delivered, dropped on
+///   a data link, still buffered (stranded), or carried inside a dropped
+///   full-packet control message; nothing simply vanishes.
+/// * **occupancy-bound** — the buffer never holds more packets than its
+///   capacity.
+/// * **buffer-bookkeeping** — a `packet_out` never releases more packets
+///   from a `buffer_id` than were filed under it (no double-free, no leak
+///   of slots to foreign flows).
+/// * **single-request-per-flow** — the number of `packet_in`s referencing
+///   a buffer id equals its fresh allocations plus its timeout
+///   re-requests: at most one outstanding request per flow (Algorithm 1).
+/// * **rerequest-before-timeout** — consecutive requests for the same id
+///   are separated by at least the configured timeout.
+/// * **rerequest-accounting** — the run's counter matches the trace.
+/// * **eventual-delivery** / **buffer-id-leak** — flow granularity with
+///   control-channel faults only (loss < 100 %, no flaps, no pressure)
+///   must deliver everything and fully drain its buffer. This is the
+///   invariant that catches a broken re-request loop.
+pub fn check_invariants(
+    mech: BufferMode,
+    plan: &FaultPlan,
+    result: &RunResult,
+    events: &[Event],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let no_buffer = BufferId::NO_BUFFER.as_u32();
+    let (capacity, timeout) = match mech {
+        BufferMode::NoBuffer => (usize::MAX, None),
+        BufferMode::PacketGranularity { capacity } => (capacity, None),
+        BufferMode::FlowGranularity { capacity, timeout } => (capacity, Some(timeout)),
+    };
+
+    let mut outstanding: HashMap<u32, i64> = HashMap::new();
+    let mut fresh_allocs: HashMap<u32, u64> = HashMap::new();
+    let mut rerequests: HashMap<u32, u64> = HashMap::new();
+    let mut pkt_ins: HashMap<u32, u64> = HashMap::new();
+    let mut last_request: HashMap<u32, Nanos> = HashMap::new();
+    let mut pkt_in_buffer: HashMap<u32, u32> = HashMap::new();
+    let mut pkt_out_buffer: HashMap<u32, u32> = HashMap::new();
+    let mut lost_ctrl: u64 = 0;
+
+    for e in events {
+        match e.kind {
+            EventKind::BufferEnqueue {
+                buffer_id,
+                occupancy,
+                fresh,
+            } => {
+                if occupancy > capacity {
+                    violations.push(Violation {
+                        invariant: "occupancy-bound",
+                        detail: format!(
+                            "occupancy {occupancy} exceeds capacity {capacity} at {}",
+                            fmt_dur(e.at)
+                        ),
+                    });
+                }
+                *outstanding.entry(buffer_id).or_insert(0) += 1;
+                if fresh {
+                    *fresh_allocs.entry(buffer_id).or_insert(0) += 1;
+                    last_request.insert(buffer_id, e.at);
+                }
+            }
+            EventKind::BufferRerequest { buffer_id, .. } => {
+                *rerequests.entry(buffer_id).or_insert(0) += 1;
+                if let (Some(timeout), Some(&prev)) = (timeout, last_request.get(&buffer_id)) {
+                    if e.at < prev + timeout {
+                        violations.push(Violation {
+                            invariant: "rerequest-before-timeout",
+                            detail: format!(
+                                "buffer {buffer_id} re-requested after {} < timeout {}",
+                                fmt_dur(e.at - prev),
+                                fmt_dur(timeout)
+                            ),
+                        });
+                    }
+                }
+                last_request.insert(buffer_id, e.at);
+            }
+            EventKind::BufferDrain {
+                buffer_id,
+                released,
+                ..
+            } => {
+                let held = outstanding.entry(buffer_id).or_insert(0);
+                if (released as i64) > *held {
+                    violations.push(Violation {
+                        invariant: "buffer-bookkeeping",
+                        detail: format!(
+                            "buffer {buffer_id} released {released} packets but held {held}"
+                        ),
+                    });
+                }
+                *held -= released as i64;
+                if *held <= 0 {
+                    last_request.remove(&buffer_id);
+                }
+            }
+            EventKind::PacketInSent { xid, buffer_id, .. } => {
+                pkt_in_buffer.insert(xid, buffer_id);
+                if buffer_id != no_buffer {
+                    *pkt_ins.entry(buffer_id).or_insert(0) += 1;
+                }
+            }
+            EventKind::PacketOutSent { xid, buffer_id } => {
+                pkt_out_buffer.insert(xid, buffer_id);
+            }
+            EventKind::CtrlDrop {
+                dir, xid, label, ..
+            } => {
+                // A dropped control message destroys packet data only when
+                // it carried the full packet (the no-buffer sentinel);
+                // buffered flows keep their data at the switch.
+                let carried_data = match (dir, label) {
+                    (ChannelDir::ToController, "packet_in") => {
+                        pkt_in_buffer.get(&xid) == Some(&no_buffer)
+                    }
+                    (ChannelDir::ToSwitch, "packet_out") => {
+                        pkt_out_buffer.get(&xid) == Some(&no_buffer)
+                    }
+                    _ => false,
+                };
+                if carried_data {
+                    lost_ctrl += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (id, &n) in &pkt_ins {
+        let expected =
+            fresh_allocs.get(id).copied().unwrap_or(0) + rerequests.get(id).copied().unwrap_or(0);
+        if n != expected {
+            violations.push(Violation {
+                invariant: "single-request-per-flow",
+                detail: format!(
+                    "buffer {id}: {n} packet_ins for {expected} allocations + re-requests"
+                ),
+            });
+        }
+    }
+
+    let rerequest_total: u64 = rerequests.values().sum();
+    if result.rerequests != rerequest_total {
+        violations.push(Violation {
+            invariant: "rerequest-accounting",
+            detail: format!(
+                "stats counted {} re-requests, trace shows {rerequest_total}",
+                result.rerequests
+            ),
+        });
+    }
+
+    let stranded: i64 = outstanding.values().filter(|&&v| v > 0).sum();
+
+    // `lost_ctrl` can overcount (a duplicate of a dropped message may still
+    // arrive), so conservation is an inequality — a real leak makes the
+    // left side fall short of `sent`.
+    let accounted = result.packets_delivered + result.packets_dropped + stranded as u64 + lost_ctrl;
+    if accounted < result.packets_sent {
+        violations.push(Violation {
+            invariant: "packet-conservation",
+            detail: format!(
+                "sent {} but only {accounted} accounted for (delivered {} + data-dropped {} \
+                 + stranded {stranded} + lost-in-control {lost_ctrl})",
+                result.packets_sent, result.packets_delivered, result.packets_dropped
+            ),
+        });
+    }
+
+    // A duplicated full-packet control message can legitimately deliver the
+    // same packet twice, so the upper bound only holds when no full packet
+    // crossed a duplicating channel.
+    let dup_possible = plan.to_controller.duplicate > 0.0 || plan.to_switch.duplicate > 0.0;
+    let full_packets_in_ctrl = mech == BufferMode::NoBuffer || result.buffer_fallbacks > 0;
+    if result.packets_delivered > result.packets_sent && !(dup_possible && full_packets_in_ctrl) {
+        violations.push(Violation {
+            invariant: "packet-conservation",
+            detail: format!(
+                "delivered {} exceeds sent {}",
+                result.packets_delivered, result.packets_sent
+            ),
+        });
+    }
+
+    let guarantees_delivery =
+        matches!(mech, BufferMode::FlowGranularity { .. }) && !plan.disturbs_data();
+    if guarantees_delivery {
+        if result.packets_delivered < result.packets_sent {
+            violations.push(Violation {
+                invariant: "eventual-delivery",
+                detail: format!(
+                    "flow granularity delivered only {} of {} packets under a \
+                     control-channel-only fault plan",
+                    result.packets_delivered, result.packets_sent
+                ),
+            });
+        }
+        if stranded > 0 {
+            violations.push(Violation {
+                invariant: "buffer-id-leak",
+                detail: format!(
+                    "{stranded} packets still buffered across {} ids after the run",
+                    outstanding.values().filter(|&&v| v > 0).count()
+                ),
+            });
+        }
+    }
+
+    violations
+}
+
+/// The outcome of one chaos scenario.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Measurements of the run.
+    pub result: RunResult,
+    /// Invariant violations; empty means the scenario passed.
+    pub violations: Vec<Violation>,
+    /// FNV-1a digest of the serialized event stream — two runs are
+    /// byte-identical iff their digests match.
+    pub digest: u64,
+}
+
+/// Executes `scenario` and checks every invariant over its event stream.
+pub fn run_scenario(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosReport {
+    let (result, events) = execute(scenario, rerequest_enabled);
+    let violations = check_invariants(scenario.mech, &scenario.plan, &result, &events);
+    let digest = crate::observe::events_digest(&events);
+    ChaosReport {
+        result,
+        violations,
+        digest,
+    }
+}
+
+/// Greedily shrinks a failing scenario's fault plan: tries zeroing each
+/// channel knob and dropping each window, keeps any simplification that
+/// still violates an invariant, and repeats to a fixpoint. The result is
+/// 1-minimal — removing any single remaining fault makes the run pass.
+pub fn minimize(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosScenario {
+    let mut current = scenario.clone();
+    if run_scenario(&current, rerequest_enabled)
+        .violations
+        .is_empty()
+    {
+        return current;
+    }
+    loop {
+        let mut shrunk = false;
+        for candidate in shrink_candidates(&current.plan) {
+            let trial = ChaosScenario {
+                plan: candidate,
+                ..current.clone()
+            };
+            if !run_scenario(&trial, rerequest_enabled)
+                .violations
+                .is_empty()
+            {
+                current = trial;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+fn chan_mut(plan: &mut FaultPlan, to_switch: bool) -> &mut ChannelFaults {
+    if to_switch {
+        &mut plan.to_switch
+    } else {
+        &mut plan.to_controller
+    }
+}
+
+/// Every plan one simplification step away from `plan`.
+fn shrink_candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out: Vec<FaultPlan> = Vec::new();
+    let mut push_if_changed = |p: FaultPlan| {
+        if p != *plan {
+            out.push(p);
+        }
+    };
+    for to_switch in [false, true] {
+        let mut p = plan.clone();
+        chan_mut(&mut p, to_switch).loss = LossModel::None;
+        push_if_changed(p);
+
+        let mut p = plan.clone();
+        let ch = chan_mut(&mut p, to_switch);
+        ch.delay = Nanos::ZERO;
+        ch.jitter = Nanos::ZERO;
+        push_if_changed(p);
+
+        let mut p = plan.clone();
+        chan_mut(&mut p, to_switch).duplicate = 0.0;
+        push_if_changed(p);
+
+        let mut p = plan.clone();
+        let ch = chan_mut(&mut p, to_switch);
+        ch.reorder = 0.0;
+        ch.reorder_by = Nanos::ZERO;
+        push_if_changed(p);
+    }
+    for i in 0..plan.stalls.len() {
+        let mut p = plan.clone();
+        p.stalls.remove(i);
+        out.push(p);
+    }
+    for i in 0..plan.flaps.len() {
+        let mut p = plan.clone();
+        p.flaps.remove(i);
+        out.push(p);
+    }
+    for i in 0..plan.pressure.len() {
+        let mut p = plan.clone();
+        p.pressure.remove(i);
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow_mech() -> BufferMode {
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(50),
+        }
+    }
+
+    fn small_workload() -> WorkloadKind {
+        WorkloadKind::CrossSequenced {
+            n_flows: 4,
+            packets_per_flow: 3,
+            group_size: 2,
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let a = ChaosScenario::generate(7, flow_mech());
+        let b = ChaosScenario::generate(7, flow_mech());
+        assert_eq!(a, b);
+        let c = ChaosScenario::generate(8, flow_mech());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_round_trips_generated_scenarios() {
+        for seed in 0..25 {
+            let s = ChaosScenario::generate(seed, flow_mech());
+            let spec = s.to_spec();
+            assert_eq!(ChaosScenario::parse(&spec).expect(&spec), s, "spec: {spec}");
+        }
+        let s = ChaosScenario::generate(3, BufferMode::PacketGranularity { capacity: 64 });
+        assert_eq!(ChaosScenario::parse(&s.to_spec()).unwrap(), s);
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(ChaosScenario::parse("mech=flow:256:50ms,wl=cross:4x3/2,rate=30").is_err());
+        assert!(ChaosScenario::parse("nonsense").is_err());
+        assert!(ChaosScenario::parse("mech=bogus,wl=cross:4x3/2,rate=30,seed=1").is_err());
+        assert!(
+            ChaosScenario::parse("mech=flow:256:50ms,wl=cross:4x3/2,rate=30,seed=1,zz=1").is_err()
+        );
+    }
+
+    #[test]
+    fn clean_scenarios_pass_every_invariant() {
+        for mech in [BufferMode::PacketGranularity { capacity: 256 }, flow_mech()] {
+            let s = ChaosScenario {
+                mech,
+                workload: small_workload(),
+                rate_mbps: 30,
+                seed: 5,
+                plan: FaultPlan::default(),
+            };
+            let report = run_scenario(&s, true);
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+            assert_eq!(report.result.packets_delivered, report.result.packets_sent);
+        }
+    }
+
+    #[test]
+    fn replay_from_spec_is_byte_identical() {
+        let s = ChaosScenario::generate(3, flow_mech());
+        let a = run_scenario(&s, true);
+        let b = run_scenario(&ChaosScenario::parse(&s.to_spec()).unwrap(), true);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn disabled_rerequest_is_caught_and_minimized() {
+        // Deterministic loss on the packet_in path: with re-request (and
+        // with it the whole of Algorithm 1 lines 12-13) disabled, the
+        // flows whose requests are dropped stay stranded forever.
+        let mut plan = FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        plan.to_controller.loss = LossModel::EveryNth(4);
+        plan.to_controller.delay = Nanos::from_micros(300);
+        let s = ChaosScenario {
+            mech: flow_mech(),
+            workload: small_workload(),
+            rate_mbps: 40,
+            seed: 2,
+            plan,
+        };
+        let report = run_scenario(&s, false);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "eventual-delivery"),
+            "expected an eventual-delivery violation, got {:?}",
+            report.violations
+        );
+
+        // The shrinker must keep the loss (the cause) and drop the delay
+        // (irrelevant), and the minimized scenario must replay
+        // byte-identically from its printed spec.
+        let min = minimize(&s, false);
+        assert_eq!(min.plan.to_controller.delay, Nanos::ZERO);
+        assert!(!min.plan.to_controller.loss.is_none());
+        let a = run_scenario(&min, false);
+        assert!(!a.violations.is_empty());
+        let b = run_scenario(&ChaosScenario::parse(&min.to_spec()).unwrap(), false);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn intact_mechanism_survives_the_same_plan() {
+        let mut plan = FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        plan.to_controller.loss = LossModel::EveryNth(4);
+        let s = ChaosScenario {
+            mech: flow_mech(),
+            workload: small_workload(),
+            rate_mbps: 40,
+            seed: 2,
+            plan,
+        };
+        let report = run_scenario(&s, true);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.result.packets_delivered, report.result.packets_sent);
+    }
+}

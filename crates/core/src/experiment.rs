@@ -134,6 +134,22 @@ impl Default for ExperimentConfig {
     }
 }
 
+impl ExperimentConfig {
+    /// Checks the configuration — including the embedded testbed and its
+    /// fault plan — for values that would panic or wedge the models
+    /// mid-run, so misconfigurations fail loudly at construction instead.
+    pub fn validate(&self) -> Result<(), String> {
+        self.buffer.validate()?;
+        if self.frame_size == 0 {
+            return Err("frame size must be positive".to_owned());
+        }
+        if self.sending_rate.as_mbps_f64() <= 0.0 {
+            return Err("sending rate must be positive".to_owned());
+        }
+        self.testbed.validate()
+    }
+}
+
 /// One experiment: a (buffer, workload, rate, seed) combination.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -142,7 +158,16 @@ pub struct Experiment {
 
 impl Experiment {
     /// Creates the experiment.
+    ///
+    /// # Panics
+    /// If the configuration is invalid — zero buffer capacity, a zero
+    /// frame size, an inconsistent fault plan, or the historical
+    /// `control_loss_one_in: Some(0)` footgun that used to divide by zero
+    /// mid-run.
     pub fn new(config: ExperimentConfig) -> Experiment {
+        if let Err(e) = config.validate() {
+            panic!("invalid ExperimentConfig: {e}");
+        }
         Experiment { config }
     }
 
@@ -852,6 +877,42 @@ mod tests {
     #[should_panic(expected = "at least one buffer mechanism")]
     fn builder_rejects_empty_buffers() {
         let _ = RateSweep::builder().rates([10]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "control_loss_one_in")]
+    fn loss_of_zero_is_rejected_at_construction_not_mid_run() {
+        // Regression: `Some(0)` used to reach `ctrl_msg_seq % n` and
+        // divide by zero on the first control message.
+        let mut config = ExperimentConfig::default();
+        config.testbed.control_loss_one_in = Some(0);
+        let _ = Experiment::new(config);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer capacity must be positive")]
+    fn zero_capacity_is_rejected_at_construction() {
+        let config = ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: 0 },
+            ..ExperimentConfig::default()
+        };
+        let _ = Experiment::new(config);
+    }
+
+    #[test]
+    fn experiment_config_validation_covers_its_own_fields() {
+        assert!(ExperimentConfig::default().validate().is_ok());
+        let c = ExperimentConfig {
+            frame_size: 0,
+            ..ExperimentConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::default();
+        c.testbed.control_loss_one_in = Some(1);
+        assert!(c.validate().is_err(), "one-in-1 loss drops every message");
+        let mut c = ExperimentConfig::default();
+        c.testbed.faults.to_controller.duplicate = 1.5;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -57,6 +57,21 @@ pub fn write_events_jsonl(events: &[Event], prefix: &str, w: &mut dyn Write) -> 
     Ok(written)
 }
 
+/// A 64-bit FNV-1a digest of the canonical JSONL rendering of an event
+/// stream. Two runs are byte-identical exactly when their digests (and
+/// event counts) match — the equality the chaos harness's replay command
+/// asserts without storing full streams.
+pub fn events_digest(events: &[Event]) -> u64 {
+    let mut bytes = Vec::new();
+    write_events_jsonl(events, "", &mut bytes).expect("Vec<u8> writes cannot fail");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Streams a whole traced sweep as JSON Lines: every run's events in grid
 /// order, each line stamped with its [`run_prefix`]. Returns the total
 /// line count.

@@ -8,7 +8,8 @@ use sdnbuf_metrics::ByteMeter;
 use sdnbuf_net::{FlowKey, Packet, PacketBuilder, Payload};
 use sdnbuf_openflow::{OfpMessage, PortNo};
 use sdnbuf_sim::{
-    ChannelDir, EventKind, EventQueue, Link, LinkConfig, MultiQueueLink, Nanos, QueueConfig, Tracer,
+    ChannelDir, EventKind, EventQueue, FaultPlan, FaultState, Link, LinkConfig, LossModel,
+    MultiQueueLink, Nanos, QueueConfig, Tracer,
 };
 use sdnbuf_switch::{Switch, SwitchConfig, SwitchOutput};
 use sdnbuf_workload::{Departure, HostAddr};
@@ -28,11 +29,17 @@ pub struct TestbedConfig {
     pub control_link: LinkConfig,
     /// Idle time between the ARP warm-up and the first data departure.
     pub warmup_gap: Nanos,
-    /// Fault injection: drop every Nth message on the control channel
-    /// (both directions, counted together). `None` = lossless. Used to
-    /// exercise the flow-granularity mechanism's re-request timeout
-    /// (Algorithm 1, lines 12-13).
+    /// **Deprecated shim** — the original single fault knob: drop every
+    /// Nth message on the control channel. `Some(n)` maps onto
+    /// [`TestbedConfig::faults`] as every-Nth loss in both directions
+    /// (counted per direction); an explicit loss model in `faults` takes
+    /// precedence. Prefer configuring [`FaultPlan`] directly.
     pub control_loss_one_in: Option<u64>,
+    /// The composable fault-injection plan: per-direction control-channel
+    /// loss / delay / jitter / duplication / reordering, controller
+    /// stalls, data-link flaps, and buffer-pressure windows. Defaults to
+    /// no faults. Runs remain a pure function of `(config, seed)`.
+    pub faults: FaultPlan,
     /// Egress QoS (the paper's future-work extension): when set, the
     /// switch's host-facing ports are partitioned into these shaped queues
     /// and `ENQUEUE` actions select among them; `None` = plain FIFO ports.
@@ -97,6 +104,7 @@ impl Default for TestbedConfig {
             },
             warmup_gap: Nanos::from_millis(50),
             control_loss_one_in: None,
+            faults: FaultPlan::default(),
             egress_queues: None,
             keepalive_interval: None,
             stats_poll_interval: None,
@@ -111,6 +119,47 @@ impl TestbedConfig {
         let mut cfg = TestbedConfig::default();
         cfg.switch.buffer = buffer;
         cfg
+    }
+
+    /// The fault plan the testbed will actually execute: [`Self::faults`]
+    /// with the deprecated `control_loss_one_in` shim folded in (every-Nth
+    /// loss on both directions, unless the plan already sets a loss model
+    /// for that direction).
+    pub fn effective_faults(&self) -> FaultPlan {
+        let mut plan = self.faults.clone();
+        if let Some(n) = self.control_loss_one_in {
+            if plan.to_controller.loss == LossModel::None {
+                plan.to_controller.loss = LossModel::EveryNth(n);
+            }
+            if plan.to_switch.loss == LossModel::None {
+                plan.to_switch.loss = LossModel::EveryNth(n);
+            }
+        }
+        plan
+    }
+
+    /// Checks the whole testbed configuration — switch, controller, links,
+    /// and the fault plan — for values that would panic, divide by zero,
+    /// or wedge the event loop at runtime. [`Testbed::new`] calls this and
+    /// panics on the first problem, so misconfigurations fail fast with a
+    /// readable message instead of deep inside a run.
+    pub fn validate(&self) -> Result<(), String> {
+        self.switch.validate().map_err(|e| format!("switch: {e}"))?;
+        self.controller
+            .validate()
+            .map_err(|e| format!("controller: {e}"))?;
+        if let Some(n) = self.control_loss_one_in {
+            if n < 2 {
+                return Err(format!(
+                    "control_loss_one_in must be >= 2 (got {n}: 0 would \
+                     divide by zero and 1 drops every message)"
+                ));
+            }
+        }
+        self.effective_faults()
+            .validate()
+            .map_err(|e| format!("faults: {e}"))?;
+        Ok(())
     }
 }
 
@@ -239,7 +288,10 @@ pub struct Testbed {
     meter_to_switch: ByteMeter,
     ctrl_drops: u64,
     data_drops: u64,
-    ctrl_msg_seq: u64,
+    faults: FaultState,
+    /// Whether buffer pressure was on at the last data-frame arrival (to
+    /// toggle the mechanism only on window edges).
+    pressure_on: bool,
     trace: TraceLog,
     tracer: Tracer,
     // Measurement state.
@@ -257,7 +309,16 @@ pub struct Testbed {
 
 impl Testbed {
     /// Builds an idle testbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`TestbedConfig::validate`] rejects the configuration
+    /// (zero capacities, `control_loss_one_in` below 2, an inconsistent
+    /// fault plan, …).
     pub fn new(config: TestbedConfig) -> Testbed {
+        if let Err(e) = config.validate() {
+            panic!("invalid TestbedConfig: {e}");
+        }
         let egress = |data_link: LinkConfig| match &config.egress_queues {
             None => EgressLink::Fifo(Link::new(data_link)),
             Some(queues) => {
@@ -278,7 +339,8 @@ impl Testbed {
             meter_to_switch: ByteMeter::new(),
             ctrl_drops: 0,
             data_drops: 0,
-            ctrl_msg_seq: 0,
+            faults: FaultState::new(config.effective_faults()),
+            pressure_on: false,
             trace: TraceLog::new(config.trace_capacity),
             tracer: Tracer::off(),
             records: HashMap::new(),
@@ -444,6 +506,17 @@ impl Testbed {
         match event {
             Event::FrameFromHost { host, packet } => {
                 let len = packet.wire_len();
+                if self.faults.data_link_down(now) {
+                    self.data_drops += 1;
+                    self.tracer.emit(
+                        now,
+                        EventKind::LinkDrop {
+                            link: if host == 1 { "h1->sw" } else { "h2->sw" },
+                            bytes: len,
+                        },
+                    );
+                    return;
+                }
                 let link = if host == 1 {
                     &mut self.host1_to_sw
                 } else {
@@ -465,6 +538,11 @@ impl Testbed {
                     if let Some(rec) = self.records.get_mut(&id) {
                         rec.entered_switch.get_or_insert(now);
                     }
+                }
+                let pressure = self.faults.pressure_active(now);
+                if pressure != self.pressure_on {
+                    self.pressure_on = pressure;
+                    self.switch.set_buffer_pressure(pressure);
                 }
                 let flow = FlowKey::of(&packet);
                 let outputs = self.switch.handle_frame(now, in_port, packet);
@@ -490,6 +568,17 @@ impl Testbed {
                         return;
                     }
                 };
+                if self.faults.data_link_down(now) {
+                    self.data_drops += 1;
+                    self.tracer.emit(
+                        now,
+                        EventKind::LinkDrop {
+                            link: if host == 1 { "sw->h1" } else { "sw->h2" },
+                            bytes: len,
+                        },
+                    );
+                    return;
+                }
                 match link.enqueue(now, queue, len) {
                     Some(arrival) => self
                         .queue
@@ -509,9 +598,13 @@ impl Testbed {
                 let label = MsgDesc::of(&msg).label();
                 self.trace.record(now, Direction::ToController, xid, &msg);
                 if now >= self.data_start {
+                    // Metered before the fault plane, like a capture tap on
+                    // the sender's NIC: dropped messages were still sent.
                     self.meter_to_controller.record(now, len);
                 }
-                if self.inject_ctrl_loss() {
+                let effect = self.faults.ctrl_effect(now, ChannelDir::ToController);
+                if effect.dropped {
+                    self.ctrl_drops += 1;
                     self.tracer.emit(
                         now,
                         EventKind::CtrlDrop {
@@ -525,6 +618,7 @@ impl Testbed {
                 }
                 match self.sw_to_ctrl.enqueue(now, len) {
                     Some(arrival) => {
+                        let arrival = arrival + effect.extra_delay;
                         self.tracer.emit(
                             now,
                             EventKind::CtrlMsg {
@@ -535,6 +629,28 @@ impl Testbed {
                                 arrive: arrival,
                             },
                         );
+                        if effect.duplicate {
+                            if let Some(dup_arrival) = self.sw_to_ctrl.enqueue(now, len) {
+                                let dup_arrival = dup_arrival + effect.extra_delay;
+                                self.tracer.emit(
+                                    now,
+                                    EventKind::CtrlMsg {
+                                        dir: ChannelDir::ToController,
+                                        xid,
+                                        bytes: len,
+                                        label,
+                                        arrive: dup_arrival,
+                                    },
+                                );
+                                self.queue.schedule(
+                                    dup_arrival,
+                                    Event::CtrlAtController {
+                                        xid,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
+                        }
                         self.queue
                             .schedule(arrival, Event::CtrlAtController { xid, msg })
                     }
@@ -553,6 +669,14 @@ impl Testbed {
                 }
             }
             Event::CtrlAtController { xid, msg } => {
+                // A stalled controller parks the message until the stall
+                // window ends (windows are half-open, so the re-scheduled
+                // arrival at `until` is processed normally).
+                if let Some(resume) = self.faults.stall_resume(now) {
+                    self.queue
+                        .schedule(resume, Event::CtrlAtController { xid, msg });
+                    return;
+                }
                 let outputs = self.controller.handle_message(now, msg, xid);
                 for ControllerOutput::ToSwitch { at, xid, msg } in outputs {
                     if now >= self.data_start {
@@ -573,7 +697,9 @@ impl Testbed {
                 if now >= self.data_start {
                     self.meter_to_switch.record(now, len);
                 }
-                if self.inject_ctrl_loss() {
+                let effect = self.faults.ctrl_effect(now, ChannelDir::ToSwitch);
+                if effect.dropped {
+                    self.ctrl_drops += 1;
                     self.tracer.emit(
                         now,
                         EventKind::CtrlDrop {
@@ -587,6 +713,7 @@ impl Testbed {
                 }
                 match self.ctrl_to_sw.enqueue(now, len) {
                     Some(arrival) => {
+                        let arrival = arrival + effect.extra_delay;
                         self.tracer.emit(
                             now,
                             EventKind::CtrlMsg {
@@ -597,6 +724,28 @@ impl Testbed {
                                 arrive: arrival,
                             },
                         );
+                        if effect.duplicate {
+                            if let Some(dup_arrival) = self.ctrl_to_sw.enqueue(now, len) {
+                                let dup_arrival = dup_arrival + effect.extra_delay;
+                                self.tracer.emit(
+                                    now,
+                                    EventKind::CtrlMsg {
+                                        dir: ChannelDir::ToSwitch,
+                                        xid,
+                                        bytes: len,
+                                        label,
+                                        arrive: dup_arrival,
+                                    },
+                                );
+                                self.queue.schedule(
+                                    dup_arrival,
+                                    Event::CtrlAtSwitch {
+                                        xid,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
+                        }
                         self.queue
                             .schedule(arrival, Event::CtrlAtSwitch { xid, msg })
                     }
@@ -701,21 +850,6 @@ impl Testbed {
                     self.data_drops += 1;
                 }
             }
-        }
-    }
-
-    /// Deterministic control-channel fault injection: drops every Nth
-    /// control message when configured.
-    fn inject_ctrl_loss(&mut self) -> bool {
-        let Some(n) = self.config.control_loss_one_in else {
-            return false;
-        };
-        self.ctrl_msg_seq += 1;
-        if self.ctrl_msg_seq % n == 0 {
-            self.ctrl_drops += 1;
-            true
-        } else {
-            false
         }
     }
 

@@ -47,6 +47,7 @@
 
 mod bus;
 pub mod events;
+pub mod faults;
 mod link;
 mod qos_link;
 mod queue;
@@ -56,6 +57,7 @@ mod time;
 
 pub use bus::Bus;
 pub use events::{ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, Tracer};
+pub use faults::{ChannelFaults, CtrlEffect, FaultPlan, FaultState, LossModel, Window};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use qos_link::{MultiQueueLink, QueueConfig};
 pub use queue::EventQueue;

@@ -40,6 +40,27 @@ impl BufferChoice {
             }
         }
     }
+
+    /// Checks the choice for values the mechanism constructors would panic
+    /// on, so misconfigurations are reported before a run starts.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            BufferChoice::NoBuffer => Ok(()),
+            BufferChoice::PacketGranularity { capacity }
+            | BufferChoice::FlowGranularity { capacity, .. }
+                if capacity == 0 =>
+            {
+                Err("buffer capacity must be positive (use NoBuffer for zero)".to_owned())
+            }
+            BufferChoice::PacketGranularity { .. } => Ok(()),
+            BufferChoice::FlowGranularity { timeout, .. } if timeout == Nanos::ZERO => Err(
+                "flow-granularity re-request timeout must be positive (a zero \
+                 timeout would re-request on every packet)"
+                    .to_owned(),
+            ),
+            BufferChoice::FlowGranularity { .. } => Ok(()),
+        }
+    }
 }
 
 /// Static configuration and timing-cost model of the switch.
@@ -141,6 +162,21 @@ impl SwitchConfig {
     pub fn payload_cost(&self, payload_bytes: usize) -> Nanos {
         self.cost_per_payload_byte * payload_bytes as u64
     }
+
+    /// Checks the configuration for values that would panic or wedge the
+    /// model at runtime.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.data_ports == 0 {
+            return Err("switch needs at least one data port".to_owned());
+        }
+        if self.cpu_cores == 0 {
+            return Err("switch needs at least one CPU core".to_owned());
+        }
+        if self.flow_table_capacity == 0 {
+            return Err("flow table capacity must be positive".to_owned());
+        }
+        self.buffer.validate()
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +214,33 @@ mod tests {
         let c = SwitchConfig::default();
         assert_eq!(c.payload_cost(0), Nanos::ZERO);
         assert_eq!(c.payload_cost(1000), c.cost_per_payload_byte * 1000);
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_zeros() {
+        assert!(SwitchConfig::default().validate().is_ok());
+        let c = SwitchConfig {
+            cpu_cores: 0,
+            ..SwitchConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SwitchConfig {
+            buffer: BufferChoice::PacketGranularity { capacity: 0 },
+            ..SwitchConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = SwitchConfig {
+            buffer: BufferChoice::FlowGranularity {
+                capacity: 64,
+                timeout: Nanos::ZERO,
+            },
+            ..SwitchConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.buffer = BufferChoice::FlowGranularity {
+            capacity: 64,
+            timeout: Nanos::from_millis(20),
+        };
+        assert!(c.validate().is_ok());
     }
 }

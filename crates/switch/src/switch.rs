@@ -123,6 +123,19 @@ impl Switch {
         self.buffer.as_ref()
     }
 
+    /// Mutable access to the buffer mechanism, for fault-injection hooks
+    /// (pressure windows, disabling re-requests in the chaos harness).
+    pub fn buffer_mut(&mut self) -> &mut dyn BufferMechanism {
+        self.buffer.as_mut()
+    }
+
+    /// Toggles buffer-capacity pressure on the mechanism: while on, new
+    /// misses fall back to full-packet `packet_in`s as if buffer memory
+    /// were exhausted.
+    pub fn set_buffer_pressure(&mut self, on: bool) {
+        self.buffer.set_pressure(on);
+    }
+
     /// Switch-side counters and gauges.
     pub fn stats(&self) -> &SwitchStats {
         &self.stats

@@ -44,6 +44,12 @@ pub struct FlowGranularityBuffer {
     total: usize,
     stats: BufferStats,
     tracer: Tracer,
+    /// Fault injection: while on, new misses are refused as if buffer
+    /// memory were exhausted.
+    pressured: bool,
+    /// Fault injection: when off, Algorithm 1 lines 12–13 never fire (the
+    /// intentionally-broken mechanism the chaos harness must catch).
+    rerequest_enabled: bool,
 }
 
 impl FlowGranularityBuffer {
@@ -65,6 +71,8 @@ impl FlowGranularityBuffer {
             total: 0,
             stats: BufferStats::default(),
             tracer: Tracer::off(),
+            pressured: false,
+            rerequest_enabled: true,
         }
     }
 
@@ -121,7 +129,7 @@ impl BufferMechanism for FlowGranularityBuffer {
             );
             return MissAction::SendFullPacketIn;
         };
-        if self.total >= self.capacity {
+        if self.pressured || self.total >= self.capacity {
             self.stats.fallback_full += 1;
             self.tracer.emit(
                 now,
@@ -154,7 +162,7 @@ impl BufferMechanism for FlowGranularityBuffer {
             );
             // Lines 12–13: if the request timestamp expired, send another
             // packet_in for this flow.
-            if now >= queue.last_request_at + self.timeout {
+            if self.rerequest_enabled && now >= queue.last_request_at + self.timeout {
                 queue.last_request_at = now;
                 self.stats.rerequests += 1;
                 self.tracer.emit(
@@ -217,6 +225,9 @@ impl BufferMechanism for FlowGranularityBuffer {
     }
 
     fn next_timeout(&self) -> Option<Nanos> {
+        if !self.rerequest_enabled {
+            return None;
+        }
         self.flows
             .values()
             .map(|q| q.last_request_at + self.timeout)
@@ -224,6 +235,9 @@ impl BufferMechanism for FlowGranularityBuffer {
     }
 
     fn poll_timeouts(&mut self, now: Nanos) -> Vec<Rerequest> {
+        if !self.rerequest_enabled {
+            return Vec::new();
+        }
         let mut due: Vec<(&FlowKey, &mut FlowQueue)> = self
             .flows
             .iter_mut()
@@ -266,6 +280,14 @@ impl BufferMechanism for FlowGranularityBuffer {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_pressure(&mut self, on: bool) {
+        self.pressured = on;
+    }
+
+    fn set_rerequest_enabled(&mut self, on: bool) {
+        self.rerequest_enabled = on;
     }
 }
 
@@ -467,6 +489,46 @@ mod tests {
         assert_eq!(b.name(), "flow-granularity");
         assert_eq!(b.capacity(), 8);
         assert_eq!(b.timeout(), Nanos::from_millis(20));
+    }
+
+    #[test]
+    fn pressure_forces_full_packet_ins_without_touching_buffered() {
+        let mut b = mk();
+        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        b.set_pressure(true);
+        assert_eq!(
+            b.on_miss(Nanos::from_micros(1), pkt(1, 100), PortNo(1)),
+            MissAction::SendFullPacketIn
+        );
+        assert_eq!(b.stats().fallback_full, 1);
+        assert_eq!(b.occupancy(), 1, "already-buffered packets stay");
+        b.set_pressure(false);
+        assert!(matches!(
+            b.on_miss(Nanos::from_micros(2), pkt(1, 100), PortNo(1)),
+            MissAction::Buffered { .. }
+        ));
+        assert_eq!(b.release(Nanos::from_micros(3), id).len(), 2);
+    }
+
+    #[test]
+    fn disabled_rerequest_silences_algorithm_1_lines_12_13() {
+        let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
+        b.set_rerequest_enabled(false);
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        // Far past the timeout: a healthy mechanism would re-request here.
+        assert!(matches!(
+            b.on_miss(Nanos::from_millis(100), pkt(1, 100), PortNo(1)),
+            MissAction::Buffered { .. }
+        ));
+        assert_eq!(b.next_timeout(), None);
+        assert!(b.poll_timeouts(Nanos::from_secs(1)).is_empty());
+        assert_eq!(b.stats().rerequests, 0);
+        // Re-enabling restores the guard.
+        b.set_rerequest_enabled(true);
+        assert_eq!(b.poll_timeouts(Nanos::from_secs(1)).len(), 1);
     }
 
     #[test]

@@ -117,6 +117,18 @@ pub trait BufferMechanism {
     /// through it; the default implementation ignores the tracer, so
     /// mechanisms with no buffer memory need not care.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Toggles buffer-capacity pressure (fault injection): while on, new
+    /// misses must not claim buffer units and fall back to full-packet
+    /// `packet_in`s, as if buffer memory were exhausted. Already-buffered
+    /// packets are unaffected. Mechanisms without buffer memory ignore it.
+    fn set_pressure(&mut self, _on: bool) {}
+
+    /// Enables or disables timeout-driven re-requests (fault injection /
+    /// chaos harness: a mechanism with re-requests disabled is Algorithm 1
+    /// without lines 12–13, which the eventual-delivery invariant must
+    /// catch). Mechanisms that never re-request ignore it.
+    fn set_rerequest_enabled(&mut self, _on: bool) {}
 }
 
 #[cfg(test)]

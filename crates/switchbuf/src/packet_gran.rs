@@ -40,6 +40,9 @@ pub struct PacketGranularityBuffer {
     next_id: u32,
     stats: BufferStats,
     tracer: Tracer,
+    /// Fault injection: while on, new misses are refused as if every unit
+    /// were occupied.
+    pressured: bool,
 }
 
 impl PacketGranularityBuffer {
@@ -72,6 +75,7 @@ impl PacketGranularityBuffer {
             next_id: 0,
             stats: BufferStats::default(),
             tracer: Tracer::off(),
+            pressured: false,
         }
     }
 
@@ -101,7 +105,7 @@ impl BufferMechanism for PacketGranularityBuffer {
 
     fn on_miss(&mut self, now: Nanos, packet: Packet, in_port: PortNo) -> MissAction {
         self.reclaim(now);
-        if self.units.len() + self.pending_free.len() >= self.capacity {
+        if self.pressured || self.units.len() + self.pending_free.len() >= self.capacity {
             self.stats.fallback_full += 1;
             self.tracer.emit(
                 now,
@@ -179,12 +183,37 @@ impl BufferMechanism for PacketGranularityBuffer {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
+
+    fn set_pressure(&mut self, on: bool) {
+        self.pressured = on;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sdnbuf_net::PacketBuilder;
+
+    #[test]
+    fn pressure_refuses_new_units_but_keeps_existing() {
+        let mut b = PacketGranularityBuffer::new(16);
+        let id = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        b.set_pressure(true);
+        assert_eq!(
+            b.on_miss(Nanos::ZERO, pkt(2), PortNo(1)),
+            MissAction::SendFullPacketIn
+        );
+        assert_eq!(b.stats().fallback_full, 1);
+        assert_eq!(b.release(Nanos::ZERO, id).len(), 1, "release still works");
+        b.set_pressure(false);
+        assert!(matches!(
+            b.on_miss(Nanos::ZERO, pkt(3), PortNo(1)),
+            MissAction::SendBufferedPacketIn { .. }
+        ));
+    }
 
     fn pkt(src_port: u16) -> Packet {
         PacketBuilder::udp().src_port(src_port).build()

@@ -31,6 +31,31 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
+/// Operations with explicit clock control, for the Algorithm 1 timing
+/// properties: misses, arbitrary time advances (10 µs – 120 ms, spanning
+/// both sides of every sampled timeout), timeout polls, and releases. A
+/// lost control message needs no operation of its own — to the mechanism
+/// it is indistinguishable from a release that never arrives.
+#[derive(Clone, Debug)]
+enum TimedOp {
+    Miss { flow: u16 },
+    Advance { micros: u64 },
+    Poll,
+    Release { nth: usize },
+}
+
+fn arb_timed_ops() -> impl Strategy<Value = Vec<TimedOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0u16..6).prop_map(|flow| TimedOp::Miss { flow }),
+            3 => (10u64..120_000).prop_map(|micros| TimedOp::Advance { micros }),
+            2 => Just(TimedOp::Poll),
+            1 => (0usize..6).prop_map(|nth| TimedOp::Release { nth }),
+        ],
+        1..120,
+    )
+}
+
 /// Drives a mechanism through an operation sequence while checking the
 /// conservation invariants; returns (buffered, released, fallback).
 fn drive(mech: &mut dyn BufferMechanism, ops: &[Op]) -> (u64, u64, u64) {
@@ -168,6 +193,134 @@ proptest! {
             prop_assert_eq!(mech.release(Nanos::from_secs(1), id).len(), 1);
         }
         prop_assert_eq!(mech.occupancy(), 0);
+    }
+
+    /// Algorithm 1's request discipline under arbitrary interleavings of
+    /// misses, clock advances, timeout polls and releases (a lost
+    /// `packet_in` or `packet_out` is, from the mechanism's viewpoint,
+    /// simply a release that never arrives):
+    /// * at most one outstanding request per flow — consecutive requests
+    ///   for the same buffer id are separated by at least the timeout;
+    /// * a drained queue frees its buffer id — the id disappears from the
+    ///   timeout schedule and occupancy accounting immediately.
+    #[test]
+    fn flow_granularity_request_discipline_under_interleavings(
+        ops in arb_timed_ops(),
+        timeout_ms in 5u64..80,
+    ) {
+        let timeout = Nanos::from_millis(timeout_ms);
+        let mut mech = FlowGranularityBuffer::new(1024, timeout);
+        let mut now = Nanos::ZERO;
+        let mut outstanding: Vec<BufferId> = Vec::new();
+        let mut last_request: HashMap<u32, Nanos> = HashMap::new();
+        for op in &ops {
+            now += Nanos::from_micros(10);
+            match op {
+                TimedOp::Miss { flow } => {
+                    let pkt = PacketBuilder::udp().src_port(*flow).build();
+                    match mech.on_miss(now, pkt, PortNo(1)) {
+                        MissAction::SendBufferedPacketIn { buffer_id } => {
+                            // Fresh announcement or an on-miss re-request:
+                            // either way, any previous request for the id
+                            // must be at least one timeout old.
+                            if let Some(prev) = last_request.insert(buffer_id.as_u32(), now) {
+                                prop_assert!(
+                                    now >= prev + timeout,
+                                    "request for {buffer_id:?} after {:?} < timeout {timeout:?}",
+                                    now - prev
+                                );
+                            }
+                            if !outstanding.contains(&buffer_id) {
+                                outstanding.push(buffer_id);
+                            }
+                        }
+                        MissAction::Buffered { .. } | MissAction::SendFullPacketIn => {}
+                    }
+                }
+                TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
+                TimedOp::Poll => {
+                    for rr in mech.poll_timeouts(now) {
+                        let prev = last_request.insert(rr.buffer_id.as_u32(), now);
+                        let prev = prev.expect("re-request for a never-requested id");
+                        prop_assert!(
+                            now >= prev + timeout,
+                            "re-request for {:?} after {:?} < timeout {timeout:?}",
+                            rr.buffer_id,
+                            now - prev
+                        );
+                    }
+                }
+                TimedOp::Release { nth } => {
+                    if !outstanding.is_empty() {
+                        let before = mech.occupancy();
+                        let id = outstanding.remove(nth % outstanding.len());
+                        let released = mech.release(now, id);
+                        prop_assert!(!released.is_empty(), "known id released nothing");
+                        prop_assert_eq!(mech.occupancy(), before - released.len());
+                        // The drained queue frees its id: releasing it again
+                        // applies to nothing, and it leaves the timeout
+                        // schedule (checked via next_timeout below).
+                        prop_assert!(mech.release(now, id).is_empty());
+                        last_request.remove(&id.as_u32());
+                    }
+                }
+            }
+            // The earliest scheduled deadline is exactly the oldest
+            // outstanding request plus the timeout — drained ids are gone
+            // from the schedule, live ones never fire early.
+            match (mech.next_timeout(), last_request.values().min().copied()) {
+                (next, Some(earliest)) => {
+                    prop_assert_eq!(next, Some(earliest + timeout));
+                }
+                (next, None) => prop_assert_eq!(next, None),
+            }
+        }
+    }
+
+    /// With the re-request loop disabled (the chaos harness's intentionally
+    /// broken mechanism), the algorithm goes silent: no poll ever returns a
+    /// re-request, no deadline is ever scheduled, and an outstanding flow is
+    /// never re-announced on later misses.
+    #[test]
+    fn disabled_rerequest_stays_silent_forever(ops in arb_timed_ops()) {
+        let mut mech = FlowGranularityBuffer::new(1024, Nanos::from_millis(5));
+        mech.set_rerequest_enabled(false);
+        let mut now = Nanos::ZERO;
+        let mut outstanding: Vec<BufferId> = Vec::new();
+        let mut announced: HashMap<u32, u32> = HashMap::new();
+        for op in &ops {
+            now += Nanos::from_micros(10);
+            match op {
+                TimedOp::Miss { flow } => {
+                    let pkt = PacketBuilder::udp().src_port(*flow).build();
+                    match mech.on_miss(now, pkt, PortNo(1)) {
+                        MissAction::SendBufferedPacketIn { buffer_id } => {
+                            let n = announced.entry(buffer_id.as_u32()).or_insert(0);
+                            *n += 1;
+                            prop_assert_eq!(
+                                *n, 1,
+                                "id {:?} announced twice without a release", buffer_id
+                            );
+                            outstanding.push(buffer_id);
+                        }
+                        MissAction::Buffered { .. } | MissAction::SendFullPacketIn => {}
+                    }
+                }
+                TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
+                TimedOp::Poll => {
+                    prop_assert!(mech.poll_timeouts(now).is_empty());
+                    prop_assert!(mech.next_timeout().is_none());
+                }
+                TimedOp::Release { nth } => {
+                    if !outstanding.is_empty() {
+                        let id = outstanding.remove(nth % outstanding.len());
+                        mech.release(now, id);
+                        announced.remove(&id.as_u32());
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(mech.stats().rerequests, 0);
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! 12–13) recovers lost `packet_in`s; the default packet-granularity buffer
 //! has no such guard and strands buffered packets forever.
 //!
+//! Loss is expressed through the composable fault plan (`sim::faults`):
+//! per-direction loss models plus delay, jitter, duplication, reordering,
+//! controller stalls, link flaps and buffer pressure — all seeded, so every
+//! run is a pure function of `(config, seed)`. The exact counts printed
+//! here are pinned by `tests/fault_injection.rs`.
+//!
 //! ```sh
 //! cargo run --release --example lossy_control_channel
 //! ```
@@ -11,7 +17,7 @@
 use sdn_buffer_lab::core::WorkloadKind;
 use sdn_buffer_lab::prelude::*;
 
-fn run_with_loss(buffer: BufferMode, one_in: u64) -> RunResult {
+fn run_with_faults(buffer: BufferMode, faults: FaultPlan) -> RunResult {
     let mut config = ExperimentConfig {
         buffer,
         workload: WorkloadKind::paper_section_v(),
@@ -19,7 +25,7 @@ fn run_with_loss(buffer: BufferMode, one_in: u64) -> RunResult {
         seed: 13,
         ..ExperimentConfig::default()
     };
-    config.testbed.control_loss_one_in = Some(one_in);
+    config.testbed.faults = faults;
     Experiment::new(config).run()
 }
 
@@ -37,7 +43,7 @@ fn main() {
                 timeout: Nanos::from_millis(20),
             },
         ] {
-            let run = run_with_loss(buffer, one_in);
+            let run = run_with_faults(buffer, FaultPlan::every_nth_loss(one_in));
             println!(
                 "{:>5.0}%  {:<18}  {:>4}/{:<4}  {:>10}  {:>10}",
                 100.0 / one_in as f64,
@@ -49,6 +55,33 @@ fn main() {
             );
         }
     }
+
+    // The plan composes: seeded probabilistic loss both ways, jitter and
+    // duplication on the packet_in path, a 3 ms controller stall mid-run.
+    let mut plan = FaultPlan {
+        seed: 7,
+        ..FaultPlan::default()
+    };
+    plan.to_controller.loss = LossModel::Probabilistic(0.10);
+    plan.to_controller.jitter = Nanos::from_micros(500);
+    plan.to_controller.duplicate = 0.05;
+    plan.to_switch.loss = LossModel::Probabilistic(0.05);
+    plan.stalls = vec![Window::new(Nanos::from_millis(55), Nanos::from_millis(58))];
+    println!("\ncomposed plan: {}", plan.to_spec());
+    for buffer in [
+        BufferMode::PacketGranularity { capacity: 1024 },
+        BufferMode::FlowGranularity {
+            capacity: 1024,
+            timeout: Nanos::from_millis(20),
+        },
+    ] {
+        let run = run_with_faults(buffer, plan.clone());
+        println!(
+            "        {:<18}  {:>4}/{:<4}  {:>10}  {:>10}",
+            run.label, run.packets_delivered, run.packets_sent, run.rerequests, run.ctrl_drops
+        );
+    }
+
     println!();
     println!("The proposed mechanism keeps delivering everything (re-requests kick");
     println!("in); the default buffer silently loses whatever its lost requests had");

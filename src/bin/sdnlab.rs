@@ -23,6 +23,7 @@
 //! passing `--events <path>`. All outputs are byte-deterministic for a
 //! fixed seed, at any `--threads` setting.
 
+use sdn_buffer_lab::core::chaos::{self, ChaosScenario};
 use sdn_buffer_lab::core::{figures, observe, RateSweep, StderrProgress};
 use sdn_buffer_lab::prelude::*;
 use std::io::Write as _;
@@ -33,15 +34,29 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]\n\
+                    [--faults SPEC] [--check]\n\
                     [--events PATH] [--timeline PATH] [--sample-every DUR [--samples PATH]]\n\
        sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
                     [--events PATH] [--timeline PATH]\n\
+       sdnlab chaos [--seeds N] [--broken] [--replay SPEC]\n\
        sdnlab claims [--reps N] [--threads T]\n\
      \n\
      MECH: none | packet:<capacity> | flow:<capacity>[:<timeout_ms>]\n\
      WL:   iv | v | single:<n> | cross:<flows>x<ppf>/<group>\n\
      T:    serial | auto | <worker count>   (default: SDNBUF_THREADS or auto)\n\
      DUR:  <n>[ns|us|ms|s], default unit ms\n\
+     SPEC: comma-separated key=value fault plan, e.g.\n\
+           'fseed=7,c.loss=p:0.1,c.jitter=500us,s.loss=nth:10,stall=55ms+3ms'\n\
+     \n\
+     FAULT INJECTION:\n\
+       --faults SPEC       run under a composable fault plan (seeded, replayable)\n\
+       --check             verify the protocol invariants over the event stream\n\
+     \n\
+     CHAOS HARNESS:\n\
+       --seeds N           scenarios per buffer mechanism (default 50)\n\
+       --broken            disable Algorithm 1's re-request loop; the harness\n\
+                           must catch it (self-test — exits nonzero if it doesn't)\n\
+       --replay SPEC       re-run one scenario from the spec a failure printed\n\
      \n\
      OBSERVABILITY:\n\
        --events PATH       structured event log, one JSON object per line\n\
@@ -53,8 +68,9 @@ fn usage() -> &'static str {
      EXAMPLES:\n\
        sdnlab run --buffer packet:256 --rate 80\n\
        sdnlab run --buffer flow:256:50 --workload v --rate 95 --timeline trace.json\n\
-       sdnlab run --buffer packet:16 --rate 100 --sample-every 10ms\n\
-       sdnlab sweep --section iv --reps 20 --threads 4\n"
+       sdnlab run --buffer flow:256:20 --workload v --faults 'fseed=7,c.loss=p:0.1' --check\n\
+       sdnlab sweep --section iv --reps 20 --threads 4\n\
+       sdnlab chaos --seeds 200\n"
 }
 
 #[derive(Debug)]
@@ -191,7 +207,7 @@ fn create(path: &str) -> Result<std::io::BufWriter<std::fs::File>, ParseError> {
         .map_err(|e| ParseError(format!("{path}: {e}")))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), ParseError> {
+fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     let buffer = match flag(args, "--buffer")? {
         Some(s) => parse_buffer(&s)?,
         None => BufferMode::PacketGranularity { capacity: 256 },
@@ -219,23 +235,41 @@ fn cmd_run(args: &[String]) -> Result<(), ParseError> {
         None => None,
     };
     let samples_path = flag(args, "--samples")?;
+    let check = args.iter().any(|a| a == "--check");
 
-    let mut exp = Experiment::new(ExperimentConfig {
+    let mut config = ExperimentConfig {
         buffer,
         workload,
         sending_rate: BitRate::from_mbps(rate),
         seed,
         ..ExperimentConfig::default()
-    });
-    let tracing = events_path.is_some() || timeline_path.is_some() || sample_every.is_some();
+    };
+    if let Some(spec) = flag(args, "--faults")? {
+        config.testbed.faults = FaultPlan::parse(&spec).map_err(ParseError)?;
+    }
+    let plan = config.testbed.effective_faults();
+    let mut exp = Experiment::new(config);
+    let tracing =
+        events_path.is_some() || timeline_path.is_some() || sample_every.is_some() || check;
     if !tracing {
         let run = exp.run();
         println!("{run:#?}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     let (run, events) = exp.run_traced();
     println!("{run:#?}");
+    if check {
+        let violations = chaos::check_invariants(buffer, &plan, &run, &events);
+        if violations.is_empty() {
+            eprintln!("check: every invariant holds over {} events", events.len());
+        } else {
+            for v in &violations {
+                eprintln!("VIOLATION [{}]: {}", v.invariant, v.detail);
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+    }
     if let Some(path) = &events_path {
         let mut w = create(path)?;
         let n = observe::write_events_jsonl(&events, "", &mut w)
@@ -257,7 +291,98 @@ fn cmd_run(args: &[String]) -> Result<(), ParseError> {
         w.flush().map_err(|e| ParseError(format!("{path}: {e}")))?;
         eprintln!("wrote timeline to {path} (open at https://ui.perfetto.dev)");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The seeded chaos harness: sample `--seeds` scenarios per buffer
+/// mechanism, check every invariant, print a one-command replay (with a
+/// greedily minimized fault plan) for each failure.
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
+    let broken = args.iter().any(|a| a == "--broken");
+    let rerequest_enabled = !broken;
+
+    if let Some(spec) = flag(args, "--replay")? {
+        let scenario = ChaosScenario::parse(&spec).map_err(ParseError)?;
+        let report = chaos::run_scenario(&scenario, rerequest_enabled);
+        println!("scenario: {}", scenario.to_spec());
+        println!("digest:   {:016x}", report.digest);
+        println!(
+            "delivered {}/{}  rerequests {}  ctrl_drops {}  data_drops {}",
+            report.result.packets_delivered,
+            report.result.packets_sent,
+            report.result.rerequests,
+            report.result.ctrl_drops,
+            report.result.packets_dropped,
+        );
+        if report.violations.is_empty() {
+            println!("ok: every invariant holds");
+            return Ok(ExitCode::SUCCESS);
+        }
+        for v in &report.violations {
+            println!("VIOLATION [{}]: {}", v.invariant, v.detail);
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+
+    let seeds: u64 = match flag(args, "--seeds")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseError(format!("bad seed count '{s}'")))?,
+        None => 50,
+    };
+    let mechanisms = [
+        BufferMode::PacketGranularity { capacity: 256 },
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(20),
+        },
+    ];
+    let mut failures = 0u64;
+    for mech in mechanisms {
+        for seed in 0..seeds {
+            let scenario = ChaosScenario::generate(seed, mech);
+            let report = chaos::run_scenario(&scenario, rerequest_enabled);
+            if report.violations.is_empty() {
+                continue;
+            }
+            failures += 1;
+            eprintln!("seed {seed} [{}]:", mech.label());
+            for v in &report.violations {
+                eprintln!("  VIOLATION [{}]: {}", v.invariant, v.detail);
+            }
+            let min = chaos::minimize(&scenario, rerequest_enabled);
+            eprintln!(
+                "  replay: cargo run --release --bin sdnlab -- chaos {}--replay '{}'",
+                if broken { "--broken " } else { "" },
+                min.to_spec()
+            );
+        }
+    }
+    if broken {
+        // Self-test: the crippled mechanism must be caught.
+        if failures == 0 {
+            eprintln!(
+                "chaos --broken: no scenario caught the disabled re-request loop — \
+                 the harness has lost its teeth"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!(
+            "chaos --broken: {failures} of {} scenarios caught the disabled \
+             re-request loop (expected)",
+            seeds * mechanisms.len() as u64
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    if failures > 0 {
+        eprintln!("chaos: {failures} scenarios violated invariants (replay commands above)");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "chaos: {seeds} scenarios x {} mechanisms, every invariant holds",
+        mechanisms.len()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
@@ -321,16 +446,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
-        Some("claims") => cmd_claims(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("chaos") => cmd_chaos(&args[1..]),
+        Some("claims") => cmd_claims(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(ParseError(format!("unknown command '{other}'"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(ParseError(msg)) => {
             eprintln!("error: {msg}\n\n{}", usage());
             ExitCode::FAILURE

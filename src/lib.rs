@@ -64,5 +64,5 @@ pub mod prelude {
         Tracer, WorkloadKind,
     };
     pub use sdnbuf_metrics::Summary;
-    pub use sdnbuf_sim::{BitRate, Nanos};
+    pub use sdnbuf_sim::{BitRate, ChannelFaults, FaultPlan, LossModel, Nanos, Window};
 }

@@ -1,0 +1,118 @@
+//! Fault injection under control-channel loss, promoted from the
+//! `lossy_control_channel` example: pins the exact delivered / re-request /
+//! drop counts for both buffer mechanisms at 5 %, 10 % and 20 % loss, and
+//! asserts the paper's qualitative claim — the flow-granularity re-request
+//! timeout (Algorithm 1, lines 12–13) recovers every lost request, while
+//! the default packet-granularity buffer strands whatever its lost
+//! requests had parked.
+
+use sdn_buffer_lab::core::WorkloadKind;
+use sdn_buffer_lab::prelude::*;
+
+fn run_with_loss(buffer: BufferMode, one_in: u64) -> RunResult {
+    let mut config = ExperimentConfig {
+        buffer,
+        workload: WorkloadKind::paper_section_v(),
+        sending_rate: BitRate::from_mbps(50),
+        seed: 13,
+        ..ExperimentConfig::default()
+    };
+    // The deprecated shim: still honoured, mapped onto the fault plan.
+    config.testbed.control_loss_one_in = Some(one_in);
+    Experiment::new(config).run()
+}
+
+fn packet_gran() -> BufferMode {
+    BufferMode::PacketGranularity { capacity: 1024 }
+}
+
+fn flow_gran() -> BufferMode {
+    BufferMode::FlowGranularity {
+        capacity: 1024,
+        timeout: Nanos::from_millis(20),
+    }
+}
+
+/// Exact counts for every (mechanism, loss) cell. These are pinned — the
+/// fault plane is deterministic, so any drift here is a semantic change to
+/// loss injection, buffering, or re-request behaviour and deserves review.
+#[test]
+fn pinned_counts_under_every_nth_loss() {
+    // (one_in, mechanism, delivered, rerequests, ctrl_drops)
+    let expected: [(u64, BufferMode, u64, u64, u64); 6] = [
+        (20, packet_gran(), 982, 0, 18),
+        (20, flow_gran(), 1000, 4, 11),
+        (10, packet_gran(), 961, 0, 39),
+        (10, flow_gran(), 1000, 9, 24),
+        (5, packet_gran(), 640, 0, 362),
+        (5, flow_gran(), 1000, 36, 54),
+    ];
+    for (one_in, buffer, delivered, rerequests, ctrl_drops) in expected {
+        let run = run_with_loss(buffer, one_in);
+        assert_eq!(run.packets_sent, 1000, "loss 1/{one_in} {}", run.label);
+        assert_eq!(
+            (run.packets_delivered, run.rerequests, run.ctrl_drops),
+            (delivered, rerequests, ctrl_drops),
+            "loss 1/{one_in} {}: (delivered, rerequests, ctrl_drops) drifted",
+            run.label
+        );
+    }
+}
+
+/// The qualitative separation at every loss rate: flow granularity delivers
+/// everything via re-requests; packet granularity strands packets and never
+/// re-requests (it has no such mechanism).
+#[test]
+fn flow_granularity_recovers_where_packet_granularity_strands() {
+    for one_in in [20u64, 10, 5] {
+        let pkt = run_with_loss(packet_gran(), one_in);
+        let flow = run_with_loss(flow_gran(), one_in);
+
+        assert_eq!(
+            flow.packets_delivered, flow.packets_sent,
+            "loss 1/{one_in}: flow granularity must deliver everything"
+        );
+        assert!(
+            flow.rerequests > 0,
+            "loss 1/{one_in}: recovery works via re-requests"
+        );
+
+        assert!(
+            pkt.packets_delivered < pkt.packets_sent,
+            "loss 1/{one_in}: packet granularity must strand buffered packets"
+        );
+        assert_eq!(
+            pkt.rerequests, 0,
+            "packet granularity has no re-request path"
+        );
+    }
+}
+
+/// Stranding grows with the loss rate for the default mechanism.
+#[test]
+fn packet_granularity_stranding_grows_with_loss() {
+    let d20 = run_with_loss(packet_gran(), 20).packets_delivered;
+    let d10 = run_with_loss(packet_gran(), 10).packets_delivered;
+    let d5 = run_with_loss(packet_gran(), 5).packets_delivered;
+    assert!(d20 > d10 && d10 > d5, "delivered {d20} / {d10} / {d5}");
+}
+
+/// The same 10 % loss expressed through the new `FaultPlan` API (per-
+/// direction every-nth loss) reproduces the shim's run exactly — the shim
+/// is a thin mapping, not a second implementation.
+#[test]
+fn fault_plan_every_nth_matches_the_deprecated_shim() {
+    let shim = run_with_loss(flow_gran(), 10);
+
+    let mut config = ExperimentConfig {
+        buffer: flow_gran(),
+        workload: WorkloadKind::paper_section_v(),
+        sending_rate: BitRate::from_mbps(50),
+        seed: 13,
+        ..ExperimentConfig::default()
+    };
+    config.testbed.faults = FaultPlan::every_nth_loss(10);
+    let plan = Experiment::new(config).run();
+
+    assert_eq!(shim, plan);
+}

@@ -44,6 +44,54 @@ fn sweep_jsonl_is_identical_across_worker_counts_and_runs() {
     );
 }
 
+/// The byte-identity guarantee holds under an active fault plan: fault
+/// randomness is drawn from each run's own plan-seeded RNG, never from
+/// shared or thread-local state, so injected loss, jitter, duplication,
+/// reordering, stalls and flaps replay identically at any worker count.
+#[test]
+fn sweep_jsonl_is_identical_across_worker_counts_under_faults() {
+    let mut plan = FaultPlan {
+        seed: 9,
+        ..FaultPlan::default()
+    };
+    plan.to_controller.loss = LossModel::Probabilistic(0.1);
+    plan.to_controller.jitter = Nanos::from_micros(800);
+    plan.to_controller.duplicate = 0.1;
+    plan.to_switch.loss = LossModel::Probabilistic(0.05);
+    plan.to_switch.reorder = 0.2;
+    plan.to_switch.reorder_by = Nanos::from_micros(500);
+    plan.stalls = vec![Window::new(Nanos::from_millis(52), Nanos::from_millis(55))];
+
+    let mut sweep = RateSweep::builder()
+        .buffer(BufferMode::PacketGranularity { capacity: 64 })
+        .buffer(BufferMode::FlowGranularity {
+            capacity: 64,
+            timeout: Nanos::from_millis(20),
+        })
+        .rates([60])
+        .workload(WorkloadKind::CrossSequenced {
+            n_flows: 6,
+            packets_per_flow: 4,
+            group_size: 2,
+        })
+        .repetitions(2)
+        .base_seed(7)
+        .build();
+    sweep.testbed.faults = plan;
+
+    let serial = sweep_jsonl(&sweep, Parallelism::Serial);
+    let four = sweep_jsonl(&sweep, Parallelism::Fixed(4));
+    assert_eq!(
+        serial, four,
+        "faulted serial vs 4 workers must match byte-for-byte"
+    );
+    let text = String::from_utf8(serial).unwrap();
+    assert!(
+        text.lines().any(|l| l.contains(r#""kind":"ctrl_drop""#)),
+        "the fault plan must actually drop something in this sweep"
+    );
+}
+
 /// Pins the exact JSONL byte stream of a tiny Section IV cell so that
 /// accidental changes to event emission order, field order, or encoding are
 /// caught in review. Regenerate with `UPDATE_GOLDEN=1 cargo test`.
