@@ -112,6 +112,31 @@ fn bench_buffers(c: &mut Criterion) {
     });
 }
 
+/// The event loop probes the buffer's next deadline after every step, so
+/// `next_timeout` sits on the hot path. The `BTreeSet` deadline index makes
+/// it a min-peek; the `*_linear_baseline` entry prices the pre-index
+/// alternative (a full scan over every queued flow) on identical data, and
+/// the idle `poll_timeouts` pins the cost of a sweep that finds nothing due.
+fn bench_timeout_probes(c: &mut Criterion) {
+    let mut buf =
+        FlowGranularityBuffer::new(2048, Nanos::from_millis(50)).with_ttl(Nanos::from_millis(500));
+    let mut deadlines = Vec::with_capacity(1000);
+    for i in 0..1000u16 {
+        let p = PacketBuilder::udp().src_port(i).frame_size(1000).build();
+        buf.on_miss(Nanos::from_micros(u64::from(i)), p, PortNo(1));
+        deadlines.push(Nanos::from_micros(u64::from(i)) + Nanos::from_millis(50));
+    }
+    c.bench_function("flow_next_timeout_1000_flows", |b| {
+        b.iter(|| black_box(&buf).next_timeout())
+    });
+    c.bench_function("flow_next_timeout_linear_baseline_1000", |b| {
+        b.iter(|| black_box(&deadlines).iter().min().copied())
+    });
+    c.bench_function("flow_poll_timeouts_idle_1000_flows", |b| {
+        b.iter(|| black_box(buf.poll_timeouts(Nanos::from_micros(1_100)).is_empty()))
+    });
+}
+
 /// One representative hot-path event: a control-channel message record,
 /// the largest `EventKind` variant and the one emitted most often.
 fn sample_event_kind() -> EventKind {
@@ -252,6 +277,7 @@ criterion_group!(
     bench_openflow_codec,
     bench_flow_table,
     bench_buffers,
+    bench_timeout_probes,
     bench_event_sinks,
     bench_fault_plane,
     bench_full_run

@@ -2,6 +2,48 @@
 
 use sdnbuf_sim::{BitRate, Nanos};
 
+/// What the controller's IO thread does with a `packet_in` that arrives
+/// while the bounded ingress queue is full.
+///
+/// The queue is modeled as admission slots: each admitted `packet_in`
+/// occupies a slot from its arrival until its modeled service completion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Shed the newest arrival (classic bounded-queue behaviour).
+    #[default]
+    DropTail,
+    /// Evict the oldest occupied slot and admit the newest arrival. In
+    /// this synchronous model the evicted message's response has already
+    /// been scheduled, so the eviction is accounted as wasted work: the
+    /// slot is freed and the eviction counted as a shed.
+    DropHead,
+    /// Shed only full-packet (unbuffered) `packet_in`s; buffered
+    /// re-requests are always admitted, even over capacity — they are
+    /// cheap to serve and unblock switch buffer units.
+    PreferRerequests,
+}
+
+impl AdmissionPolicy {
+    /// A short label for result tables and CLI round-trips.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::DropTail => "drop-tail",
+            AdmissionPolicy::DropHead => "drop-head",
+            AdmissionPolicy::PreferRerequests => "prefer-rerequests",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back into a policy.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "drop-tail" => Some(AdmissionPolicy::DropTail),
+            "drop-head" => Some(AdmissionPolicy::DropHead),
+            "prefer-rerequests" => Some(AdmissionPolicy::PreferRerequests),
+            _ => None,
+        }
+    }
+}
+
 /// How the controller decides where packets go.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ForwardingMode {
@@ -60,6 +102,12 @@ pub struct ControllerConfig {
     /// so it shapes the controller-delay figures without inflating CPU
     /// usage.
     pub latency_per_byte: Nanos,
+    /// Bound on the `packet_in` ingress queue (admission slots held from
+    /// arrival to modeled service completion). `0` (the default) leaves the
+    /// queue unbounded — the pre-admission-control behaviour.
+    pub ingress_queue_capacity: usize,
+    /// What to shed when the bounded ingress queue is full.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ControllerConfig {
@@ -79,6 +127,8 @@ impl Default for ControllerConfig {
             ingest_rate: BitRate::from_mbps(105),
             mode: ForwardingMode::default(),
             latency_per_byte: Nanos::from_nanos(400),
+            ingress_queue_capacity: 0,
+            admission: AdmissionPolicy::DropTail,
         }
     }
 }
@@ -143,6 +193,23 @@ mod tests {
             ..ControllerConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn admission_policy_labels_round_trip() {
+        for p in [
+            AdmissionPolicy::DropTail,
+            AdmissionPolicy::DropHead,
+            AdmissionPolicy::PreferRerequests,
+        ] {
+            assert_eq!(AdmissionPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(AdmissionPolicy::parse("random-early"), None);
+        assert_eq!(
+            ControllerConfig::default().ingress_queue_capacity,
+            0,
+            "admission control defaults off"
+        );
     }
 
     #[test]

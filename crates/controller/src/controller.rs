@@ -1,13 +1,13 @@
 //! The controller state machine.
 
-use crate::{ControllerConfig, ControllerStats, ForwardingMode, ParsedHeaders};
+use crate::{AdmissionPolicy, ControllerConfig, ControllerStats, ForwardingMode, ParsedHeaders};
 use sdnbuf_net::MacAddr;
 use sdnbuf_openflow::{
     msg::{FlowMod, FlowModCommand, PacketIn, PacketOut},
     Action, BufferId, Match, OfpMessage, PortNo, Wildcards,
 };
 use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 /// A timed effect produced by the controller.
@@ -35,8 +35,22 @@ pub struct Controller {
     next_xid: u32,
     /// Learned from `features_reply` during the handshake.
     switch_features: Option<SwitchFeatures>,
+    /// Admission slots of the bounded ingress queue: one per admitted
+    /// `packet_in`, held from arrival until its modeled service completion.
+    /// Only maintained when `ingress_queue_capacity > 0`.
+    backlog: VecDeque<AdmissionSlot>,
     stats: ControllerStats,
     tracer: Tracer,
+}
+
+/// One occupied slot of the bounded ingress queue.
+#[derive(Clone, Copy, Debug)]
+struct AdmissionSlot {
+    /// When the slot frees: the admitted message's response-departure time.
+    done_at: Nanos,
+    xid: u32,
+    bytes: usize,
+    buffered: bool,
 }
 
 /// What the controller learned about its switch from the handshake.
@@ -68,6 +82,7 @@ impl Controller {
             mac_table: HashMap::new(),
             next_xid: 0x8000_0000, // distinct from switch-allocated xids
             switch_features: None,
+            backlog: VecDeque::new(),
             stats: ControllerStats::default(),
             tracer: Tracer::off(),
             config,
@@ -176,11 +191,21 @@ impl Controller {
         msg: OfpMessage,
         xid: u32,
     ) -> Vec<ControllerOutput> {
+        let wire_len = msg.wire_len();
+        // Admission control happens at the socket, before the IO thread
+        // spends any time draining the message.
+        if let OfpMessage::PacketIn(pin) = msg {
+            if self.config.ingress_queue_capacity > 0 && !self.admit(now, &pin, xid) {
+                return Vec::new();
+            }
+            let now = self.ingest.transfer(now, wire_len);
+            return self.handle_packet_in(now, pin, xid);
+        }
         // The message is first drained off the socket by the IO thread —
         // a serial, size-proportional stage.
-        let now = self.ingest.transfer(now, msg.wire_len());
+        let now = self.ingest.transfer(now, wire_len);
         match msg {
-            OfpMessage::PacketIn(pin) => self.handle_packet_in(now, pin, xid),
+            OfpMessage::PacketIn(_) => unreachable!("handled above"),
             OfpMessage::EchoRequest(data) => {
                 let at = self.submit(now, self.config.cost_parse_base);
                 vec![ControllerOutput::ToSwitch {
@@ -245,6 +270,55 @@ impl Controller {
         }
     }
 
+    /// Decides whether a `packet_in` arriving at `now` gets an admission
+    /// slot. Returns `false` when the arrival is shed. Only called when
+    /// `ingress_queue_capacity > 0`.
+    fn admit(&mut self, now: Nanos, pin: &PacketIn, xid: u32) -> bool {
+        while self.backlog.front().is_some_and(|s| s.done_at <= now) {
+            self.backlog.pop_front();
+        }
+        if self.backlog.len() < self.config.ingress_queue_capacity {
+            return true;
+        }
+        let buffered = pin.buffer_id.is_buffered();
+        match self.config.admission {
+            AdmissionPolicy::DropTail => {
+                self.shed(now, xid, pin.data.len(), buffered);
+                false
+            }
+            AdmissionPolicy::DropHead => {
+                // The evicted head's response is already scheduled; the
+                // eviction frees its slot and books the work as wasted.
+                let head = self.backlog.pop_front().expect("queue is full");
+                self.shed(now, head.xid, head.bytes, head.buffered);
+                true
+            }
+            AdmissionPolicy::PreferRerequests => {
+                if buffered {
+                    // A buffered re-request frees a switch buffer unit when
+                    // served: admit it even over capacity.
+                    true
+                } else {
+                    self.shed(now, xid, pin.data.len(), buffered);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Books one shed `packet_in`.
+    fn shed(&mut self, now: Nanos, xid: u32, bytes: usize, buffered: bool) {
+        self.stats.admission_sheds.incr();
+        self.tracer.emit(
+            now,
+            EventKind::AdmissionShed {
+                xid,
+                bytes,
+                buffered,
+            },
+        );
+    }
+
     /// Submits a CPU job with the contention scaling applied.
     fn submit(&mut self, now: Nanos, cost: Nanos) -> Nanos {
         let busy = self.cpu.busy_cores(now) as f64;
@@ -289,6 +363,14 @@ impl Controller {
         // Allocation/GC stall: latency proportional to the bytes handled,
         // added after the CPU work completes.
         let at = self.submit(now, cost) + self.config.latency_per_byte * handled_bytes as u64;
+        if self.config.ingress_queue_capacity > 0 {
+            self.backlog.push_back(AdmissionSlot {
+                done_at: at,
+                xid,
+                bytes: pin.data.len(),
+                buffered: pin.buffer_id.is_buffered(),
+            });
+        }
 
         let out_data = if pin.buffer_id.is_buffered() {
             Vec::new()
@@ -668,6 +750,92 @@ mod tests {
             1,
         );
         assert_eq!(c.stats().errors.get(), 1);
+    }
+
+    #[test]
+    fn admission_drop_tail_sheds_overflow() {
+        let mut c = Controller::new(ControllerConfig {
+            ingress_queue_capacity: 1,
+            ..ControllerConfig::default()
+        });
+        c.learn(MacAddr::from_host_index(2), PortNo(2));
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(1), 1000),
+            1,
+        );
+        assert_eq!(outs.len(), 2, "first arrival is served");
+        // The slot is still held: a same-instant arrival is shed.
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(2), 1000),
+            2,
+        );
+        assert!(outs.is_empty());
+        assert_eq!(c.stats().admission_sheds.get(), 1);
+        assert_eq!(c.stats().pkt_ins.get(), 1, "shed messages are not parsed");
+        // Once the first response has left, capacity frees up.
+        let outs = c.handle_message(
+            Nanos::from_millis(10),
+            pkt_in_for(pkt.header_slice(128), BufferId::new(3), 1000),
+            3,
+        );
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn admission_drop_head_keeps_the_newest() {
+        let mut c = Controller::new(ControllerConfig {
+            ingress_queue_capacity: 1,
+            admission: AdmissionPolicy::DropHead,
+            ..ControllerConfig::default()
+        });
+        c.learn(MacAddr::from_host_index(2), PortNo(2));
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(1), 1000),
+            1,
+        );
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(2), 1000),
+            2,
+        );
+        assert_eq!(outs.len(), 2, "drop-head admits the newest arrival");
+        assert_eq!(c.stats().admission_sheds.get(), 1, "…evicting the oldest");
+    }
+
+    #[test]
+    fn admission_prefer_rerequests_admits_buffered_over_capacity() {
+        let mut c = Controller::new(ControllerConfig {
+            ingress_queue_capacity: 1,
+            admission: AdmissionPolicy::PreferRerequests,
+            ..ControllerConfig::default()
+        });
+        c.learn(MacAddr::from_host_index(2), PortNo(2));
+        let pkt = PacketBuilder::udp().frame_size(1000).build();
+        c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 1000),
+            1,
+        );
+        // A full-packet arrival over capacity is shed…
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.encode(), BufferId::NO_BUFFER, 1000),
+            2,
+        );
+        assert!(outs.is_empty());
+        // …but a buffered re-request is always admitted.
+        let outs = c.handle_message(
+            Nanos::ZERO,
+            pkt_in_for(pkt.header_slice(128), BufferId::new(7), 1000),
+            3,
+        );
+        assert_eq!(outs.len(), 2);
+        assert_eq!(c.stats().admission_sheds.get(), 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod controller;
 mod headers;
 mod stats;
 
-pub use config::{ControllerConfig, ForwardingMode};
+pub use config::{AdmissionPolicy, ControllerConfig, ForwardingMode};
 pub use controller::{Controller, ControllerOutput, SwitchFeatures};
 pub use headers::ParsedHeaders;
 pub use stats::ControllerStats;

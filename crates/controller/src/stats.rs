@@ -21,6 +21,8 @@ pub struct ControllerStats {
     pub errors: Counter,
     /// `packet_in`s whose data could not be parsed.
     pub parse_failures: Counter,
+    /// `packet_in`s shed by the bounded ingress queue's admission policy.
+    pub admission_sheds: Counter,
     /// Probes originated (echo keepalives and stats polls).
     pub probes_sent: Counter,
     /// `echo_reply` messages received.

@@ -20,8 +20,61 @@ use sdnbuf_sim::{
     BitRate, ChannelDir, ChannelFaults, Event, EventKind, FaultPlan, LossModel, Nanos, SimRng,
     Tracer, Window,
 };
+use sdnbuf_switchbuf::{GiveUp, RetryPolicy};
 use sdnbuf_workload::PktgenConfig;
 use std::collections::HashMap;
+
+/// The recovery-plane knobs a chaos run configures on its switch: the
+/// re-request retry policy, the per-entry buffer TTL and the degraded-mode
+/// threshold. Default knobs reproduce the pre-recovery behaviour exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryKnobs {
+    /// Re-request pacing and budget ([`RetryPolicy::fixed`] by default).
+    pub retry: RetryPolicy,
+    /// Per-entry buffer TTL; [`Nanos::ZERO`] disables expiry.
+    pub ttl: Nanos,
+    /// Consecutive give-ups tripping degraded mode; `0` disables it.
+    pub degraded_threshold: u32,
+}
+
+/// Which parts of the mechanism a self-test run cripples on purpose, so
+/// the harness can prove its invariants have teeth.
+///
+/// `From<bool>` keeps the historical call shape alive:
+/// `run_scenario(&s, true)` is "nothing sabotaged" and
+/// `run_scenario(&s, false)` disables Algorithm 1's re-request loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sabotage {
+    /// Disable Algorithm 1's re-request lines (the original `--broken`).
+    pub disable_rerequest: bool,
+    /// Disable the TTL garbage collector while leaving the configured TTL
+    /// in place (`--broken-ttl`): stranded entries leak.
+    pub disable_ttl_gc: bool,
+}
+
+impl Sabotage {
+    /// Nothing crippled.
+    pub fn none() -> Sabotage {
+        Sabotage::default()
+    }
+
+    /// Only the TTL garbage collector disabled.
+    pub fn no_ttl_gc() -> Sabotage {
+        Sabotage {
+            disable_rerequest: false,
+            disable_ttl_gc: true,
+        }
+    }
+}
+
+impl From<bool> for Sabotage {
+    fn from(rerequest_enabled: bool) -> Sabotage {
+        Sabotage {
+            disable_rerequest: !rerequest_enabled,
+            disable_ttl_gc: false,
+        }
+    }
+}
 
 /// One sampled chaos scenario: everything needed to reproduce a run.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,6 +89,8 @@ pub struct ChaosScenario {
     pub seed: u64,
     /// The fault plan.
     pub plan: FaultPlan,
+    /// Recovery-plane switch knobs (defaults = pre-recovery behaviour).
+    pub recovery: RecoveryKnobs,
 }
 
 impl ChaosScenario {
@@ -115,6 +170,10 @@ impl ChaosScenario {
             rate_mbps,
             seed: 1 + rng.gen_range(1_000_000),
             plan,
+            // The sweep runs with default recovery knobs so its catch rates
+            // stay comparable across PRs; the recovery matrix
+            // ([`recovery_matrix`]) turns the knobs on explicitly.
+            recovery: RecoveryKnobs::default(),
         }
     }
 
@@ -128,6 +187,15 @@ impl ChaosScenario {
             format!("rate={}", self.rate_mbps),
             format!("seed={}", self.seed),
         ];
+        if self.recovery.retry != RetryPolicy::fixed() {
+            parts.push(format!("retry={}", retry_spec(&self.recovery.retry)));
+        }
+        if self.recovery.ttl != Nanos::ZERO {
+            parts.push(format!("ttl={}", fmt_dur(self.recovery.ttl)));
+        }
+        if self.recovery.degraded_threshold != 0 {
+            parts.push(format!("degraded={}", self.recovery.degraded_threshold));
+        }
         let plan = self.plan.to_spec();
         if !plan.is_empty() {
             parts.push(plan);
@@ -143,6 +211,7 @@ impl ChaosScenario {
         let mut rate_mbps = None;
         let mut seed = None;
         let mut plan = FaultPlan::default();
+        let mut recovery = RecoveryKnobs::default();
         for part in spec.split(',').filter(|p| !p.is_empty()) {
             let (key, value) = part
                 .split_once('=')
@@ -156,6 +225,13 @@ impl ChaosScenario {
                 "seed" => {
                     seed = Some(value.parse().map_err(|_| format!("bad seed '{value}'"))?);
                 }
+                "retry" => recovery.retry = parse_retry(value)?,
+                "ttl" => recovery.ttl = parse_dur(value)?,
+                "degraded" => {
+                    recovery.degraded_threshold = value
+                        .parse()
+                        .map_err(|_| format!("bad degraded threshold '{value}'"))?;
+                }
                 _ => {
                     if !plan.apply_kv(key, value)? {
                         return Err(format!("unknown scenario key '{key}'"));
@@ -164,14 +240,53 @@ impl ChaosScenario {
             }
         }
         plan.validate()?;
+        recovery.retry.validate()?;
         Ok(ChaosScenario {
             mech: mech.ok_or_else(|| "scenario spec is missing mech=".to_owned())?,
             workload: workload.ok_or_else(|| "scenario spec is missing wl=".to_owned())?,
             rate_mbps: rate_mbps.ok_or_else(|| "scenario spec is missing rate=".to_owned())?,
             seed: seed.ok_or_else(|| "scenario spec is missing seed=".to_owned())?,
             plan,
+            recovery,
         })
     }
+}
+
+/// Serializes a retry policy for the scenario spec:
+/// `<multiplier>:<cap>:<jitter>:<budget>:<give-up>:<jitter-seed>`.
+fn retry_spec(p: &RetryPolicy) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}",
+        p.multiplier,
+        fmt_dur(p.cap),
+        fmt_dur(p.jitter),
+        p.budget,
+        p.give_up.label(),
+        p.seed
+    )
+}
+
+fn parse_retry(s: &str) -> Result<RetryPolicy, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [mult, cap, jitter, budget, give_up, seed] = parts.as_slice() else {
+        return Err(format!(
+            "expected retry=<mult>:<cap>:<jitter>:<budget>:<drain|drop>:<seed>, got '{s}'"
+        ));
+    };
+    Ok(RetryPolicy {
+        multiplier: mult
+            .parse()
+            .map_err(|_| format!("bad retry multiplier '{mult}'"))?,
+        cap: parse_dur(cap)?,
+        jitter: parse_dur(jitter)?,
+        budget: budget
+            .parse()
+            .map_err(|_| format!("bad retry budget '{budget}'"))?,
+        give_up: GiveUp::parse(give_up)?,
+        seed: seed
+            .parse()
+            .map_err(|_| format!("bad jitter seed '{seed}'"))?,
+    })
 }
 
 /// A window of `1..=max_ms` milliseconds starting inside the data phase
@@ -283,12 +398,17 @@ fn parse_wl(s: &str) -> Result<WorkloadKind, String> {
 /// Runs `scenario` on a fresh testbed with the recording tracer attached
 /// and returns the measurements plus the full event stream.
 ///
-/// `rerequest_enabled = false` disables Algorithm 1's re-request lines in
-/// the mechanism under test — the intentionally broken variant the
-/// harness's self-test must catch via the eventual-delivery invariant.
-pub fn execute(scenario: &ChaosScenario, rerequest_enabled: bool) -> (RunResult, Vec<Event>) {
+/// `sabotage` cripples parts of the mechanism on purpose (accepts a plain
+/// `bool` for the historical "re-request enabled?" call shape) — the
+/// intentionally broken variants the harness's self-test must catch via
+/// the eventual-delivery and buffer-expiry invariants.
+pub fn execute(scenario: &ChaosScenario, sabotage: impl Into<Sabotage>) -> (RunResult, Vec<Event>) {
+    let sabotage = sabotage.into();
     let mut cfg = TestbedConfig::default();
     cfg.switch.buffer = scenario.mech;
+    cfg.switch.retry = scenario.recovery.retry;
+    cfg.switch.buffer_ttl = scenario.recovery.ttl;
+    cfg.switch.degraded_threshold = scenario.recovery.degraded_threshold;
     cfg.faults = scenario.plan.clone();
     let pktgen = PktgenConfig {
         rate: BitRate::from_mbps(scenario.rate_mbps),
@@ -296,8 +416,11 @@ pub fn execute(scenario: &ChaosScenario, rerequest_enabled: bool) -> (RunResult,
     };
     let departures = scenario.workload.generate(&pktgen, scenario.seed);
     let mut tb = Testbed::new(cfg);
-    if !rerequest_enabled {
+    if sabotage.disable_rerequest {
         tb.switch_mut().buffer_mut().set_rerequest_enabled(false);
+    }
+    if sabotage.disable_ttl_gc {
+        tb.switch_mut().buffer_mut().set_ttl_gc_enabled(false);
     }
     let (tracer, sink) = Tracer::recording(0);
     tb.set_tracer(tracer);
@@ -334,13 +457,27 @@ pub struct Violation {
 /// * **rerequest-before-timeout** — consecutive requests for the same id
 ///   are separated by at least the configured timeout.
 /// * **rerequest-accounting** — the run's counter matches the trace.
+/// * **no-stale-drain** — a `packet_out` never drains packets from a slot
+///   that expiry, give-up or an earlier drain already emptied; generation
+///   tags must reject such stale releases.
+/// * **retry-budget** — with a finite budget, no slot is re-requested more
+///   than `budget` times between fresh allocations.
+/// * **buffer-expiry** — with a TTL armed, no entry survives the run
+///   stranded in the buffer. This is the invariant that catches a broken
+///   TTL garbage collector.
+/// * **degraded-recovery** — a switch still degraded at the end of the run
+///   must not have seen controller progress (a `flow_mod` installed or a
+///   buffer drained) since it last entered degraded mode.
 /// * **eventual-delivery** / **buffer-id-leak** — flow granularity with
 ///   control-channel faults only (loss < 100 %, no flaps, no pressure)
-///   must deliver everything and fully drain its buffer. This is the
-///   invariant that catches a broken re-request loop.
+///   and neutral recovery knobs (no TTL, no budget, no degraded mode —
+///   each of which deliberately sacrifices delivery for boundedness) must
+///   deliver everything and fully drain its buffer. This is the invariant
+///   that catches a broken re-request loop.
 pub fn check_invariants(
     mech: BufferMode,
     plan: &FaultPlan,
+    knobs: RecoveryKnobs,
     result: &RunResult,
     events: &[Event],
 ) -> Vec<Violation> {
@@ -357,9 +494,13 @@ pub fn check_invariants(
     let mut rerequests: HashMap<u32, u64> = HashMap::new();
     let mut pkt_ins: HashMap<u32, u64> = HashMap::new();
     let mut last_request: HashMap<u32, Nanos> = HashMap::new();
+    let mut retry_streak: HashMap<u32, u32> = HashMap::new();
     let mut pkt_in_buffer: HashMap<u32, u32> = HashMap::new();
     let mut pkt_out_buffer: HashMap<u32, u32> = HashMap::new();
     let mut lost_ctrl: u64 = 0;
+    let mut degraded_enters: u64 = 0;
+    let mut degraded_exits: u64 = 0;
+    let mut progress_since_enter = false;
 
     for e in events {
         match e.kind {
@@ -381,10 +522,22 @@ pub fn check_invariants(
                 if fresh {
                     *fresh_allocs.entry(buffer_id).or_insert(0) += 1;
                     last_request.insert(buffer_id, e.at);
+                    retry_streak.insert(buffer_id, 0);
                 }
             }
             EventKind::BufferRerequest { buffer_id, .. } => {
                 *rerequests.entry(buffer_id).or_insert(0) += 1;
+                let streak = retry_streak.entry(buffer_id).or_insert(0);
+                *streak += 1;
+                if knobs.retry.budget > 0 && *streak > knobs.retry.budget {
+                    violations.push(Violation {
+                        invariant: "retry-budget",
+                        detail: format!(
+                            "buffer {buffer_id} re-requested {streak} times against a budget of {}",
+                            knobs.retry.budget
+                        ),
+                    });
+                }
                 if let (Some(timeout), Some(&prev)) = (timeout, last_request.get(&buffer_id)) {
                     if e.at < prev + timeout {
                         violations.push(Violation {
@@ -404,8 +557,17 @@ pub fn check_invariants(
                 released,
                 ..
             } => {
+                progress_since_enter = true;
                 let held = outstanding.entry(buffer_id).or_insert(0);
-                if (released as i64) > *held {
+                if *held <= 0 && released > 0 {
+                    violations.push(Violation {
+                        invariant: "no-stale-drain",
+                        detail: format!(
+                            "buffer {buffer_id} drained {released} packets from an already \
+                             emptied slot (stale release let through)"
+                        ),
+                    });
+                } else if (released as i64) > *held {
                     violations.push(Violation {
                         invariant: "buffer-bookkeeping",
                         detail: format!(
@@ -417,6 +579,52 @@ pub fn check_invariants(
                 if *held <= 0 {
                     last_request.remove(&buffer_id);
                 }
+            }
+            EventKind::BufferExpire { buffer_id, .. } => {
+                let held = outstanding.entry(buffer_id).or_insert(0);
+                if *held <= 0 {
+                    violations.push(Violation {
+                        invariant: "buffer-bookkeeping",
+                        detail: format!("buffer {buffer_id} expired a packet from an empty slot"),
+                    });
+                }
+                *held -= 1;
+                if *held <= 0 {
+                    last_request.remove(&buffer_id);
+                }
+            }
+            EventKind::BufferGiveUp {
+                buffer_id, drained, ..
+            } => {
+                let held = outstanding.entry(buffer_id).or_insert(0);
+                if (drained as i64) > *held {
+                    violations.push(Violation {
+                        invariant: "buffer-bookkeeping",
+                        detail: format!(
+                            "buffer {buffer_id} gave up {drained} packets but held {held}"
+                        ),
+                    });
+                }
+                *held -= drained as i64;
+                last_request.remove(&buffer_id);
+                retry_streak.remove(&buffer_id);
+            }
+            EventKind::FlowRuleInstalled { .. } => {
+                progress_since_enter = true;
+            }
+            EventKind::DegradedEnter { .. } => {
+                degraded_enters += 1;
+                progress_since_enter = false;
+            }
+            EventKind::DegradedExit { .. } => {
+                degraded_exits += 1;
+            }
+            // Shedding an unbuffered request destroys the packet data it
+            // carried; a buffered one leaves the data at the switch.
+            EventKind::AdmissionShed {
+                buffered: false, ..
+            } => {
+                lost_ctrl += 1;
             }
             EventKind::PacketInSent { xid, buffer_id, .. } => {
                 pkt_in_buffer.insert(xid, buffer_id);
@@ -506,8 +714,34 @@ pub fn check_invariants(
         });
     }
 
-    let guarantees_delivery =
-        matches!(mech, BufferMode::FlowGranularity { .. }) && !plan.disturbs_data();
+    if knobs.ttl != Nanos::ZERO && stranded > 0 {
+        violations.push(Violation {
+            invariant: "buffer-expiry",
+            detail: format!(
+                "{stranded} packets outlived the {} TTL stranded in the buffer",
+                fmt_dur(knobs.ttl)
+            ),
+        });
+    }
+
+    if degraded_enters > degraded_exits && progress_since_enter {
+        violations.push(Violation {
+            invariant: "degraded-recovery",
+            detail: format!(
+                "switch still degraded after the run ({degraded_enters} entries, \
+                 {degraded_exits} exits) despite controller progress since the last entry"
+            ),
+        });
+    }
+
+    // TTL expiry, a finite retry budget and degraded-mode shedding each
+    // deliberately trade delivery for boundedness, so the delivery
+    // guarantee only holds with all three disarmed.
+    let recovery_neutral =
+        knobs.ttl == Nanos::ZERO && knobs.retry.budget == 0 && knobs.degraded_threshold == 0;
+    let guarantees_delivery = matches!(mech, BufferMode::FlowGranularity { .. })
+        && !plan.disturbs_data()
+        && recovery_neutral;
     if guarantees_delivery {
         if result.packets_delivered < result.packets_sent {
             violations.push(Violation {
@@ -546,9 +780,15 @@ pub struct ChaosReport {
 }
 
 /// Executes `scenario` and checks every invariant over its event stream.
-pub fn run_scenario(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosReport {
-    let (result, events) = execute(scenario, rerequest_enabled);
-    let violations = check_invariants(scenario.mech, &scenario.plan, &result, &events);
+pub fn run_scenario(scenario: &ChaosScenario, sabotage: impl Into<Sabotage>) -> ChaosReport {
+    let (result, events) = execute(scenario, sabotage);
+    let violations = check_invariants(
+        scenario.mech,
+        &scenario.plan,
+        scenario.recovery,
+        &result,
+        &events,
+    );
     let digest = crate::observe::events_digest(&events);
     ChaosReport {
         result,
@@ -561,12 +801,10 @@ pub fn run_scenario(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosR
 /// channel knob and dropping each window, keeps any simplification that
 /// still violates an invariant, and repeats to a fixpoint. The result is
 /// 1-minimal — removing any single remaining fault makes the run pass.
-pub fn minimize(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosScenario {
+pub fn minimize(scenario: &ChaosScenario, sabotage: impl Into<Sabotage>) -> ChaosScenario {
+    let sabotage = sabotage.into();
     let mut current = scenario.clone();
-    if run_scenario(&current, rerequest_enabled)
-        .violations
-        .is_empty()
-    {
+    if run_scenario(&current, sabotage).violations.is_empty() {
         return current;
     }
     loop {
@@ -576,10 +814,7 @@ pub fn minimize(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosScena
                 plan: candidate,
                 ..current.clone()
             };
-            if !run_scenario(&trial, rerequest_enabled)
-                .violations
-                .is_empty()
-            {
+            if !run_scenario(&trial, sabotage).violations.is_empty() {
                 current = trial;
                 shrunk = true;
                 break;
@@ -589,6 +824,66 @@ pub fn minimize(scenario: &ChaosScenario, rerequest_enabled: bool) -> ChaosScena
             return current;
         }
     }
+}
+
+/// The recovery matrix: a sustained controller stall followed by a short
+/// control-channel flap inside the data phase, run against both buffering
+/// mechanisms under both the fixed-interval and the exponential-backoff
+/// retry policy, with the TTL and degraded mode armed. Every cell must
+/// pass every invariant — `sdnlab chaos --recovery` and CI run it as the
+/// recovery plane's end-to-end check.
+pub fn recovery_matrix() -> Vec<(String, ChaosScenario)> {
+    let mechs = [
+        ("packet", BufferMode::PacketGranularity { capacity: 256 }),
+        (
+            "flow",
+            BufferMode::FlowGranularity {
+                capacity: 256,
+                timeout: Nanos::from_millis(20),
+            },
+        ),
+    ];
+    let policies = [
+        ("fixed", RetryPolicy::fixed()),
+        ("backoff", RetryPolicy::backoff(Nanos::from_millis(160), 4)),
+    ];
+    let mut out = Vec::new();
+    for (mech_label, mech) in mechs {
+        for (policy_label, retry) in policies {
+            let mut plan = FaultPlan {
+                seed: 17,
+                ..FaultPlan::default()
+            };
+            // Memoryless packet_out loss strands buffer entries (packet
+            // granularity has no re-request), so the armed TTL has work to
+            // do in every cell and a dead garbage collector is observable.
+            plan.to_switch.loss = LossModel::Probabilistic(0.35);
+            plan.stalls
+                .push(Window::new(Nanos::from_millis(50), Nanos::from_millis(68)));
+            plan.flaps
+                .push(Window::new(Nanos::from_millis(72), Nanos::from_millis(75)));
+            out.push((
+                format!("{mech_label}/{policy_label}"),
+                ChaosScenario {
+                    mech,
+                    workload: WorkloadKind::CrossSequenced {
+                        n_flows: 6,
+                        packets_per_flow: 4,
+                        group_size: 2,
+                    },
+                    rate_mbps: 40,
+                    seed: 9,
+                    plan,
+                    recovery: RecoveryKnobs {
+                        retry,
+                        ttl: Nanos::from_millis(250),
+                        degraded_threshold: 2,
+                    },
+                },
+            ));
+        }
+    }
+    out
 }
 
 fn chan_mut(plan: &mut FaultPlan, to_switch: bool) -> &mut ChannelFaults {
@@ -704,6 +999,7 @@ mod tests {
                 rate_mbps: 30,
                 seed: 5,
                 plan: FaultPlan::default(),
+                recovery: RecoveryKnobs::default(),
             };
             let report = run_scenario(&s, true);
             assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -737,6 +1033,7 @@ mod tests {
             rate_mbps: 40,
             seed: 2,
             plan,
+            recovery: RecoveryKnobs::default(),
         };
         let report = run_scenario(&s, false);
         assert!(
@@ -773,9 +1070,148 @@ mod tests {
             rate_mbps: 40,
             seed: 2,
             plan,
+            recovery: RecoveryKnobs::default(),
         };
         let report = run_scenario(&s, true);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert_eq!(report.result.packets_delivered, report.result.packets_sent);
+    }
+
+    #[test]
+    fn recovery_knobs_round_trip_through_the_spec() {
+        let s = ChaosScenario {
+            mech: flow_mech(),
+            workload: small_workload(),
+            rate_mbps: 30,
+            seed: 5,
+            plan: FaultPlan::default(),
+            recovery: RecoveryKnobs {
+                retry: RetryPolicy {
+                    jitter: Nanos::from_millis(2),
+                    seed: 7,
+                    ..RetryPolicy::backoff(Nanos::from_millis(400), 6)
+                },
+                ttl: Nanos::from_millis(250),
+                degraded_threshold: 3,
+            },
+        };
+        let spec = s.to_spec();
+        assert!(spec.contains("retry="), "spec: {spec}");
+        assert!(spec.contains("ttl=250ms"), "spec: {spec}");
+        assert!(spec.contains("degraded=3"), "spec: {spec}");
+        assert_eq!(ChaosScenario::parse(&spec).expect(&spec), s, "spec: {spec}");
+
+        // Default knobs keep the spec exactly as it was before the
+        // recovery plane existed.
+        let plain = ChaosScenario {
+            recovery: RecoveryKnobs::default(),
+            ..s
+        };
+        assert!(!plain.to_spec().contains("retry="));
+        assert!(ChaosScenario::parse(
+            "mech=flow:256:50ms,wl=cross:4x3/2,rate=30,seed=1,retry=1:2:3"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn broken_ttl_gc_is_caught_and_minimized() {
+        // Packet granularity has no re-request loop, so a dropped
+        // packet_out strands its buffer entry; the armed TTL is the only
+        // thing that reclaims it. Disabling the garbage collector while
+        // leaving the TTL configured must trip the buffer-expiry invariant.
+        let mut plan = FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        plan.to_switch.loss = LossModel::EveryNth(3);
+        plan.to_controller.delay = Nanos::from_micros(300);
+        let s = ChaosScenario {
+            mech: BufferMode::PacketGranularity { capacity: 256 },
+            workload: small_workload(),
+            rate_mbps: 40,
+            seed: 2,
+            plan,
+            recovery: RecoveryKnobs {
+                ttl: Nanos::from_millis(100),
+                ..RecoveryKnobs::default()
+            },
+        };
+        let intact = run_scenario(&s, Sabotage::none());
+        assert!(intact.violations.is_empty(), "{:?}", intact.violations);
+        assert!(intact.result.buffer_expired > 0);
+
+        let broken = run_scenario(&s, Sabotage::no_ttl_gc());
+        assert!(
+            broken
+                .violations
+                .iter()
+                .any(|v| v.invariant == "buffer-expiry"),
+            "expected a buffer-expiry violation, got {:?}",
+            broken.violations
+        );
+
+        // The shrinker keeps the packet_out loss (the cause) and drops the
+        // irrelevant ingress delay.
+        let min = minimize(&s, Sabotage::no_ttl_gc());
+        assert_eq!(min.plan.to_controller.delay, Nanos::ZERO);
+        assert!(!min.plan.to_switch.loss.is_none());
+        let a = run_scenario(&min, Sabotage::no_ttl_gc());
+        assert!(!a.violations.is_empty());
+        let b = run_scenario(
+            &ChaosScenario::parse(&min.to_spec()).unwrap(),
+            Sabotage::no_ttl_gc(),
+        );
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn retry_budget_bounds_rerequests_under_sustained_loss() {
+        // Near-total packet_in loss: without a budget flow granularity
+        // would re-request forever; with one it gives up, drains, and the
+        // retry-budget invariant holds over the whole trace.
+        let mut plan = FaultPlan {
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        plan.to_controller.loss = LossModel::Probabilistic(0.9);
+        let s = ChaosScenario {
+            mech: flow_mech(),
+            workload: small_workload(),
+            rate_mbps: 40,
+            seed: 2,
+            plan,
+            recovery: RecoveryKnobs {
+                retry: RetryPolicy::backoff(Nanos::from_millis(200), 2),
+                ..RecoveryKnobs::default()
+            },
+        };
+        let report = run_scenario(&s, true);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report.result.buffer_giveups > 0,
+            "expected give-ups under 90% packet_in loss, got {:?}",
+            report.result
+        );
+    }
+
+    #[test]
+    fn recovery_matrix_cells_pass_every_invariant() {
+        let cells = recovery_matrix();
+        assert_eq!(cells.len(), 4);
+        for (label, scenario) in &cells {
+            let spec = scenario.to_spec();
+            assert_eq!(
+                ChaosScenario::parse(&spec).expect(&spec),
+                *scenario,
+                "cell {label}"
+            );
+            let report = run_scenario(scenario, true);
+            assert!(
+                report.violations.is_empty(),
+                "cell {label}: {:?}",
+                report.violations
+            );
+        }
     }
 }

@@ -255,6 +255,21 @@ fn write_run_timeline(out: &mut TimelineWriter<'_>, pid: u64, events: &[Event]) 
             EventKind::BufferFallback { occupancy } => out.entry(format_args!(
                 "\"name\":\"buffer_fallback\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"occupancy\":{occupancy}}}"
             ))?,
+            EventKind::BufferExpire { buffer_id, occupancy } => out.entry(format_args!(
+                "\"name\":\"buffer_expire\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}}}"
+            ))?,
+            EventKind::BufferGiveUp { buffer_id, drained, action, occupancy } => out.entry(format_args!(
+                "\"name\":\"buffer_give_up\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"buffer_id\":{buffer_id},\"drained\":{drained},\"action\":\"{action}\",\"occupancy\":{occupancy}}}"
+            ))?,
+            EventKind::DegradedEnter { giveups } => out.entry(format_args!(
+                "\"name\":\"degraded_enter\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"giveups\":{giveups}}}"
+            ))?,
+            EventKind::DegradedExit { suppressed } => out.entry(format_args!(
+                "\"name\":\"degraded_exit\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"suppressed\":{suppressed}}}"
+            ))?,
+            EventKind::AdmissionShed { xid, bytes, buffered } => out.entry(format_args!(
+                "\"name\":\"admission_shed\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"bytes\":{bytes},\"buffered\":{buffered}}}"
+            ))?,
             EventKind::PacketInReceived { xid, bytes, buffered } => {
                 out.entry(format_args!(
                     "\"name\":\"packet_in_received\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"bytes\":{bytes},\"buffered\":{buffered}}}"
@@ -370,7 +385,9 @@ pub fn sample_series(events: &[Event], every: Nanos) -> Vec<Sample> {
             EventKind::BufferEnqueue { occupancy: o, .. }
             | EventKind::BufferDrain { occupancy: o, .. }
             | EventKind::BufferRerequest { occupancy: o, .. }
-            | EventKind::BufferFallback { occupancy: o } => occupancy = o,
+            | EventKind::BufferFallback { occupancy: o }
+            | EventKind::BufferExpire { occupancy: o, .. }
+            | EventKind::BufferGiveUp { occupancy: o, .. } => occupancy = o,
             EventKind::FlowRuleInstalled { table_size: t, .. }
             | EventKind::FlowRuleEvicted { table_size: t }
             | EventKind::FlowRuleExpired { table_size: t } => table_size = t,

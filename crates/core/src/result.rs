@@ -60,6 +60,24 @@ pub struct RunResult {
     /// Timeout-driven `packet_in` re-requests.
     pub rerequests: u64,
 
+    // ----- Recovery & overload control (PR 4) -----
+    /// Buffer entries garbage-collected by the per-entry TTL.
+    pub buffer_expired: u64,
+    /// Flows whose re-request budget ran out (drained or dropped per the
+    /// retry policy's give-up action).
+    pub buffer_giveups: u64,
+    /// `packet_out`s rejected because their generation-tagged buffer id
+    /// was stale (the unit had been recycled).
+    pub stale_releases: u64,
+    /// `packet_in`s shed by the controller's admission policy.
+    pub admission_sheds: u64,
+    /// Times the switch entered degraded mode.
+    pub degraded_entries: u64,
+    /// Times the switch recovered from degraded mode.
+    pub degraded_exits: u64,
+    /// Table misses shed by the switch while degraded.
+    pub degraded_sheds: u64,
+
     // ----- Conservation accounting -----
     /// Data packets offered by the workload.
     pub packets_sent: u64,

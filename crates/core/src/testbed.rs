@@ -956,6 +956,13 @@ impl Testbed {
             buffer_peak_occupancy: buf_stats.peak_occupancy,
             buffer_fallbacks: buf_stats.fallback_full,
             rerequests: buf_stats.rerequests,
+            buffer_expired: buf_stats.expired,
+            buffer_giveups: buf_stats.giveups,
+            stale_releases: buf_stats.stale_releases,
+            admission_sheds: self.controller.stats().admission_sheds.get(),
+            degraded_entries: self.switch.stats().degraded_entries.get(),
+            degraded_exits: self.switch.stats().degraded_exits.get(),
+            degraded_sheds: self.switch.stats().degraded_sheds.get(),
             packets_sent,
             packets_delivered: delivered,
             packets_dropped: self.data_drops,

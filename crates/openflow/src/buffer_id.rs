@@ -1,6 +1,8 @@
 //! The opaque id of a packet parked in switch buffer memory.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Identifies a packet buffered at the switch, carried in `packet_in`,
 /// `packet_out` and `flow_mod` messages.
@@ -14,6 +16,23 @@ use std::fmt;
 /// The distinguished value [`BufferId::NO_BUFFER`] (`0xffff_ffff`) means no
 /// packet is buffered and the full packet travels inside the message.
 ///
+/// # Generation tags (ABA safety)
+///
+/// Only the 32-bit raw id travels on the wire, and raw ids are recycled —
+/// so a *stale* `packet_out` (delayed or fault-duplicated) can name a slot
+/// that has since been freed and re-occupied, silently draining the wrong
+/// packet. To catch that, ids allocated by the buffer mechanisms carry an
+/// out-of-band **generation** tag ([`BufferId::tagged`]): a monotonic
+/// allocation counter the mechanism checks at release time. The generation
+/// is simulator metadata, *not* wire state:
+///
+/// * equality, ordering and hashing compare the **raw id only**, so a
+///   tagged id and its wire-reconstructed counterpart are interchangeable
+///   as map keys and in comparisons;
+/// * generation `0` means "untagged" — ids built from the wire
+///   ([`BufferId::from_wire`], [`BufferId::new`]) carry it and are accepted
+///   against any occupant, preserving the OpenFlow-spec semantics.
+///
 /// # Example
 ///
 /// ```
@@ -23,15 +42,27 @@ use std::fmt;
 /// assert!(!BufferId::NO_BUFFER.is_buffered());
 /// assert_eq!(id.to_string(), "buf#5");
 /// assert_eq!(BufferId::NO_BUFFER.to_string(), "no-buffer");
+///
+/// // Generations are invisible to equality: the wire round-trip matches.
+/// let tagged = BufferId::tagged(5, 3);
+/// assert_eq!(tagged, id);
+/// assert_eq!(tagged.generation(), 3);
+/// assert_eq!(id.generation(), 0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct BufferId(u32);
+#[derive(Clone, Copy, Debug)]
+pub struct BufferId {
+    raw: u32,
+    generation: u32,
+}
 
 impl BufferId {
     /// "No packet is buffered": `0xffff_ffff` (`OFP_NO_BUFFER`).
-    pub const NO_BUFFER: BufferId = BufferId(0xffff_ffff);
+    pub const NO_BUFFER: BufferId = BufferId {
+        raw: 0xffff_ffff,
+        generation: 0,
+    };
 
-    /// Creates a buffer id from its raw value.
+    /// Creates an untagged buffer id from its raw value.
     ///
     /// # Panics
     ///
@@ -39,22 +70,78 @@ impl BufferId {
     /// [`BufferId::NO_BUFFER`] for that.
     pub fn new(id: u32) -> Self {
         assert_ne!(id, 0xffff_ffff, "0xffffffff is reserved for NO_BUFFER");
-        BufferId(id)
+        BufferId {
+            raw: id,
+            generation: 0,
+        }
+    }
+
+    /// Creates a generation-tagged buffer id (allocation-side only; the
+    /// tag never travels on the wire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` equals the reserved `OFP_NO_BUFFER` value.
+    pub fn tagged(id: u32, generation: u32) -> Self {
+        assert_ne!(id, 0xffff_ffff, "0xffffffff is reserved for NO_BUFFER");
+        BufferId {
+            raw: id,
+            generation,
+        }
     }
 
     /// Reconstructs a buffer id from the wire, allowing the reserved value.
+    /// Wire ids are untagged (generation 0).
     pub const fn from_wire(id: u32) -> Self {
-        BufferId(id)
+        BufferId {
+            raw: id,
+            generation: 0,
+        }
     }
 
     /// The raw 32-bit value as carried on the wire.
     pub const fn as_u32(self) -> u32 {
-        self.0
+        self.raw
+    }
+
+    /// The allocation generation; `0` for untagged / wire-reconstructed
+    /// ids.
+    pub const fn generation(self) -> u32 {
+        self.generation
     }
 
     /// `true` unless this is [`BufferId::NO_BUFFER`].
     pub fn is_buffered(self) -> bool {
         self != BufferId::NO_BUFFER
+    }
+}
+
+// Equality, ordering and hashing deliberately ignore the generation: it is
+// out-of-band allocator metadata, and a wire-reconstructed id must compare
+// equal to the tagged id it names.
+impl PartialEq for BufferId {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+
+impl Eq for BufferId {}
+
+impl PartialOrd for BufferId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BufferId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl Hash for BufferId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
     }
 }
 
@@ -67,7 +154,7 @@ impl Default for BufferId {
 impl fmt::Display for BufferId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_buffered() {
-            write!(f, "buf#{}", self.0)
+            write!(f, "buf#{}", self.raw)
         } else {
             write!(f, "no-buffer")
         }
@@ -77,6 +164,7 @@ impl fmt::Display for BufferId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
 
     #[test]
     fn no_buffer_is_reserved() {
@@ -92,6 +180,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "reserved")]
+    fn tagged_rejects_reserved_value() {
+        let _ = BufferId::tagged(0xffff_ffff, 1);
+    }
+
+    #[test]
     fn from_wire_allows_reserved_value() {
         assert_eq!(BufferId::from_wire(0xffff_ffff), BufferId::NO_BUFFER);
         assert_eq!(BufferId::from_wire(3), BufferId::new(3));
@@ -101,5 +195,27 @@ mod tests {
     fn ordinary_ids_are_buffered() {
         assert!(BufferId::new(0).is_buffered());
         assert!(BufferId::new(12345).is_buffered());
+    }
+
+    #[test]
+    fn generation_is_invisible_to_eq_ord_and_hash() {
+        let wire = BufferId::new(7);
+        let tagged = BufferId::tagged(7, 9);
+        assert_eq!(wire, tagged);
+        assert_eq!(wire.cmp(&tagged), Ordering::Equal);
+        let hash = |id: BufferId| {
+            let mut h = DefaultHasher::new();
+            id.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(wire), hash(tagged));
+        // But the tag itself is observable where it matters.
+        assert_eq!(tagged.generation(), 9);
+        assert_eq!(wire.generation(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_the_raw_id() {
+        assert!(BufferId::tagged(1, 99) < BufferId::new(2));
     }
 }

@@ -147,6 +147,47 @@ pub enum EventKind {
         /// Buffer occupancy (packets) at the fallback.
         occupancy: usize,
     },
+    /// A buffered packet outlived the buffer TTL and was garbage-collected.
+    BufferExpire {
+        /// Slot id the packet was filed under.
+        buffer_id: u32,
+        /// Buffer occupancy (packets) after the expiry.
+        occupancy: usize,
+    },
+    /// A flow exhausted its retry budget; its buffered packets were drained
+    /// (as full `packet_in`s) or dropped and the slot was freed.
+    BufferGiveUp {
+        /// Slot id given up.
+        buffer_id: u32,
+        /// Packets removed from the slot.
+        drained: usize,
+        /// Give-up action label (`"drain"` or `"drop"`).
+        action: &'static str,
+        /// Buffer occupancy (packets) after the give-up.
+        occupancy: usize,
+    },
+    /// The switch entered degraded mode: enough consecutive give-ups that
+    /// it stops emitting fresh `packet_in`s and only probes.
+    DegradedEnter {
+        /// Consecutive give-ups that tripped the threshold.
+        giveups: u32,
+    },
+    /// The switch left degraded mode after the controller responded again.
+    DegradedExit {
+        /// Misses shed (not announced) during the degraded episode.
+        suppressed: u64,
+    },
+    /// The controller's bounded ingress queue shed a `packet_in` under its
+    /// admission policy.
+    AdmissionShed {
+        /// Transaction id of the shed request.
+        xid: u32,
+        /// Bytes of packet data the request carried.
+        bytes: usize,
+        /// Whether the packet body stayed buffered at the switch (a
+        /// buffered request can be re-requested; a full one is lost).
+        buffered: bool,
+    },
     /// The controller finished ingesting a `packet_in`.
     PacketInReceived {
         /// Transaction id of the request.
@@ -320,6 +361,45 @@ impl Event {
                 let _ = write!(
                     out,
                     ",\"kind\":\"buffer_fallback\",\"occupancy\":{occupancy}"
+                );
+            }
+            EventKind::BufferExpire {
+                buffer_id,
+                occupancy,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_expire\",\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}"
+                );
+            }
+            EventKind::BufferGiveUp {
+                buffer_id,
+                drained,
+                action,
+                occupancy,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_give_up\",\"buffer_id\":{buffer_id},\"drained\":{drained},\"action\":\"{action}\",\"occupancy\":{occupancy}"
+                );
+            }
+            EventKind::DegradedEnter { giveups } => {
+                let _ = write!(out, ",\"kind\":\"degraded_enter\",\"giveups\":{giveups}");
+            }
+            EventKind::DegradedExit { suppressed } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"degraded_exit\",\"suppressed\":{suppressed}"
+                );
+            }
+            EventKind::AdmissionShed {
+                xid,
+                bytes,
+                buffered,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"admission_shed\",\"xid\":{xid},\"bytes\":{bytes},\"buffered\":{buffered}"
                 );
             }
             EventKind::PacketInReceived {
@@ -664,6 +744,49 @@ mod tests {
         assert_eq!(
             text.trim_end(),
             r#"{"run":{"rep":0},"at":1,"kind":"table_miss","in_port":1,"bytes":1000}"#
+        );
+    }
+
+    #[test]
+    fn recovery_plane_json_field_order_is_stable() {
+        let render = |kind| {
+            Event {
+                at: Nanos::from_nanos(1),
+                kind,
+            }
+            .to_json()
+        };
+        assert_eq!(
+            render(EventKind::BufferExpire {
+                buffer_id: 4,
+                occupancy: 2
+            }),
+            r#"{"at":1,"kind":"buffer_expire","buffer_id":4,"occupancy":2}"#
+        );
+        assert_eq!(
+            render(EventKind::BufferGiveUp {
+                buffer_id: 4,
+                drained: 3,
+                action: "drain",
+                occupancy: 0
+            }),
+            r#"{"at":1,"kind":"buffer_give_up","buffer_id":4,"drained":3,"action":"drain","occupancy":0}"#
+        );
+        assert_eq!(
+            render(EventKind::DegradedEnter { giveups: 5 }),
+            r#"{"at":1,"kind":"degraded_enter","giveups":5}"#
+        );
+        assert_eq!(
+            render(EventKind::DegradedExit { suppressed: 17 }),
+            r#"{"at":1,"kind":"degraded_exit","suppressed":17}"#
+        );
+        assert_eq!(
+            render(EventKind::AdmissionShed {
+                xid: 9,
+                bytes: 128,
+                buffered: true
+            }),
+            r#"{"at":1,"kind":"admission_shed","xid":9,"bytes":128,"buffered":true}"#
         );
     }
 

@@ -2,6 +2,7 @@
 
 use sdnbuf_flowtable::EvictionPolicy;
 use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_switchbuf::RetryPolicy;
 
 /// Which buffer mechanism the switch runs — the single knob every
 /// experiment in the paper turns.
@@ -126,6 +127,21 @@ pub struct SwitchConfig {
     /// slowly"). Zero reclaims immediately. The flow-granularity mechanism
     /// always releases eagerly — that is its design.
     pub buffer_free_lag: Nanos,
+    /// How flow-granularity re-requests are paced and bounded. The default
+    /// ([`RetryPolicy::fixed`]) is the paper's fixed timer: retry every
+    /// `timeout`, forever.
+    pub retry: RetryPolicy,
+    /// Per-entry buffer lifetime for both buffering mechanisms;
+    /// [`Nanos::ZERO`] (the default) disables expiry. A nonzero TTL
+    /// garbage-collects entries stranded by lost `packet_out`s.
+    pub buffer_ttl: Nanos,
+    /// Consecutive flow give-ups that trip the switch into degraded mode
+    /// (stop announcing fresh misses, probe periodically). `0` (the
+    /// default) disables the state machine.
+    pub degraded_threshold: u32,
+    /// While degraded, how often one fresh miss is let through as a probe
+    /// of controller liveness.
+    pub degraded_probe_interval: Nanos,
 }
 
 impl Default for SwitchConfig {
@@ -152,6 +168,10 @@ impl Default for SwitchConfig {
             cost_control_misc: Nanos::from_micros(5),
             egress_queue_rates: &[],
             buffer_free_lag: Nanos::ZERO,
+            retry: RetryPolicy::fixed(),
+            buffer_ttl: Nanos::ZERO,
+            degraded_threshold: 0,
+            degraded_probe_interval: Nanos::from_millis(10),
         }
     }
 }
@@ -175,6 +195,13 @@ impl SwitchConfig {
         if self.flow_table_capacity == 0 {
             return Err("flow table capacity must be positive".to_owned());
         }
+        if self.degraded_threshold > 0 && self.degraded_probe_interval == Nanos::ZERO {
+            return Err(
+                "degraded-mode probe interval must be positive when the threshold is set"
+                    .to_owned(),
+            );
+        }
+        self.retry.validate()?;
         self.buffer.validate()
     }
 }
@@ -240,6 +267,31 @@ mod tests {
         c.buffer = BufferChoice::FlowGranularity {
             capacity: 64,
             timeout: Nanos::from_millis(20),
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_covers_recovery_knobs() {
+        let c = SwitchConfig {
+            retry: RetryPolicy {
+                multiplier: 0,
+                ..RetryPolicy::fixed()
+            },
+            ..SwitchConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SwitchConfig {
+            degraded_threshold: 3,
+            degraded_probe_interval: Nanos::ZERO,
+            ..SwitchConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SwitchConfig {
+            retry: RetryPolicy::backoff(Nanos::from_millis(200), 5),
+            buffer_ttl: Nanos::from_millis(500),
+            degraded_threshold: 3,
+            ..SwitchConfig::default()
         };
         assert!(c.validate().is_ok());
     }

@@ -41,6 +41,13 @@ pub struct SwitchStats {
     pub table_misses: Counter,
     /// `flow_removed` notifications sent.
     pub flow_removed_sent: Counter,
+    /// Times the switch entered degraded mode (consecutive give-ups hit
+    /// the configured threshold).
+    pub degraded_entries: Counter,
+    /// Times the switch recovered from degraded mode.
+    pub degraded_exits: Counter,
+    /// Table misses shed (neither buffered nor announced) while degraded.
+    pub degraded_sheds: Counter,
     /// Buffer occupancy over time (units in use) — Figs. 8/13.
     pub buffer_occupancy: Gauge,
     /// Sampled occupancy timeline (one point per buffer operation), for

@@ -9,7 +9,7 @@ use sdnbuf_openflow::{
 };
 use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
 use sdnbuf_switchbuf::{
-    BufferMechanism, FlowGranularityBuffer, MissAction, NoBuffer, PacketGranularityBuffer,
+    BufferMechanism, FlowGranularityBuffer, GiveUp, MissAction, NoBuffer, PacketGranularityBuffer,
 };
 
 /// A timed effect produced by the switch, to be scheduled by the caller.
@@ -62,6 +62,23 @@ pub struct Switch {
     miss_send_len: u16,
     stats: SwitchStats,
     tracer: Tracer,
+    /// Degraded-mode state machine (active only when
+    /// `config.degraded_threshold > 0`): consecutive flow give-ups without
+    /// an intervening controller response. A `flow_mod`/`packet_out`
+    /// arrival resets it.
+    consecutive_giveups: u32,
+    /// Whether the switch is currently degraded: fresh misses are shed
+    /// instead of announced, except for periodic probes.
+    degraded: bool,
+    /// When the next liveness probe may be admitted; `None` while a probe
+    /// is pending or no miss has been shed since the last one.
+    next_probe: Option<Nanos>,
+    /// Set by the probe timer: the next fresh miss goes through the normal
+    /// slow path as a probe of controller liveness.
+    probe_pending: bool,
+    /// Misses shed during the current degraded episode (reported in
+    /// `DegradedExit`).
+    suppressed_this_episode: u64,
 }
 
 impl std::fmt::Debug for Switch {
@@ -80,11 +97,14 @@ impl Switch {
         let buffer: Box<dyn BufferMechanism> = match config.buffer {
             BufferChoice::NoBuffer => Box::new(NoBuffer::new()),
             BufferChoice::PacketGranularity { capacity } => Box::new(
-                PacketGranularityBuffer::with_free_lag(capacity, config.buffer_free_lag),
+                PacketGranularityBuffer::with_free_lag(capacity, config.buffer_free_lag)
+                    .with_ttl(config.buffer_ttl),
             ),
-            BufferChoice::FlowGranularity { capacity, timeout } => {
-                Box::new(FlowGranularityBuffer::new(capacity, timeout))
-            }
+            BufferChoice::FlowGranularity { capacity, timeout } => Box::new(
+                FlowGranularityBuffer::new(capacity, timeout)
+                    .with_retry_policy(config.retry)
+                    .with_ttl(config.buffer_ttl),
+            ),
         };
         Switch {
             table: FlowTable::with_eviction(config.flow_table_capacity, config.eviction),
@@ -96,8 +116,19 @@ impl Switch {
             miss_send_len: config.miss_send_len,
             stats: SwitchStats::default(),
             tracer: Tracer::off(),
+            consecutive_giveups: 0,
+            degraded: false,
+            next_probe: None,
+            probe_pending: false,
+            suppressed_this_episode: 0,
             config,
         }
+    }
+
+    /// Whether the switch is currently in degraded mode (shedding fresh
+    /// misses, probing periodically).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Attaches an event tracer, propagating it to the bus and the buffer
@@ -239,6 +270,26 @@ impl Switch {
                 bytes: wire_len,
             },
         );
+        if self.degraded {
+            if self.probe_pending {
+                // The probe timer fired: let exactly this miss through the
+                // normal slow path to test controller liveness.
+                self.probe_pending = false;
+            } else {
+                // Shed: neither buffered nor announced. The probe timer is
+                // re-armed lazily on the first shed after a probe, so an
+                // idle degraded switch schedules no timers.
+                self.stats.degraded_sheds.incr();
+                self.suppressed_this_episode += 1;
+                if self.next_probe.is_none() {
+                    self.next_probe = Some(now + self.config.degraded_probe_interval);
+                }
+                self.stats.drops.incr();
+                return vec![SwitchOutput::Drop {
+                    packet: Some(packet),
+                }];
+            }
+        }
         let total_len = wire_len as u16;
         let outputs = match self.buffer.on_miss(now, packet.clone(), in_port) {
             MissAction::SendFullPacketIn => {
@@ -316,6 +367,14 @@ impl Switch {
         msg: OfpMessage,
         xid: u32,
     ) -> Vec<SwitchOutput> {
+        // A substantive controller response proves liveness: reset the
+        // give-up streak and leave degraded mode.
+        if matches!(msg, OfpMessage::FlowMod(_) | OfpMessage::PacketOut(_)) {
+            self.consecutive_giveups = 0;
+            if self.degraded {
+                self.exit_degraded(now);
+            }
+        }
         match msg {
             OfpMessage::FlowMod(fm) => self.handle_flow_mod(now, fm, xid),
             OfpMessage::PacketOut(po) => self.handle_packet_out(now, po, xid),
@@ -723,18 +782,35 @@ impl Switch {
         }]
     }
 
-    /// The earliest moment the switch needs a timer callback: flow-table
-    /// expiry or a buffer re-request deadline.
-    pub fn next_timer(&self) -> Option<Nanos> {
-        match (self.table.next_expiry(), self.buffer.next_timeout()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
-        }
+    fn exit_degraded(&mut self, now: Nanos) {
+        self.degraded = false;
+        self.next_probe = None;
+        self.probe_pending = false;
+        self.stats.degraded_exits.incr();
+        self.tracer.emit(
+            now,
+            EventKind::DegradedExit {
+                suppressed: self.suppressed_this_episode,
+            },
+        );
+        self.suppressed_this_episode = 0;
     }
 
-    /// Runs expiry sweeps and buffer re-requests due at `now`.
+    /// The earliest moment the switch needs a timer callback: flow-table
+    /// expiry, a buffer re-request/TTL deadline, or a degraded-mode probe.
+    pub fn next_timer(&self) -> Option<Nanos> {
+        [
+            self.table.next_expiry(),
+            self.buffer.next_timeout(),
+            self.next_probe,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Runs expiry sweeps, buffer re-requests, TTL garbage collection,
+    /// give-up actions and degraded-mode transitions due at `now`.
     pub fn on_timer(&mut self, now: Nanos) -> Vec<SwitchOutput> {
         let mut outputs = Vec::new();
         for removed in self.table.expire(now) {
@@ -753,7 +829,73 @@ impl Switch {
                 outputs.push(out);
             }
         }
-        for rerequest in self.buffer.poll_timeouts(now) {
+        if self.degraded && self.next_probe.is_some_and(|t| t <= now) {
+            // Probe window opens: the next fresh miss is admitted. The
+            // timer is re-armed when a later miss is shed.
+            self.next_probe = None;
+            self.probe_pending = true;
+        }
+        let sweep = self.buffer.poll_timeouts(now);
+        if !sweep.expired.is_empty() || !sweep.gave_up.is_empty() {
+            self.touch_gauge(now);
+        }
+        // TTL-expired entries are dropped at the switch: the controller
+        // never answered, and their units are already freed.
+        for bp in sweep.expired {
+            self.stats.drops.incr();
+            outputs.push(SwitchOutput::Drop {
+                packet: Some(bp.packet),
+            });
+        }
+        for flow in sweep.gave_up {
+            self.consecutive_giveups += 1;
+            match flow.action {
+                GiveUp::DrainAsFullPacketIn => {
+                    // Fall back to the no-buffer path: each drained packet
+                    // crosses the bus in full and rides its own packet_in,
+                    // so a recovered controller can still route it.
+                    for bp in flow.packets {
+                        let wire_len = bp.packet.wire_len();
+                        let at_cpu = self.bus.transfer(now, wire_len);
+                        let cost =
+                            self.config.cost_pkt_in_base + self.config.payload_cost(wire_len);
+                        let at = self.cpu.submit(at_cpu, cost);
+                        outputs.push(self.packet_in_output(
+                            at,
+                            BufferId::NO_BUFFER,
+                            wire_len as u16,
+                            bp.in_port,
+                            bp.packet.encode(),
+                        ));
+                    }
+                }
+                GiveUp::Drop => {
+                    for bp in flow.packets {
+                        self.stats.drops.incr();
+                        outputs.push(SwitchOutput::Drop {
+                            packet: Some(bp.packet),
+                        });
+                    }
+                }
+            }
+        }
+        if self.config.degraded_threshold > 0
+            && !self.degraded
+            && self.consecutive_giveups >= self.config.degraded_threshold
+        {
+            self.degraded = true;
+            self.suppressed_this_episode = 0;
+            self.next_probe = Some(now + self.config.degraded_probe_interval);
+            self.probe_pending = false;
+            self.stats.degraded_entries.incr();
+            self.tracer.emit(
+                now,
+                EventKind::DegradedEnter {
+                    giveups: self.consecutive_giveups,
+                },
+            );
+        }
+        for rerequest in sweep.rerequests {
             let slice = rerequest.packet.header_slice(self.miss_send_len as usize);
             let at_cpu = self.bus.transfer(now, slice.len());
             let cost = self.config.cost_pkt_in_base + self.config.payload_cost(slice.len());
@@ -1370,6 +1512,89 @@ mod tests {
         let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
         assert!(matches!(outs[0], SwitchOutput::Drop { .. }));
         assert_eq!(sw.stats().drops.get(), 1);
+    }
+
+    #[test]
+    fn degraded_mode_sheds_probes_and_recovers() {
+        use sdnbuf_switchbuf::RetryPolicy;
+        let timeout = Nanos::from_millis(10);
+        let mut sw = Switch::new(SwitchConfig {
+            buffer: BufferChoice::FlowGranularity {
+                capacity: 16,
+                timeout,
+            },
+            retry: RetryPolicy {
+                budget: 1,
+                ..RetryPolicy::fixed()
+            },
+            degraded_threshold: 2,
+            degraded_probe_interval: Nanos::from_millis(5),
+            ..SwitchConfig::default()
+        });
+        // Two flows announced; the controller never answers.
+        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(2));
+        // t=10ms: both spend their single retry.
+        let outs = sw.on_timer(Nanos::from_millis(10));
+        assert_eq!(outs.len(), 2);
+        // t=20ms: both give up (drained as full packet_ins), tripping the
+        // threshold of 2 consecutive give-ups.
+        let outs = sw.on_timer(Nanos::from_millis(20));
+        assert!(sw.is_degraded());
+        assert_eq!(sw.stats().degraded_entries.get(), 1);
+        assert_eq!(sw.buffer().occupancy(), 0, "give-up frees the units");
+        let drains = outs
+            .iter()
+            .filter(|o| {
+                matches!(o, SwitchOutput::ToController { msg: OfpMessage::PacketIn(pin), .. }
+                    if pin.buffer_id == BufferId::NO_BUFFER)
+            })
+            .count();
+        assert_eq!(drains, 2, "drain action re-sends full packet_ins");
+        // A fresh miss while degraded is shed, arming the probe timer.
+        let outs = sw.handle_frame(Nanos::from_millis(21), PortNo(1), udp(3));
+        assert!(matches!(outs[0], SwitchOutput::Drop { .. }));
+        assert_eq!(sw.stats().degraded_sheds.get(), 1);
+        // The probe timer was armed on entry (20ms + 5ms interval).
+        assert_eq!(sw.next_timer(), Some(Nanos::from_millis(25)));
+        // The probe window opens; the next miss is admitted normally.
+        assert!(sw.on_timer(Nanos::from_millis(25)).is_empty());
+        let outs = sw.handle_frame(Nanos::from_millis(27), PortNo(1), udp(4));
+        let (pin, _, _) = first_pkt_in(&outs);
+        let probe_id = pin.buffer_id;
+        assert!(probe_id.is_buffered());
+        // The controller answers the probe: clean recovery.
+        sw.handle_controller_msg(
+            Nanos::from_millis(28),
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: probe_id,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![],
+            }),
+            9,
+        );
+        assert!(!sw.is_degraded());
+        assert_eq!(sw.stats().degraded_exits.get(), 1);
+        // Fresh misses flow again.
+        let outs = sw.handle_frame(Nanos::from_millis(30), PortNo(1), udp(5));
+        assert!(matches!(outs[0], SwitchOutput::ToController { .. }));
+    }
+
+    #[test]
+    fn buffer_ttl_drops_stranded_entries_at_the_switch() {
+        let mut sw = Switch::new(SwitchConfig {
+            buffer: BufferChoice::PacketGranularity { capacity: 16 },
+            buffer_ttl: Nanos::from_millis(40),
+            ..SwitchConfig::default()
+        });
+        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        assert_eq!(sw.buffer().occupancy(), 1);
+        assert_eq!(sw.next_timer(), Some(Nanos::from_millis(40)));
+        let outs = sw.on_timer(Nanos::from_millis(40));
+        assert!(matches!(outs[..], [SwitchOutput::Drop { packet: Some(_) }]));
+        assert_eq!(sw.buffer().occupancy(), 0, "the stranded unit is freed");
+        assert_eq!(sw.buffer().stats().expired, 1);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The flow-granularity buffer mechanism — Algorithms 1 and 2 of the paper.
 
-use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
+use crate::{
+    BufferMechanism, BufferStats, BufferedPacket, GaveUpFlow, MissAction, Rerequest, RetryPolicy,
+    TimeoutSweep,
+};
 use sdnbuf_net::{FlowKey, Packet};
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::{EventKind, Nanos, Tracer};
-use std::collections::{HashMap, VecDeque};
+use sdnbuf_sim::{EventKind, Nanos, SimRng, Tracer};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 #[derive(Clone, Debug)]
 struct FlowQueue {
@@ -13,6 +16,11 @@ struct FlowQueue {
     /// When the last `packet_in` for this flow was sent (Algorithm 1's
     /// "timestamp").
     last_request_at: Nanos,
+    /// Re-requests sent for this flow since its announcement.
+    retries: u32,
+    /// When the next re-request (or give-up) fires — mirrored in the
+    /// owner's `request_deadlines` index.
+    next_due: Nanos,
 }
 
 /// The paper's proposed mechanism: buffer **all** miss-match packets of a
@@ -35,13 +43,47 @@ struct FlowQueue {
 /// Non-IP packets (no 5-tuple) are not flow-bufferable and fall back to
 /// full-packet `packet_in`s, as does any miss arriving while all units are
 /// occupied.
+///
+/// # Recovery plane
+///
+/// Three extensions harden the algorithm against a dead or overloaded
+/// controller, all **off by default** so the paper's behaviour is the
+/// baseline:
+///
+/// * a [`RetryPolicy`] paces re-requests (backoff, jitter, budget) and
+///   gives flows up once the budget is spent;
+/// * an optional per-entry TTL garbage-collects entries that outlive it
+///   ([`FlowGranularityBuffer::with_ttl`]);
+/// * buffer ids carry an allocation **generation** tag, so a stale or
+///   fault-duplicated `packet_out` naming a recycled id is rejected as an
+///   invalid release instead of draining the new occupant (ABA safety).
+///
+/// Scheduling state lives in two ordered min-deadline indexes
+/// (`request_deadlines`, `expiry_deadlines`), so [`Self::next_timeout`] and
+/// a sweep with few due flows are `O(log n)` instead of a full scan.
 #[derive(Clone, Debug)]
 pub struct FlowGranularityBuffer {
     capacity: usize,
     timeout: Nanos,
+    policy: RetryPolicy,
+    /// Per-entry lifetime; `None` = entries never expire (the default).
+    ttl: Option<Nanos>,
     flows: HashMap<FlowKey, FlowQueue>,
     by_id: HashMap<u32, FlowKey>,
+    /// One `(next_due, key)` entry per buffered flow — the re-request /
+    /// give-up schedule, ordered by deadline.
+    request_deadlines: BTreeSet<(Nanos, FlowKey)>,
+    /// One `(front_expiry, key)` entry per buffered flow when a TTL is
+    /// configured. Per-flow queues are FIFO, so the front packet always
+    /// expires first.
+    expiry_deadlines: BTreeSet<(Nanos, FlowKey)>,
     total: usize,
+    /// Monotonic allocation counter; each fresh flow announcement tags its
+    /// buffer id with the next generation.
+    alloc_seq: u32,
+    /// Jitter randomness — seeded, dedicated, and **never drawn** while
+    /// `policy.jitter` is zero (the fault-plane RNG discipline).
+    jitter_rng: SimRng,
     stats: BufferStats,
     tracer: Tracer,
     /// Fault injection: while on, new misses are refused as if buffer
@@ -50,6 +92,9 @@ pub struct FlowGranularityBuffer {
     /// Fault injection: when off, Algorithm 1 lines 12–13 never fire (the
     /// intentionally-broken mechanism the chaos harness must catch).
     rerequest_enabled: bool,
+    /// Fault injection: when off, the TTL sweep never collects (the
+    /// buffered-conservation invariant must catch the leak).
+    ttl_gc_enabled: bool,
 }
 
 impl FlowGranularityBuffer {
@@ -58,27 +103,80 @@ impl FlowGranularityBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero or `timeout` is zero (a zero timeout
-    /// would re-request on every packet).
+    /// Panics if the configuration is invalid (see
+    /// [`FlowGranularityBuffer::try_new`] for the non-panicking form).
     pub fn new(capacity: usize, timeout: Nanos) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
-        assert!(timeout > Nanos::ZERO, "re-request timeout must be positive");
-        FlowGranularityBuffer {
+        match Self::try_new(capacity, timeout) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid FlowGranularityBuffer config: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a zero `capacity` or zero `timeout`
+    /// with a typed error instead of panicking, matching the
+    /// `validate()`-at-construction pattern of `SwitchConfig` and friends.
+    pub fn try_new(capacity: usize, timeout: Nanos) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("buffer capacity must be positive".to_owned());
+        }
+        if timeout == Nanos::ZERO {
+            return Err(
+                "re-request timeout must be positive (a zero timeout would re-request on \
+                 every packet)"
+                    .to_owned(),
+            );
+        }
+        Ok(FlowGranularityBuffer {
             capacity,
             timeout,
+            policy: RetryPolicy::fixed(),
+            ttl: None,
             flows: HashMap::new(),
             by_id: HashMap::new(),
+            request_deadlines: BTreeSet::new(),
+            expiry_deadlines: BTreeSet::new(),
             total: 0,
+            alloc_seq: 0,
+            jitter_rng: SimRng::seed_from(0),
             stats: BufferStats::default(),
             tracer: Tracer::off(),
             pressured: false,
             rerequest_enabled: true,
+            ttl_gc_enabled: true,
+        })
+    }
+
+    /// Replaces the retry policy (builder-style). The jitter RNG is
+    /// re-seeded from the policy so runs stay pure functions of the
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid ([`RetryPolicy::validate`]).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        if let Err(e) = policy.validate() {
+            panic!("invalid RetryPolicy: {e}");
         }
+        self.policy = policy;
+        self.jitter_rng = SimRng::seed_from(policy.seed);
+        self
+    }
+
+    /// Sets the per-entry TTL (builder-style). [`Nanos::ZERO`] disables
+    /// expiry, the default.
+    pub fn with_ttl(mut self, ttl: Nanos) -> Self {
+        self.ttl = (ttl > Nanos::ZERO).then_some(ttl);
+        self
     }
 
     /// The configured re-request timeout.
     pub fn timeout(&self) -> Nanos {
         self.timeout
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Number of distinct flows currently buffered.
@@ -88,8 +186,9 @@ impl FlowGranularityBuffer {
 
     /// Derives the flow's buffer id from its 5-tuple ("calculated based on
     /// the tuple of (src_ip, src_port, dst_ip, dst_port, protocol)"),
-    /// probing deterministically past ids already held by other flows.
-    fn id_for(&self, key: &FlowKey) -> BufferId {
+    /// probing deterministically past ids already held by other flows. The
+    /// id is tagged with the next allocation generation for ABA safety.
+    fn id_for(&mut self, key: &FlowKey) -> BufferId {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
@@ -105,10 +204,82 @@ impl FlowGranularityBuffer {
         let mut candidate = (h ^ (h >> 32)) as u32;
         loop {
             if candidate != BufferId::NO_BUFFER.as_u32() && !self.by_id.contains_key(&candidate) {
-                return BufferId::new(candidate);
+                self.alloc_seq = self.alloc_seq.wrapping_add(1);
+                if self.alloc_seq == 0 {
+                    self.alloc_seq = 1;
+                }
+                return BufferId::tagged(candidate, self.alloc_seq);
             }
             candidate = candidate.wrapping_add(1);
         }
+    }
+
+    /// The jitter draw for one scheduled deadline: zero draws, zero nanos
+    /// while jitter is unset.
+    fn jitter(&mut self) -> Nanos {
+        if self.policy.jitter > Nanos::ZERO {
+            Nanos::from_nanos(self.jitter_rng.gen_range(self.policy.jitter.as_nanos()))
+        } else {
+            Nanos::ZERO
+        }
+    }
+
+    /// Garbage-collects TTL-expired entries due at or before `now` into
+    /// `sweep.expired`.
+    fn sweep_expired(&mut self, now: Nanos, sweep: &mut TimeoutSweep) {
+        let Some(ttl) = self.ttl else { return };
+        if !self.ttl_gc_enabled {
+            return;
+        }
+        while let Some(&(due, key)) = self.expiry_deadlines.iter().next() {
+            if due > now {
+                break;
+            }
+            self.expiry_deadlines.remove(&(due, key));
+            let q = self
+                .flows
+                .get_mut(&key)
+                .expect("expiry index and flows map stay consistent");
+            while let Some(front) = q.packets.front() {
+                if front.buffered_at + ttl > now {
+                    break;
+                }
+                let p = q.packets.pop_front().expect("front exists");
+                self.total -= 1;
+                self.stats.expired += 1;
+                self.stats.expired_bytes += p.packet.wire_len() as u64;
+                self.tracer.emit(
+                    now,
+                    EventKind::BufferExpire {
+                        buffer_id: p.buffer_id.as_u32(),
+                        occupancy: self.total,
+                    },
+                );
+                sweep.expired.push(p);
+            }
+            if q.packets.is_empty() {
+                let q = self.flows.remove(&key).expect("flow exists");
+                self.by_id.remove(&q.buffer_id.as_u32());
+                self.request_deadlines.remove(&(q.next_due, key));
+            } else {
+                let next = q.packets.front().expect("non-empty").buffered_at + ttl;
+                self.expiry_deadlines.insert((next, key));
+            }
+        }
+    }
+
+    /// Removes `key`'s flow entirely (give-up path), returning its queue.
+    fn evict_flow(&mut self, key: FlowKey) -> FlowQueue {
+        let q = self.flows.remove(&key).expect("give-up flow exists");
+        self.by_id.remove(&q.buffer_id.as_u32());
+        self.total -= q.packets.len();
+        if let Some(ttl) = self.ttl {
+            if let Some(front) = q.packets.front() {
+                self.expiry_deadlines
+                    .remove(&(front.buffered_at + ttl, key));
+            }
+        }
+        q
     }
 }
 
@@ -161,9 +332,13 @@ impl BufferMechanism for FlowGranularityBuffer {
                 },
             );
             // Lines 12–13: if the request timestamp expired, send another
-            // packet_in for this flow.
-            if self.rerequest_enabled && now >= queue.last_request_at + self.timeout {
+            // packet_in for this flow — unless the retry budget is spent
+            // (the pending give-up is the timer sweep's job).
+            let retries = queue.retries;
+            if self.rerequest_enabled && now >= queue.next_due && self.policy.may_retry(retries) {
+                let old_due = queue.next_due;
                 queue.last_request_at = now;
+                queue.retries += 1;
                 self.stats.rerequests += 1;
                 self.tracer.emit(
                     now,
@@ -172,12 +347,21 @@ impl BufferMechanism for FlowGranularityBuffer {
                         occupancy: self.total,
                     },
                 );
+                let interval = self.policy.interval_after(self.timeout, retries + 1);
+                let jitter = self.jitter();
+                let queue = self.flows.get_mut(&key).expect("flow exists");
+                queue.next_due = now + interval + jitter;
+                self.request_deadlines.remove(&(old_due, key));
+                self.request_deadlines.insert((queue.next_due, key));
                 return MissAction::SendBufferedPacketIn { buffer_id };
             }
             return MissAction::Buffered { buffer_id };
         }
         // Lines 6–9: first packet of the flow.
         let buffer_id = self.id_for(&key);
+        let interval = self.policy.interval_after(self.timeout, 0);
+        let jitter = self.jitter();
+        let next_due = now + interval + jitter;
         let mut packets = VecDeque::new();
         packets.push_back(BufferedPacket {
             packet,
@@ -191,9 +375,15 @@ impl BufferMechanism for FlowGranularityBuffer {
                 buffer_id,
                 packets,
                 last_request_at: now,
+                retries: 0,
+                next_due,
             },
         );
         self.by_id.insert(buffer_id.as_u32(), key);
+        self.request_deadlines.insert((next_due, key));
+        if let Some(ttl) = self.ttl {
+            self.expiry_deadlines.insert((now + ttl, key));
+        }
         self.total += 1;
         self.stats.buffered += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.total);
@@ -211,59 +401,118 @@ impl BufferMechanism for FlowGranularityBuffer {
     fn release(&mut self, _now: Nanos, buffer_id: BufferId) -> Vec<BufferedPacket> {
         // Algorithm 2: drain the whole per-flow queue in FIFO order and
         // free every unit.
-        let Some(key) = self.by_id.remove(&buffer_id.as_u32()) else {
+        let Some(&key) = self.by_id.get(&buffer_id.as_u32()) else {
             self.stats.invalid_releases += 1;
             return Vec::new();
         };
+        // ABA safety: a release tagged with a generation must match the
+        // current occupant's; untagged (generation 0) releases keep the
+        // raw-wire-id semantics.
+        let stored = self.flows[&key].buffer_id;
+        if buffer_id.generation() != 0 && buffer_id.generation() != stored.generation() {
+            self.stats.invalid_releases += 1;
+            self.stats.stale_releases += 1;
+            return Vec::new();
+        }
+        self.by_id.remove(&buffer_id.as_u32());
         let queue = self
             .flows
             .remove(&key)
             .expect("by_id and flows maps stay consistent");
+        self.request_deadlines.remove(&(queue.next_due, key));
+        if let Some(ttl) = self.ttl {
+            if let Some(front) = queue.packets.front() {
+                self.expiry_deadlines
+                    .remove(&(front.buffered_at + ttl, key));
+            }
+        }
         self.total -= queue.packets.len();
         self.stats.released += queue.packets.len() as u64;
         queue.packets.into()
     }
 
     fn next_timeout(&self) -> Option<Nanos> {
-        if !self.rerequest_enabled {
-            return None;
+        let request = if self.rerequest_enabled {
+            self.request_deadlines.iter().next().map(|&(t, _)| t)
+        } else {
+            None
+        };
+        let expiry = if self.ttl_gc_enabled {
+            self.expiry_deadlines.iter().next().map(|&(t, _)| t)
+        } else {
+            None
+        };
+        match (request, expiry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
-        self.flows
-            .values()
-            .map(|q| q.last_request_at + self.timeout)
-            .min()
     }
 
-    fn poll_timeouts(&mut self, now: Nanos) -> Vec<Rerequest> {
+    fn poll_timeouts(&mut self, now: Nanos) -> TimeoutSweep {
+        let mut sweep = TimeoutSweep::default();
+        self.sweep_expired(now, &mut sweep);
         if !self.rerequest_enabled {
-            return Vec::new();
+            return sweep;
         }
-        let mut due: Vec<(&FlowKey, &mut FlowQueue)> = self
-            .flows
-            .iter_mut()
-            .filter(|(_, q)| now >= q.last_request_at + self.timeout)
-            .collect();
-        // Deterministic order regardless of hash-map iteration order.
-        due.sort_by_key(|(key, _)| **key);
-        let mut out = Vec::with_capacity(due.len());
-        for (_, q) in due {
-            q.last_request_at = now;
+        let mut due: Vec<FlowKey> = Vec::new();
+        while let Some(&(t, key)) = self.request_deadlines.iter().next() {
+            if t > now {
+                break;
+            }
+            self.request_deadlines.remove(&(t, key));
+            due.push(key);
+        }
+        // Deterministic order regardless of deadline ties — and the same
+        // observable order as the historical full-scan implementation.
+        due.sort_unstable();
+        for key in due {
+            let (buffer_id, retries) = {
+                let q = &self.flows[&key];
+                (q.buffer_id, q.retries)
+            };
+            if !self.policy.may_retry(retries) {
+                // Budget spent: execute the give-up action.
+                let q = self.evict_flow(key);
+                self.stats.giveups += 1;
+                self.tracer.emit(
+                    now,
+                    EventKind::BufferGiveUp {
+                        buffer_id: buffer_id.as_u32(),
+                        drained: q.packets.len(),
+                        action: self.policy.give_up.label(),
+                        occupancy: self.total,
+                    },
+                );
+                sweep.gave_up.push(GaveUpFlow {
+                    buffer_id,
+                    packets: q.packets.into(),
+                    action: self.policy.give_up,
+                });
+                continue;
+            }
             self.stats.rerequests += 1;
             self.tracer.emit(
                 now,
                 EventKind::BufferRerequest {
-                    buffer_id: q.buffer_id.as_u32(),
+                    buffer_id: buffer_id.as_u32(),
                     occupancy: self.total,
                 },
             );
+            let interval = self.policy.interval_after(self.timeout, retries + 1);
+            let jitter = self.jitter();
+            let q = self.flows.get_mut(&key).expect("due flow exists");
+            q.last_request_at = now;
+            q.retries += 1;
+            q.next_due = now + interval + jitter;
+            self.request_deadlines.insert((q.next_due, key));
             let first = q.packets.front().expect("buffered flows are non-empty");
-            out.push(Rerequest {
-                buffer_id: q.buffer_id,
+            sweep.rerequests.push(Rerequest {
+                buffer_id,
                 packet: first.packet.clone(),
                 in_port: first.in_port,
             });
         }
-        out
+        sweep
     }
 
     fn occupancy(&self) -> usize {
@@ -289,11 +538,16 @@ impl BufferMechanism for FlowGranularityBuffer {
     fn set_rerequest_enabled(&mut self, on: bool) {
         self.rerequest_enabled = on;
     }
+
+    fn set_ttl_gc_enabled(&mut self, on: bool) {
+        self.ttl_gc_enabled = on;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GiveUp;
     use sdnbuf_net::{MacAddr, PacketBuilder};
     use std::net::Ipv4Addr;
 
@@ -407,6 +661,47 @@ mod tests {
     }
 
     #[test]
+    fn stale_generation_release_is_rejected() {
+        let mut b = mk();
+        let stale = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        // Drain the flow, then re-announce the same 5-tuple: the raw wire
+        // id recurs but carries a fresh generation.
+        assert_eq!(b.release(Nanos::from_micros(1), stale).len(), 1);
+        let fresh = match b.on_miss(Nanos::from_micros(2), pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        assert_eq!(fresh.as_u32(), stale.as_u32(), "same tuple, same wire id");
+        assert_ne!(fresh.generation(), stale.generation());
+        // A duplicated/stale packet_out carrying the old generation must
+        // not drain the recycled slot.
+        assert!(b.release(Nanos::from_micros(3), stale).is_empty());
+        assert_eq!(b.stats().invalid_releases, 1);
+        assert_eq!(b.stats().stale_releases, 1);
+        assert_eq!(b.occupancy(), 1, "the new occupant survives");
+        // The current-generation (or untagged) release still drains.
+        assert_eq!(b.release(Nanos::from_micros(4), fresh).len(), 1);
+    }
+
+    #[test]
+    fn untagged_release_keeps_wire_semantics() {
+        let mut b = mk();
+        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        // A hand-crafted packet_out carrying only the raw wire id (no
+        // generation) drains the flow, per the OpenFlow spec.
+        let raw = BufferId::new(id.as_u32());
+        assert_eq!(raw.generation(), 0);
+        assert_eq!(b.release(Nanos::from_micros(1), raw).len(), 1);
+        assert_eq!(b.stats().stale_releases, 0);
+    }
+
+    #[test]
     fn timeout_rerequests_on_subsequent_packet() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
         b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
@@ -435,14 +730,131 @@ mod tests {
         b.on_miss(Nanos::from_millis(2), pkt(2, 100), PortNo(4));
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(10)));
         assert!(b.poll_timeouts(Nanos::from_millis(9)).is_empty());
-        let due = b.poll_timeouts(Nanos::from_millis(10));
+        let due = b.poll_timeouts(Nanos::from_millis(10)).rerequests;
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].in_port, PortNo(4));
         // Timer reset: next deadline is flow 2's, then flow 1's new one.
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(12)));
-        let due = b.poll_timeouts(Nanos::from_millis(30));
+        let due = b.poll_timeouts(Nanos::from_millis(30)).rerequests;
         assert_eq!(due.len(), 2);
         assert_eq!(b.stats().rerequests, 3);
+    }
+
+    #[test]
+    fn backoff_policy_stretches_the_schedule() {
+        let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10))
+            .with_retry_policy(RetryPolicy::backoff(Nanos::from_millis(40), 0));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        // First deadline: the base timeout.
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(10)));
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(10)).rerequests.len(), 1);
+        // Second interval doubles: 20 ms after the re-request.
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(30)));
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(30)).rerequests.len(), 1);
+        // Third doubles again (40 ms, at the cap).
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(70)));
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(70)).rerequests.len(), 1);
+        // Capped thereafter.
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(110)));
+    }
+
+    #[test]
+    fn jitter_draws_are_deterministic_per_seed() {
+        let schedule = |seed: u64| {
+            let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10)).with_retry_policy(
+                RetryPolicy {
+                    jitter: Nanos::from_millis(4),
+                    seed,
+                    ..RetryPolicy::fixed()
+                },
+            );
+            b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+            let mut deadlines = Vec::new();
+            for _ in 0..5 {
+                let now = b.next_timeout().expect("scheduled");
+                deadlines.push(now);
+                assert_eq!(b.poll_timeouts(now).rerequests.len(), 1);
+            }
+            deadlines
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seed, different jitter");
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_up_and_drains() {
+        let mut b =
+            FlowGranularityBuffer::new(16, Nanos::from_millis(10)).with_retry_policy(RetryPolicy {
+                budget: 2,
+                ..RetryPolicy::fixed()
+            });
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        b.on_miss(Nanos::from_micros(1), pkt(1, 100), PortNo(1));
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(10)).rerequests.len(), 1);
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(20)).rerequests.len(), 1);
+        // Budget (2) spent: the third deadline gives the flow up.
+        let sweep = b.poll_timeouts(Nanos::from_millis(30));
+        assert!(sweep.rerequests.is_empty());
+        assert_eq!(sweep.gave_up.len(), 1);
+        assert_eq!(sweep.gave_up[0].packets.len(), 2);
+        assert_eq!(sweep.gave_up[0].action, GiveUp::DrainAsFullPacketIn);
+        assert_eq!(b.occupancy(), 0, "give-up frees the units");
+        assert_eq!(b.flow_count(), 0);
+        assert_eq!(b.stats().giveups, 1);
+        assert_eq!(b.stats().rerequests, 2, "retries stayed within budget");
+        assert_eq!(b.next_timeout(), None);
+    }
+
+    #[test]
+    fn giveup_drop_action_is_reported() {
+        let mut b =
+            FlowGranularityBuffer::new(16, Nanos::from_millis(10)).with_retry_policy(RetryPolicy {
+                budget: 1,
+                give_up: GiveUp::Drop,
+                ..RetryPolicy::fixed()
+            });
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(10)).rerequests.len(), 1);
+        let sweep = b.poll_timeouts(Nanos::from_millis(20));
+        assert_eq!(sweep.gave_up.len(), 1);
+        assert_eq!(sweep.gave_up[0].action, GiveUp::Drop);
+    }
+
+    #[test]
+    fn ttl_expires_stale_entries_oldest_first() {
+        let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(100))
+            .with_ttl(Nanos::from_millis(30));
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        b.on_miss(Nanos::from_millis(10), pkt(1, 200), PortNo(1));
+        b.on_miss(Nanos::from_millis(20), pkt(2, 300), PortNo(1));
+        // The TTL deadline beats the (100 ms) re-request deadline.
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(30)));
+        let sweep = b.poll_timeouts(Nanos::from_millis(35));
+        assert_eq!(sweep.expired.len(), 1, "only flow 1's first packet is due");
+        assert_eq!(sweep.expired[0].packet.wire_len(), 100);
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.stats().expired, 1);
+        assert_eq!(b.stats().expired_bytes, 100);
+        // Flow 1's queue survives with its second packet; expiry re-arms.
+        assert_eq!(b.flow_count(), 2);
+        let sweep = b.poll_timeouts(Nanos::from_millis(55));
+        assert_eq!(sweep.expired.len(), 2, "both remaining entries age out");
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.flow_count(), 0, "emptied flows are removed entirely");
+        assert_eq!(b.next_timeout(), None);
+    }
+
+    #[test]
+    fn disabled_ttl_gc_leaks_entries() {
+        let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(100))
+            .with_ttl(Nanos::from_millis(10));
+        b.set_ttl_gc_enabled(false);
+        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        let sweep = b.poll_timeouts(Nanos::from_millis(50));
+        assert!(sweep.expired.is_empty(), "sabotaged GC must not collect");
+        assert_eq!(b.occupancy(), 1);
+        b.set_ttl_gc_enabled(true);
+        assert_eq!(b.poll_timeouts(Nanos::from_millis(50)).expired.len(), 1);
     }
 
     #[test]
@@ -489,6 +901,7 @@ mod tests {
         assert_eq!(b.name(), "flow-granularity");
         assert_eq!(b.capacity(), 8);
         assert_eq!(b.timeout(), Nanos::from_millis(20));
+        assert!(b.retry_policy().is_fixed());
     }
 
     #[test]
@@ -528,7 +941,16 @@ mod tests {
         assert_eq!(b.stats().rerequests, 0);
         // Re-enabling restores the guard.
         b.set_rerequest_enabled(true);
-        assert_eq!(b.poll_timeouts(Nanos::from_secs(1)).len(), 1);
+        assert_eq!(b.poll_timeouts(Nanos::from_secs(1)).rerequests.len(), 1);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(FlowGranularityBuffer::try_new(16, Nanos::from_millis(1)).is_ok());
+        let e = FlowGranularityBuffer::try_new(0, Nanos::from_millis(1)).unwrap_err();
+        assert!(e.contains("capacity"), "{e}");
+        let e = FlowGranularityBuffer::try_new(1, Nanos::ZERO).unwrap_err();
+        assert!(e.contains("timeout"), "{e}");
     }
 
     #[test]

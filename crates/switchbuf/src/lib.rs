@@ -57,8 +57,10 @@ mod flow_gran;
 mod mechanism;
 mod none;
 mod packet_gran;
+mod retry;
 
 pub use flow_gran::FlowGranularityBuffer;
 pub use mechanism::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
 pub use none::NoBuffer;
 pub use packet_gran::PacketGranularityBuffer;
+pub use retry::{GaveUpFlow, GiveUp, RetryPolicy, TimeoutSweep};

@@ -1,5 +1,6 @@
 //! The buffer-mechanism abstraction shared by all three mechanisms.
 
+use crate::TimeoutSweep;
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{BufferId, PortNo};
 use sdnbuf_sim::{Nanos, Tracer};
@@ -66,6 +67,17 @@ pub struct BufferStats {
     pub invalid_releases: u64,
     /// Timeout-driven re-requests sent.
     pub rerequests: u64,
+    /// Entries garbage-collected because they outlived the buffer TTL.
+    pub expired: u64,
+    /// Wire bytes of those expired entries.
+    pub expired_bytes: u64,
+    /// Flows that exhausted their retry budget and executed their
+    /// [`crate::GiveUp`] action.
+    pub giveups: u64,
+    /// `packet_out`s naming a recycled id with a stale generation tag,
+    /// rejected instead of draining the new occupant (a subset of
+    /// `invalid_releases`).
+    pub stale_releases: u64,
     /// Highest occupancy ever observed, in buffer units.
     pub peak_occupancy: usize,
 }
@@ -94,14 +106,15 @@ pub trait BufferMechanism {
     /// `packet_out` then applies to nothing, per the OpenFlow spec).
     fn release(&mut self, now: Nanos, buffer_id: BufferId) -> Vec<BufferedPacket>;
 
-    /// The earliest pending re-request deadline, for scheduler integration.
-    /// `None` when no request is outstanding or the mechanism never
-    /// re-requests.
+    /// The earliest pending deadline — re-request or TTL expiry — for
+    /// scheduler integration. `None` when nothing is scheduled or the
+    /// mechanism never re-requests and has no TTL.
     fn next_timeout(&self) -> Option<Nanos>;
 
-    /// Collects the re-requests due at or before `now`, resetting their
-    /// timers.
-    fn poll_timeouts(&mut self, now: Nanos) -> Vec<Rerequest>;
+    /// Sweeps every deadline due at or before `now`: collects the
+    /// re-requests (resetting their timers), garbage-collects TTL-expired
+    /// entries, and removes flows whose retry budget ran out.
+    fn poll_timeouts(&mut self, now: Nanos) -> TimeoutSweep;
 
     /// Buffer units currently in use.
     fn occupancy(&self) -> usize;
@@ -129,6 +142,12 @@ pub trait BufferMechanism {
     /// without lines 12–13, which the eventual-delivery invariant must
     /// catch). Mechanisms that never re-request ignore it.
     fn set_rerequest_enabled(&mut self, _on: bool) {}
+
+    /// Enables or disables the TTL garbage collector (chaos harness
+    /// sabotage: a mechanism with a TTL configured but GC disabled must be
+    /// caught by the buffered-conservation invariant). Mechanisms without
+    /// a TTL ignore it.
+    fn set_ttl_gc_enabled(&mut self, _on: bool) {}
 }
 
 #[cfg(test)]

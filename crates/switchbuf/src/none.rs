@@ -1,6 +1,6 @@
 //! The no-buffer mechanism: OpenFlow's default behaviour.
 
-use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
+use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, TimeoutSweep};
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{BufferId, PortNo};
 use sdnbuf_sim::Nanos;
@@ -55,8 +55,8 @@ impl BufferMechanism for NoBuffer {
         None
     }
 
-    fn poll_timeouts(&mut self, _now: Nanos) -> Vec<Rerequest> {
-        Vec::new()
+    fn poll_timeouts(&mut self, _now: Nanos) -> TimeoutSweep {
+        TimeoutSweep::default()
     }
 
     fn occupancy(&self) -> usize {

@@ -1,6 +1,6 @@
 //! The packet-granularity buffer: OpenFlow's default buffer mechanism.
 
-use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
+use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, TimeoutSweep};
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{BufferId, PortNo};
 use sdnbuf_sim::{EventKind, Nanos, Tracer};
@@ -38,11 +38,20 @@ pub struct PacketGranularityBuffer {
     pending_free: VecDeque<Nanos>,
     free_lag: Nanos,
     next_id: u32,
+    /// Per-entry lifetime; `None` = entries never expire (the default).
+    /// Closes the stranding leak: a unit whose `packet_out` is lost would
+    /// otherwise stay occupied forever.
+    ttl: Option<Nanos>,
+    /// Monotonic allocation counter tagging each unit's buffer id with a
+    /// generation for ABA safety.
+    gen_seq: u32,
     stats: BufferStats,
     tracer: Tracer,
     /// Fault injection: while on, new misses are refused as if every unit
     /// were occupied.
     pressured: bool,
+    /// Fault injection: when off, the TTL sweep never collects.
+    ttl_gc_enabled: bool,
 }
 
 impl PacketGranularityBuffer {
@@ -73,10 +82,23 @@ impl PacketGranularityBuffer {
             pending_free: VecDeque::new(),
             free_lag,
             next_id: 0,
+            ttl: None,
+            gen_seq: 0,
             stats: BufferStats::default(),
             tracer: Tracer::off(),
             pressured: false,
+            ttl_gc_enabled: true,
         }
+    }
+
+    /// Sets the per-entry TTL (builder-style). [`Nanos::ZERO`] disables
+    /// expiry, the default. An expired unit is garbage-collected by the
+    /// next [`BufferMechanism::poll_timeouts`] sweep and its packet is
+    /// dropped — the recovery-plane answer to units stranded by a lost
+    /// `packet_out`.
+    pub fn with_ttl(mut self, ttl: Nanos) -> Self {
+        self.ttl = (ttl > Nanos::ZERO).then_some(ttl);
+        self
     }
 
     fn reclaim(&mut self, now: Nanos) {
@@ -92,7 +114,11 @@ impl PacketGranularityBuffer {
             let candidate = self.next_id;
             self.next_id = self.next_id.wrapping_add(1);
             if candidate != BufferId::NO_BUFFER.as_u32() && !self.units.contains_key(&candidate) {
-                return BufferId::new(candidate);
+                self.gen_seq = self.gen_seq.wrapping_add(1);
+                if self.gen_seq == 0 {
+                    self.gen_seq = 1;
+                }
+                return BufferId::tagged(candidate, self.gen_seq);
             }
         }
     }
@@ -143,6 +169,18 @@ impl BufferMechanism for PacketGranularityBuffer {
 
     fn release(&mut self, now: Nanos, buffer_id: BufferId) -> Vec<BufferedPacket> {
         self.reclaim(now);
+        // ABA safety: a generation-tagged release must match the current
+        // occupant's generation; untagged (generation 0) releases keep the
+        // raw-wire-id semantics.
+        if buffer_id.generation() != 0 {
+            if let Some(p) = self.units.get(&buffer_id.as_u32()) {
+                if p.buffer_id.generation() != buffer_id.generation() {
+                    self.stats.invalid_releases += 1;
+                    self.stats.stale_releases += 1;
+                    return Vec::new();
+                }
+            }
+        }
         match self.units.remove(&buffer_id.as_u32()) {
             Some(p) => {
                 self.stats.released += 1;
@@ -159,11 +197,43 @@ impl BufferMechanism for PacketGranularityBuffer {
     }
 
     fn next_timeout(&self) -> Option<Nanos> {
-        None
+        let ttl = self.ttl?;
+        if !self.ttl_gc_enabled {
+            return None;
+        }
+        self.units.values().map(|p| p.buffered_at + ttl).min()
     }
 
-    fn poll_timeouts(&mut self, _now: Nanos) -> Vec<Rerequest> {
-        Vec::new()
+    fn poll_timeouts(&mut self, now: Nanos) -> TimeoutSweep {
+        let mut sweep = TimeoutSweep::default();
+        let Some(ttl) = self.ttl else { return sweep };
+        if !self.ttl_gc_enabled {
+            return sweep;
+        }
+        // Capacity is small (the paper evaluates 16 and 256), so an O(n)
+        // collect sorted deterministically by (age, id) is fine here; the
+        // flow-granularity mechanism keeps a real min-deadline index.
+        let mut due: Vec<u32> = self
+            .units
+            .iter()
+            .filter(|(_, p)| p.buffered_at + ttl <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_unstable_by_key(|id| (self.units[id].buffered_at, *id));
+        for id in due {
+            let p = self.units.remove(&id).expect("due unit exists");
+            self.stats.expired += 1;
+            self.stats.expired_bytes += p.packet.wire_len() as u64;
+            self.tracer.emit(
+                now,
+                EventKind::BufferExpire {
+                    buffer_id: id,
+                    occupancy: self.units.len() + self.pending_free.len(),
+                },
+            );
+            sweep.expired.push(p);
+        }
+        sweep
     }
 
     fn occupancy(&self) -> usize {
@@ -186,6 +256,12 @@ impl BufferMechanism for PacketGranularityBuffer {
 
     fn set_pressure(&mut self, on: bool) {
         self.pressured = on;
+    }
+
+    fn set_rerequest_enabled(&mut self, _on: bool) {}
+
+    fn set_ttl_gc_enabled(&mut self, on: bool) {
+        self.ttl_gc_enabled = on;
     }
 }
 
@@ -348,6 +424,67 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = PacketGranularityBuffer::new(0);
+    }
+
+    #[test]
+    fn ttl_expires_stranded_units_oldest_first() {
+        let ttl = Nanos::from_millis(30);
+        let mut b = PacketGranularityBuffer::new(4).with_ttl(ttl);
+        b.on_miss(Nanos::ZERO, pkt(1), PortNo(1));
+        b.on_miss(Nanos::from_millis(10), pkt(2), PortNo(1));
+        assert_eq!(b.next_timeout(), Some(Nanos::from_millis(30)));
+        let sweep = b.poll_timeouts(Nanos::from_millis(35));
+        assert_eq!(sweep.expired.len(), 1, "only the first unit aged out");
+        assert_eq!(b.occupancy(), 1);
+        assert_eq!(b.stats().expired, 1);
+        assert!(b.stats().expired_bytes > 0);
+        // The freed slot is reusable immediately.
+        assert!(matches!(
+            b.on_miss(Nanos::from_millis(36), pkt(3), PortNo(1)),
+            MissAction::SendBufferedPacketIn { .. }
+        ));
+        let sweep = b.poll_timeouts(Nanos::from_millis(100));
+        assert_eq!(sweep.expired.len(), 2);
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.next_timeout(), None);
+    }
+
+    #[test]
+    fn disabled_ttl_gc_leaks_units() {
+        let mut b = PacketGranularityBuffer::new(4).with_ttl(Nanos::from_millis(10));
+        b.set_ttl_gc_enabled(false);
+        b.on_miss(Nanos::ZERO, pkt(1), PortNo(1));
+        assert_eq!(b.next_timeout(), None, "sabotaged GC schedules nothing");
+        assert!(b.poll_timeouts(Nanos::from_secs(1)).is_empty());
+        assert_eq!(b.occupancy(), 1);
+        b.set_ttl_gc_enabled(true);
+        assert_eq!(b.poll_timeouts(Nanos::from_secs(1)).expired.len(), 1);
+    }
+
+    #[test]
+    fn stale_generation_release_is_rejected() {
+        let mut b = PacketGranularityBuffer::new(1);
+        let stale = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(b.release(Nanos::from_micros(1), stale).len(), 1);
+        // The wrap-around allocator recycles raw id 0... eventually; force
+        // the collision by filling the single unit again after a full lap
+        // is unnecessary — capacity 1 re-allocates a fresh id, so emulate a
+        // stale duplicate by re-tagging the *new* unit's raw id with the
+        // old generation.
+        let fresh = match b.on_miss(Nanos::from_micros(2), pkt(2), PortNo(1)) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        let forged = BufferId::tagged(fresh.as_u32(), stale.generation());
+        assert!(b.release(Nanos::from_micros(3), forged).is_empty());
+        assert_eq!(b.stats().stale_releases, 1);
+        assert_eq!(b.occupancy(), 1, "the current occupant survives");
+        // Untagged raw-wire release still drains it.
+        let raw = BufferId::new(fresh.as_u32());
+        assert_eq!(b.release(Nanos::from_micros(4), raw).len(), 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use sdnbuf_net::{FlowKey, PacketBuilder};
 use sdnbuf_openflow::{BufferId, PortNo};
 use sdnbuf_sim::Nanos;
 use sdnbuf_switchbuf::{
-    BufferMechanism, FlowGranularityBuffer, MissAction, PacketGranularityBuffer,
+    BufferMechanism, FlowGranularityBuffer, MissAction, PacketGranularityBuffer, RetryPolicy,
 };
 use std::collections::HashMap;
 
@@ -239,7 +239,7 @@ proptest! {
                 }
                 TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
                 TimedOp::Poll => {
-                    for rr in mech.poll_timeouts(now) {
+                    for rr in mech.poll_timeouts(now).rerequests {
                         let prev = last_request.insert(rr.buffer_id.as_u32(), now);
                         let prev = prev.expect("re-request for a never-requested id");
                         prop_assert!(
@@ -321,6 +321,156 @@ proptest! {
             }
         }
         prop_assert_eq!(mech.stats().rerequests, 0);
+    }
+
+    /// The retry schedule is well-behaved for every policy shape: the
+    /// interval sequence is monotone non-decreasing in the retry count,
+    /// never dips below the base timeout, and never exceeds the cap (when
+    /// one is set at or above the base).
+    #[test]
+    fn backoff_intervals_are_monotone_and_capped(
+        multiplier in 1u32..6,
+        cap_ms in 0u64..200,
+        base_ms in 1u64..80,
+        budget in 0u32..8,
+    ) {
+        let p = RetryPolicy {
+            multiplier,
+            cap: Nanos::from_millis(cap_ms),
+            budget,
+            ..RetryPolicy::fixed()
+        };
+        let base = Nanos::from_millis(base_ms);
+        let ceiling = Nanos::from_millis(cap_ms.max(base_ms));
+        let mut prev = Nanos::ZERO;
+        for n in 0..40 {
+            let d = p.interval_after(base, n);
+            prop_assert!(d >= base, "retry {n}: {d:?} below base {base:?}");
+            prop_assert!(d >= prev, "retry {n}: {d:?} shrank from {prev:?}");
+            if cap_ms > 0 {
+                prop_assert!(d <= ceiling, "retry {n}: {d:?} above cap {ceiling:?}");
+            }
+            prev = d;
+        }
+        // The budget is a step function: exactly `budget` retries are
+        // allowed (or all of them when the budget is 0 = unlimited).
+        for n in 0..40 {
+            prop_assert_eq!(p.may_retry(n), budget == 0 || n < budget);
+        }
+    }
+
+    /// Jitter draws come from a dedicated seeded RNG: two mechanisms with
+    /// the same policy (same seed) driven through the same operations
+    /// produce identical re-request schedules, deadline for deadline.
+    #[test]
+    fn jitter_is_deterministic_for_a_fixed_seed(
+        ops in arb_timed_ops(),
+        seed in 0u64..1_000_000,
+    ) {
+        let policy = RetryPolicy {
+            jitter: Nanos::from_millis(3),
+            seed,
+            ..RetryPolicy::backoff(Nanos::from_millis(80), 0)
+        };
+        let timeout = Nanos::from_millis(10);
+        let mut a = FlowGranularityBuffer::new(1024, timeout).with_retry_policy(policy);
+        let mut b = FlowGranularityBuffer::new(1024, timeout).with_retry_policy(policy);
+        let mut now = Nanos::ZERO;
+        let mut outstanding: Vec<BufferId> = Vec::new();
+        for op in &ops {
+            now += Nanos::from_micros(10);
+            match op {
+                TimedOp::Miss { flow } => {
+                    let mk = || PacketBuilder::udp().src_port(*flow).build();
+                    let ra = a.on_miss(now, mk(), PortNo(1));
+                    let rb = b.on_miss(now, mk(), PortNo(1));
+                    prop_assert_eq!(&ra, &rb, "on_miss diverged at {:?}", now);
+                    if let MissAction::SendBufferedPacketIn { buffer_id } = ra {
+                        if !outstanding.contains(&buffer_id) {
+                            outstanding.push(buffer_id);
+                        }
+                    }
+                }
+                TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
+                TimedOp::Poll => {
+                    prop_assert_eq!(a.poll_timeouts(now), b.poll_timeouts(now));
+                }
+                TimedOp::Release { nth } => {
+                    if !outstanding.is_empty() {
+                        let id = outstanding.remove(nth % outstanding.len());
+                        prop_assert_eq!(a.release(now, id), b.release(now, id));
+                    }
+                }
+            }
+            prop_assert_eq!(a.next_timeout(), b.next_timeout(), "schedules diverged");
+        }
+    }
+
+    /// Under arbitrary miss/advance/poll/release interleavings, no flow is
+    /// ever re-requested more than `budget` times per announcement, and a
+    /// flow that gives up has spent its whole budget and is gone from the
+    /// buffer.
+    #[test]
+    fn retries_never_exceed_budget_under_interleavings(
+        ops in arb_timed_ops(),
+        budget in 1u32..5,
+    ) {
+        let policy = RetryPolicy::backoff(Nanos::from_millis(40), budget);
+        let mut mech =
+            FlowGranularityBuffer::new(1024, Nanos::from_millis(10)).with_retry_policy(policy);
+        let mut now = Nanos::ZERO;
+        let mut outstanding: Vec<BufferId> = Vec::new();
+        let mut retries: HashMap<u32, u32> = HashMap::new();
+        let mut total_rerequests: u64 = 0;
+        for op in &ops {
+            now += Nanos::from_micros(10);
+            match op {
+                TimedOp::Miss { flow } => {
+                    let pkt = PacketBuilder::udp().src_port(*flow).build();
+                    if let MissAction::SendBufferedPacketIn { buffer_id } =
+                        mech.on_miss(now, pkt, PortNo(1))
+                    {
+                        if outstanding.contains(&buffer_id) {
+                            // An on-miss re-announcement spends budget too.
+                            let n = retries.entry(buffer_id.as_u32()).or_insert(0);
+                            *n += 1;
+                            total_rerequests += 1;
+                            prop_assert!(*n <= budget, "flow re-requested {n} > budget {budget}");
+                        } else {
+                            outstanding.push(buffer_id);
+                            retries.insert(buffer_id.as_u32(), 0);
+                        }
+                    }
+                }
+                TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
+                TimedOp::Poll => {
+                    let sweep = mech.poll_timeouts(now);
+                    for rr in &sweep.rerequests {
+                        let n = retries.entry(rr.buffer_id.as_u32()).or_insert(0);
+                        *n += 1;
+                        total_rerequests += 1;
+                        prop_assert!(*n <= budget, "flow re-requested {n} > budget {budget}");
+                    }
+                    for gave in &sweep.gave_up {
+                        // Giving up means the whole budget was spent, and
+                        // the slot is gone: a late release finds nothing.
+                        prop_assert_eq!(retries.get(&gave.buffer_id.as_u32()), Some(&budget));
+                        prop_assert!(!gave.packets.is_empty());
+                        prop_assert!(mech.release(now, gave.buffer_id).is_empty());
+                        outstanding.retain(|id| *id != gave.buffer_id);
+                        retries.remove(&gave.buffer_id.as_u32());
+                    }
+                }
+                TimedOp::Release { nth } => {
+                    if !outstanding.is_empty() {
+                        let id = outstanding.remove(nth % outstanding.len());
+                        mech.release(now, id);
+                        retries.remove(&id.as_u32());
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(mech.stats().rerequests, total_rerequests);
     }
 
     #[test]

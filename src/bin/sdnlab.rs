@@ -23,9 +23,11 @@
 //! passing `--events <path>`. All outputs are byte-deterministic for a
 //! fixed seed, at any `--threads` setting.
 
-use sdn_buffer_lab::core::chaos::{self, ChaosScenario};
+use sdn_buffer_lab::controller::AdmissionPolicy;
+use sdn_buffer_lab::core::chaos::{self, ChaosScenario, RecoveryKnobs, Sabotage};
 use sdn_buffer_lab::core::{figures, observe, RateSweep, StderrProgress};
 use sdn_buffer_lab::prelude::*;
+use sdn_buffer_lab::switchbuf::{GiveUp, RetryPolicy};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -35,10 +37,11 @@ fn usage() -> &'static str {
      USAGE:\n\
        sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]\n\
                     [--faults SPEC] [--check]\n\
+                    [--retry-policy P] [--ttl DUR] [--degraded N] [--admission POL:CAP]\n\
                     [--events PATH] [--timeline PATH] [--sample-every DUR [--samples PATH]]\n\
        sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
                     [--events PATH] [--timeline PATH]\n\
-       sdnlab chaos [--seeds N] [--broken] [--replay SPEC]\n\
+       sdnlab chaos [--seeds N] [--broken] [--broken-ttl] [--recovery] [--replay SPEC]\n\
        sdnlab claims [--reps N] [--threads T]\n\
      \n\
      MECH: none | packet:<capacity> | flow:<capacity>[:<timeout_ms>]\n\
@@ -52,10 +55,23 @@ fn usage() -> &'static str {
        --faults SPEC       run under a composable fault plan (seeded, replayable)\n\
        --check             verify the protocol invariants over the event stream\n\
      \n\
+     RECOVERY & OVERLOAD CONTROL:\n\
+       --retry-policy P    re-request pacing: fixed (the paper's Algorithm 1)\n\
+                           or backoff[:<cap>[:<budget>[:drain|drop]]]\n\
+       --ttl DUR           per-entry buffer TTL (expired entries are dropped)\n\
+       --degraded N        consecutive give-ups that trip the switch into\n\
+                           degraded mode (0 = never)\n\
+       --admission POL:CAP bounded controller ingress queue: POL is drop-tail,\n\
+                           drop-head or prefer-rerequests; CAP its depth\n\
+     \n\
      CHAOS HARNESS:\n\
        --seeds N           scenarios per buffer mechanism (default 50)\n\
        --broken            disable Algorithm 1's re-request loop; the harness\n\
                            must catch it (self-test — exits nonzero if it doesn't)\n\
+       --broken-ttl        disable the TTL garbage collector with the TTL armed;\n\
+                           the buffer-expiry invariant must catch it\n\
+       --recovery          run the fixed recovery matrix (stall + flap against\n\
+                           both mechanisms under fixed and backoff retries)\n\
        --replay SPEC       re-run one scenario from the spec a failure printed\n\
      \n\
      OBSERVABILITY:\n\
@@ -69,8 +85,11 @@ fn usage() -> &'static str {
        sdnlab run --buffer packet:256 --rate 80\n\
        sdnlab run --buffer flow:256:50 --workload v --rate 95 --timeline trace.json\n\
        sdnlab run --buffer flow:256:20 --workload v --faults 'fseed=7,c.loss=p:0.1' --check\n\
+       sdnlab run --buffer flow:256:20 --retry-policy backoff:200:4 --ttl 250 \\\n\
+                  --degraded 3 --faults 'fseed=7,c.loss=p:0.2' --check\n\
        sdnlab sweep --section iv --reps 20 --threads 4\n\
-       sdnlab chaos --seeds 200\n"
+       sdnlab chaos --seeds 200\n\
+       sdnlab chaos --recovery\n"
 }
 
 #[derive(Debug)]
@@ -164,6 +183,52 @@ fn parse_parallelism(s: &str) -> Result<Parallelism, ParseError> {
     }
 }
 
+/// Parses `--retry-policy`: `fixed` or `backoff[:<cap>[:<budget>[:drain|drop]]]`.
+fn parse_retry_policy(s: &str) -> Result<RetryPolicy, ParseError> {
+    if s == "fixed" {
+        return Ok(RetryPolicy::fixed());
+    }
+    let Some(rest) = s.strip_prefix("backoff") else {
+        return Err(ParseError(format!(
+            "unknown retry policy '{s}' (fixed | backoff[:<cap>[:<budget>[:drain|drop]]])"
+        )));
+    };
+    let mut policy = RetryPolicy::backoff(Nanos::from_millis(400), 0);
+    let mut fields = rest
+        .strip_prefix(':')
+        .map(|r| r.split(':'))
+        .into_iter()
+        .flatten();
+    if let Some(cap) = fields.next() {
+        policy.cap = parse_duration(cap)?;
+    }
+    if let Some(budget) = fields.next() {
+        policy.budget = budget
+            .parse()
+            .map_err(|_| ParseError(format!("bad retry budget in '{s}'")))?;
+    }
+    if let Some(action) = fields.next() {
+        policy.give_up = GiveUp::parse(action).map_err(ParseError)?;
+    }
+    if fields.next().is_some() {
+        return Err(ParseError(format!("too many fields in retry policy '{s}'")));
+    }
+    Ok(policy)
+}
+
+/// Parses `--admission`: `<drop-tail|drop-head|prefer-rerequests>:<capacity>`.
+fn parse_admission(s: &str) -> Result<(AdmissionPolicy, usize), ParseError> {
+    let (policy, cap) = s
+        .split_once(':')
+        .ok_or_else(|| ParseError(format!("expected <policy>:<capacity> in '{s}'")))?;
+    let policy = AdmissionPolicy::parse(policy)
+        .ok_or_else(|| ParseError(format!("unknown admission policy '{policy}'")))?;
+    let capacity = cap
+        .parse()
+        .map_err(|_| ParseError(format!("bad admission capacity in '{s}'")))?;
+    Ok((policy, capacity))
+}
+
 /// The `--threads` flag, falling back to `SDNBUF_THREADS` / auto.
 fn threads_flag(args: &[String]) -> Result<Parallelism, ParseError> {
     match flag(args, "--threads")? {
@@ -236,6 +301,22 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     };
     let samples_path = flag(args, "--samples")?;
     let check = args.iter().any(|a| a == "--check");
+    let knobs = RecoveryKnobs {
+        retry: match flag(args, "--retry-policy")? {
+            Some(s) => parse_retry_policy(&s)?,
+            None => RetryPolicy::fixed(),
+        },
+        ttl: match flag(args, "--ttl")? {
+            Some(s) => parse_duration(&s)?,
+            None => Nanos::ZERO,
+        },
+        degraded_threshold: match flag(args, "--degraded")? {
+            Some(s) => s
+                .parse()
+                .map_err(|_| ParseError(format!("bad degraded threshold '{s}'")))?,
+            None => 0,
+        },
+    };
 
     let mut config = ExperimentConfig {
         buffer,
@@ -244,6 +325,14 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
         seed,
         ..ExperimentConfig::default()
     };
+    config.testbed.switch.retry = knobs.retry;
+    config.testbed.switch.buffer_ttl = knobs.ttl;
+    config.testbed.switch.degraded_threshold = knobs.degraded_threshold;
+    if let Some(s) = flag(args, "--admission")? {
+        let (policy, capacity) = parse_admission(&s)?;
+        config.testbed.controller.admission = policy;
+        config.testbed.controller.ingress_queue_capacity = capacity;
+    }
     if let Some(spec) = flag(args, "--faults")? {
         config.testbed.faults = FaultPlan::parse(&spec).map_err(ParseError)?;
     }
@@ -260,7 +349,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     let (run, events) = exp.run_traced();
     println!("{run:#?}");
     if check {
-        let violations = chaos::check_invariants(buffer, &plan, &run, &events);
+        let violations = chaos::check_invariants(buffer, &plan, knobs, &run, &events);
         if violations.is_empty() {
             eprintln!("check: every invariant holds over {} events", events.len());
         } else {
@@ -296,21 +385,41 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
 
 /// The seeded chaos harness: sample `--seeds` scenarios per buffer
 /// mechanism, check every invariant, print a one-command replay (with a
-/// greedily minimized fault plan) for each failure.
+/// greedily minimized fault plan) for each failure. `--recovery` swaps the
+/// random sweep for the fixed recovery matrix; `--broken`/`--broken-ttl`
+/// sabotage the mechanism and invert the expectation (self-test).
 fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
-    let broken = args.iter().any(|a| a == "--broken");
-    let rerequest_enabled = !broken;
+    let sabotage = Sabotage {
+        disable_rerequest: args.iter().any(|a| a == "--broken"),
+        disable_ttl_gc: args.iter().any(|a| a == "--broken-ttl"),
+    };
+    let sabotaged = sabotage != Sabotage::none();
+    let sabotage_flags = format!(
+        "{}{}",
+        if sabotage.disable_rerequest {
+            "--broken "
+        } else {
+            ""
+        },
+        if sabotage.disable_ttl_gc {
+            "--broken-ttl "
+        } else {
+            ""
+        },
+    );
 
     if let Some(spec) = flag(args, "--replay")? {
         let scenario = ChaosScenario::parse(&spec).map_err(ParseError)?;
-        let report = chaos::run_scenario(&scenario, rerequest_enabled);
+        let report = chaos::run_scenario(&scenario, sabotage);
         println!("scenario: {}", scenario.to_spec());
         println!("digest:   {:016x}", report.digest);
         println!(
-            "delivered {}/{}  rerequests {}  ctrl_drops {}  data_drops {}",
+            "delivered {}/{}  rerequests {}  giveups {}  expired {}  ctrl_drops {}  data_drops {}",
             report.result.packets_delivered,
             report.result.packets_sent,
             report.result.rerequests,
+            report.result.buffer_giveups,
+            report.result.buffer_expired,
             report.result.ctrl_drops,
             report.result.packets_dropped,
         );
@@ -324,53 +433,93 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
         return Ok(ExitCode::FAILURE);
     }
 
-    let seeds: u64 = match flag(args, "--seeds")? {
-        Some(s) => s
-            .parse()
-            .map_err(|_| ParseError(format!("bad seed count '{s}'")))?,
-        None => 50,
-    };
-    let mechanisms = [
-        BufferMode::PacketGranularity { capacity: 256 },
-        BufferMode::FlowGranularity {
-            capacity: 256,
-            timeout: Nanos::from_millis(20),
-        },
-    ];
     let mut failures = 0u64;
-    for mech in mechanisms {
-        for seed in 0..seeds {
-            let scenario = ChaosScenario::generate(seed, mech);
-            let report = chaos::run_scenario(&scenario, rerequest_enabled);
+    let total: u64;
+    if args.iter().any(|a| a == "--recovery") {
+        let cells = chaos::recovery_matrix();
+        total = cells.len() as u64;
+        for (label, scenario) in &cells {
+            let report = chaos::run_scenario(scenario, sabotage);
+            println!(
+                "recovery {label:<15} delivered {}/{}  rerequests {}  giveups {}  \
+                 expired {}  degraded {}/{}",
+                report.result.packets_delivered,
+                report.result.packets_sent,
+                report.result.rerequests,
+                report.result.buffer_giveups,
+                report.result.buffer_expired,
+                report.result.degraded_entries,
+                report.result.degraded_exits,
+            );
             if report.violations.is_empty() {
                 continue;
             }
             failures += 1;
-            eprintln!("seed {seed} [{}]:", mech.label());
             for v in &report.violations {
                 eprintln!("  VIOLATION [{}]: {}", v.invariant, v.detail);
             }
-            let min = chaos::minimize(&scenario, rerequest_enabled);
+            let min = chaos::minimize(scenario, sabotage);
             eprintln!(
-                "  replay: cargo run --release --bin sdnlab -- chaos {}--replay '{}'",
-                if broken { "--broken " } else { "" },
+                "  replay: cargo run --release --bin sdnlab -- chaos {sabotage_flags}--replay '{}'",
                 min.to_spec()
             );
         }
+    } else {
+        let seeds: u64 = match flag(args, "--seeds")? {
+            Some(s) => s
+                .parse()
+                .map_err(|_| ParseError(format!("bad seed count '{s}'")))?,
+            None => 50,
+        };
+        let mechanisms = [
+            BufferMode::PacketGranularity { capacity: 256 },
+            BufferMode::FlowGranularity {
+                capacity: 256,
+                timeout: Nanos::from_millis(20),
+            },
+        ];
+        total = seeds * mechanisms.len() as u64;
+        for mech in mechanisms {
+            for seed in 0..seeds {
+                let mut scenario = ChaosScenario::generate(seed, mech);
+                if sabotage.disable_ttl_gc {
+                    // The generated sweep leaves the recovery knobs at
+                    // their defaults; the TTL self-test needs one armed so
+                    // the dead garbage collector is observable.
+                    scenario.recovery.ttl = Nanos::from_millis(100);
+                }
+                let report = chaos::run_scenario(&scenario, sabotage);
+                if report.violations.is_empty() {
+                    continue;
+                }
+                failures += 1;
+                eprintln!("seed {seed} [{}]:", mech.label());
+                for v in &report.violations {
+                    eprintln!("  VIOLATION [{}]: {}", v.invariant, v.detail);
+                }
+                let min = chaos::minimize(&scenario, sabotage);
+                eprintln!(
+                    "  replay: cargo run --release --bin sdnlab -- chaos \
+                     {sabotage_flags}--replay '{}'",
+                    min.to_spec()
+                );
+            }
+        }
     }
-    if broken {
+
+    if sabotaged {
         // Self-test: the crippled mechanism must be caught.
+        let what = if sabotage.disable_rerequest {
+            "disabled re-request loop"
+        } else {
+            "disabled TTL garbage collector"
+        };
         if failures == 0 {
-            eprintln!(
-                "chaos --broken: no scenario caught the disabled re-request loop — \
-                 the harness has lost its teeth"
-            );
+            eprintln!("chaos {sabotage_flags}: no scenario caught the {what} — the harness has lost its teeth");
             return Ok(ExitCode::FAILURE);
         }
         println!(
-            "chaos --broken: {failures} of {} scenarios caught the disabled \
-             re-request loop (expected)",
-            seeds * mechanisms.len() as u64
+            "chaos {sabotage_flags}: {failures} of {total} scenarios caught the {what} (expected)"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -378,10 +527,7 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
         eprintln!("chaos: {failures} scenarios violated invariants (replay commands above)");
         return Ok(ExitCode::FAILURE);
     }
-    println!(
-        "chaos: {seeds} scenarios x {} mechanisms, every invariant holds",
-        mechanisms.len()
-    );
+    println!("chaos: {total} scenarios, every invariant holds");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -537,6 +683,41 @@ mod tests {
         assert_eq!(parse_parallelism("auto").unwrap(), Parallelism::Auto);
         assert_eq!(parse_parallelism("6").unwrap(), Parallelism::Fixed(6));
         assert!(parse_parallelism("lots").is_err());
+    }
+
+    #[test]
+    fn retry_policy_parsing() {
+        assert_eq!(parse_retry_policy("fixed").unwrap(), RetryPolicy::fixed());
+        assert_eq!(
+            parse_retry_policy("backoff").unwrap(),
+            RetryPolicy::backoff(Nanos::from_millis(400), 0)
+        );
+        assert_eq!(
+            parse_retry_policy("backoff:200:4").unwrap(),
+            RetryPolicy::backoff(Nanos::from_millis(200), 4)
+        );
+        let dropping = parse_retry_policy("backoff:160ms:2:drop").unwrap();
+        assert_eq!(dropping.cap, Nanos::from_millis(160));
+        assert_eq!(dropping.budget, 2);
+        assert_eq!(dropping.give_up, GiveUp::Drop);
+        assert!(parse_retry_policy("linear").is_err());
+        assert!(parse_retry_policy("backoff:200:4:explode").is_err());
+        assert!(parse_retry_policy("backoff:200:4:drop:1").is_err());
+    }
+
+    #[test]
+    fn admission_parsing() {
+        assert_eq!(
+            parse_admission("drop-tail:64").unwrap(),
+            (AdmissionPolicy::DropTail, 64)
+        );
+        assert_eq!(
+            parse_admission("prefer-rerequests:8").unwrap(),
+            (AdmissionPolicy::PreferRerequests, 8)
+        );
+        assert!(parse_admission("drop-tail").is_err());
+        assert!(parse_admission("fifo:8").is_err());
+        assert!(parse_admission("drop-head:x").is_err());
     }
 
     #[test]

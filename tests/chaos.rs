@@ -3,8 +3,11 @@
 //! over its structured event stream, and every failure replayable (and
 //! shrinkable) from a one-line spec.
 
-use sdn_buffer_lab::core::chaos::{minimize, run_scenario, ChaosScenario};
+use sdn_buffer_lab::core::chaos::{
+    minimize, recovery_matrix, run_scenario, ChaosScenario, RecoveryKnobs, Sabotage,
+};
 use sdn_buffer_lab::prelude::*;
+use sdn_buffer_lab::switchbuf::RetryPolicy;
 
 fn mechanisms() -> [BufferMode; 2] {
     [
@@ -144,4 +147,107 @@ fn intact_mechanism_passes_where_the_broken_one_fails() {
         compared += 1;
     }
     assert!(compared >= 5, "only {compared} discriminating scenarios");
+}
+
+/// The recovery plane's acceptance scenario: a sustained controller stall
+/// spanning the whole retry budget. The switch must stop re-requesting at
+/// the budget (retry-budget invariant), give the flows up, enter degraded
+/// mode, and exit it cleanly once the stalled controller answers — with
+/// every other invariant still intact.
+#[test]
+fn sustained_controller_stall_bounds_retries_and_recovers_from_degraded() {
+    let mut plan = FaultPlan {
+        seed: 5,
+        ..FaultPlan::default()
+    };
+    plan.stalls
+        .push(Window::new(Nanos::from_millis(45), Nanos::from_millis(160)));
+    let budgeted = ChaosScenario {
+        mech: BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(20),
+        },
+        workload: WorkloadKind::CrossSequenced {
+            n_flows: 6,
+            packets_per_flow: 4,
+            group_size: 2,
+        },
+        rate_mbps: 40,
+        seed: 9,
+        plan,
+        recovery: RecoveryKnobs {
+            retry: RetryPolicy::backoff(Nanos::from_millis(40), 1),
+            ttl: Nanos::ZERO,
+            degraded_threshold: 2,
+        },
+    };
+    let report = run_scenario(&budgeted, true);
+    assert!(
+        report.violations.is_empty(),
+        "budgeted run violated {:#?}",
+        report.violations
+    );
+    let r = &report.result;
+    assert!(
+        r.buffer_giveups > 0,
+        "no give-ups under a 115 ms stall: {r:#?}"
+    );
+    assert!(
+        r.degraded_entries > 0,
+        "degraded mode never tripped: {r:#?}"
+    );
+    assert_eq!(
+        r.degraded_entries, r.degraded_exits,
+        "switch ended the run still degraded: {r:#?}"
+    );
+
+    // The same stall under the unbounded fixed-interval policy re-requests
+    // strictly more — the budget is what bounds the retry storm.
+    let unbounded = ChaosScenario {
+        recovery: RecoveryKnobs::default(),
+        ..budgeted.clone()
+    };
+    let baseline = run_scenario(&unbounded, true);
+    assert!(
+        baseline.violations.is_empty(),
+        "baseline run violated {:#?}",
+        baseline.violations
+    );
+    assert!(
+        baseline.result.rerequests > r.rerequests,
+        "fixed policy sent {} re-requests vs {} budgeted — the budget bound nothing",
+        baseline.result.rerequests,
+        r.rerequests
+    );
+}
+
+/// Every cell of the recovery matrix (stall + flap × both mechanisms ×
+/// fixed/backoff retries, TTL and degraded mode armed) passes every
+/// invariant, and a sabotaged TTL garbage collector is caught by the
+/// buffer-expiry invariant somewhere in the matrix.
+#[test]
+fn recovery_matrix_passes_and_its_ttl_self_test_has_teeth() {
+    let mut ttl_caught = 0;
+    for (label, scenario) in recovery_matrix() {
+        let report = run_scenario(&scenario, Sabotage::none());
+        assert!(
+            report.violations.is_empty(),
+            "cell {label} violated {:#?}\nreplay: cargo run --release --bin sdnlab \
+             -- chaos --replay '{}'",
+            report.violations,
+            scenario.to_spec()
+        );
+        let broken = run_scenario(&scenario, Sabotage::no_ttl_gc());
+        if broken
+            .violations
+            .iter()
+            .any(|v| v.invariant == "buffer-expiry")
+        {
+            ttl_caught += 1;
+        }
+    }
+    assert!(
+        ttl_caught > 0,
+        "no recovery-matrix cell caught the disabled TTL garbage collector"
+    );
 }
