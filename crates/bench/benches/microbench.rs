@@ -10,7 +10,9 @@ use sdnbuf_sim::{
     events, BitRate, ChannelDir, EventKind, EventSink, FaultPlan, FaultState, JsonlSink, LossModel,
     Nanos, Tracer, Window,
 };
-use sdnbuf_switchbuf::{BufferMechanism, FlowGranularityBuffer, PacketGranularityBuffer};
+use sdnbuf_switchbuf::{
+    BufferMechanism, FlowGranularityBuffer, PacketGranularityBuffer, PacketPool,
+};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
@@ -83,11 +85,17 @@ fn bench_buffers(c: &mut Criterion) {
     let pkt = PacketBuilder::udp().frame_size(1000).build();
     c.bench_function("packet_granularity_miss_release", |b| {
         b.iter_batched(
-            || PacketGranularityBuffer::new(256),
-            |mut buf| {
-                let action = buf.on_miss(Nanos::ZERO, pkt.clone(), PortNo(1));
+            || {
+                let mut pool = PacketPool::new();
+                let h = pool.insert(pkt.clone());
+                (PacketGranularityBuffer::new(256), pool, h)
+            },
+            |(mut buf, mut pool, h)| {
+                let action = buf.on_miss(Nanos::ZERO, h, PortNo(1), &pool);
                 if let sdnbuf_switchbuf::MissAction::SendBufferedPacketIn { buffer_id } = action {
-                    black_box(buf.release(Nanos::from_micros(1), buffer_id));
+                    for bp in black_box(buf.release(Nanos::from_micros(1), buffer_id)) {
+                        pool.release(bp.packet);
+                    }
                 }
             },
             BatchSize::SmallInput,
@@ -95,17 +103,27 @@ fn bench_buffers(c: &mut Criterion) {
     });
     c.bench_function("flow_granularity_20pkt_flow", |b| {
         b.iter_batched(
-            || FlowGranularityBuffer::new(256, Nanos::from_millis(50)),
-            |mut buf| {
+            || {
+                let mut pool = PacketPool::new();
+                let hs: Vec<_> = (0..20).map(|_| pool.insert(pkt.clone())).collect();
+                (
+                    FlowGranularityBuffer::new(256, Nanos::from_millis(50)),
+                    pool,
+                    hs,
+                )
+            },
+            |(mut buf, mut pool, hs)| {
                 let mut id = None;
-                for i in 0..20u64 {
+                for (i, h) in hs.into_iter().enumerate() {
                     if let sdnbuf_switchbuf::MissAction::SendBufferedPacketIn { buffer_id } =
-                        buf.on_miss(Nanos::from_micros(i), pkt.clone(), PortNo(1))
+                        buf.on_miss(Nanos::from_micros(i as u64), h, PortNo(1), &pool)
                     {
                         id = Some(buffer_id);
                     }
                 }
-                black_box(buf.release(Nanos::from_millis(1), id.unwrap()));
+                for bp in black_box(buf.release(Nanos::from_millis(1), id.unwrap())) {
+                    pool.release(bp.packet);
+                }
             },
             BatchSize::SmallInput,
         )
@@ -120,10 +138,12 @@ fn bench_buffers(c: &mut Criterion) {
 fn bench_timeout_probes(c: &mut Criterion) {
     let mut buf =
         FlowGranularityBuffer::new(2048, Nanos::from_millis(50)).with_ttl(Nanos::from_millis(500));
+    let mut pool = PacketPool::new();
     let mut deadlines = Vec::with_capacity(1000);
     for i in 0..1000u16 {
         let p = PacketBuilder::udp().src_port(i).frame_size(1000).build();
-        buf.on_miss(Nanos::from_micros(u64::from(i)), p, PortNo(1));
+        let h = pool.insert(p);
+        buf.on_miss(Nanos::from_micros(u64::from(i)), h, PortNo(1), &pool);
         deadlines.push(Nanos::from_micros(u64::from(i)) + Nanos::from_millis(50));
     }
     c.bench_function("flow_next_timeout_1000_flows", |b| {
@@ -133,7 +153,12 @@ fn bench_timeout_probes(c: &mut Criterion) {
         b.iter(|| black_box(&deadlines).iter().min().copied())
     });
     c.bench_function("flow_poll_timeouts_idle_1000_flows", |b| {
-        b.iter(|| black_box(buf.poll_timeouts(Nanos::from_micros(1_100)).is_empty()))
+        b.iter(|| {
+            black_box(
+                buf.poll_timeouts(Nanos::from_micros(1_100), &pool)
+                    .is_empty(),
+            )
+        })
     });
 }
 

@@ -19,7 +19,7 @@ use sdnbuf_core::{
     TestbedConfig, WorkloadKind,
 };
 use sdnbuf_metrics::Table;
-use sdnbuf_sim::{BitRate, Nanos};
+use sdnbuf_sim::{BitRate, FaultPlan, Nanos};
 
 /// Runs `reps` seeded repetitions of `make` on the executor and returns
 /// every result; metrics are then read out with [`RunResult::get`].
@@ -120,7 +120,7 @@ fn ablate_rerequest_timeout(reps: u64) {
             |rep| {
                 // One in 20 control messages is lost: requests do go missing.
                 let testbed = TestbedConfig {
-                    control_loss_one_in: Some(20),
+                    faults: FaultPlan::every_nth_loss(20),
                     ..TestbedConfig::default()
                 };
                 ExperimentConfig {

@@ -6,8 +6,8 @@ use sdnbuf_openflow::{
     msg::{FlowMod, FlowModCommand, PacketIn, PacketOut},
     Action, BufferId, Match, OfpMessage, PortNo, Wildcards,
 };
-use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
-use std::collections::{HashMap, VecDeque};
+use sdnbuf_sim::{Bus, CpuResource, EventKind, FastHashMap, Nanos, Tracer};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// A timed effect produced by the controller.
@@ -31,7 +31,7 @@ pub struct Controller {
     config: ControllerConfig,
     cpu: CpuResource,
     ingest: Bus,
-    mac_table: HashMap<MacAddr, PortNo>,
+    mac_table: FastHashMap<MacAddr, PortNo>,
     next_xid: u32,
     /// Learned from `features_reply` during the handshake.
     switch_features: Option<SwitchFeatures>,
@@ -75,18 +75,32 @@ impl std::fmt::Debug for Controller {
 
 impl Controller {
     /// Creates a controller from its configuration.
+    ///
+    /// # Panics
+    /// When [`ControllerConfig::validate`] rejects the configuration. See
+    /// [`Controller::try_new`] for the non-panicking form.
     pub fn new(config: ControllerConfig) -> Controller {
-        Controller {
+        match Controller::try_new(config) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid ControllerConfig: {e}"),
+        }
+    }
+
+    /// [`Controller::new`] with the validation error returned instead of
+    /// panicking — the single validation path for controller construction.
+    pub fn try_new(config: ControllerConfig) -> Result<Controller, String> {
+        config.validate()?;
+        Ok(Controller {
             cpu: CpuResource::new(config.cpu_cores),
             ingest: Bus::new(config.ingest_rate),
-            mac_table: HashMap::new(),
+            mac_table: FastHashMap::default(),
             next_xid: 0x8000_0000, // distinct from switch-allocated xids
             switch_features: None,
             backlog: VecDeque::new(),
             stats: ControllerStats::default(),
             tracer: Tracer::off(),
             config,
-        }
+        })
     }
 
     /// Attaches an event tracer, propagating it to the ingest pipe so the
@@ -326,7 +340,12 @@ impl Controller {
         self.cpu.submit(now, scaled.max(cost))
     }
 
-    fn handle_packet_in(&mut self, now: Nanos, pin: PacketIn, xid: u32) -> Vec<ControllerOutput> {
+    fn handle_packet_in(
+        &mut self,
+        now: Nanos,
+        mut pin: PacketIn,
+        xid: u32,
+    ) -> Vec<ControllerOutput> {
         self.stats.pkt_ins.incr();
         self.stats.pkt_in_bytes.add(pin.data.len() as u64);
         self.tracer.emit(
@@ -375,7 +394,9 @@ impl Controller {
         let out_data = if pin.buffer_id.is_buffered() {
             Vec::new()
         } else {
-            pin.data.clone()
+            // Unbuffered miss: the frame rides back inside the packet_out.
+            // `pin` is owned, so move the bytes instead of copying them.
+            std::mem::take(&mut pin.data)
         };
         match destination {
             Some(out_port) => {
@@ -522,6 +543,17 @@ mod tests {
             reason: PacketInReason::NoMatch,
             data,
         })
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(Controller::try_new(ControllerConfig::default()).is_ok());
+        let err = Controller::try_new(ControllerConfig {
+            cpu_cores: 0,
+            ..ControllerConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("CPU core"), "{err}");
     }
 
     fn seeded() -> Controller {

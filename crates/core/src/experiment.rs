@@ -161,14 +161,21 @@ impl Experiment {
     ///
     /// # Panics
     /// If the configuration is invalid — zero buffer capacity, a zero
-    /// frame size, an inconsistent fault plan, or the historical
-    /// `control_loss_one_in: Some(0)` footgun that used to divide by zero
-    /// mid-run.
+    /// frame size, or an inconsistent fault plan (e.g. an every-nth loss
+    /// of 0, which would divide by zero mid-run). See
+    /// [`Experiment::try_new`] for the non-panicking form.
     pub fn new(config: ExperimentConfig) -> Experiment {
-        if let Err(e) = config.validate() {
-            panic!("invalid ExperimentConfig: {e}");
+        match Experiment::try_new(config) {
+            Ok(exp) => exp,
+            Err(e) => panic!("invalid ExperimentConfig: {e}"),
         }
-        Experiment { config }
+    }
+
+    /// [`Experiment::new`] with the validation error returned instead of
+    /// panicking — the single validation path for experiment construction.
+    pub fn try_new(config: ExperimentConfig) -> Result<Experiment, String> {
+        config.validate()?;
+        Ok(Experiment { config })
     }
 
     /// The configuration.
@@ -326,15 +333,6 @@ impl SweepResult {
         self.index.get(key).map(|&i| &self.cells[i])
     }
 
-    /// The cell for (label, rate), if present. Thin string shim over
-    /// [`Self::cell_at`] for display-level code that only has a label;
-    /// prefer the keyed form everywhere else.
-    pub fn cell(&self, label: &str, rate_mbps: u64) -> Option<&SweepCell> {
-        self.cells
-            .iter()
-            .find(|c| c.label == label && c.rate_mbps == rate_mbps)
-    }
-
     /// Mean of `metric` over the repetitions of `key`, or `None` for an
     /// absent cell (never a silent `0.0`).
     pub fn mean(&self, key: &CellKey, metric: Metric) -> Option<f64> {
@@ -347,43 +345,28 @@ impl SweepResult {
             .map(|c| RunResult::mean_over(&c.runs, metric))
     }
 
-    /// Mean of `metric` over the repetitions of (label, rate).
-    ///
-    /// String shim kept for display-level code iterating [`Self::labels`];
-    /// an unknown label yields `0.0`, so prefer [`Self::mean`] when the
-    /// mechanism is known statically.
-    pub fn mean_at(&self, label: &str, rate_mbps: u64, metric: impl Fn(&RunResult) -> f64) -> f64 {
-        self.cell(label, rate_mbps)
-            .map_or(0.0, |c| RunResult::mean_over(&c.runs, metric))
-    }
-
     /// Mean of `metric` for a mechanism across the entire sweep (all
     /// rates, all repetitions) — how the paper reports "on average"
     /// numbers. `None` if the mechanism has no cells.
     pub fn sweep_mean_of(&self, mode: BufferMode, metric: Metric) -> Option<f64> {
+        self.sweep_mean_with(mode, |r| r.get(metric))
+    }
+
+    /// Closure form of [`Self::sweep_mean_of`], for custom metrics.
+    pub fn sweep_mean_with(
+        &self,
+        mode: BufferMode,
+        metric: impl Fn(&RunResult) -> f64 + Copy,
+    ) -> Option<f64> {
         let rates = self.rates();
         let means: Vec<f64> = rates
             .iter()
-            .filter_map(|&r| self.mean(&CellKey::new(mode, r), metric))
+            .filter_map(|&r| self.mean_with(&CellKey::new(mode, r), metric))
             .collect();
         if means.is_empty() {
             return None;
         }
         Some(means.iter().sum::<f64>() / means.len() as f64)
-    }
-
-    /// Label/closure form of [`Self::sweep_mean_of`] (string shim; unknown
-    /// labels yield `0.0`).
-    pub fn sweep_mean(&self, label: &str, metric: impl Fn(&RunResult) -> f64 + Copy) -> f64 {
-        let rates = self.rates();
-        if rates.is_empty() {
-            return 0.0;
-        }
-        rates
-            .iter()
-            .map(|&r| self.mean_at(label, r, metric))
-            .sum::<f64>()
-            / rates.len() as f64
     }
 }
 
@@ -726,6 +709,18 @@ impl RateSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdnbuf_sim::FaultPlan;
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(Experiment::try_new(ExperimentConfig::default()).is_ok());
+        let err = Experiment::try_new(ExperimentConfig {
+            buffer: BufferMode::PacketGranularity { capacity: 0 },
+            ..ExperimentConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+    }
 
     #[test]
     fn single_experiment_completes() {
@@ -758,13 +753,15 @@ mod tests {
         assert_eq!(result.cells().len(), 4);
         assert_eq!(result.labels(), vec!["no-buffer", "buffer-16"]);
         assert_eq!(result.rates(), vec![10, 20]);
-        let cell = result.cell("no-buffer", 10).unwrap();
-        assert_eq!(cell.runs.len(), 2);
-        // Keyed lookup agrees with the string shim.
         let key = CellKey::new(BufferMode::NoBuffer, 10);
+        let cell = result.cell_at(&key).unwrap();
+        assert_eq!(cell.runs.len(), 2);
         assert_eq!(result.cell_at(&key), Some(cell));
         assert_eq!(result.mean(&key, Metric::PacketsDelivered), Some(10.0));
-        assert!(result.mean_at("no-buffer", 10, |r| r.packets_delivered as f64) == 10.0);
+        assert_eq!(
+            result.mean_with(&key, |r| r.packets_delivered as f64),
+            Some(10.0)
+        );
     }
 
     #[test]
@@ -786,8 +783,11 @@ mod tests {
             ),
             None
         );
-        // The string shim keeps its historical silent-0.0 behaviour.
-        assert_eq!(result.mean_at("bogus", 10, |r| r.packets_sent as f64), 0.0);
+        assert_eq!(
+            result.mean_with(&bogus, |r| r.packets_sent as f64),
+            None,
+            "closure form is None for absent cells too, never a silent 0.0"
+        );
     }
 
     #[test]
@@ -800,13 +800,18 @@ mod tests {
             .base_seed(1)
             .build();
         let result = sweep.run();
-        let m = result.sweep_mean("no-buffer", |r| r.packets_sent as f64);
-        assert_eq!(m, 5.0);
+        let m = result.sweep_mean_with(BufferMode::NoBuffer, |r| r.packets_sent as f64);
+        assert_eq!(m, Some(5.0));
         assert_eq!(
             result.sweep_mean_of(BufferMode::NoBuffer, Metric::PacketsSent),
             Some(5.0)
         );
-        assert_eq!(result.sweep_mean("bogus", |r| r.packets_sent as f64), 0.0);
+        assert_eq!(
+            result.sweep_mean_with(BufferMode::PacketGranularity { capacity: 999 }, |r| r
+                .packets_sent
+                as f64),
+            None
+        );
     }
 
     #[test]
@@ -880,12 +885,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "control_loss_one_in")]
+    #[should_panic(expected = "every-nth loss requires n >= 2")]
     fn loss_of_zero_is_rejected_at_construction_not_mid_run() {
-        // Regression: `Some(0)` used to reach `ctrl_msg_seq % n` and
-        // divide by zero on the first control message.
+        // Regression: an every-nth loss of 0 used to reach
+        // `ctrl_msg_seq % n` and divide by zero on the first control
+        // message.
         let mut config = ExperimentConfig::default();
-        config.testbed.control_loss_one_in = Some(0);
+        config.testbed.faults = FaultPlan::every_nth_loss(0);
         let _ = Experiment::new(config);
     }
 
@@ -908,7 +914,7 @@ mod tests {
         };
         assert!(c.validate().is_err());
         let mut c = ExperimentConfig::default();
-        c.testbed.control_loss_one_in = Some(1);
+        c.testbed.faults = FaultPlan::every_nth_loss(1);
         assert!(c.validate().is_err(), "one-in-1 loss drops every message");
         let mut c = ExperimentConfig::default();
         c.testbed.faults.to_controller.duplicate = 1.5;

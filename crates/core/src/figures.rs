@@ -8,25 +8,31 @@
 //! reductions. `summary_claims` reproduces the paper's headline "on
 //! average" percentages side by side with the measured ones.
 
+use crate::experiment::CellKey;
 use crate::{BufferMode, Metric, RunResult, SweepResult};
 use sdnbuf_metrics::Table;
 
 /// Builds a rate-by-mechanism table of `metric`'s per-cell mean — the
-/// generic shape of every figure in the paper. Closure form; figures use
+/// generic shape of every figure in the paper. Closure form over the typed
+/// [`CellKey`] lookup (absent cells render as 0.0); figures use
 /// [`metric_table`] with a typed [`Metric`].
 pub fn metric_by_rate(
     sweep: &SweepResult,
     metric_name: &str,
     metric: impl Fn(&RunResult) -> f64 + Copy,
 ) -> Table {
-    let labels = sweep.labels();
+    let modes = sweep.modes();
     let mut headers = vec![format!("rate_mbps\\{metric_name}")];
-    headers.extend(labels.iter().cloned());
+    headers.extend(modes.iter().map(|m| m.label()));
     let mut table = Table::new(headers);
     for rate in sweep.rates() {
-        let values: Vec<f64> = labels
+        let values: Vec<f64> = modes
             .iter()
-            .map(|l| sweep.mean_at(l, rate, metric))
+            .map(|&m| {
+                sweep
+                    .mean_with(&CellKey::new(m, rate), metric)
+                    .unwrap_or(0.0)
+            })
             .collect();
         table.row_f64(rate.to_string(), &values, 3);
     }
@@ -100,16 +106,16 @@ pub fn reduction(sweep: &SweepResult, from: BufferMode, to: BufferMode, metric: 
     100.0 * (1.0 - new / base)
 }
 
-/// Closure/label form of [`reduction`] for custom metrics; unknown labels
-/// behave as zero.
+/// Closure form of [`reduction`] for custom metrics; mechanisms absent
+/// from the sweep behave as zero.
 pub fn reduction_percent(
     sweep: &SweepResult,
-    from: &str,
-    to: &str,
+    from: BufferMode,
+    to: BufferMode,
     metric: impl Fn(&RunResult) -> f64 + Copy,
 ) -> f64 {
-    let base = sweep.sweep_mean(from, metric);
-    let new = sweep.sweep_mean(to, metric);
+    let base = sweep.sweep_mean_with(from, metric).unwrap_or(0.0);
+    let new = sweep.sweep_mean_with(to, metric).unwrap_or(0.0);
     if base <= 0.0 {
         return 0.0;
     }
@@ -258,9 +264,12 @@ mod tests {
             Metric::ControlPathLoadUp,
         );
         assert!(cut > 50.0, "expected a large cut, got {cut:.1}%");
-        let closure_cut = reduction_percent(&sweep, "no-buffer", "buffer-256", |r| {
-            r.ctrl_load_to_controller_mbps
-        });
+        let closure_cut = reduction_percent(
+            &sweep,
+            BufferMode::NoBuffer,
+            BufferMode::PacketGranularity { capacity: 256 },
+            |r| r.ctrl_load_to_controller_mbps,
+        );
         assert_eq!(cut, closure_cut);
     }
 
@@ -268,7 +277,12 @@ mod tests {
     fn reduction_percent_handles_zero_base() {
         let sweep = SweepResult::default();
         assert_eq!(
-            reduction_percent(&sweep, "a", "b", |r| r.pkt_in_count as f64),
+            reduction_percent(
+                &sweep,
+                BufferMode::NoBuffer,
+                BufferMode::NoBuffer,
+                |r| r.pkt_in_count as f64
+            ),
             0.0
         );
         assert_eq!(

@@ -87,6 +87,10 @@ pub struct RunResult {
     pub packets_dropped: u64,
     /// Control messages dropped on the control channel.
     pub ctrl_drops: u64,
+    /// Simulator events dispatched by the run's event loop — the
+    /// denominator-free throughput figure the perf harness divides by
+    /// wall-clock time (events/sec).
+    pub events_dispatched: u64,
     /// Flows all of whose packets were delivered.
     pub flows_completed: usize,
     /// Total flows in the workload.

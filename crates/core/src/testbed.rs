@@ -8,10 +8,10 @@ use sdnbuf_metrics::ByteMeter;
 use sdnbuf_net::{FlowKey, Packet, PacketBuilder, Payload};
 use sdnbuf_openflow::{OfpMessage, PortNo};
 use sdnbuf_sim::{
-    ChannelDir, EventKind, EventQueue, FaultPlan, FaultState, Link, LinkConfig, LossModel,
-    MultiQueueLink, Nanos, QueueConfig, Tracer,
+    ChannelDir, EventKind, EventQueue, FastHashMap, FaultPlan, FaultState, Link, LinkConfig,
+    MultiQueueLink, Nanos, Pool, PoolHandle, QueueConfig, Tracer,
 };
-use sdnbuf_switch::{Switch, SwitchConfig, SwitchOutput};
+use sdnbuf_switch::{PacketHandle, PacketPool, Switch, SwitchConfig, SwitchOutput};
 use sdnbuf_workload::{Departure, HostAddr};
 use std::collections::HashMap;
 
@@ -29,12 +29,6 @@ pub struct TestbedConfig {
     pub control_link: LinkConfig,
     /// Idle time between the ARP warm-up and the first data departure.
     pub warmup_gap: Nanos,
-    /// **Deprecated shim** — the original single fault knob: drop every
-    /// Nth message on the control channel. `Some(n)` maps onto
-    /// [`TestbedConfig::faults`] as every-Nth loss in both directions
-    /// (counted per direction); an explicit loss model in `faults` takes
-    /// precedence. Prefer configuring [`FaultPlan`] directly.
-    pub control_loss_one_in: Option<u64>,
     /// The composable fault-injection plan: per-direction control-channel
     /// loss / delay / jitter / duplication / reordering, controller
     /// stalls, data-link flaps, and buffer-pressure windows. Defaults to
@@ -103,7 +97,6 @@ impl Default for TestbedConfig {
                 queue_capacity_bytes: 512 * 1024,
             },
             warmup_gap: Nanos::from_millis(50),
-            control_loss_one_in: None,
             faults: FaultPlan::default(),
             egress_queues: None,
             keepalive_interval: None,
@@ -121,21 +114,11 @@ impl TestbedConfig {
         cfg
     }
 
-    /// The fault plan the testbed will actually execute: [`Self::faults`]
-    /// with the deprecated `control_loss_one_in` shim folded in (every-Nth
-    /// loss on both directions, unless the plan already sets a loss model
-    /// for that direction).
+    /// The fault plan the testbed will execute — [`Self::faults`], the
+    /// only loss-injection API since the `control_loss_one_in` shim was
+    /// retired. Kept for callers that want the plan the run resolved to.
     pub fn effective_faults(&self) -> FaultPlan {
-        let mut plan = self.faults.clone();
-        if let Some(n) = self.control_loss_one_in {
-            if plan.to_controller.loss == LossModel::None {
-                plan.to_controller.loss = LossModel::EveryNth(n);
-            }
-            if plan.to_switch.loss == LossModel::None {
-                plan.to_switch.loss = LossModel::EveryNth(n);
-            }
-        }
-        plan
+        self.faults.clone()
     }
 
     /// Checks the whole testbed configuration — switch, controller, links,
@@ -148,17 +131,7 @@ impl TestbedConfig {
         self.controller
             .validate()
             .map_err(|e| format!("controller: {e}"))?;
-        if let Some(n) = self.control_loss_one_in {
-            if n < 2 {
-                return Err(format!(
-                    "control_loss_one_in must be >= 2 (got {n}: 0 would \
-                     divide by zero and 1 drops every message)"
-                ));
-            }
-        }
-        self.effective_faults()
-            .validate()
-            .map_err(|e| format!("faults: {e}"))?;
+        self.faults.validate().map_err(|e| format!("faults: {e}"))?;
         Ok(())
     }
 }
@@ -186,33 +159,54 @@ struct PacketTimes {
     seq_in_flow: usize,
 }
 
+/// Handle into the testbed's control-message pool.
+type MsgHandle = PoolHandle;
+
+/// Events carry 8-byte pool handles, not owned payloads: the packet (or
+/// control message) lives once in the testbed's slab pool and every event,
+/// link, and switch stage passes the same handle around. Fan-out (floods,
+/// fault-injected duplicates) retains extra pool references instead of
+/// cloning frames.
 #[derive(Debug)]
 enum Event {
     /// A frame leaves a host NIC (1 or 2).
-    FrameFromHost { host: u16, packet: Packet },
+    FrameFromHost { host: u16, packet: PacketHandle },
     /// A frame arrives at the switch from a data link.
-    FrameAtSwitch { in_port: PortNo, packet: Packet },
+    FrameAtSwitch {
+        in_port: PortNo,
+        packet: PacketHandle,
+    },
     /// The switch finishes emitting a frame on a data port.
     EgressAtSwitch {
         port: PortNo,
         queue: Option<u32>,
-        packet: Packet,
+        packet: PacketHandle,
+    },
+    /// The switch finishes emitting several frames at the same instant
+    /// (a flood, or a flow-granularity bulk release): the consecutive
+    /// [`SwitchOutput::Forward`]s are coalesced into one event, cutting
+    /// scheduler traffic on the hottest dispatch path. Ordering is
+    /// preserved because the coalesced outputs carried consecutive
+    /// sequence numbers at an identical timestamp — nothing could have
+    /// interleaved between them.
+    EgressBatch {
+        frames: Vec<(PortNo, Option<u32>, PacketHandle)>,
     },
     /// A frame arrives at a host.
     FrameAtHost {
         /// Receiving host (kept for trace readability in Debug output).
         #[allow(dead_code)]
         host: u16,
-        packet: Packet,
+        packet: PacketHandle,
     },
     /// The switch finishes emitting a control message.
-    CtrlFromSwitch { xid: u32, msg: OfpMessage },
+    CtrlFromSwitch { xid: u32, msg: MsgHandle },
     /// A control message arrives at the controller.
-    CtrlAtController { xid: u32, msg: OfpMessage },
+    CtrlAtController { xid: u32, msg: MsgHandle },
     /// The controller finishes emitting a control message.
-    CtrlFromController { xid: u32, msg: OfpMessage },
+    CtrlFromController { xid: u32, msg: MsgHandle },
     /// A control message arrives at the switch.
-    CtrlAtSwitch { xid: u32, msg: OfpMessage },
+    CtrlAtSwitch { xid: u32, msg: MsgHandle },
     /// The switch's timer (table expiry / buffer re-request) fires.
     SwitchTimer,
     /// The controller originates a liveness echo.
@@ -276,6 +270,11 @@ pub struct Testbed {
     switch: Switch,
     controller: Controller,
     queue: EventQueue<Event>,
+    /// Slab pool every in-flight data packet lives in; events and switch
+    /// stages exchange [`PacketHandle`]s.
+    pool: PacketPool,
+    /// Slab pool for in-flight control messages.
+    msgs: Pool<OfpMessage>,
     // Links (unidirectional).
     host1_to_sw: Link,
     host2_to_sw: Link,
@@ -295,13 +294,14 @@ pub struct Testbed {
     trace: TraceLog,
     tracer: Tracer,
     // Measurement state.
-    records: HashMap<PacketId, PacketTimes>,
-    pkt_in_sent: HashMap<u32, (Nanos, Option<FlowKey>)>,
-    controller_delay_of_flow: HashMap<FlowKey, Nanos>,
+    records: FastHashMap<PacketId, PacketTimes>,
+    pkt_in_sent: FastHashMap<u32, (Nanos, Option<FlowKey>)>,
+    controller_delay_of_flow: FastHashMap<FlowKey, Nanos>,
     controller_delays_ms: Vec<f64>,
     pkt_in_count: u64,
     flow_mod_count: u64,
     pkt_out_count: u64,
+    events_dispatched: u64,
     timer_armed: Option<Nanos>,
     clock_end: Nanos,
     data_start: Nanos,
@@ -313,22 +313,31 @@ impl Testbed {
     /// # Panics
     ///
     /// Panics when [`TestbedConfig::validate`] rejects the configuration
-    /// (zero capacities, `control_loss_one_in` below 2, an inconsistent
-    /// fault plan, …).
+    /// (zero capacities, an inconsistent fault plan, …). See
+    /// [`Testbed::try_new`] for the non-panicking form.
     pub fn new(config: TestbedConfig) -> Testbed {
-        if let Err(e) = config.validate() {
-            panic!("invalid TestbedConfig: {e}");
+        match Testbed::try_new(config) {
+            Ok(tb) => tb,
+            Err(e) => panic!("invalid TestbedConfig: {e}"),
         }
+    }
+
+    /// [`Testbed::new`] with the validation error returned instead of
+    /// panicking — the single validation path for testbed construction.
+    pub fn try_new(config: TestbedConfig) -> Result<Testbed, String> {
+        config.validate()?;
         let egress = |data_link: LinkConfig| match &config.egress_queues {
             None => EgressLink::Fifo(Link::new(data_link)),
             Some(queues) => {
                 EgressLink::Qos(MultiQueueLink::new(queues.clone(), data_link.propagation))
             }
         };
-        Testbed {
+        Ok(Testbed {
             switch: Switch::new(config.switch),
             controller: Controller::new(config.controller),
             queue: EventQueue::new(),
+            pool: PacketPool::new(),
+            msgs: Pool::new(),
             host1_to_sw: Link::new(config.data_link),
             host2_to_sw: Link::new(config.data_link),
             sw_to_host1: egress(config.data_link),
@@ -343,18 +352,19 @@ impl Testbed {
             pressure_on: false,
             trace: TraceLog::new(config.trace_capacity),
             tracer: Tracer::off(),
-            records: HashMap::new(),
-            pkt_in_sent: HashMap::new(),
-            controller_delay_of_flow: HashMap::new(),
+            records: FastHashMap::default(),
+            pkt_in_sent: FastHashMap::default(),
+            controller_delay_of_flow: FastHashMap::default(),
             controller_delays_ms: Vec::new(),
             pkt_in_count: 0,
             flow_mod_count: 0,
             pkt_out_count: 0,
+            events_dispatched: 0,
             timer_armed: None,
             clock_end: Nanos::ZERO,
             data_start: Nanos::ZERO,
             config,
-        }
+        })
     }
 
     /// The switch model (for inspection after a run).
@@ -367,10 +377,23 @@ impl Testbed {
         &self.controller
     }
 
-    /// Mutable access to the switch, for advanced setups that pre-install
-    /// rules (e.g. proactive QoS classification) before [`Testbed::run`].
+    /// Mutable access to the switch, for advanced setups that inspect or
+    /// tweak it before [`Testbed::run`]. To hand the switch a control
+    /// message directly, use [`Testbed::inject_controller_msg`] — the
+    /// switch's own handlers need the testbed's packet pool.
     pub fn switch_mut(&mut self) -> &mut Switch {
         &mut self.switch
+    }
+
+    /// Hands a control message straight to the switch, bypassing the
+    /// control channel — for setups that pre-install rules (e.g.
+    /// proactive QoS classification) before [`Testbed::run`]. Any timed
+    /// outputs the message produces are scheduled into the event loop.
+    pub fn inject_controller_msg(&mut self, now: Nanos, msg: OfpMessage, xid: u32) {
+        let outputs = self
+            .switch
+            .handle_controller_msg(now, msg, xid, &mut self.pool);
+        self.process_switch_outputs(outputs, None);
     }
 
     /// The control-channel trace (empty unless `trace_capacity` was set).
@@ -425,6 +448,7 @@ impl Testbed {
             .controller
             .initiate_handshake(Nanos::ZERO, self.config.switch.miss_send_len);
         for ControllerOutput::ToSwitch { at, xid, msg } in handshake {
+            let msg = self.msgs.insert(msg);
             self.queue
                 .schedule(at, Event::CtrlFromController { xid, msg });
         }
@@ -436,18 +460,24 @@ impl Testbed {
         // where hosts ARP before pktgen starts).
         let h1 = HostAddr::host1();
         let h2 = HostAddr::host2();
+        let arp1 = self
+            .pool
+            .insert(PacketBuilder::gratuitous_arp(h1.mac, h1.ip));
         self.queue.schedule(
             Nanos::ZERO,
             Event::FrameFromHost {
                 host: 1,
-                packet: PacketBuilder::gratuitous_arp(h1.mac, h1.ip),
+                packet: arp1,
             },
         );
+        let arp2 = self
+            .pool
+            .insert(PacketBuilder::gratuitous_arp(h2.mac, h2.ip));
         self.queue.schedule(
             Nanos::from_millis(1),
             Event::FrameFromHost {
                 host: 2,
-                packet: PacketBuilder::gratuitous_arp(h2.mac, h2.ip),
+                packet: arp2,
             },
         );
 
@@ -467,13 +497,11 @@ impl Testbed {
                 );
             }
             flows_total = flows_total.max(d.flow_index + 1);
-            self.queue.schedule(
-                shift + d.at,
-                Event::FrameFromHost {
-                    host: 1,
-                    packet: d.packet.clone(),
-                },
-            );
+            // The only copy made of a workload packet: into the pool, once,
+            // at schedule time. Everything downstream passes the handle.
+            let packet = self.pool.insert(d.packet.clone());
+            self.queue
+                .schedule(shift + d.at, Event::FrameFromHost { host: 1, packet });
         }
 
         // Pre-schedule controller-originated probes across the run window
@@ -497,6 +525,7 @@ impl Testbed {
 
         while let Some((now, event)) = self.queue.pop() {
             self.clock_end = self.clock_end.max(now);
+            self.events_dispatched += 1;
             self.dispatch(now, event);
         }
         self.collect(departures.len() as u64, flows_total)
@@ -505,9 +534,10 @@ impl Testbed {
     fn dispatch(&mut self, now: Nanos, event: Event) {
         match event {
             Event::FrameFromHost { host, packet } => {
-                let len = packet.wire_len();
+                let len = self.pool.get(packet).expect("live frame handle").wire_len();
                 if self.faults.data_link_down(now) {
                     self.data_drops += 1;
+                    self.pool.release(packet);
                     self.tracer.emit(
                         now,
                         EventKind::LinkDrop {
@@ -530,11 +560,18 @@ impl Testbed {
                             packet,
                         },
                     ),
-                    None => self.data_drops += 1,
+                    None => {
+                        self.data_drops += 1;
+                        self.pool.release(packet);
+                    }
                 }
             }
             Event::FrameAtSwitch { in_port, packet } => {
-                if let Some(id) = packet_id(&packet) {
+                let (id, flow) = {
+                    let pk = self.pool.get(packet).expect("live frame handle");
+                    (packet_id(pk), FlowKey::of(pk))
+                };
+                if let Some(id) = id {
                     if let Some(rec) = self.records.get_mut(&id) {
                         rec.entered_switch.get_or_insert(now);
                     }
@@ -544,8 +581,9 @@ impl Testbed {
                     self.pressure_on = pressure;
                     self.switch.set_buffer_pressure(pressure);
                 }
-                let flow = FlowKey::of(&packet);
-                let outputs = self.switch.handle_frame(now, in_port, packet);
+                let outputs = self
+                    .switch
+                    .handle_frame(now, in_port, packet, &mut self.pool);
                 self.process_switch_outputs(outputs, flow);
                 self.arm_timer();
             }
@@ -554,49 +592,37 @@ impl Testbed {
                 queue,
                 packet,
             } => {
-                let len = packet.wire_len();
-                if let Some(id) = packet_id(&packet) {
-                    if let Some(rec) = self.records.get_mut(&id) {
-                        rec.left_switch.get_or_insert(now);
-                    }
-                }
-                let (link, host) = match port {
-                    PortNo(1) => (&mut self.sw_to_host1, 1),
-                    PortNo(2) => (&mut self.sw_to_host2, 2),
-                    other => {
-                        debug_assert!(false, "egress on unknown port {other}");
-                        return;
-                    }
-                };
-                if self.faults.data_link_down(now) {
-                    self.data_drops += 1;
-                    self.tracer.emit(
-                        now,
-                        EventKind::LinkDrop {
-                            link: if host == 1 { "sw->h1" } else { "sw->h2" },
-                            bytes: len,
-                        },
-                    );
-                    return;
-                }
-                match link.enqueue(now, queue, len) {
-                    Some(arrival) => self
-                        .queue
-                        .schedule(arrival, Event::FrameAtHost { host, packet }),
-                    None => self.data_drops += 1,
+                self.egress_frame(now, port, queue, packet);
+            }
+            Event::EgressBatch { frames } => {
+                // Frames in a batch left the switch at the same instant and
+                // were adjacent in the event order; handling them in
+                // sequence is observably identical to one event each.
+                for (port, queue, packet) in frames {
+                    self.egress_frame(now, port, queue, packet);
                 }
             }
             Event::FrameAtHost { packet, .. } => {
-                if let Some(id) = packet_id(&packet) {
+                let id = self.pool.get(packet).and_then(packet_id);
+                if let Some(id) = id {
                     if let Some(rec) = self.records.get_mut(&id) {
                         rec.delivered.get_or_insert(now);
                     }
                 }
+                // End of the packet's life: drop the last pool reference.
+                self.pool.release(packet);
             }
             Event::CtrlFromSwitch { xid, msg } => {
-                let len = msg.wire_len();
-                let label = MsgDesc::of(&msg).label();
-                self.trace.record(now, Direction::ToController, xid, &msg);
+                let (len, label) = {
+                    let m = self.msgs.get(msg).expect("live ctrl msg handle");
+                    (m.wire_len(), MsgDesc::of(m).label())
+                };
+                self.trace.record(
+                    now,
+                    Direction::ToController,
+                    xid,
+                    self.msgs.get(msg).expect("live ctrl msg handle"),
+                );
                 if now >= self.data_start {
                     // Metered before the fault plane, like a capture tap on
                     // the sender's NIC: dropped messages were still sent.
@@ -605,6 +631,7 @@ impl Testbed {
                 let effect = self.faults.ctrl_effect(now, ChannelDir::ToController);
                 if effect.dropped {
                     self.ctrl_drops += 1;
+                    self.msgs.release(msg);
                     self.tracer.emit(
                         now,
                         EventKind::CtrlDrop {
@@ -642,13 +669,11 @@ impl Testbed {
                                         arrive: dup_arrival,
                                     },
                                 );
-                                self.queue.schedule(
-                                    dup_arrival,
-                                    Event::CtrlAtController {
-                                        xid,
-                                        msg: msg.clone(),
-                                    },
-                                );
+                                // The duplicate shares the original's pool
+                                // entry: one more reference, no clone.
+                                self.msgs.retain(msg);
+                                self.queue
+                                    .schedule(dup_arrival, Event::CtrlAtController { xid, msg });
                             }
                         }
                         self.queue
@@ -664,6 +689,7 @@ impl Testbed {
                                 label,
                             },
                         );
+                        self.msgs.release(msg);
                         self.ctrl_drops += 1
                     }
                 }
@@ -677,6 +703,10 @@ impl Testbed {
                         .schedule(resume, Event::CtrlAtController { xid, msg });
                     return;
                 }
+                // `take` moves the message out when this is the only
+                // reference and clones only when a fault-injected duplicate
+                // still shares the entry.
+                let msg = self.msgs.take(msg).expect("live ctrl msg handle");
                 let outputs = self.controller.handle_message(now, msg, xid);
                 for ControllerOutput::ToSwitch { at, xid, msg } in outputs {
                     if now >= self.data_start {
@@ -686,20 +716,29 @@ impl Testbed {
                             _ => {}
                         }
                     }
+                    let msg = self.msgs.insert(msg);
                     self.queue
                         .schedule(at, Event::CtrlFromController { xid, msg });
                 }
             }
             Event::CtrlFromController { xid, msg } => {
-                let len = msg.wire_len();
-                let label = MsgDesc::of(&msg).label();
-                self.trace.record(now, Direction::ToSwitch, xid, &msg);
+                let (len, label) = {
+                    let m = self.msgs.get(msg).expect("live ctrl msg handle");
+                    (m.wire_len(), MsgDesc::of(m).label())
+                };
+                self.trace.record(
+                    now,
+                    Direction::ToSwitch,
+                    xid,
+                    self.msgs.get(msg).expect("live ctrl msg handle"),
+                );
                 if now >= self.data_start {
                     self.meter_to_switch.record(now, len);
                 }
                 let effect = self.faults.ctrl_effect(now, ChannelDir::ToSwitch);
                 if effect.dropped {
                     self.ctrl_drops += 1;
+                    self.msgs.release(msg);
                     self.tracer.emit(
                         now,
                         EventKind::CtrlDrop {
@@ -737,13 +776,9 @@ impl Testbed {
                                         arrive: dup_arrival,
                                     },
                                 );
-                                self.queue.schedule(
-                                    dup_arrival,
-                                    Event::CtrlAtSwitch {
-                                        xid,
-                                        msg: msg.clone(),
-                                    },
-                                );
+                                self.msgs.retain(msg);
+                                self.queue
+                                    .schedule(dup_arrival, Event::CtrlAtSwitch { xid, msg });
                             }
                         }
                         self.queue
@@ -759,6 +794,7 @@ impl Testbed {
                                 label,
                             },
                         );
+                        self.msgs.release(msg);
                         self.ctrl_drops += 1
                     }
                 }
@@ -774,7 +810,10 @@ impl Testbed {
                         self.controller_delay_of_flow.entry(flow).or_insert(delay);
                     }
                 }
-                let outputs = self.switch.handle_controller_msg(now, msg, xid);
+                let msg = self.msgs.take(msg).expect("live ctrl msg handle");
+                let outputs = self
+                    .switch
+                    .handle_controller_msg(now, msg, xid, &mut self.pool);
                 self.process_switch_outputs(outputs, None);
                 self.arm_timer();
             }
@@ -783,19 +822,21 @@ impl Testbed {
                     self.timer_armed = None;
                 }
                 if self.switch.next_timer().is_some_and(|t| t <= now) {
-                    let outputs = self.switch.on_timer(now);
+                    let outputs = self.switch.on_timer(now, &mut self.pool);
                     self.process_switch_outputs(outputs, None);
                 }
                 self.arm_timer();
             }
             Event::ControllerKeepalive => {
                 let ControllerOutput::ToSwitch { at, xid, msg } = self.controller.keepalive(now);
+                let msg = self.msgs.insert(msg);
                 self.queue
                     .schedule(at, Event::CtrlFromController { xid, msg });
             }
             Event::ControllerStatsPoll => {
                 let ControllerOutput::ToSwitch { at, xid, msg } =
                     self.controller.poll_flow_stats(now);
+                let msg = self.msgs.insert(msg);
                 self.queue
                     .schedule(at, Event::CtrlFromController { xid, msg });
             }
@@ -812,7 +853,8 @@ impl Testbed {
         outputs: Vec<SwitchOutput>,
         originating_flow: Option<FlowKey>,
     ) {
-        for output in outputs {
+        let mut outputs = outputs.into_iter().peekable();
+        while let Some(output) = outputs.next() {
             match output {
                 SwitchOutput::Forward {
                     at,
@@ -820,14 +862,37 @@ impl Testbed {
                     queue,
                     packet,
                 } => {
-                    self.queue.schedule(
-                        at,
-                        Event::EgressAtSwitch {
-                            port,
-                            queue,
-                            packet,
-                        },
-                    );
+                    // Coalesce a run of Forwards sharing one departure
+                    // instant (a flood, a bulk flow release) into a single
+                    // scheduled event. The coalesced outputs would have
+                    // received consecutive sequence numbers at the same
+                    // timestamp, so no other event could pop between them:
+                    // batch dispatch is order-identical to one event each.
+                    let same_instant = |o: &SwitchOutput| matches!(o, SwitchOutput::Forward { at: next, .. } if *next == at);
+                    if outputs.peek().is_some_and(same_instant) {
+                        let mut frames = vec![(port, queue, packet)];
+                        while outputs.peek().is_some_and(same_instant) {
+                            if let Some(SwitchOutput::Forward {
+                                port,
+                                queue,
+                                packet,
+                                ..
+                            }) = outputs.next()
+                            {
+                                frames.push((port, queue, packet));
+                            }
+                        }
+                        self.queue.schedule(at, Event::EgressBatch { frames });
+                    } else {
+                        self.queue.schedule(
+                            at,
+                            Event::EgressAtSwitch {
+                                port,
+                                queue,
+                                packet,
+                            },
+                        );
+                    }
                 }
                 SwitchOutput::ToController { at, xid, msg } => {
                     // The warm-up ARPs are plumbing, not measurement
@@ -844,11 +909,61 @@ impl Testbed {
                             self.pkt_in_sent.insert(xid, (at, flow));
                         }
                     }
+                    let msg = self.msgs.insert(msg);
                     self.queue.schedule(at, Event::CtrlFromSwitch { xid, msg });
                 }
-                SwitchOutput::Drop { .. } => {
+                SwitchOutput::Drop { packet } => {
                     self.data_drops += 1;
+                    if let Some(packet) = packet {
+                        self.pool.release(packet);
+                    }
                 }
+            }
+        }
+    }
+
+    /// One frame leaving a switch data port: record it, run the data-link
+    /// fault plane, and put it on the egress link. Shared by the single
+    /// [`Event::EgressAtSwitch`] path and the coalesced
+    /// [`Event::EgressBatch`] path.
+    fn egress_frame(&mut self, now: Nanos, port: PortNo, queue: Option<u32>, packet: PacketHandle) {
+        let (len, id) = {
+            let pk = self.pool.get(packet).expect("live frame handle");
+            (pk.wire_len(), packet_id(pk))
+        };
+        if let Some(id) = id {
+            if let Some(rec) = self.records.get_mut(&id) {
+                rec.left_switch.get_or_insert(now);
+            }
+        }
+        let (link, host) = match port {
+            PortNo(1) => (&mut self.sw_to_host1, 1),
+            PortNo(2) => (&mut self.sw_to_host2, 2),
+            other => {
+                debug_assert!(false, "egress on unknown port {other}");
+                self.pool.release(packet);
+                return;
+            }
+        };
+        if self.faults.data_link_down(now) {
+            self.data_drops += 1;
+            self.pool.release(packet);
+            self.tracer.emit(
+                now,
+                EventKind::LinkDrop {
+                    link: if host == 1 { "sw->h1" } else { "sw->h2" },
+                    bytes: len,
+                },
+            );
+            return;
+        }
+        match link.enqueue(now, queue, len) {
+            Some(arrival) => self
+                .queue
+                .schedule(arrival, Event::FrameAtHost { host, packet }),
+            None => {
+                self.data_drops += 1;
+                self.pool.release(packet);
             }
         }
     }
@@ -967,6 +1082,7 @@ impl Testbed {
             packets_delivered: delivered,
             packets_dropped: self.data_drops,
             ctrl_drops: self.ctrl_drops,
+            events_dispatched: self.events_dispatched,
             flows_completed,
             flows_total,
         }
@@ -994,6 +1110,18 @@ mod tests {
     fn run_with(buffer: BufferChoice, rate: u64, n: usize) -> RunResult {
         let mut tb = Testbed::new(TestbedConfig::with_buffer(buffer));
         tb.run(&small_workload(rate, n))
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(Testbed::try_new(TestbedConfig::default()).is_ok());
+        let err = match Testbed::try_new(TestbedConfig::with_buffer(
+            BufferChoice::PacketGranularity { capacity: 0 },
+        )) {
+            Ok(_) => panic!("zero capacity must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("capacity"), "{err}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::FlowRule;
 use sdnbuf_openflow::{msg::FlowRemovedReason, Match, MatchView};
-use sdnbuf_sim::Nanos;
+use sdnbuf_sim::{FastHashMap, Nanos};
 
 /// What the table does when an insert arrives while full.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,9 +67,48 @@ pub struct RemovedRule {
 pub struct FlowTable {
     capacity: usize,
     policy: EvictionPolicy,
-    rules: Vec<FlowRule>,
+    /// Rule storage in insertion order. Removal leaves a tombstone
+    /// (`None`) so the index positions of every other rule stay valid —
+    /// expiry storms would otherwise force a full index rebuild per
+    /// sweep. Tombstones are compacted away once they outnumber live
+    /// rules (amortized O(1) per removal); compaction preserves relative
+    /// order, so position comparisons keep encoding insertion order.
+    rules: Vec<Option<FlowRule>>,
+    /// Number of live (non-tombstone) rules.
+    live: usize,
+    /// Index into `rules` of the first exact-match rule per concrete
+    /// field tuple. An exact rule matches a packet iff the packet's
+    /// [`MatchView`] equals the rule's — so lookup is one hash probe
+    /// instead of a scan. Single-slot on purpose: a second exact rule
+    /// with the same fields (different priority) is legal but rare, and
+    /// goes to `exact_dups` instead of allocating per-key buckets.
+    exact: FastHashMap<MatchView, usize>,
+    /// Exact rules whose field tuple already had an index entry; scanned
+    /// like `wild` and empty in practice. Unordered.
+    exact_dups: Vec<usize>,
+    /// Indices into `rules` of rules with at least one wildcarded field,
+    /// unordered. These still need a matches() scan, but reactive tables
+    /// hold at most a handful (table-miss, ARP, flow-key rules).
+    wild: Vec<usize>,
     lookups: u64,
     hits: u64,
+}
+
+/// The concrete field tuple of an exact-match rule — the packet view it
+/// (and only it) matches.
+fn exact_key(m: &Match) -> MatchView {
+    MatchView {
+        in_port: m.in_port,
+        dl_src: m.dl_src,
+        dl_dst: m.dl_dst,
+        dl_type: m.dl_type,
+        nw_src: u32::from(m.nw_src),
+        nw_dst: u32::from(m.nw_dst),
+        nw_tos: m.nw_tos,
+        nw_proto: m.nw_proto,
+        tp_src: m.tp_src,
+        tp_dst: m.tp_dst,
+    }
 }
 
 impl FlowTable {
@@ -94,6 +133,10 @@ impl FlowTable {
             capacity,
             policy,
             rules: Vec::new(),
+            live: 0,
+            exact: FastHashMap::default(),
+            exact_dups: Vec::new(),
+            wild: Vec::new(),
             lookups: 0,
             hits: 0,
         }
@@ -101,12 +144,12 @@ impl FlowTable {
 
     /// Number of installed rules.
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.live
     }
 
     /// `true` when no rules are installed.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.live == 0
     }
 
     /// Maximum number of rules.
@@ -116,7 +159,7 @@ impl FlowTable {
 
     /// `true` when at capacity.
     pub fn is_full(&self) -> bool {
-        self.rules.len() >= self.capacity
+        self.live >= self.capacity
     }
 
     /// Total lookups performed.
@@ -131,7 +174,7 @@ impl FlowTable {
 
     /// Iterates over installed rules in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &FlowRule> {
-        self.rules.iter()
+        self.rules.iter().flatten()
     }
 
     /// Installs `rule` at time `now`.
@@ -143,11 +186,27 @@ impl FlowTable {
     pub fn insert(&mut self, now: Nanos, mut rule: FlowRule) -> InsertOutcome {
         rule.installed_at = now;
         rule.last_hit = now;
-        if let Some(existing) = self
-            .rules
-            .iter_mut()
-            .find(|r| r.match_fields == rule.match_fields && r.priority == rule.priority)
-        {
+        // Identical wildcards are part of Match equality, so a duplicate of
+        // an exact rule can only live in its exact bucket and a duplicate
+        // of a wildcard rule only in the wild list.
+        let duplicate = if rule.match_fields.is_exact() {
+            self.exact
+                .get(&exact_key(&rule.match_fields))
+                .copied()
+                .into_iter()
+                .chain(self.exact_dups.iter().copied())
+                .find(|&i| {
+                    let r = self.rule(i);
+                    r.match_fields == rule.match_fields && r.priority == rule.priority
+                })
+        } else {
+            self.wild.iter().copied().find(|&i| {
+                let r = self.rule(i);
+                r.match_fields == rule.match_fields && r.priority == rule.priority
+            })
+        };
+        if let Some(i) = duplicate {
+            let existing = self.rules[i].as_mut().expect("indexed slot is live");
             // Re-adding an identical rule must not make it stop matching
             // while the new install is processed: keep the earlier effect
             // time (OVS treats the duplicate as a modify of the live rule).
@@ -163,17 +222,109 @@ impl FlowTable {
                         .rules
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, r)| r.last_hit)
+                        .filter_map(|(i, r)| r.as_ref().map(|r| (i, r.last_hit)))
+                        .min_by_key(|&(_, hit)| hit)
                         .map(|(i, _)| i)
                         .expect("full table is non-empty");
-                    let victim = self.rules.remove(victim_idx);
-                    self.rules.push(rule);
+                    let victim = self.remove_at(victim_idx);
+                    self.rules.push(Some(rule));
+                    let idx = self.rules.len() - 1;
+                    self.live += 1;
+                    self.index_rule(idx);
+                    self.maybe_compact();
                     return InsertOutcome::Evicted(victim);
                 }
             }
         }
-        self.rules.push(rule);
+        self.rules.push(Some(rule));
+        let idx = self.rules.len() - 1;
+        self.live += 1;
+        self.index_rule(idx);
         InsertOutcome::Installed
+    }
+
+    /// The live rule at `idx`. Only called with indices held by the
+    /// lookup index, which never point at tombstones.
+    fn rule(&self, idx: usize) -> &FlowRule {
+        self.rules[idx].as_ref().expect("indexed slot is live")
+    }
+
+    /// Tombstones the rule at `idx` and removes its index entry in O(1)
+    /// (plus a scan of the small dup/wildcard side lists).
+    fn remove_at(&mut self, idx: usize) -> FlowRule {
+        let rule = self.rules[idx].take().expect("removing a live rule");
+        self.live -= 1;
+        if rule.match_fields.is_exact() {
+            let key = exact_key(&rule.match_fields);
+            if self.exact.get(&key) == Some(&idx) {
+                // Promote a same-key duplicate into the primary slot, if
+                // one exists; otherwise clear the entry.
+                match self
+                    .exact_dups
+                    .iter()
+                    .position(|&d| exact_key(&self.rule(d).match_fields) == key)
+                {
+                    Some(j) => {
+                        let d = self.exact_dups.swap_remove(j);
+                        self.exact.insert(key, d);
+                    }
+                    None => {
+                        self.exact.remove(&key);
+                    }
+                }
+            } else {
+                let j = self
+                    .exact_dups
+                    .iter()
+                    .position(|&d| d == idx)
+                    .expect("exact rule is indexed");
+                self.exact_dups.swap_remove(j);
+            }
+        } else {
+            let j = self
+                .wild
+                .iter()
+                .position(|&w| w == idx)
+                .expect("wildcard rule is indexed");
+            self.wild.swap_remove(j);
+        }
+        rule
+    }
+
+    /// Compacts tombstones away once they outnumber live rules, keeping
+    /// iteration O(live) amortized. Relative order (and thus insertion-
+    /// order tie-breaking) is preserved.
+    fn maybe_compact(&mut self) {
+        let dead = self.rules.len() - self.live;
+        if dead > self.live && dead > 8 {
+            self.rules.retain(Option::is_some);
+            self.rebuild_index();
+        }
+    }
+
+    /// Classifies the rule at `idx` into the lookup index.
+    fn index_rule(&mut self, idx: usize) {
+        if self.rule(idx).match_fields.is_exact() {
+            match self.exact.entry(exact_key(&self.rule(idx).match_fields)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(idx);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => self.exact_dups.push(idx),
+            }
+        } else {
+            self.wild.push(idx);
+        }
+    }
+
+    /// Recomputes the exact/wildcard index from scratch after a
+    /// compaction shifts positions. All slots are live at that point.
+    fn rebuild_index(&mut self) {
+        self.exact.clear();
+        self.exact_dups.clear();
+        self.wild.clear();
+        for i in 0..self.rules.len() {
+            self.index_rule(i);
+        }
     }
 
     /// Looks up the best rule for a packet **and** updates that rule's hit
@@ -192,30 +343,47 @@ impl FlowTable {
         self.lookups += 1;
         let best = self.best_index(now, view)?;
         self.hits += 1;
-        let rule = &mut self.rules[best];
+        let rule = self.rules[best].as_mut().expect("indexed slot is live");
         rule.last_hit = now;
         rule.packet_count += 1;
         rule.byte_count += packet_bytes as u64;
-        Some(&self.rules[best])
+        Some(self.rule(best))
     }
 
     /// Looks up without touching statistics (for inspection and tests),
     /// ignoring rule effect times.
     pub fn peek(&self, view: &MatchView) -> Option<&FlowRule> {
-        self.best_index(Nanos::MAX, view).map(|i| &self.rules[i])
+        self.best_index(Nanos::MAX, view).map(|i| self.rule(i))
     }
 
+    /// The winning rule for `view`: highest priority among matches, ties
+    /// broken by insertion order (smallest index). Exact candidates come
+    /// from one hash probe; only wildcard rules are scanned.
     fn best_index(&self, now: Nanos, view: &MatchView) -> Option<usize> {
+        let exact = self.exact.get(view).copied();
         let mut best: Option<usize> = None;
-        for (i, rule) in self.rules.iter().enumerate() {
+        for i in exact
+            .into_iter()
+            .chain(self.wild.iter().copied())
+            .chain(self.exact_dups.iter().copied())
+        {
+            let rule = self.rule(i);
             if rule.installed_at > now || !rule.match_fields.matches(view) {
                 continue;
             }
-            match best {
-                None => best = Some(i),
-                Some(b) if rule.priority > self.rules[b].priority => best = Some(i),
-                _ => {}
-            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let (bp, rp) = (self.rule(b).priority, rule.priority);
+                    // Equivalent to the old full scan's "first rule with
+                    // the maximum priority", regardless of visit order.
+                    if rp > bp || (rp == bp && i < b) {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
         }
         best
     }
@@ -224,7 +392,12 @@ impl FlowTable {
     /// returns them with the applicable reason.
     pub fn expire(&mut self, now: Nanos) -> Vec<RemovedRule> {
         let mut removed = Vec::new();
-        self.rules.retain(|r| {
+        // Position order is insertion order, so removals are reported in
+        // the same order the old retain-based sweep produced.
+        for i in 0..self.rules.len() {
+            let Some(r) = self.rules[i].as_ref() else {
+                continue;
+            };
             let last_activity = r.installed_at.max(r.last_hit);
             if r.is_expired(now, last_activity) {
                 let reason =
@@ -233,15 +406,13 @@ impl FlowTable {
                     } else {
                         FlowRemovedReason::IdleTimeout
                     };
-                removed.push(RemovedRule {
-                    rule: r.clone(),
-                    reason,
-                });
-                false
-            } else {
-                true
+                let rule = self.remove_at(i);
+                removed.push(RemovedRule { rule, reason });
             }
-        });
+        }
+        if !removed.is_empty() {
+            self.maybe_compact();
+        }
         removed
     }
 
@@ -250,6 +421,7 @@ impl FlowTable {
     pub fn next_expiry(&self) -> Option<Nanos> {
         self.rules
             .iter()
+            .flatten()
             .filter_map(|r| r.expiry_deadline(r.installed_at.max(r.last_hit)))
             .min()
     }
@@ -259,7 +431,10 @@ impl FlowTable {
     /// With `strict`, only an exact match+priority match deletes.
     pub fn delete(&mut self, pattern: &Match, priority: u16, strict: bool) -> Vec<RemovedRule> {
         let mut removed = Vec::new();
-        self.rules.retain(|r| {
+        for i in 0..self.rules.len() {
+            let Some(r) = self.rules[i].as_ref() else {
+                continue;
+            };
             let doomed = if strict {
                 r.match_fields == *pattern && r.priority == priority
             } else {
@@ -269,13 +444,16 @@ impl FlowTable {
                 pattern.subsumes(&r.match_fields)
             };
             if doomed {
+                let rule = self.remove_at(i);
                 removed.push(RemovedRule {
-                    rule: r.clone(),
+                    rule,
                     reason: FlowRemovedReason::Delete,
                 });
             }
-            !doomed
-        });
+        }
+        if !removed.is_empty() {
+            self.maybe_compact();
+        }
         removed
     }
 }

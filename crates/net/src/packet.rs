@@ -107,9 +107,51 @@ impl Packet {
     /// The first `n` bytes of the wire encoding — what a switch puts in a
     /// `packet_in` when `miss_send_len = n` and the packet is buffered.
     pub fn header_slice(&self, n: usize) -> Vec<u8> {
-        let mut bytes = self.encode();
-        bytes.truncate(n);
-        bytes
+        self.encode_prefix(n)
+    }
+
+    /// Encodes at most the first `n` wire bytes without materializing the
+    /// rest of the frame. Identical to `encode()` truncated to `n`, but
+    /// the payload tail past `n` is never copied — on the buffered-miss
+    /// hot path this turns a full-frame serialization (1000 bytes in the
+    /// paper's workload) into a `miss_send_len`-sized one.
+    pub fn encode_prefix(&self, n: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(n.min(self.wire_len()));
+        let put = |bytes: &[u8], buf: &mut Vec<u8>| {
+            let room = n - buf.len();
+            buf.extend_from_slice(&bytes[..bytes.len().min(room)]);
+        };
+        let mut scratch = Vec::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN);
+        self.ethernet.encode_into(&mut scratch);
+        put(&scratch, &mut buf);
+        if buf.len() == n {
+            return buf;
+        }
+        match &self.payload {
+            Payload::Arp(arp) => put(&arp.encode(), &mut buf),
+            Payload::Ipv4(ip) => {
+                scratch.clear();
+                ip.header.encode_into(&mut scratch);
+                match &ip.transport {
+                    Transport::Udp(udp, p) => {
+                        udp.encode_into(&mut scratch);
+                        put(&scratch, &mut buf);
+                        put(p, &mut buf);
+                    }
+                    Transport::Tcp(tcp, p) => {
+                        tcp.encode_into(&mut scratch);
+                        put(&scratch, &mut buf);
+                        put(p, &mut buf);
+                    }
+                    Transport::Other(_, p) => {
+                        put(&scratch, &mut buf);
+                        put(p, &mut buf);
+                    }
+                }
+            }
+            Payload::Raw(b) => put(b, &mut buf),
+        }
+        buf
     }
 
     /// Decodes a frame from wire bytes.
@@ -373,6 +415,25 @@ mod tests {
         assert_eq!(&h[..], &p.encode()[..128]);
         // Asking for more than the frame yields the whole frame.
         assert_eq!(p.header_slice(4096).len(), 1000);
+    }
+
+    #[test]
+    fn encode_prefix_matches_truncated_encode_at_every_boundary() {
+        for p in [
+            PacketBuilder::udp().frame_size(1000).build(),
+            PacketBuilder::tcp().frame_size(200).build(),
+            PacketBuilder::gratuitous_arp(MacAddr::from_host_index(3), Ipv4Addr::new(10, 0, 0, 3)),
+        ] {
+            let full = p.encode();
+            for n in [0, 1, 13, 14, 33, 34, 41, 42, 54, 128, full.len(), 4096] {
+                assert_eq!(
+                    p.encode_prefix(n),
+                    &full[..n.min(full.len())],
+                    "prefix {n} of {:?}",
+                    p.ethernet.ethertype
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,8 +23,7 @@ pub enum LossModel {
     /// No loss.
     #[default]
     None,
-    /// Drop every `n`-th message (deterministic, counter-based). The
-    /// legacy `control_loss_one_in` knob maps here.
+    /// Drop every `n`-th message (deterministic, counter-based).
     EveryNth(u64),
     /// Drop each message independently with probability `p`, drawn from
     /// the plan's seeded RNG.
@@ -135,8 +134,8 @@ impl Window {
     }
 }
 
-/// A complete, composable fault-injection plan — the replacement for the
-/// single `control_loss_one_in` knob.
+/// A complete, composable fault-injection plan — the testbed's only
+/// loss-injection API.
 ///
 /// The default plan injects nothing and costs one branch per potential
 /// fault site. All randomized choices come from a dedicated [`SimRng`]

@@ -1,0 +1,118 @@
+//! Fast deterministic hashing for simulator-internal maps.
+//!
+//! The standard library's `HashMap` defaults to SipHash behind a
+//! per-process random seed — DoS-resistant, but measurably slow on the
+//! simulator's hot paths (per-packet record lookups, flow-table exact
+//! index, buffered-flow maps), and randomly seeded, which is wasted
+//! entropy here: nothing observable may depend on map iteration order
+//! anyway (the golden-trace and chaos-determinism suites pin that), and
+//! all keys are simulator-internal, not attacker-controlled.
+//!
+//! [`FxHasher`] is the classic multiply-rotate word hasher (as used by
+//! rustc): a few cycles per word, identical across runs and platforms of
+//! the same pointer width.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc "Fx" hash: a 64-bit odd constant
+/// derived from pi with good bit-diffusion under wrapping multiply.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for internal keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" + "" and "a" + "b" differ.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i.into());
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i.into());
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i.into());
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`] — drop-in for simulator-internal
+/// maps on hot paths. Deterministic across runs.
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("flow"), hash_of("flow"));
+        assert_eq!(hash_of((1u32, 2u16, 3u8)), hash_of((1u32, 2u16, 3u8)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+        // Unaligned tails with the same padded word must still differ.
+        assert_ne!(hash_of([1u8, 0].as_slice()), hash_of([1u8].as_slice()));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FastHashMap<u32, &str> = FastHashMap::default();
+        m.insert(7, "seven");
+        m.insert(9, "nine");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&9), Some("nine"));
+        assert!(!m.contains_key(&9));
+    }
+}

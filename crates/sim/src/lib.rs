@@ -48,7 +48,9 @@
 mod bus;
 pub mod events;
 pub mod faults;
+pub mod hash;
 mod link;
+mod pool;
 mod qos_link;
 mod queue;
 mod resource;
@@ -58,9 +60,11 @@ mod time;
 pub use bus::Bus;
 pub use events::{ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, Tracer};
 pub use faults::{ChannelFaults, CtrlEffect, FaultPlan, FaultState, LossModel, Window};
+pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use link::{Link, LinkConfig, LinkStats};
+pub use pool::{Pool, PoolHandle, PoolStats};
 pub use qos_link::{MultiQueueLink, QueueConfig};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue};
 pub use resource::{CpuResource, Utilization};
 pub use rng::SimRng;
 pub use time::{BitRate, Nanos};

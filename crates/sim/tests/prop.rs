@@ -2,9 +2,90 @@
 //! link-time monotonicity, and resource conservation.
 
 use proptest::prelude::*;
-use sdnbuf_sim::{BitRate, CpuResource, EventQueue, Link, LinkConfig, Nanos, SimRng};
+use sdnbuf_sim::{
+    BitRate, CpuResource, EventQueue, HeapEventQueue, Link, LinkConfig, Nanos, SimRng,
+};
+
+/// One step of an arbitrary queue workout: schedule at some time, or pop.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Schedule(u64),
+    Pop,
+}
+
+/// Times drawn from ranges that exercise every wheel regime: same-tick
+/// ties (small constants), in-window spread, far-future overflow (beyond
+/// the ~33.5 ms wheel window), and huge jumps that force rebases.
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..16).prop_map(QueueOp::Schedule),
+        (0u64..100_000).prop_map(QueueOp::Schedule),
+        (0u64..200_000_000).prop_map(QueueOp::Schedule),
+        (0u64..u64::MAX / 4).prop_map(QueueOp::Schedule),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+    ]
+}
 
 proptest! {
+    /// The calendar wheel is observationally identical to the BinaryHeap
+    /// reference for arbitrary schedule/pop interleavings — including
+    /// equal-time FIFO ties, far-future overflow spill, and scheduling
+    /// behind an already-advanced cursor.
+    #[test]
+    fn wheel_queue_is_equivalent_to_heap_queue(
+        ops in proptest::collection::vec(queue_op(), 1..400),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut next_id = 0u32;
+        for op in &ops {
+            match *op {
+                QueueOp::Schedule(t) => {
+                    wheel.schedule(Nanos::from_nanos(t), next_id);
+                    heap.schedule(Nanos::from_nanos(t), next_id);
+                    next_id += 1;
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+        }
+        // Drain: every remaining event must come out in the same order.
+        loop {
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Many events landing on the exact same nanosecond (and therefore the
+    /// same wheel tick) preserve FIFO across both implementations.
+    #[test]
+    fn wheel_queue_same_tick_ties_match_heap(
+        times in proptest::collection::vec(0u64..4, 1..200),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(Nanos::from_nanos(t), i);
+            heap.schedule(Nanos::from_nanos(t), i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     #[test]
     fn event_queue_pops_in_time_then_insertion_order(
         times in proptest::collection::vec(0u64..1_000, 1..200),

@@ -26,7 +26,7 @@
 //! # Example
 //!
 //! ```
-//! use sdnbuf_switch::{BufferChoice, Switch, SwitchConfig, SwitchOutput};
+//! use sdnbuf_switch::{BufferChoice, PacketPool, Switch, SwitchConfig, SwitchOutput};
 //! use sdnbuf_net::PacketBuilder;
 //! use sdnbuf_openflow::PortNo;
 //! use sdnbuf_sim::Nanos;
@@ -35,8 +35,10 @@
 //!     buffer: BufferChoice::PacketGranularity { capacity: 256 },
 //!     ..SwitchConfig::default()
 //! });
-//! let pkt = PacketBuilder::udp().frame_size(1000).build();
-//! let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt);
+//! // Packets live in a shared pool; handlers pass 8-byte handles around.
+//! let mut pool = PacketPool::new();
+//! let pkt = pool.insert(PacketBuilder::udp().frame_size(1000).build());
+//! let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt, &mut pool);
 //! // A miss: the only output is a packet_in to the controller.
 //! assert!(matches!(outputs[0], SwitchOutput::ToController { .. }));
 //! ```
@@ -52,4 +54,4 @@ pub use config::{BufferChoice, SwitchConfig};
 pub use stats::{PortCounters, SwitchStats};
 pub use switch::{Switch, SwitchOutput};
 
-pub use sdnbuf_switchbuf::BufferMechanism;
+pub use sdnbuf_switchbuf::{BufferMechanism, PacketHandle, PacketPool};

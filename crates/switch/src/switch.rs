@@ -10,13 +10,18 @@ use sdnbuf_openflow::{
 use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
 use sdnbuf_switchbuf::{
     BufferMechanism, FlowGranularityBuffer, GiveUp, MissAction, NoBuffer, PacketGranularityBuffer,
+    PacketHandle, PacketPool,
 };
 
 /// A timed effect produced by the switch, to be scheduled by the caller.
+///
+/// Packets travel by [`PacketHandle`] into the shared [`PacketPool`]: every
+/// `Forward` and `Drop { packet: Some(_) }` output carries its own pool
+/// reference, which the caller inherits (forward it onward, or release it).
 #[derive(Clone, Debug, PartialEq)]
 pub enum SwitchOutput {
-    /// Emit `packet` on `port` at time `at` (the caller puts it on the
-    /// egress link).
+    /// Emit the packet behind `packet` on `port` at time `at` (the caller
+    /// puts it on the egress link).
     Forward {
         /// When the packet leaves the switch.
         at: Nanos,
@@ -25,8 +30,8 @@ pub enum SwitchOutput {
         /// Egress queue on that port selected by an `ENQUEUE` action;
         /// `None` = the port's default (best-effort) queue.
         queue: Option<u32>,
-        /// The packet.
-        packet: Packet,
+        /// Handle of the packet; the caller inherits this pool reference.
+        packet: PacketHandle,
     },
     /// Send `msg` to the controller at time `at` (the caller puts it on the
     /// control channel).
@@ -41,9 +46,44 @@ pub enum SwitchOutput {
     /// The packet was dropped (empty action list or undecodable
     /// `packet_out` payload).
     Drop {
-        /// The dropped packet, when it could be reconstructed.
-        packet: Option<Packet>,
+        /// Handle of the dropped packet, when it could be reconstructed;
+        /// the caller inherits the pool reference.
+        packet: Option<PacketHandle>,
     },
+}
+
+/// Expands an action list into concrete (egress port, queue) pairs for a
+/// packet that arrived on `in_port`, given `data_ports` physical ports.
+/// `ENQUEUE` actions select a QoS queue; plain `OUTPUT` uses the port's
+/// default queue. A free function so the fast path can expand a matched
+/// rule's actions in place instead of cloning them out of the table.
+fn egress_ports(
+    data_ports: usize,
+    actions: &[Action],
+    in_port: PortNo,
+) -> Vec<(PortNo, Option<u32>)> {
+    let mut ports = Vec::new();
+    for action in actions {
+        let (port, queue) = match action {
+            Action::Output { port, .. } => (*port, None),
+            Action::Enqueue { port, queue_id } => (*port, Some(*queue_id)),
+            Action::SetNwTos(_) => continue,
+        };
+        match port {
+            PortNo::FLOOD | PortNo::ALL => {
+                ports.extend(
+                    (1..=data_ports as u16)
+                        .map(PortNo)
+                        .filter(|&p| p != in_port)
+                        .map(|p| (p, queue)),
+                );
+            }
+            PortNo::IN_PORT => ports.push((in_port, queue)),
+            p if p.is_physical() => ports.push((p, queue)),
+            _ => {}
+        }
+    }
+    ports
 }
 
 /// The Open vSwitch model: flow table, buffer mechanism, CPU, bus.
@@ -93,7 +133,21 @@ impl std::fmt::Debug for Switch {
 
 impl Switch {
     /// Creates a switch from its configuration.
+    ///
+    /// # Panics
+    /// When [`SwitchConfig::validate`] rejects the configuration. See
+    /// [`Switch::try_new`] for the non-panicking form.
     pub fn new(config: SwitchConfig) -> Switch {
+        match Switch::try_new(config) {
+            Ok(sw) => sw,
+            Err(e) => panic!("invalid SwitchConfig: {e}"),
+        }
+    }
+
+    /// [`Switch::new`] with the validation error returned instead of
+    /// panicking — the single validation path for switch construction.
+    pub fn try_new(config: SwitchConfig) -> Result<Switch, String> {
+        config.validate()?;
         let buffer: Box<dyn BufferMechanism> = match config.buffer {
             BufferChoice::NoBuffer => Box::new(NoBuffer::new()),
             BufferChoice::PacketGranularity { capacity } => Box::new(
@@ -106,7 +160,7 @@ impl Switch {
                     .with_ttl(config.buffer_ttl),
             ),
         };
-        Switch {
+        Ok(Switch {
             table: FlowTable::with_eviction(config.flow_table_capacity, config.eviction),
             buffer,
             cpu: CpuResource::new(config.cpu_cores),
@@ -122,7 +176,7 @@ impl Switch {
             probe_pending: false,
             suppressed_this_episode: 0,
             config,
-        }
+        })
     }
 
     /// Whether the switch is currently in degraded mode (shedding fresh
@@ -199,48 +253,32 @@ impl Switch {
         (1..=self.config.data_ports as u16).map(PortNo)
     }
 
-    /// Expands an action list into concrete (egress port, queue) pairs for
-    /// a packet that arrived on `in_port`. `ENQUEUE` actions select a QoS
-    /// queue; plain `OUTPUT` uses the port's default queue.
-    fn egress_ports(&self, actions: &[Action], in_port: PortNo) -> Vec<(PortNo, Option<u32>)> {
-        let mut ports = Vec::new();
-        for action in actions {
-            let (port, queue) = match action {
-                Action::Output { port, .. } => (*port, None),
-                Action::Enqueue { port, queue_id } => (*port, Some(*queue_id)),
-                Action::SetNwTos(_) => continue,
-            };
-            match port {
-                PortNo::FLOOD | PortNo::ALL => {
-                    ports.extend(
-                        self.data_ports()
-                            .filter(|&p| p != in_port)
-                            .map(|p| (p, queue)),
-                    );
-                }
-                PortNo::IN_PORT => ports.push((in_port, queue)),
-                p if p.is_physical() => ports.push((p, queue)),
-                _ => {}
-            }
-        }
-        ports
-    }
-
-    /// Handles a frame arriving on a data port at time `now`.
+    /// Handles a frame arriving on a data port at time `now`. The caller
+    /// passes one pool reference in with `packet`; it comes back out in the
+    /// outputs (each `Forward`/`Drop` carries its own reference) or is
+    /// absorbed by the buffer mechanism / the encoded `packet_in` payload.
     pub fn handle_frame(
         &mut self,
         now: Nanos,
         in_port: PortNo,
-        packet: Packet,
+        packet: PacketHandle,
+        pool: &mut PacketPool,
     ) -> Vec<SwitchOutput> {
-        let view = MatchView::of(in_port, &packet);
-        let wire_len = packet.wire_len();
+        let data_ports = self.config.data_ports;
+        let (wire_len, matched) = {
+            let pk = pool.get(packet).expect("live packet handle");
+            let view = MatchView::of(in_port, pk);
+            let wire_len = pk.wire_len();
+            let matched = self
+                .table
+                .match_packet(now, &view, wire_len)
+                .map(|rule| egress_ports(data_ports, &rule.actions, in_port));
+            (wire_len, matched)
+        };
         self.stats.count_rx(in_port.as_u16(), wire_len);
-        if let Some(rule) = self.table.match_packet(now, &view, wire_len) {
+        if let Some(ports) = matched {
             // Fast path: datapath CPU cost, then out the rule's ports.
-            let actions = rule.actions.clone();
             let done = self.cpu.submit(now, self.config.cost_forward);
-            let ports = self.egress_ports(&actions, in_port);
             if ports.is_empty() {
                 self.stats.drops.incr();
                 return vec![SwitchOutput::Drop {
@@ -248,6 +286,11 @@ impl Switch {
                 }];
             }
             self.stats.fastpath_forwards.add(ports.len() as u64);
+            // One reference per egress: the handle we hold covers the first,
+            // each additional port shares the same pooled packet.
+            for _ in 1..ports.len() {
+                pool.retain(packet);
+            }
             return ports
                 .into_iter()
                 .map(|(port, queue)| {
@@ -256,7 +299,7 @@ impl Switch {
                         at: done,
                         port,
                         queue,
-                        packet: packet.clone(),
+                        packet,
                     }
                 })
                 .collect();
@@ -291,25 +334,26 @@ impl Switch {
             }
         }
         let total_len = wire_len as u16;
-        let outputs = match self.buffer.on_miss(now, packet.clone(), in_port) {
+        let outputs = match self.buffer.on_miss(now, packet, in_port, pool) {
             MissAction::SendFullPacketIn => {
                 // The whole frame crosses the bus, then the CPU builds a
-                // packet_in carrying it all.
+                // packet_in carrying it all. We still own the reference:
+                // the packet lives on only as the message payload.
+                let data = pool.get(packet).expect("live packet handle").encode();
+                pool.release(packet);
                 let at_cpu = self.bus.transfer(now, wire_len);
                 let cost = self.config.cost_pkt_in_base + self.config.payload_cost(wire_len);
                 let at = self.cpu.submit(at_cpu, cost);
-                vec![self.packet_in_output(
-                    at,
-                    BufferId::NO_BUFFER,
-                    total_len,
-                    in_port,
-                    packet.encode(),
-                )]
+                vec![self.packet_in_output(at, BufferId::NO_BUFFER, total_len, in_port, data)]
             }
             MissAction::SendBufferedPacketIn { buffer_id } => {
                 // Only the header slice crosses the bus; the packet body
-                // stays in the buffer unit.
-                let slice = packet.header_slice(self.miss_send_len as usize);
+                // stays in the buffer unit (the mechanism holds the
+                // reference now).
+                let slice = pool
+                    .get(packet)
+                    .expect("live packet handle")
+                    .encode_prefix(self.miss_send_len as usize);
                 let at_cpu = self.bus.transfer(now, slice.len());
                 let cost = self.config.cost_buffer_store
                     + self.config.cost_pkt_in_base
@@ -361,11 +405,13 @@ impl Switch {
     }
 
     /// Handles a control message arriving from the controller at `now`.
+    /// `pool` backs the packets a `packet_out` releases or re-injects.
     pub fn handle_controller_msg(
         &mut self,
         now: Nanos,
         msg: OfpMessage,
         xid: u32,
+        pool: &mut PacketPool,
     ) -> Vec<SwitchOutput> {
         // A substantive controller response proves liveness: reset the
         // give-up streak and leave degraded mode.
@@ -377,7 +423,7 @@ impl Switch {
         }
         match msg {
             OfpMessage::FlowMod(fm) => self.handle_flow_mod(now, fm, xid),
-            OfpMessage::PacketOut(po) => self.handle_packet_out(now, po, xid),
+            OfpMessage::PacketOut(po) => self.handle_packet_out(now, po, xid, pool),
             OfpMessage::SetConfig(c) => {
                 self.cpu.submit(now, self.config.cost_control_misc);
                 self.miss_send_len = c.miss_send_len;
@@ -589,8 +635,15 @@ impl Switch {
         }
     }
 
-    fn handle_packet_out(&mut self, now: Nanos, po: msg::PacketOut, xid: u32) -> Vec<SwitchOutput> {
+    fn handle_packet_out(
+        &mut self,
+        now: Nanos,
+        po: msg::PacketOut,
+        xid: u32,
+        pool: &mut PacketPool,
+    ) -> Vec<SwitchOutput> {
         self.stats.pkt_outs.incr();
+        let data_ports = self.config.data_ports;
         if po.buffer_id.is_buffered() {
             // Algorithm 2: release and forward every packet filed under
             // this id, one by one, in FIFO order.
@@ -613,7 +666,7 @@ impl Switch {
             let mut t = parse_done;
             for bp in released {
                 t = self.cpu.submit(t, self.config.cost_buffer_release);
-                let ports = self.egress_ports(&po.actions, bp.in_port);
+                let ports = egress_ports(data_ports, &po.actions, bp.in_port);
                 if ports.is_empty() {
                     self.stats.drops.incr();
                     outputs.push(SwitchOutput::Drop {
@@ -622,13 +675,20 @@ impl Switch {
                     continue;
                 }
                 self.stats.slowpath_forwards.add(ports.len() as u64);
+                let wire_len = pool
+                    .get(bp.packet)
+                    .expect("live buffered packet")
+                    .wire_len();
+                for _ in 1..ports.len() {
+                    pool.retain(bp.packet);
+                }
                 for (port, queue) in ports {
-                    self.stats.count_tx(port.as_u16(), bp.packet.wire_len());
+                    self.stats.count_tx(port.as_u16(), wire_len);
                     outputs.push(SwitchOutput::Forward {
                         at: t,
                         port,
                         queue,
-                        packet: bp.packet.clone(),
+                        packet: bp.packet,
                     });
                 }
             }
@@ -642,23 +702,28 @@ impl Switch {
             let at = self.bus.transfer(cpu_done, data_len);
             match Packet::decode(&po.data) {
                 Ok(packet) => {
-                    let ports = self.egress_ports(&po.actions, po.in_port);
+                    let wire_len = packet.wire_len();
+                    let handle = pool.insert(packet);
+                    let ports = egress_ports(data_ports, &po.actions, po.in_port);
                     if ports.is_empty() {
                         self.stats.drops.incr();
                         return vec![SwitchOutput::Drop {
-                            packet: Some(packet),
+                            packet: Some(handle),
                         }];
                     }
                     self.stats.slowpath_forwards.add(ports.len() as u64);
+                    for _ in 1..ports.len() {
+                        pool.retain(handle);
+                    }
                     ports
                         .into_iter()
                         .map(|(port, queue)| {
-                            self.stats.count_tx(port.as_u16(), packet.wire_len());
+                            self.stats.count_tx(port.as_u16(), wire_len);
                             SwitchOutput::Forward {
                                 at,
                                 port,
                                 queue,
-                                packet: packet.clone(),
+                                packet: handle,
                             }
                         })
                         .collect()
@@ -811,7 +876,7 @@ impl Switch {
 
     /// Runs expiry sweeps, buffer re-requests, TTL garbage collection,
     /// give-up actions and degraded-mode transitions due at `now`.
-    pub fn on_timer(&mut self, now: Nanos) -> Vec<SwitchOutput> {
+    pub fn on_timer(&mut self, now: Nanos, pool: &mut PacketPool) -> Vec<SwitchOutput> {
         let mut outputs = Vec::new();
         for removed in self.table.expire(now) {
             self.tracer.emit(
@@ -835,7 +900,7 @@ impl Switch {
             self.next_probe = None;
             self.probe_pending = true;
         }
-        let sweep = self.buffer.poll_timeouts(now);
+        let sweep = self.buffer.poll_timeouts(now, pool);
         if !sweep.expired.is_empty() || !sweep.gave_up.is_empty() {
             self.touch_gauge(now);
         }
@@ -853,9 +918,12 @@ impl Switch {
                 GiveUp::DrainAsFullPacketIn => {
                     // Fall back to the no-buffer path: each drained packet
                     // crosses the bus in full and rides its own packet_in,
-                    // so a recovered controller can still route it.
+                    // so a recovered controller can still route it. The
+                    // packet lives on only as the message payload, so the
+                    // inherited reference is released here.
                     for bp in flow.packets {
-                        let wire_len = bp.packet.wire_len();
+                        let pk = pool.take(bp.packet).expect("live gave-up packet");
+                        let wire_len = pk.wire_len();
                         let at_cpu = self.bus.transfer(now, wire_len);
                         let cost =
                             self.config.cost_pkt_in_base + self.config.payload_cost(wire_len);
@@ -865,7 +933,7 @@ impl Switch {
                             BufferId::NO_BUFFER,
                             wire_len as u16,
                             bp.in_port,
-                            bp.packet.encode(),
+                            pk.encode(),
                         ));
                     }
                 }
@@ -896,11 +964,18 @@ impl Switch {
             );
         }
         for rerequest in sweep.rerequests {
-            let slice = rerequest.packet.header_slice(self.miss_send_len as usize);
+            // `rerequest.packet` is a borrowed view of the still-buffered
+            // head-of-line packet; only its header slice is re-encoded.
+            let (slice, total_len) = {
+                let pk = pool.get(rerequest.packet).expect("live re-request packet");
+                (
+                    pk.encode_prefix(self.miss_send_len as usize),
+                    pk.wire_len() as u16,
+                )
+            };
             let at_cpu = self.bus.transfer(now, slice.len());
             let cost = self.config.cost_pkt_in_base + self.config.payload_cost(slice.len());
             let at = self.cpu.submit(at_cpu, cost);
-            let total_len = rerequest.packet.wire_len() as u16;
             outputs.push(self.packet_in_output(
                 at,
                 rerequest.buffer_id,
@@ -931,6 +1006,17 @@ mod tests {
             .src_port(src_port)
             .frame_size(1000)
             .build()
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(Switch::try_new(SwitchConfig::default()).is_ok());
+        let err = Switch::try_new(SwitchConfig {
+            buffer: BufferChoice::PacketGranularity { capacity: 0 },
+            ..SwitchConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
     }
 
     fn flow_mod_for(pkt: &Packet, in_port: PortNo, out_port: PortNo) -> OfpMessage {
@@ -964,9 +1050,10 @@ mod tests {
 
     #[test]
     fn miss_without_buffer_sends_full_packet() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(1);
-        let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(pkt.clone()), &mut pool);
         let (pin, _, at) = first_pkt_in(&outputs);
         assert_eq!(pin.buffer_id, BufferId::NO_BUFFER);
         assert_eq!(pin.data, pkt.encode());
@@ -977,9 +1064,10 @@ mod tests {
 
     #[test]
     fn miss_with_buffer_sends_header_slice() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
         let pkt = udp(1);
-        let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let outputs = sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(pkt.clone()), &mut pool);
         let (pin, _, _) = first_pkt_in(&outputs);
         assert!(pin.buffer_id.is_buffered());
         assert_eq!(pin.data.len(), 128); // miss_send_len
@@ -990,14 +1078,15 @@ mod tests {
 
     #[test]
     fn buffered_miss_is_faster_to_generate_than_full_miss() {
+        let mut pool = PacketPool::new();
         let mut nobuf = switch_with(BufferChoice::NoBuffer);
         let mut buf = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
         let (_, _, t_full) = {
-            let outs = nobuf.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+            let outs = nobuf.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(1)), &mut pool);
             let (_, x, t) = first_pkt_in(&outs);
             ((), x, t)
         };
-        let outs = buf.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        let outs = buf.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(1)), &mut pool);
         let (_, _, t_buf) = first_pkt_in(&outs);
         assert!(
             t_buf < t_full,
@@ -1007,16 +1096,23 @@ mod tests {
 
     #[test]
     fn flow_mod_then_hit_forwards_on_fast_path() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(7);
-        sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(pkt.clone()), &mut pool);
         sw.handle_controller_msg(
             Nanos::from_millis(1),
             flow_mod_for(&pkt, PortNo(1), PortNo(2)),
             9,
+            &mut pool,
         );
         // Well after t_e: the same flow now hits.
-        let outputs = sw.handle_frame(Nanos::from_millis(10), PortNo(1), pkt.clone());
+        let outputs = sw.handle_frame(
+            Nanos::from_millis(10),
+            PortNo(1),
+            pool.insert(pkt.clone()),
+            &mut pool,
+        );
         match &outputs[..] {
             [SwitchOutput::Forward {
                 at,
@@ -1026,7 +1122,7 @@ mod tests {
             }] => {
                 assert_eq!(*port, PortNo(2));
                 assert_eq!(*queue, None);
-                assert_eq!(packet, &pkt);
+                assert_eq!(pool.get(*packet).unwrap(), &pkt);
                 assert!(*at >= Nanos::from_millis(10));
             }
             other => panic!("expected fast-path forward, got {other:?}"),
@@ -1036,24 +1132,41 @@ mod tests {
 
     #[test]
     fn rule_does_not_match_before_effect_time() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(7);
         // Install at t=0; effect time is cost_flow_mod later.
-        sw.handle_controller_msg(Nanos::ZERO, flow_mod_for(&pkt, PortNo(1), PortNo(2)), 1);
+        sw.handle_controller_msg(
+            Nanos::ZERO,
+            flow_mod_for(&pkt, PortNo(1), PortNo(2)),
+            1,
+            &mut pool,
+        );
         // A packet arriving immediately still misses (t_e > t_2 case).
-        let outputs = sw.handle_frame(Nanos::from_nanos(1), PortNo(1), pkt.clone());
+        let outputs = sw.handle_frame(
+            Nanos::from_nanos(1),
+            PortNo(1),
+            pool.insert(pkt.clone()),
+            &mut pool,
+        );
         assert!(matches!(outputs[0], SwitchOutput::ToController { .. }));
         assert_eq!(sw.stats().table_misses.get(), 1);
         // After t_e it hits.
-        let outputs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
+        let outputs = sw.handle_frame(
+            Nanos::from_millis(1),
+            PortNo(1),
+            pool.insert(pkt),
+            &mut pool,
+        );
         assert!(matches!(outputs[0], SwitchOutput::Forward { .. }));
     }
 
     #[test]
     fn packet_out_releases_buffered_packet() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
         let pkt = udp(3);
-        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(pkt.clone()), &mut pool);
         let (pin, _, t_pkt_in) = first_pkt_in(&outs);
         let id = pin.buffer_id;
         let outs = sw.handle_controller_msg(
@@ -1065,11 +1178,12 @@ mod tests {
                 data: vec![],
             }),
             5,
+            &mut pool,
         );
         match &outs[..] {
             [SwitchOutput::Forward { port, packet, .. }] => {
                 assert_eq!(*port, PortNo(2));
-                assert_eq!(packet, &pkt);
+                assert_eq!(pool.get(*packet).unwrap(), &pkt);
             }
             other => panic!("{other:?}"),
         }
@@ -1079,6 +1193,7 @@ mod tests {
 
     #[test]
     fn packet_out_with_data_crosses_bus_and_forwards() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(3);
         let outs = sw.handle_controller_msg(
@@ -1090,13 +1205,14 @@ mod tests {
                 data: pkt.encode(),
             }),
             5,
+            &mut pool,
         );
         match &outs[..] {
             [SwitchOutput::Forward {
                 at, port, packet, ..
             }] => {
                 assert_eq!(*port, PortNo(2));
-                assert_eq!(packet, &pkt);
+                assert_eq!(pool.get(*packet).unwrap(), &pkt);
                 assert!(*at > Nanos::ZERO);
             }
             other => panic!("{other:?}"),
@@ -1105,6 +1221,7 @@ mod tests {
 
     #[test]
     fn packet_out_flood_replicates_to_other_ports() {
+        let mut pool = PacketPool::new();
         let mut sw = Switch::new(SwitchConfig {
             data_ports: 4,
             ..SwitchConfig::default()
@@ -1119,6 +1236,7 @@ mod tests {
                 data: pkt.encode(),
             }),
             5,
+            &mut pool,
         );
         let ports: Vec<PortNo> = outs
             .iter()
@@ -1132,17 +1250,23 @@ mod tests {
 
     #[test]
     fn flow_granularity_single_request_and_bulk_release() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::FlowGranularity {
             capacity: 256,
             timeout: Nanos::from_millis(50),
         });
         let pkt = udp(9);
-        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pkt.clone());
+        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(pkt.clone()), &mut pool);
         let (pin, _, _) = first_pkt_in(&outs);
         let id = pin.buffer_id;
         // Four more packets of the same flow: silent.
         for i in 1..5u64 {
-            let outs = sw.handle_frame(Nanos::from_micros(i * 10), PortNo(1), pkt.clone());
+            let outs = sw.handle_frame(
+                Nanos::from_micros(i * 10),
+                PortNo(1),
+                pool.insert(pkt.clone()),
+                &mut pool,
+            );
             assert!(outs.is_empty(), "subsequent packets must be silent");
         }
         assert_eq!(sw.stats().pkt_in_sent.get(), 1);
@@ -1157,6 +1281,7 @@ mod tests {
                 data: vec![],
             }),
             5,
+            &mut pool,
         );
         let forwards = outs
             .iter()
@@ -1179,9 +1304,15 @@ mod tests {
 
     #[test]
     fn buffer_exhaustion_falls_back_to_full_pkt_in() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 2 });
         for i in 0..3u16 {
-            sw.handle_frame(Nanos::from_micros(u64::from(i)), PortNo(1), udp(i));
+            sw.handle_frame(
+                Nanos::from_micros(u64::from(i)),
+                PortNo(1),
+                pool.insert(udp(i)),
+                &mut pool,
+            );
         }
         assert_eq!(sw.stats().pkt_in_sent.get(), 3);
         // The third pkt_in carried the full kilobyte.
@@ -1190,14 +1321,15 @@ mod tests {
 
     #[test]
     fn timer_rerequests_unanswered_flows() {
+        let mut pool = PacketPool::new();
         let timeout = Nanos::from_millis(10);
         let mut sw = switch_with(BufferChoice::FlowGranularity {
             capacity: 16,
             timeout,
         });
-        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(1)), &mut pool);
         assert_eq!(sw.next_timer(), Some(timeout));
-        let outs = sw.on_timer(timeout);
+        let outs = sw.on_timer(timeout, &mut pool);
         assert_eq!(outs.len(), 1);
         let (pin, _, _) = first_pkt_in(&outs);
         assert!(pin.buffer_id.is_buffered());
@@ -1206,6 +1338,7 @@ mod tests {
 
     #[test]
     fn idle_rule_expiry_notifies_when_requested() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(1);
         let mut fm = match flow_mod_for(&pkt, PortNo(1), PortNo(2)) {
@@ -1213,9 +1346,9 @@ mod tests {
             _ => unreachable!(),
         };
         fm.flags = msg::OFPFF_SEND_FLOW_REM;
-        sw.handle_controller_msg(Nanos::ZERO, OfpMessage::FlowMod(fm), 1);
+        sw.handle_controller_msg(Nanos::ZERO, OfpMessage::FlowMod(fm), 1, &mut pool);
         let expiry = sw.next_timer().expect("rule has idle timeout");
-        let outs = sw.on_timer(expiry);
+        let outs = sw.on_timer(expiry, &mut pool);
         assert_eq!(outs.len(), 1);
         assert!(matches!(
             outs[0],
@@ -1229,13 +1362,15 @@ mod tests {
 
     #[test]
     fn echo_features_config_barrier_replies() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 256 });
-        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::EchoRequest(vec![1]), 3);
+        let outs =
+            sw.handle_controller_msg(Nanos::ZERO, OfpMessage::EchoRequest(vec![1]), 3, &mut pool);
         assert!(matches!(
             &outs[0],
             SwitchOutput::ToController { xid: 3, msg: OfpMessage::EchoReply(d), .. } if d == &vec![1]
         ));
-        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::FeaturesRequest, 4);
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::FeaturesRequest, 4, &mut pool);
         match &outs[0] {
             SwitchOutput::ToController {
                 msg: OfpMessage::FeaturesReply(fr),
@@ -1246,7 +1381,8 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::GetConfigRequest, 5);
+        let outs =
+            sw.handle_controller_msg(Nanos::ZERO, OfpMessage::GetConfigRequest, 5, &mut pool);
         assert!(matches!(
             outs[0],
             SwitchOutput::ToController {
@@ -1254,7 +1390,7 @@ mod tests {
                 ..
             }
         ));
-        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::BarrierRequest, 6);
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::BarrierRequest, 6, &mut pool);
         assert!(matches!(
             outs[0],
             SwitchOutput::ToController {
@@ -1262,7 +1398,7 @@ mod tests {
                 ..
             }
         ));
-        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::Hello, 7);
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::Hello, 7, &mut pool);
         assert!(matches!(
             outs[0],
             SwitchOutput::ToController {
@@ -1274,6 +1410,7 @@ mod tests {
 
     #[test]
     fn set_config_changes_miss_send_len() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
         sw.handle_controller_msg(
             Nanos::ZERO,
@@ -1282,18 +1419,30 @@ mod tests {
                 miss_send_len: 64,
             }),
             1,
+            &mut pool,
         );
         assert_eq!(sw.miss_send_len(), 64);
-        let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), udp(1));
+        let outs = sw.handle_frame(
+            Nanos::from_millis(1),
+            PortNo(1),
+            pool.insert(udp(1)),
+            &mut pool,
+        );
         let (pin, _, _) = first_pkt_in(&outs);
         assert_eq!(pin.data.len(), 64);
     }
 
     #[test]
     fn stats_requests_are_answered() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(1);
-        sw.handle_controller_msg(Nanos::ZERO, flow_mod_for(&pkt, PortNo(1), PortNo(2)), 1);
+        sw.handle_controller_msg(
+            Nanos::ZERO,
+            flow_mod_for(&pkt, PortNo(1), PortNo(2)),
+            1,
+            &mut pool,
+        );
         let outs = sw.handle_controller_msg(
             Nanos::from_millis(1),
             OfpMessage::StatsRequest(StatsRequest::Aggregate {
@@ -1302,6 +1451,7 @@ mod tests {
                 out_port: PortNo::NONE,
             }),
             2,
+            &mut pool,
         );
         match &outs[0] {
             SwitchOutput::ToController {
@@ -1318,6 +1468,7 @@ mod tests {
                 out_port: PortNo::NONE,
             }),
             3,
+            &mut pool,
         );
         match &outs[0] {
             SwitchOutput::ToController {
@@ -1330,12 +1481,17 @@ mod tests {
 
     #[test]
     fn queue_config_request_describes_egress_queues() {
+        let mut pool = PacketPool::new();
         let mut sw = Switch::new(SwitchConfig {
             egress_queue_rates: &[200, 800],
             ..SwitchConfig::default()
         });
-        let outs =
-            sw.handle_controller_msg(Nanos::ZERO, OfpMessage::QueueGetConfigRequest(PortNo(2)), 8);
+        let outs = sw.handle_controller_msg(
+            Nanos::ZERO,
+            OfpMessage::QueueGetConfigRequest(PortNo(2)),
+            8,
+            &mut pool,
+        );
         match &outs[0] {
             SwitchOutput::ToController {
                 msg: OfpMessage::QueueGetConfigReply { port, queues },
@@ -1352,6 +1508,7 @@ mod tests {
 
     #[test]
     fn port_mod_is_acknowledged_silently() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let outs = sw.handle_controller_msg(
             Nanos::ZERO,
@@ -1363,12 +1520,14 @@ mod tests {
                 advertise: 0,
             }),
             9,
+            &mut pool,
         );
         assert!(outs.is_empty());
     }
 
     #[test]
     fn enqueue_rule_forwards_with_queue_tag() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(4);
         let fm = OfpMessage::FlowMod(FlowMod {
@@ -1386,8 +1545,13 @@ mod tests {
                 queue_id: 1,
             }],
         });
-        sw.handle_controller_msg(Nanos::ZERO, fm, 1);
-        let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
+        sw.handle_controller_msg(Nanos::ZERO, fm, 1, &mut pool);
+        let outs = sw.handle_frame(
+            Nanos::from_millis(1),
+            PortNo(1),
+            pool.insert(pkt),
+            &mut pool,
+        );
         match &outs[..] {
             [SwitchOutput::Forward { port, queue, .. }] => {
                 assert_eq!(*port, PortNo(2));
@@ -1399,14 +1563,34 @@ mod tests {
 
     #[test]
     fn desc_table_and_port_stats_are_answered() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 256 });
         let pkt = udp(1);
-        sw.handle_controller_msg(Nanos::ZERO, flow_mod_for(&pkt, PortNo(1), PortNo(2)), 1);
-        sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt.clone());
-        sw.handle_frame(Nanos::from_millis(2), PortNo(1), pkt.clone());
-        let ask = |sw: &mut Switch, req| {
-            let outs =
-                sw.handle_controller_msg(Nanos::from_millis(3), OfpMessage::StatsRequest(req), 9);
+        sw.handle_controller_msg(
+            Nanos::ZERO,
+            flow_mod_for(&pkt, PortNo(1), PortNo(2)),
+            1,
+            &mut pool,
+        );
+        sw.handle_frame(
+            Nanos::from_millis(1),
+            PortNo(1),
+            pool.insert(pkt.clone()),
+            &mut pool,
+        );
+        sw.handle_frame(
+            Nanos::from_millis(2),
+            PortNo(1),
+            pool.insert(pkt.clone()),
+            &mut pool,
+        );
+        let mut ask = |sw: &mut Switch, req| {
+            let outs = sw.handle_controller_msg(
+                Nanos::from_millis(3),
+                OfpMessage::StatsRequest(req),
+                9,
+                &mut pool,
+            );
             match outs.into_iter().next() {
                 Some(SwitchOutput::ToController {
                     msg: OfpMessage::StatsReply(reply),
@@ -1457,6 +1641,7 @@ mod tests {
 
     #[test]
     fn vendor_configure_accepted_only_for_flow_granularity() {
+        let mut pool = PacketPool::new();
         let mut fg = switch_with(BufferChoice::FlowGranularity {
             capacity: 16,
             timeout: Nanos::from_millis(50),
@@ -1466,10 +1651,10 @@ mod tests {
             timeout_ms: 20,
         });
         assert!(fg
-            .handle_controller_msg(Nanos::ZERO, cfg.clone(), 1)
+            .handle_controller_msg(Nanos::ZERO, cfg.clone(), 1, &mut pool)
             .is_empty());
         let mut pg = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
-        let outs = pg.handle_controller_msg(Nanos::ZERO, cfg, 1);
+        let outs = pg.handle_controller_msg(Nanos::ZERO, cfg, 1, &mut pool);
         assert!(matches!(
             outs[0],
             SwitchOutput::ToController {
@@ -1481,8 +1666,9 @@ mod tests {
 
     #[test]
     fn unexpected_message_gets_error_reply() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
-        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::BarrierReply, 1);
+        let outs = sw.handle_controller_msg(Nanos::ZERO, OfpMessage::BarrierReply, 1, &mut pool);
         assert!(matches!(
             outs[0],
             SwitchOutput::ToController {
@@ -1494,6 +1680,7 @@ mod tests {
 
     #[test]
     fn drop_rule_drops() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         let pkt = udp(1);
         let fm = OfpMessage::FlowMod(FlowMod {
@@ -1508,14 +1695,20 @@ mod tests {
             flags: 0,
             actions: vec![], // drop
         });
-        sw.handle_controller_msg(Nanos::ZERO, fm, 1);
-        let outs = sw.handle_frame(Nanos::from_millis(1), PortNo(1), pkt);
+        sw.handle_controller_msg(Nanos::ZERO, fm, 1, &mut pool);
+        let outs = sw.handle_frame(
+            Nanos::from_millis(1),
+            PortNo(1),
+            pool.insert(pkt),
+            &mut pool,
+        );
         assert!(matches!(outs[0], SwitchOutput::Drop { .. }));
         assert_eq!(sw.stats().drops.get(), 1);
     }
 
     #[test]
     fn degraded_mode_sheds_probes_and_recovers() {
+        let mut pool = PacketPool::new();
         use sdnbuf_switchbuf::RetryPolicy;
         let timeout = Nanos::from_millis(10);
         let mut sw = Switch::new(SwitchConfig {
@@ -1532,14 +1725,14 @@ mod tests {
             ..SwitchConfig::default()
         });
         // Two flows announced; the controller never answers.
-        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
-        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(2));
+        sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(1)), &mut pool);
+        sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(2)), &mut pool);
         // t=10ms: both spend their single retry.
-        let outs = sw.on_timer(Nanos::from_millis(10));
+        let outs = sw.on_timer(Nanos::from_millis(10), &mut pool);
         assert_eq!(outs.len(), 2);
         // t=20ms: both give up (drained as full packet_ins), tripping the
         // threshold of 2 consecutive give-ups.
-        let outs = sw.on_timer(Nanos::from_millis(20));
+        let outs = sw.on_timer(Nanos::from_millis(20), &mut pool);
         assert!(sw.is_degraded());
         assert_eq!(sw.stats().degraded_entries.get(), 1);
         assert_eq!(sw.buffer().occupancy(), 0, "give-up frees the units");
@@ -1552,14 +1745,24 @@ mod tests {
             .count();
         assert_eq!(drains, 2, "drain action re-sends full packet_ins");
         // A fresh miss while degraded is shed, arming the probe timer.
-        let outs = sw.handle_frame(Nanos::from_millis(21), PortNo(1), udp(3));
+        let outs = sw.handle_frame(
+            Nanos::from_millis(21),
+            PortNo(1),
+            pool.insert(udp(3)),
+            &mut pool,
+        );
         assert!(matches!(outs[0], SwitchOutput::Drop { .. }));
         assert_eq!(sw.stats().degraded_sheds.get(), 1);
         // The probe timer was armed on entry (20ms + 5ms interval).
         assert_eq!(sw.next_timer(), Some(Nanos::from_millis(25)));
         // The probe window opens; the next miss is admitted normally.
-        assert!(sw.on_timer(Nanos::from_millis(25)).is_empty());
-        let outs = sw.handle_frame(Nanos::from_millis(27), PortNo(1), udp(4));
+        assert!(sw.on_timer(Nanos::from_millis(25), &mut pool).is_empty());
+        let outs = sw.handle_frame(
+            Nanos::from_millis(27),
+            PortNo(1),
+            pool.insert(udp(4)),
+            &mut pool,
+        );
         let (pin, _, _) = first_pkt_in(&outs);
         let probe_id = pin.buffer_id;
         assert!(probe_id.is_buffered());
@@ -1573,25 +1776,32 @@ mod tests {
                 data: vec![],
             }),
             9,
+            &mut pool,
         );
         assert!(!sw.is_degraded());
         assert_eq!(sw.stats().degraded_exits.get(), 1);
         // Fresh misses flow again.
-        let outs = sw.handle_frame(Nanos::from_millis(30), PortNo(1), udp(5));
+        let outs = sw.handle_frame(
+            Nanos::from_millis(30),
+            PortNo(1),
+            pool.insert(udp(5)),
+            &mut pool,
+        );
         assert!(matches!(outs[0], SwitchOutput::ToController { .. }));
     }
 
     #[test]
     fn buffer_ttl_drops_stranded_entries_at_the_switch() {
+        let mut pool = PacketPool::new();
         let mut sw = Switch::new(SwitchConfig {
             buffer: BufferChoice::PacketGranularity { capacity: 16 },
             buffer_ttl: Nanos::from_millis(40),
             ..SwitchConfig::default()
         });
-        sw.handle_frame(Nanos::ZERO, PortNo(1), udp(1));
+        sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(1)), &mut pool);
         assert_eq!(sw.buffer().occupancy(), 1);
         assert_eq!(sw.next_timer(), Some(Nanos::from_millis(40)));
-        let outs = sw.on_timer(Nanos::from_millis(40));
+        let outs = sw.on_timer(Nanos::from_millis(40), &mut pool);
         assert!(matches!(outs[..], [SwitchOutput::Drop { packet: Some(_) }]));
         assert_eq!(sw.buffer().occupancy(), 0, "the stranded unit is freed");
         assert_eq!(sw.buffer().stats().expired, 1);
@@ -1599,10 +1809,16 @@ mod tests {
 
     #[test]
     fn cpu_usage_accumulates() {
+        let mut pool = PacketPool::new();
         let mut sw = switch_with(BufferChoice::NoBuffer);
         assert_eq!(sw.cpu_percent(Nanos::from_secs(1)), 0.0);
         for i in 0..50u16 {
-            sw.handle_frame(Nanos::from_micros(u64::from(i) * 100), PortNo(1), udp(i));
+            sw.handle_frame(
+                Nanos::from_micros(u64::from(i) * 100),
+                PortNo(1),
+                pool.insert(udp(i)),
+                &mut pool,
+            );
         }
         assert!(sw.cpu_percent(Nanos::from_millis(5)) > 0.0);
     }

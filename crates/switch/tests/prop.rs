@@ -9,7 +9,7 @@ use sdnbuf_openflow::{
     Action, BufferId, Match, OfpMessage, PortNo,
 };
 use sdnbuf_sim::Nanos;
-use sdnbuf_switch::{BufferChoice, Switch, SwitchConfig, SwitchOutput};
+use sdnbuf_switch::{BufferChoice, PacketPool, Switch, SwitchConfig, SwitchOutput};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -41,13 +41,21 @@ fn arb_buffer() -> impl Strategy<Value = BufferChoice> {
     ]
 }
 
-/// Checks outputs for causality and wire validity; returns buffered ids.
-fn check_outputs(now: Nanos, outs: &[SwitchOutput]) -> Result<Vec<BufferId>, TestCaseError> {
+/// Checks outputs for causality and wire validity, releasing the pool
+/// references `Forward`/`Drop` outputs hand to the caller; returns
+/// buffered ids.
+fn check_outputs(
+    now: Nanos,
+    outs: &[SwitchOutput],
+    pool: &mut PacketPool,
+) -> Result<Vec<BufferId>, TestCaseError> {
     let mut ids = Vec::new();
     for out in outs {
         match out {
-            SwitchOutput::Forward { at, .. } => {
+            SwitchOutput::Forward { at, packet, .. } => {
                 prop_assert!(*at >= now, "forward scheduled in the past");
+                prop_assert!(pool.get(*packet).is_some(), "forwarded a stale handle");
+                pool.release(*packet);
             }
             SwitchOutput::ToController { at, msg, .. } => {
                 prop_assert!(*at >= now, "message scheduled in the past");
@@ -60,7 +68,12 @@ fn check_outputs(now: Nanos, outs: &[SwitchOutput]) -> Result<Vec<BufferId>, Tes
                     }
                 }
             }
-            SwitchOutput::Drop { .. } => {}
+            SwitchOutput::Drop { packet } => {
+                if let Some(p) = packet {
+                    prop_assert!(pool.get(*p).is_some(), "dropped a stale handle");
+                    pool.release(*p);
+                }
+            }
         }
     }
     Ok(ids)
@@ -73,6 +86,7 @@ proptest! {
         buffer in arb_buffer(),
     ) {
         let mut sw = Switch::new(SwitchConfig { buffer, ..SwitchConfig::default() });
+        let mut pool = PacketPool::new();
         let mut now = Nanos::ZERO;
         let mut seen_buffer_ids: Vec<BufferId> = Vec::new();
         for op in ops {
@@ -80,8 +94,8 @@ proptest! {
             match op {
                 Op::Frame { flow, size } => {
                     let pkt = PacketBuilder::udp().src_port(flow).frame_size(size).build();
-                    let outs = sw.handle_frame(now, PortNo(1), pkt);
-                    seen_buffer_ids.extend(check_outputs(now, &outs)?);
+                    let outs = sw.handle_frame(now, PortNo(1), pool.insert(pkt), &mut pool);
+                    seen_buffer_ids.extend(check_outputs(now, &outs, &mut pool)?);
                 }
                 Op::FlowModAdd { flow } => {
                     let pkt = PacketBuilder::udp().src_port(flow).build();
@@ -97,8 +111,8 @@ proptest! {
                         flags: 0,
                         actions: vec![Action::output(PortNo(2))],
                     });
-                    let outs = sw.handle_controller_msg(now, fm, 1);
-                    seen_buffer_ids.extend(check_outputs(now, &outs)?);
+                    let outs = sw.handle_controller_msg(now, fm, 1, &mut pool);
+                    seen_buffer_ids.extend(check_outputs(now, &outs, &mut pool)?);
                 }
                 Op::PacketOutFor { nth_buffer_id } => {
                     if !seen_buffer_ids.is_empty() {
@@ -109,8 +123,8 @@ proptest! {
                             actions: vec![Action::output(PortNo(2))],
                             data: vec![],
                         });
-                        let outs = sw.handle_controller_msg(now, po, 2);
-                        check_outputs(now, &outs)?;
+                        let outs = sw.handle_controller_msg(now, po, 2, &mut pool);
+                        check_outputs(now, &outs, &mut pool)?;
                     }
                 }
                 Op::PacketOutInvalid { raw } => {
@@ -120,19 +134,23 @@ proptest! {
                         actions: vec![Action::output(PortNo(2))],
                         data: vec![],
                     });
-                    let outs = sw.handle_controller_msg(now, po, 3);
-                    check_outputs(now, &outs)?;
+                    let outs = sw.handle_controller_msg(now, po, 3, &mut pool);
+                    check_outputs(now, &outs, &mut pool)?;
                 }
                 Op::Timer => {
                     if let Some(t) = sw.next_timer() {
                         let t = t.max(now);
-                        let outs = sw.on_timer(t);
-                        check_outputs(t, &outs)?;
+                        let outs = sw.on_timer(t, &mut pool);
+                        check_outputs(t, &outs, &mut pool)?;
                         now = t;
                     }
                 }
             }
             prop_assert!(sw.buffer().occupancy() <= sw.buffer().capacity());
+            prop_assert_eq!(
+                pool.len(), sw.buffer().occupancy(),
+                "pool live count must equal buffer occupancy"
+            );
         }
     }
 
@@ -150,12 +168,13 @@ proptest! {
             },
             ..SwitchConfig::default()
         });
+        let mut pool = PacketPool::new();
         let mut now = Nanos::ZERO;
         let mut ids = Vec::new();
         for (flow, size) in frames {
             now += Nanos::from_micros(50);
             let pkt = PacketBuilder::udp().src_port(flow).frame_size(size).build();
-            for out in sw.handle_frame(now, PortNo(1), pkt) {
+            for out in sw.handle_frame(now, PortNo(1), pool.insert(pkt), &mut pool) {
                 if let SwitchOutput::ToController {
                     msg: OfpMessage::PacketIn(pin),
                     ..
@@ -177,13 +196,15 @@ proptest! {
                 actions: vec![Action::output(PortNo(2))],
                 data: vec![],
             });
-            for out in sw.handle_controller_msg(now, po, 1) {
-                if matches!(out, SwitchOutput::Forward { .. }) {
+            for out in sw.handle_controller_msg(now, po, 1, &mut pool) {
+                if let SwitchOutput::Forward { packet, .. } = out {
                     released += 1;
+                    pool.release(packet);
                 }
             }
         }
         prop_assert_eq!(released, buffered);
         prop_assert_eq!(sw.buffer().occupancy(), 0);
+        prop_assert_eq!(pool.len(), 0, "every pooled packet was reclaimed");
     }
 }

@@ -1,13 +1,13 @@
 //! The flow-granularity buffer mechanism — Algorithms 1 and 2 of the paper.
 
 use crate::{
-    BufferMechanism, BufferStats, BufferedPacket, GaveUpFlow, MissAction, Rerequest, RetryPolicy,
-    TimeoutSweep,
+    BufferMechanism, BufferStats, BufferedPacket, GaveUpFlow, MissAction, PacketHandle, PacketPool,
+    Rerequest, RetryPolicy, TimeoutSweep,
 };
-use sdnbuf_net::{FlowKey, Packet};
+use sdnbuf_net::FlowKey;
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::{EventKind, Nanos, SimRng, Tracer};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use sdnbuf_sim::{EventKind, FastHashMap, Nanos, SimRng, Tracer};
+use std::collections::{BTreeSet, VecDeque};
 
 #[derive(Clone, Debug)]
 struct FlowQueue {
@@ -68,8 +68,8 @@ pub struct FlowGranularityBuffer {
     policy: RetryPolicy,
     /// Per-entry lifetime; `None` = entries never expire (the default).
     ttl: Option<Nanos>,
-    flows: HashMap<FlowKey, FlowQueue>,
-    by_id: HashMap<u32, FlowKey>,
+    flows: FastHashMap<FlowKey, FlowQueue>,
+    by_id: FastHashMap<u32, FlowKey>,
     /// One `(next_due, key)` entry per buffered flow — the re-request /
     /// give-up schedule, ordered by deadline.
     request_deadlines: BTreeSet<(Nanos, FlowKey)>,
@@ -131,8 +131,8 @@ impl FlowGranularityBuffer {
             timeout,
             policy: RetryPolicy::fixed(),
             ttl: None,
-            flows: HashMap::new(),
-            by_id: HashMap::new(),
+            flows: FastHashMap::default(),
+            by_id: FastHashMap::default(),
             request_deadlines: BTreeSet::new(),
             expiry_deadlines: BTreeSet::new(),
             total: 0,
@@ -226,7 +226,7 @@ impl FlowGranularityBuffer {
 
     /// Garbage-collects TTL-expired entries due at or before `now` into
     /// `sweep.expired`.
-    fn sweep_expired(&mut self, now: Nanos, sweep: &mut TimeoutSweep) {
+    fn sweep_expired(&mut self, now: Nanos, pool: &PacketPool, sweep: &mut TimeoutSweep) {
         let Some(ttl) = self.ttl else { return };
         if !self.ttl_gc_enabled {
             return;
@@ -247,7 +247,7 @@ impl FlowGranularityBuffer {
                 let p = q.packets.pop_front().expect("front exists");
                 self.total -= 1;
                 self.stats.expired += 1;
-                self.stats.expired_bytes += p.packet.wire_len() as u64;
+                self.stats.expired_bytes += pool.get(p.packet).map_or(0, |pk| pk.wire_len()) as u64;
                 self.tracer.emit(
                     now,
                     EventKind::BufferExpire {
@@ -288,9 +288,15 @@ impl BufferMechanism for FlowGranularityBuffer {
         "flow-granularity"
     }
 
-    fn on_miss(&mut self, now: Nanos, packet: Packet, in_port: PortNo) -> MissAction {
+    fn on_miss(
+        &mut self,
+        now: Nanos,
+        packet: PacketHandle,
+        in_port: PortNo,
+        pool: &PacketPool,
+    ) -> MissAction {
         // Non-IP traffic has no 5-tuple: not flow-bufferable.
-        let Some(key) = FlowKey::of(&packet) else {
+        let Some(key) = pool.get(packet).and_then(FlowKey::of) else {
             self.stats.fallback_full += 1;
             self.tracer.emit(
                 now,
@@ -448,9 +454,9 @@ impl BufferMechanism for FlowGranularityBuffer {
         }
     }
 
-    fn poll_timeouts(&mut self, now: Nanos) -> TimeoutSweep {
+    fn poll_timeouts(&mut self, now: Nanos, pool: &PacketPool) -> TimeoutSweep {
         let mut sweep = TimeoutSweep::default();
-        self.sweep_expired(now, &mut sweep);
+        self.sweep_expired(now, pool, &mut sweep);
         if !self.rerequest_enabled {
             return sweep;
         }
@@ -508,7 +514,8 @@ impl BufferMechanism for FlowGranularityBuffer {
             let first = q.packets.front().expect("buffered flows are non-empty");
             sweep.rerequests.push(Rerequest {
                 buffer_id,
-                packet: first.packet.clone(),
+                // A borrowed view: the flow keeps its pool reference.
+                packet: first.packet,
                 in_port: first.in_port,
             });
         }
@@ -548,7 +555,7 @@ impl BufferMechanism for FlowGranularityBuffer {
 mod tests {
     use super::*;
     use crate::GiveUp;
-    use sdnbuf_net::{MacAddr, PacketBuilder};
+    use sdnbuf_net::{MacAddr, Packet, PacketBuilder};
     use std::net::Ipv4Addr;
 
     fn mk() -> FlowGranularityBuffer {
@@ -565,14 +572,20 @@ mod tests {
     #[test]
     fn one_packet_in_per_flow() {
         let mut b = mk();
-        let a1 = b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        let mut pool = PacketPool::new();
+        let a1 = b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
         let id = match a1 {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
         // 19 more packets of the same flow: all silent.
         for i in 0..19 {
-            let a = b.on_miss(Nanos::from_micros(i + 1), pkt(1, 100), PortNo(1));
+            let a = b.on_miss(
+                Nanos::from_micros(i + 1),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool,
+            );
             assert_eq!(a, MissAction::Buffered { buffer_id: id });
         }
         assert_eq!(b.occupancy(), 20);
@@ -582,9 +595,10 @@ mod tests {
     #[test]
     fn distinct_flows_get_distinct_ids() {
         let mut b = mk();
+        let mut pool = PacketPool::new();
         let mut ids = Vec::new();
         for port in 0..50u16 {
-            match b.on_miss(Nanos::ZERO, pkt(port, 100), PortNo(1)) {
+            match b.on_miss(Nanos::ZERO, pool.insert(pkt(port, 100)), PortNo(1), &pool) {
                 MissAction::SendBufferedPacketIn { buffer_id } => ids.push(buffer_id),
                 other => panic!("{other:?}"),
             }
@@ -600,8 +614,14 @@ mod tests {
     fn buffer_id_is_deterministic_function_of_tuple() {
         let mut a = mk();
         let mut b = mk();
-        let ida = a.on_miss(Nanos::ZERO, pkt(7, 100), PortNo(1));
-        let idb = b.on_miss(Nanos::from_secs(9), pkt(7, 1400), PortNo(3));
+        let mut pool = PacketPool::new();
+        let ida = a.on_miss(Nanos::ZERO, pool.insert(pkt(7, 100)), PortNo(1), &pool);
+        let idb = b.on_miss(
+            Nanos::from_secs(9),
+            pool.insert(pkt(7, 1400)),
+            PortNo(3),
+            &pool,
+        );
         // Same 5-tuple => same id, regardless of time, size or port.
         assert_eq!(
             match ida {
@@ -618,12 +638,18 @@ mod tests {
     #[test]
     fn release_drains_whole_flow_fifo() {
         let mut b = mk();
-        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
         for i in 1..5u64 {
-            b.on_miss(Nanos::from_micros(i), pkt(1, 100 + i as usize), PortNo(1));
+            b.on_miss(
+                Nanos::from_micros(i),
+                pool.insert(pkt(1, 100 + i as usize)),
+                PortNo(1),
+                &pool,
+            );
         }
         let out = b.release(Nanos::from_millis(1), id);
         assert_eq!(out.len(), 5);
@@ -640,12 +666,13 @@ mod tests {
     #[test]
     fn release_only_affects_its_flow() {
         let mut b = mk();
-        let id1 = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id1 = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
-        b.on_miss(Nanos::ZERO, pkt(2, 100), PortNo(1));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(2, 100)), PortNo(1), &pool);
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
         assert_eq!(b.release(Nanos::ZERO, id1).len(), 2);
         assert_eq!(b.occupancy(), 1); // flow 2 untouched
         assert_eq!(b.flow_count(), 1);
@@ -654,7 +681,8 @@ mod tests {
     #[test]
     fn unknown_id_release_is_noop() {
         let mut b = mk();
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
         assert!(b.release(Nanos::ZERO, BufferId::new(42)).is_empty());
         assert_eq!(b.occupancy(), 1);
         assert_eq!(b.stats().invalid_releases, 1);
@@ -663,14 +691,20 @@ mod tests {
     #[test]
     fn stale_generation_release_is_rejected() {
         let mut b = mk();
-        let stale = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let stale = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
         // Drain the flow, then re-announce the same 5-tuple: the raw wire
         // id recurs but carries a fresh generation.
         assert_eq!(b.release(Nanos::from_micros(1), stale).len(), 1);
-        let fresh = match b.on_miss(Nanos::from_micros(2), pkt(1, 100), PortNo(1)) {
+        let fresh = match b.on_miss(
+            Nanos::from_micros(2),
+            pool.insert(pkt(1, 100)),
+            PortNo(1),
+            &pool,
+        ) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
@@ -689,7 +723,8 @@ mod tests {
     #[test]
     fn untagged_release_keeps_wire_semantics() {
         let mut b = mk();
-        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
@@ -704,21 +739,37 @@ mod tests {
     #[test]
     fn timeout_rerequests_on_subsequent_packet() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
         // Within the timeout: silent.
         assert!(matches!(
-            b.on_miss(Nanos::from_millis(5), pkt(1, 100), PortNo(1)),
+            b.on_miss(
+                Nanos::from_millis(5),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::Buffered { .. }
         ));
         // Past the timeout: Algorithm 1 line 13 sends another packet_in.
         assert!(matches!(
-            b.on_miss(Nanos::from_millis(10), pkt(1, 100), PortNo(1)),
+            b.on_miss(
+                Nanos::from_millis(10),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::SendBufferedPacketIn { .. }
         ));
         assert_eq!(b.stats().rerequests, 1);
         // Timer was reset: the next packet is silent again.
         assert!(matches!(
-            b.on_miss(Nanos::from_millis(15), pkt(1, 100), PortNo(1)),
+            b.on_miss(
+                Nanos::from_millis(15),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::Buffered { .. }
         ));
     }
@@ -726,16 +777,22 @@ mod tests {
     #[test]
     fn proactive_timeout_polling() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(4));
-        b.on_miss(Nanos::from_millis(2), pkt(2, 100), PortNo(4));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(4), &pool);
+        b.on_miss(
+            Nanos::from_millis(2),
+            pool.insert(pkt(2, 100)),
+            PortNo(4),
+            &pool,
+        );
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(10)));
-        assert!(b.poll_timeouts(Nanos::from_millis(9)).is_empty());
-        let due = b.poll_timeouts(Nanos::from_millis(10)).rerequests;
+        assert!(b.poll_timeouts(Nanos::from_millis(9), &pool).is_empty());
+        let due = b.poll_timeouts(Nanos::from_millis(10), &pool).rerequests;
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].in_port, PortNo(4));
         // Timer reset: next deadline is flow 2's, then flow 1's new one.
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(12)));
-        let due = b.poll_timeouts(Nanos::from_millis(30)).rerequests;
+        let due = b.poll_timeouts(Nanos::from_millis(30), &pool).rerequests;
         assert_eq!(due.len(), 2);
         assert_eq!(b.stats().rerequests, 3);
     }
@@ -744,16 +801,32 @@ mod tests {
     fn backoff_policy_stretches_the_schedule() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10))
             .with_retry_policy(RetryPolicy::backoff(Nanos::from_millis(40), 0));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
         // First deadline: the base timeout.
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(10)));
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(10)).rerequests.len(), 1);
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(10), &pool)
+                .rerequests
+                .len(),
+            1
+        );
         // Second interval doubles: 20 ms after the re-request.
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(30)));
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(30)).rerequests.len(), 1);
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(30), &pool)
+                .rerequests
+                .len(),
+            1
+        );
         // Third doubles again (40 ms, at the cap).
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(70)));
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(70)).rerequests.len(), 1);
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(70), &pool)
+                .rerequests
+                .len(),
+            1
+        );
         // Capped thereafter.
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(110)));
     }
@@ -768,12 +841,13 @@ mod tests {
                     ..RetryPolicy::fixed()
                 },
             );
-            b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+            let mut pool = PacketPool::new();
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
             let mut deadlines = Vec::new();
             for _ in 0..5 {
                 let now = b.next_timeout().expect("scheduled");
                 deadlines.push(now);
-                assert_eq!(b.poll_timeouts(now).rerequests.len(), 1);
+                assert_eq!(b.poll_timeouts(now, &pool).rerequests.len(), 1);
             }
             deadlines
         };
@@ -788,12 +862,28 @@ mod tests {
                 budget: 2,
                 ..RetryPolicy::fixed()
             });
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
-        b.on_miss(Nanos::from_micros(1), pkt(1, 100), PortNo(1));
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(10)).rerequests.len(), 1);
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(20)).rerequests.len(), 1);
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        b.on_miss(
+            Nanos::from_micros(1),
+            pool.insert(pkt(1, 100)),
+            PortNo(1),
+            &pool,
+        );
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(10), &pool)
+                .rerequests
+                .len(),
+            1
+        );
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(20), &pool)
+                .rerequests
+                .len(),
+            1
+        );
         // Budget (2) spent: the third deadline gives the flow up.
-        let sweep = b.poll_timeouts(Nanos::from_millis(30));
+        let sweep = b.poll_timeouts(Nanos::from_millis(30), &pool);
         assert!(sweep.rerequests.is_empty());
         assert_eq!(sweep.gave_up.len(), 1);
         assert_eq!(sweep.gave_up[0].packets.len(), 2);
@@ -813,9 +903,15 @@ mod tests {
                 give_up: GiveUp::Drop,
                 ..RetryPolicy::fixed()
             });
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(10)).rerequests.len(), 1);
-        let sweep = b.poll_timeouts(Nanos::from_millis(20));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(10), &pool)
+                .rerequests
+                .len(),
+            1
+        );
+        let sweep = b.poll_timeouts(Nanos::from_millis(20), &pool);
         assert_eq!(sweep.gave_up.len(), 1);
         assert_eq!(sweep.gave_up[0].action, GiveUp::Drop);
     }
@@ -824,20 +920,31 @@ mod tests {
     fn ttl_expires_stale_entries_oldest_first() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(100))
             .with_ttl(Nanos::from_millis(30));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
-        b.on_miss(Nanos::from_millis(10), pkt(1, 200), PortNo(1));
-        b.on_miss(Nanos::from_millis(20), pkt(2, 300), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        b.on_miss(
+            Nanos::from_millis(10),
+            pool.insert(pkt(1, 200)),
+            PortNo(1),
+            &pool,
+        );
+        b.on_miss(
+            Nanos::from_millis(20),
+            pool.insert(pkt(2, 300)),
+            PortNo(1),
+            &pool,
+        );
         // The TTL deadline beats the (100 ms) re-request deadline.
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(30)));
-        let sweep = b.poll_timeouts(Nanos::from_millis(35));
+        let sweep = b.poll_timeouts(Nanos::from_millis(35), &pool);
         assert_eq!(sweep.expired.len(), 1, "only flow 1's first packet is due");
-        assert_eq!(sweep.expired[0].packet.wire_len(), 100);
+        assert_eq!(pool.get(sweep.expired[0].packet).unwrap().wire_len(), 100);
         assert_eq!(b.occupancy(), 2);
         assert_eq!(b.stats().expired, 1);
         assert_eq!(b.stats().expired_bytes, 100);
         // Flow 1's queue survives with its second packet; expiry re-arms.
         assert_eq!(b.flow_count(), 2);
-        let sweep = b.poll_timeouts(Nanos::from_millis(55));
+        let sweep = b.poll_timeouts(Nanos::from_millis(55), &pool);
         assert_eq!(sweep.expired.len(), 2, "both remaining entries age out");
         assert_eq!(b.occupancy(), 0);
         assert_eq!(b.flow_count(), 0, "emptied flows are removed entirely");
@@ -848,23 +955,28 @@ mod tests {
     fn disabled_ttl_gc_leaks_entries() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(100))
             .with_ttl(Nanos::from_millis(10));
+        let mut pool = PacketPool::new();
         b.set_ttl_gc_enabled(false);
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
-        let sweep = b.poll_timeouts(Nanos::from_millis(50));
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        let sweep = b.poll_timeouts(Nanos::from_millis(50), &pool);
         assert!(sweep.expired.is_empty(), "sabotaged GC must not collect");
         assert_eq!(b.occupancy(), 1);
         b.set_ttl_gc_enabled(true);
-        assert_eq!(b.poll_timeouts(Nanos::from_millis(50)).expired.len(), 1);
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(50), &pool).expired.len(),
+            1
+        );
     }
 
     #[test]
     fn exhaustion_falls_back() {
         let mut b = FlowGranularityBuffer::new(3, Nanos::from_millis(50));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
-        b.on_miss(Nanos::ZERO, pkt(2, 100), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(2, 100)), PortNo(1), &pool);
         assert_eq!(
-            b.on_miss(Nanos::ZERO, pkt(3, 100), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(3, 100)), PortNo(1), &pool),
             MissAction::SendFullPacketIn
         );
         assert_eq!(b.stats().fallback_full, 1);
@@ -874,10 +986,11 @@ mod tests {
     #[test]
     fn non_ip_traffic_falls_back() {
         let mut b = mk();
+        let mut pool = PacketPool::new();
         let arp =
             PacketBuilder::gratuitous_arp(MacAddr::from_host_index(1), Ipv4Addr::new(10, 0, 0, 1));
         assert_eq!(
-            b.on_miss(Nanos::ZERO, arp, PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(arp), PortNo(1), &pool),
             MissAction::SendFullPacketIn
         );
         assert_eq!(b.occupancy(), 0);
@@ -886,8 +999,9 @@ mod tests {
     #[test]
     fn no_pending_requests_no_timeout() {
         let mut b = mk();
+        let mut pool = PacketPool::new();
         assert_eq!(b.next_timeout(), None);
-        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
@@ -907,20 +1021,31 @@ mod tests {
     #[test]
     fn pressure_forces_full_packet_ins_without_touching_buffered() {
         let mut b = mk();
-        let id = match b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             _ => panic!(),
         };
         b.set_pressure(true);
         assert_eq!(
-            b.on_miss(Nanos::from_micros(1), pkt(1, 100), PortNo(1)),
+            b.on_miss(
+                Nanos::from_micros(1),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::SendFullPacketIn
         );
         assert_eq!(b.stats().fallback_full, 1);
         assert_eq!(b.occupancy(), 1, "already-buffered packets stay");
         b.set_pressure(false);
         assert!(matches!(
-            b.on_miss(Nanos::from_micros(2), pkt(1, 100), PortNo(1)),
+            b.on_miss(
+                Nanos::from_micros(2),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::Buffered { .. }
         ));
         assert_eq!(b.release(Nanos::from_micros(3), id).len(), 2);
@@ -929,19 +1054,28 @@ mod tests {
     #[test]
     fn disabled_rerequest_silences_algorithm_1_lines_12_13() {
         let mut b = FlowGranularityBuffer::new(16, Nanos::from_millis(10));
+        let mut pool = PacketPool::new();
         b.set_rerequest_enabled(false);
-        b.on_miss(Nanos::ZERO, pkt(1, 100), PortNo(1));
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
         // Far past the timeout: a healthy mechanism would re-request here.
         assert!(matches!(
-            b.on_miss(Nanos::from_millis(100), pkt(1, 100), PortNo(1)),
+            b.on_miss(
+                Nanos::from_millis(100),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::Buffered { .. }
         ));
         assert_eq!(b.next_timeout(), None);
-        assert!(b.poll_timeouts(Nanos::from_secs(1)).is_empty());
+        assert!(b.poll_timeouts(Nanos::from_secs(1), &pool).is_empty());
         assert_eq!(b.stats().rerequests, 0);
         // Re-enabling restores the guard.
         b.set_rerequest_enabled(true);
-        assert_eq!(b.poll_timeouts(Nanos::from_secs(1)).rerequests.len(), 1);
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_secs(1), &pool).rerequests.len(),
+            1
+        );
     }
 
     #[test]

@@ -28,26 +28,32 @@
 //! # Example
 //!
 //! ```
-//! use sdnbuf_switchbuf::{BufferMechanism, FlowGranularityBuffer, MissAction};
+//! use sdnbuf_switchbuf::{BufferMechanism, FlowGranularityBuffer, MissAction, PacketPool};
 //! use sdnbuf_net::PacketBuilder;
 //! use sdnbuf_openflow::PortNo;
 //! use sdnbuf_sim::Nanos;
 //!
 //! let mut buf = FlowGranularityBuffer::new(256, Nanos::from_millis(50));
-//! let p1 = PacketBuilder::udp().src_port(7).build();
-//! let p2 = PacketBuilder::udp().src_port(7).frame_size(1400).build();
+//! let mut pool = PacketPool::new();
+//! let p1 = pool.insert(PacketBuilder::udp().src_port(7).build());
+//! let p2 = pool.insert(PacketBuilder::udp().src_port(7).frame_size(1400).build());
 //!
 //! // First miss of the flow: buffered, one packet_in goes out.
-//! let a1 = buf.on_miss(Nanos::ZERO, p1, PortNo(1));
+//! let a1 = buf.on_miss(Nanos::ZERO, p1, PortNo(1), &pool);
 //! let id = match a1 { MissAction::SendBufferedPacketIn { buffer_id } => buffer_id, _ => panic!() };
 //! // Second miss of the same flow: buffered silently — no packet_in.
-//! let a2 = buf.on_miss(Nanos::from_micros(10), p2, PortNo(1));
+//! let a2 = buf.on_miss(Nanos::from_micros(10), p2, PortNo(1), &pool);
 //! assert_eq!(a2, MissAction::Buffered { buffer_id: id });
 //!
-//! // One packet_out drains the whole flow, in arrival order.
+//! // One packet_out drains the whole flow, in arrival order; the caller
+//! // inherits the released pool references.
 //! let released = buf.release(Nanos::from_millis(1), id);
 //! assert_eq!(released.len(), 2);
 //! assert_eq!(buf.occupancy(), 0);
+//! for bp in released {
+//!     pool.release(bp.packet);
+//! }
+//! assert!(pool.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,7 +66,9 @@ mod packet_gran;
 mod retry;
 
 pub use flow_gran::FlowGranularityBuffer;
-pub use mechanism::{BufferMechanism, BufferStats, BufferedPacket, MissAction, Rerequest};
+pub use mechanism::{
+    BufferMechanism, BufferStats, BufferedPacket, MissAction, PacketHandle, PacketPool, Rerequest,
+};
 pub use none::NoBuffer;
 pub use packet_gran::PacketGranularityBuffer;
 pub use retry::{GaveUpFlow, GiveUp, RetryPolicy, TimeoutSweep};

@@ -3,13 +3,24 @@
 use crate::TimeoutSweep;
 use sdnbuf_net::Packet;
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::{Nanos, Tracer};
+use sdnbuf_sim::{Nanos, Pool, PoolHandle, Tracer};
+
+/// The shared slab pool packet payloads live in while they traverse the
+/// simulated switch: links, buffer mechanisms and the testbed all pass
+/// 8-byte [`PacketHandle`]s instead of owned [`Packet`]s.
+pub type PacketPool = Pool<Packet>;
+
+/// A copyable reference to a packet in a [`PacketPool`].
+pub type PacketHandle = PoolHandle;
 
 /// A miss-match packet parked in switch buffer memory.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BufferedPacket {
-    /// The full original packet.
-    pub packet: Packet,
+    /// Handle of the full original packet. The mechanism holds its pool
+    /// reference while buffered; callers receiving a `BufferedPacket` from
+    /// [`BufferMechanism::release`] or a timeout sweep inherit that
+    /// reference (forward it, or release it back to the pool).
+    pub packet: PacketHandle,
     /// The port it arrived on.
     pub in_port: PortNo,
     /// When it entered the buffer.
@@ -24,16 +35,19 @@ pub struct BufferedPacket {
 pub enum MissAction {
     /// Not buffered (no buffer configured, buffer exhausted, or non-IP
     /// traffic under the flow-granularity mechanism): send a `packet_in`
-    /// carrying the **entire** packet with [`BufferId::NO_BUFFER`].
+    /// carrying the **entire** packet with [`BufferId::NO_BUFFER`]. The
+    /// caller keeps ownership of the packet handle.
     SendFullPacketIn,
-    /// The packet was buffered: send a `packet_in` carrying only the first
-    /// `miss_send_len` bytes, referencing `buffer_id`.
+    /// The packet was buffered (the mechanism took ownership of the
+    /// handle): send a `packet_in` carrying only the first `miss_send_len`
+    /// bytes, referencing `buffer_id`.
     SendBufferedPacketIn {
         /// Id the packet was filed under.
         buffer_id: BufferId,
     },
-    /// The packet was buffered under an already-announced flow `buffer_id`;
-    /// **no** `packet_in` is sent (Algorithm 1, line 11).
+    /// The packet was buffered under an already-announced flow `buffer_id`
+    /// (the mechanism took ownership of the handle); **no** `packet_in` is
+    /// sent (Algorithm 1, line 11).
     Buffered {
         /// The flow's shared id.
         buffer_id: BufferId,
@@ -42,13 +56,15 @@ pub enum MissAction {
 
 /// A re-request the mechanism wants sent because the controller's response
 /// timed out (Algorithm 1, lines 12–13).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Rerequest {
     /// The flow's shared buffer id.
     pub buffer_id: BufferId,
-    /// A clone of the first buffered packet, whose header rides in the
-    /// re-sent `packet_in`.
-    pub packet: Packet,
+    /// Handle of the first buffered packet, whose header rides in the
+    /// re-sent `packet_in`. This is a **borrowed view**: the mechanism
+    /// still owns the buffered packet and its pool reference — read it,
+    /// don't release it.
+    pub packet: PacketHandle,
     /// Ingress port of that packet.
     pub in_port: PortNo,
 }
@@ -87,10 +103,14 @@ pub struct BufferStats {
 /// The switch's slow path calls [`BufferMechanism::on_miss`] for every
 /// table-miss packet and [`BufferMechanism::release`] for every valid
 /// `packet_out`; the mechanism decides how requests to the controller are
-/// generated. Implementations must uphold:
+/// generated. Packets are addressed by pool handle; ownership of the
+/// handle's reference follows the [`MissAction`]: the mechanism takes it
+/// when it buffers, the caller keeps it on a full-packet fallback.
+/// Implementations must uphold:
 ///
-/// * **No loss, no duplication** — every buffered packet is returned by
-///   exactly one `release` call (or remains buffered).
+/// * **No loss, no duplication** — every buffered packet's handle is
+///   returned by exactly one `release` or timeout-sweep call (or remains
+///   buffered).
 /// * **FIFO per flow** — `release` returns packets in arrival order.
 /// * **Bounded occupancy** — `occupancy() <= capacity()` at all times.
 pub trait BufferMechanism {
@@ -98,12 +118,22 @@ pub trait BufferMechanism {
     fn name(&self) -> &'static str;
 
     /// Handles a table-miss packet; decides whether it is buffered and what
-    /// kind of `packet_in` (if any) must be sent.
-    fn on_miss(&mut self, now: Nanos, packet: Packet, in_port: PortNo) -> MissAction;
+    /// kind of `packet_in` (if any) must be sent. On
+    /// [`MissAction::SendFullPacketIn`] the caller keeps ownership of
+    /// `packet`'s pool reference; on the buffered outcomes the mechanism
+    /// takes it.
+    fn on_miss(
+        &mut self,
+        now: Nanos,
+        packet: PacketHandle,
+        in_port: PortNo,
+        pool: &PacketPool,
+    ) -> MissAction;
 
     /// Releases the packet(s) filed under `buffer_id` for a `packet_out`.
-    /// Returns them in FIFO order; empty when the id is unknown (the
-    /// `packet_out` then applies to nothing, per the OpenFlow spec).
+    /// Returns them in FIFO order (the caller inherits their pool
+    /// references); empty when the id is unknown (the `packet_out` then
+    /// applies to nothing, per the OpenFlow spec).
     fn release(&mut self, now: Nanos, buffer_id: BufferId) -> Vec<BufferedPacket>;
 
     /// The earliest pending deadline — re-request or TTL expiry — for
@@ -113,8 +143,9 @@ pub trait BufferMechanism {
 
     /// Sweeps every deadline due at or before `now`: collects the
     /// re-requests (resetting their timers), garbage-collects TTL-expired
-    /// entries, and removes flows whose retry budget ran out.
-    fn poll_timeouts(&mut self, now: Nanos) -> TimeoutSweep;
+    /// entries (the caller inherits their pool references), and removes
+    /// flows whose retry budget ran out.
+    fn poll_timeouts(&mut self, now: Nanos, pool: &PacketPool) -> TimeoutSweep;
 
     /// Buffer units currently in use.
     fn occupancy(&self) -> usize;

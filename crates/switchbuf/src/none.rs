@@ -1,7 +1,9 @@
 //! The no-buffer mechanism: OpenFlow's default behaviour.
 
-use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, TimeoutSweep};
-use sdnbuf_net::Packet;
+use crate::{
+    BufferMechanism, BufferStats, BufferedPacket, MissAction, PacketHandle, PacketPool,
+    TimeoutSweep,
+};
 use sdnbuf_openflow::{BufferId, PortNo};
 use sdnbuf_sim::Nanos;
 
@@ -20,7 +22,9 @@ use sdnbuf_sim::Nanos;
 /// use sdnbuf_sim::Nanos;
 ///
 /// let mut buf = NoBuffer::new();
-/// let action = buf.on_miss(Nanos::ZERO, PacketBuilder::udp().build(), PortNo(1));
+/// let mut pool = sdnbuf_switchbuf::PacketPool::new();
+/// let pkt = pool.insert(PacketBuilder::udp().build());
+/// let action = buf.on_miss(Nanos::ZERO, pkt, PortNo(1), &pool);
 /// assert_eq!(action, MissAction::SendFullPacketIn);
 /// assert_eq!(buf.capacity(), 0);
 /// ```
@@ -41,7 +45,13 @@ impl BufferMechanism for NoBuffer {
         "no-buffer"
     }
 
-    fn on_miss(&mut self, _now: Nanos, _packet: Packet, _in_port: PortNo) -> MissAction {
+    fn on_miss(
+        &mut self,
+        _now: Nanos,
+        _packet: PacketHandle,
+        _in_port: PortNo,
+        _pool: &PacketPool,
+    ) -> MissAction {
         self.stats.fallback_full += 1;
         MissAction::SendFullPacketIn
     }
@@ -55,7 +65,7 @@ impl BufferMechanism for NoBuffer {
         None
     }
 
-    fn poll_timeouts(&mut self, _now: Nanos) -> TimeoutSweep {
+    fn poll_timeouts(&mut self, _now: Nanos, _pool: &PacketPool) -> TimeoutSweep {
         TimeoutSweep::default()
     }
 
@@ -80,12 +90,15 @@ mod tests {
     #[test]
     fn always_sends_full_packets() {
         let mut b = NoBuffer::new();
+        let mut pool = PacketPool::new();
         for i in 0..5 {
-            let p = PacketBuilder::udp().src_port(i).build();
+            let p = pool.insert(PacketBuilder::udp().src_port(i).build());
             assert_eq!(
-                b.on_miss(Nanos::ZERO, p, PortNo(1)),
+                b.on_miss(Nanos::ZERO, p, PortNo(1), &pool),
                 MissAction::SendFullPacketIn
             );
+            // Full-packet fallback: the caller keeps ownership.
+            assert!(pool.release(p).is_some());
         }
         assert_eq!(b.stats().fallback_full, 5);
         assert_eq!(b.occupancy(), 0);
@@ -102,7 +115,9 @@ mod tests {
     fn never_times_out() {
         let mut b = NoBuffer::new();
         assert_eq!(b.next_timeout(), None);
-        assert!(b.poll_timeouts(Nanos::from_secs(100)).is_empty());
+        assert!(b
+            .poll_timeouts(Nanos::from_secs(100), &PacketPool::new())
+            .is_empty());
     }
 
     #[test]

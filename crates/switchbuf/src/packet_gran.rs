@@ -1,10 +1,12 @@
 //! The packet-granularity buffer: OpenFlow's default buffer mechanism.
 
-use crate::{BufferMechanism, BufferStats, BufferedPacket, MissAction, TimeoutSweep};
-use sdnbuf_net::Packet;
+use crate::{
+    BufferMechanism, BufferStats, BufferedPacket, MissAction, PacketHandle, PacketPool,
+    TimeoutSweep,
+};
 use sdnbuf_openflow::{BufferId, PortNo};
-use sdnbuf_sim::{EventKind, Nanos, Tracer};
-use std::collections::{HashMap, VecDeque};
+use sdnbuf_sim::{EventKind, FastHashMap, Nanos, Tracer};
+use std::collections::VecDeque;
 
 /// The default OpenFlow buffer the paper's Section IV analyses: each
 /// miss-match packet occupies one buffer unit under its own exclusive
@@ -20,19 +22,21 @@ use std::collections::{HashMap, VecDeque};
 ///
 /// ```
 /// use sdnbuf_switchbuf::{BufferMechanism, MissAction, PacketGranularityBuffer};
-/// use sdnbuf_net::PacketBuilder;
+/// use sdnbuf_net::{Packet, PacketBuilder};
 /// use sdnbuf_openflow::PortNo;
 /// use sdnbuf_sim::Nanos;
 ///
 /// let mut buf = PacketGranularityBuffer::new(16);
-/// let action = buf.on_miss(Nanos::ZERO, PacketBuilder::udp().build(), PortNo(1));
+/// let mut pool = sdnbuf_switchbuf::PacketPool::new();
+/// let pkt = pool.insert(PacketBuilder::udp().build());
+/// let action = buf.on_miss(Nanos::ZERO, pkt, PortNo(1), &pool);
 /// assert!(matches!(action, MissAction::SendBufferedPacketIn { .. }));
 /// assert_eq!(buf.occupancy(), 1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct PacketGranularityBuffer {
     capacity: usize,
-    units: HashMap<u32, BufferedPacket>,
+    units: FastHashMap<u32, BufferedPacket>,
     /// Units whose packet was released but whose slot is reclaimed lazily;
     /// each entry is the time the slot becomes available again.
     pending_free: VecDeque<Nanos>,
@@ -78,7 +82,7 @@ impl PacketGranularityBuffer {
         assert!(capacity > 0, "buffer capacity must be positive");
         PacketGranularityBuffer {
             capacity,
-            units: HashMap::with_capacity(capacity),
+            units: FastHashMap::with_capacity_and_hasher(capacity, Default::default()),
             pending_free: VecDeque::new(),
             free_lag,
             next_id: 0,
@@ -129,7 +133,13 @@ impl BufferMechanism for PacketGranularityBuffer {
         "packet-granularity"
     }
 
-    fn on_miss(&mut self, now: Nanos, packet: Packet, in_port: PortNo) -> MissAction {
+    fn on_miss(
+        &mut self,
+        now: Nanos,
+        packet: PacketHandle,
+        in_port: PortNo,
+        _pool: &PacketPool,
+    ) -> MissAction {
         self.reclaim(now);
         if self.pressured || self.units.len() + self.pending_free.len() >= self.capacity {
             self.stats.fallback_full += 1;
@@ -204,7 +214,7 @@ impl BufferMechanism for PacketGranularityBuffer {
         self.units.values().map(|p| p.buffered_at + ttl).min()
     }
 
-    fn poll_timeouts(&mut self, now: Nanos) -> TimeoutSweep {
+    fn poll_timeouts(&mut self, now: Nanos, pool: &PacketPool) -> TimeoutSweep {
         let mut sweep = TimeoutSweep::default();
         let Some(ttl) = self.ttl else { return sweep };
         if !self.ttl_gc_enabled {
@@ -223,7 +233,7 @@ impl BufferMechanism for PacketGranularityBuffer {
         for id in due {
             let p = self.units.remove(&id).expect("due unit exists");
             self.stats.expired += 1;
-            self.stats.expired_bytes += p.packet.wire_len() as u64;
+            self.stats.expired_bytes += pool.get(p.packet).map_or(0, |pk| pk.wire_len()) as u64;
             self.tracer.emit(
                 now,
                 EventKind::BufferExpire {
@@ -268,25 +278,26 @@ impl BufferMechanism for PacketGranularityBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdnbuf_net::PacketBuilder;
+    use sdnbuf_net::{Packet, PacketBuilder};
 
     #[test]
     fn pressure_refuses_new_units_but_keeps_existing() {
         let mut b = PacketGranularityBuffer::new(16);
-        let id = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
         b.set_pressure(true);
         assert_eq!(
-            b.on_miss(Nanos::ZERO, pkt(2), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(2)), PortNo(1), &pool),
             MissAction::SendFullPacketIn
         );
         assert_eq!(b.stats().fallback_full, 1);
         assert_eq!(b.release(Nanos::ZERO, id).len(), 1, "release still works");
         b.set_pressure(false);
         assert!(matches!(
-            b.on_miss(Nanos::ZERO, pkt(3), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(3)), PortNo(1), &pool),
             MissAction::SendBufferedPacketIn { .. }
         ));
     }
@@ -298,8 +309,9 @@ mod tests {
     #[test]
     fn each_miss_gets_its_own_id() {
         let mut b = PacketGranularityBuffer::new(16);
-        let a1 = b.on_miss(Nanos::ZERO, pkt(1), PortNo(1));
-        let a2 = b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)); // same flow!
+        let mut pool = PacketPool::new();
+        let a1 = b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool);
+        let a2 = b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool); // same flow!
         let (id1, id2) = match (a1, a2) {
             (
                 MissAction::SendBufferedPacketIn { buffer_id: x },
@@ -316,7 +328,8 @@ mod tests {
     #[test]
     fn release_returns_exactly_one_packet() {
         let mut b = PacketGranularityBuffer::new(4);
-        let id = match b.on_miss(Nanos::from_micros(3), pkt(9), PortNo(2)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::from_micros(3), pool.insert(pkt(9)), PortNo(2), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
@@ -334,17 +347,18 @@ mod tests {
     #[test]
     fn exhaustion_falls_back_to_full_packets() {
         let mut b = PacketGranularityBuffer::new(2);
+        let mut pool = PacketPool::new();
         assert!(matches!(
-            b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool),
             MissAction::SendBufferedPacketIn { .. }
         ));
         assert!(matches!(
-            b.on_miss(Nanos::ZERO, pkt(2), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(2)), PortNo(1), &pool),
             MissAction::SendBufferedPacketIn { .. }
         ));
         // Buffer full: fall back.
         assert_eq!(
-            b.on_miss(Nanos::ZERO, pkt(3), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(3)), PortNo(1), &pool),
             MissAction::SendFullPacketIn
         );
         assert_eq!(b.stats().fallback_full, 1);
@@ -354,18 +368,19 @@ mod tests {
     #[test]
     fn released_units_are_reusable() {
         let mut b = PacketGranularityBuffer::new(1);
-        let id = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
         assert_eq!(
-            b.on_miss(Nanos::ZERO, pkt(2), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(2)), PortNo(1), &pool),
             MissAction::SendFullPacketIn
         );
         b.release(Nanos::ZERO, id);
         // A unit is free again.
         assert!(matches!(
-            b.on_miss(Nanos::ZERO, pkt(3), PortNo(1)),
+            b.on_miss(Nanos::ZERO, pool.insert(pkt(3)), PortNo(1), &pool),
             MissAction::SendBufferedPacketIn { .. }
         ));
     }
@@ -373,9 +388,10 @@ mod tests {
     #[test]
     fn ids_do_not_collide_after_wraparound_reuse() {
         let mut b = PacketGranularityBuffer::new(4);
+        let mut pool = PacketPool::new();
         let mut live = std::collections::HashSet::new();
         for round in 0..10 {
-            match b.on_miss(Nanos::ZERO, pkt(round), PortNo(1)) {
+            match b.on_miss(Nanos::ZERO, pool.insert(pkt(round)), PortNo(1), &pool) {
                 MissAction::SendBufferedPacketIn { buffer_id } => {
                     // A freshly allocated id must never collide with one
                     // still in use.
@@ -395,10 +411,11 @@ mod tests {
     #[test]
     fn peak_occupancy_tracked() {
         let mut b = PacketGranularityBuffer::new(8);
+        let mut pool = PacketPool::new();
         let mut ids = Vec::new();
         for i in 0..5 {
             if let MissAction::SendBufferedPacketIn { buffer_id } =
-                b.on_miss(Nanos::ZERO, pkt(i), PortNo(1))
+                b.on_miss(Nanos::ZERO, pool.insert(pkt(i)), PortNo(1), &pool)
             {
                 ids.push(buffer_id);
             }
@@ -415,9 +432,10 @@ mod tests {
     #[test]
     fn no_timeouts() {
         let mut b = PacketGranularityBuffer::new(1);
-        b.on_miss(Nanos::ZERO, pkt(1), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool);
         assert_eq!(b.next_timeout(), None);
-        assert!(b.poll_timeouts(Nanos::from_secs(10)).is_empty());
+        assert!(b.poll_timeouts(Nanos::from_secs(10), &pool).is_empty());
     }
 
     #[test]
@@ -430,20 +448,31 @@ mod tests {
     fn ttl_expires_stranded_units_oldest_first() {
         let ttl = Nanos::from_millis(30);
         let mut b = PacketGranularityBuffer::new(4).with_ttl(ttl);
-        b.on_miss(Nanos::ZERO, pkt(1), PortNo(1));
-        b.on_miss(Nanos::from_millis(10), pkt(2), PortNo(1));
+        let mut pool = PacketPool::new();
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool);
+        b.on_miss(
+            Nanos::from_millis(10),
+            pool.insert(pkt(2)),
+            PortNo(1),
+            &pool,
+        );
         assert_eq!(b.next_timeout(), Some(Nanos::from_millis(30)));
-        let sweep = b.poll_timeouts(Nanos::from_millis(35));
+        let sweep = b.poll_timeouts(Nanos::from_millis(35), &pool);
         assert_eq!(sweep.expired.len(), 1, "only the first unit aged out");
         assert_eq!(b.occupancy(), 1);
         assert_eq!(b.stats().expired, 1);
         assert!(b.stats().expired_bytes > 0);
         // The freed slot is reusable immediately.
         assert!(matches!(
-            b.on_miss(Nanos::from_millis(36), pkt(3), PortNo(1)),
+            b.on_miss(
+                Nanos::from_millis(36),
+                pool.insert(pkt(3)),
+                PortNo(1),
+                &pool
+            ),
             MissAction::SendBufferedPacketIn { .. }
         ));
-        let sweep = b.poll_timeouts(Nanos::from_millis(100));
+        let sweep = b.poll_timeouts(Nanos::from_millis(100), &pool);
         assert_eq!(sweep.expired.len(), 2);
         assert_eq!(b.occupancy(), 0);
         assert_eq!(b.next_timeout(), None);
@@ -452,19 +481,21 @@ mod tests {
     #[test]
     fn disabled_ttl_gc_leaks_units() {
         let mut b = PacketGranularityBuffer::new(4).with_ttl(Nanos::from_millis(10));
+        let mut pool = PacketPool::new();
         b.set_ttl_gc_enabled(false);
-        b.on_miss(Nanos::ZERO, pkt(1), PortNo(1));
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool);
         assert_eq!(b.next_timeout(), None, "sabotaged GC schedules nothing");
-        assert!(b.poll_timeouts(Nanos::from_secs(1)).is_empty());
+        assert!(b.poll_timeouts(Nanos::from_secs(1), &pool).is_empty());
         assert_eq!(b.occupancy(), 1);
         b.set_ttl_gc_enabled(true);
-        assert_eq!(b.poll_timeouts(Nanos::from_secs(1)).expired.len(), 1);
+        assert_eq!(b.poll_timeouts(Nanos::from_secs(1), &pool).expired.len(), 1);
     }
 
     #[test]
     fn stale_generation_release_is_rejected() {
         let mut b = PacketGranularityBuffer::new(1);
-        let stale = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let stale = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
@@ -474,7 +505,7 @@ mod tests {
         // is unnecessary — capacity 1 re-allocates a fresh id, so emulate a
         // stale duplicate by re-tagging the *new* unit's raw id with the
         // old generation.
-        let fresh = match b.on_miss(Nanos::from_micros(2), pkt(2), PortNo(1)) {
+        let fresh = match b.on_miss(Nanos::from_micros(2), pool.insert(pkt(2)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
@@ -491,7 +522,8 @@ mod tests {
     fn lazy_reclamation_keeps_units_unavailable() {
         let lag = Nanos::from_millis(3);
         let mut b = PacketGranularityBuffer::with_free_lag(1, lag);
-        let id = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
@@ -500,12 +532,12 @@ mod tests {
         // Slot not yet reclaimed: still "occupied" and unusable.
         assert_eq!(b.occupancy(), 1);
         assert_eq!(
-            b.on_miss(Nanos::from_millis(2), pkt(2), PortNo(1)),
+            b.on_miss(Nanos::from_millis(2), pool.insert(pkt(2)), PortNo(1), &pool),
             MissAction::SendFullPacketIn
         );
         // After the lag the slot is reusable.
         assert!(matches!(
-            b.on_miss(t_release + lag, pkt(3), PortNo(1)),
+            b.on_miss(t_release + lag, pool.insert(pkt(3)), PortNo(1), &pool),
             MissAction::SendBufferedPacketIn { .. }
         ));
     }
@@ -513,14 +545,15 @@ mod tests {
     #[test]
     fn zero_lag_reclaims_immediately() {
         let mut b = PacketGranularityBuffer::with_free_lag(1, Nanos::ZERO);
-        let id = match b.on_miss(Nanos::ZERO, pkt(1), PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
         b.release(Nanos::from_micros(1), id);
         assert_eq!(b.occupancy(), 0);
         assert!(matches!(
-            b.on_miss(Nanos::from_micros(1), pkt(2), PortNo(1)),
+            b.on_miss(Nanos::from_micros(1), pool.insert(pkt(2)), PortNo(1), &pool),
             MissAction::SendBufferedPacketIn { .. }
         ));
     }

@@ -2,11 +2,12 @@
 //! or duplicated, occupancy stays bounded, and FIFO order holds per flow.
 
 use proptest::prelude::*;
-use sdnbuf_net::{FlowKey, PacketBuilder};
+use sdnbuf_net::{FlowKey, Packet, PacketBuilder};
 use sdnbuf_openflow::{BufferId, PortNo};
 use sdnbuf_sim::Nanos;
 use sdnbuf_switchbuf::{
-    BufferMechanism, FlowGranularityBuffer, MissAction, PacketGranularityBuffer, RetryPolicy,
+    BufferMechanism, FlowGranularityBuffer, MissAction, PacketGranularityBuffer, PacketPool,
+    RetryPolicy, TimeoutSweep,
 };
 use std::collections::HashMap;
 
@@ -56,18 +57,35 @@ fn arb_timed_ops() -> impl Strategy<Value = Vec<TimedOp>> {
     )
 }
 
+/// Resolves a timeout sweep's re-requests into handle-free form so two
+/// mechanisms backed by different pool slots can be compared.
+fn resolved_rerequests(sweep: &TimeoutSweep, pool: &PacketPool) -> Vec<(BufferId, PortNo, Packet)> {
+    sweep
+        .rerequests
+        .iter()
+        .map(|rr| {
+            (
+                rr.buffer_id,
+                rr.in_port,
+                pool.get(rr.packet).expect("live re-request packet").clone(),
+            )
+        })
+        .collect()
+}
+
 /// Drives a mechanism through an operation sequence while checking the
 /// conservation invariants; returns (buffered, released, fallback).
 fn drive(mech: &mut dyn BufferMechanism, ops: &[Op]) -> (u64, u64, u64) {
     let mut now = Nanos::ZERO;
+    let mut pool = PacketPool::new();
     let mut outstanding: Vec<BufferId> = Vec::new();
     let mut in_buffer: u64 = 0;
     for op in ops {
         now += Nanos::from_micros(100);
         match op {
             Op::Miss { flow } => {
-                let pkt = PacketBuilder::udp().src_port(*flow).build();
-                match mech.on_miss(now, pkt, PortNo(1)) {
+                let pkt = pool.insert(PacketBuilder::udp().src_port(*flow).build());
+                match mech.on_miss(now, pkt, PortNo(1), &pool) {
                     MissAction::SendBufferedPacketIn { buffer_id } => {
                         if !outstanding.contains(&buffer_id) {
                             outstanding.push(buffer_id);
@@ -81,7 +99,10 @@ fn drive(mech: &mut dyn BufferMechanism, ops: &[Op]) -> (u64, u64, u64) {
                         );
                         in_buffer += 1;
                     }
-                    MissAction::SendFullPacketIn => {}
+                    MissAction::SendFullPacketIn => {
+                        // The caller keeps ownership on a fallback.
+                        assert!(pool.release(pkt).is_some());
+                    }
                 }
             }
             Op::Release { nth } => {
@@ -89,14 +110,28 @@ fn drive(mech: &mut dyn BufferMechanism, ops: &[Op]) -> (u64, u64, u64) {
                     let id = outstanding.remove(nth % outstanding.len());
                     let released = mech.release(now, id);
                     in_buffer -= released.len() as u64;
-                    for p in &released {
+                    for p in released {
                         assert_eq!(p.buffer_id, id, "released packet filed under wrong id");
+                        assert!(
+                            pool.release(p.packet).is_some(),
+                            "released packet's pool reference must be live"
+                        );
                     }
                 }
             }
             Op::Tick => {
                 now += Nanos::from_millis(20);
-                let _ = mech.poll_timeouts(now);
+                let sweep = mech.poll_timeouts(now, &pool);
+                for bp in sweep.expired {
+                    assert!(pool.release(bp.packet).is_some());
+                    in_buffer -= 1;
+                }
+                for flow in sweep.gave_up {
+                    for bp in flow.packets {
+                        assert!(pool.release(bp.packet).is_some());
+                        in_buffer -= 1;
+                    }
+                }
             }
         }
         assert!(
@@ -107,6 +142,11 @@ fn drive(mech: &mut dyn BufferMechanism, ops: &[Op]) -> (u64, u64, u64) {
             mech.occupancy() as u64,
             in_buffer,
             "mechanism occupancy disagrees with external count"
+        );
+        assert_eq!(
+            pool.len(),
+            mech.occupancy(),
+            "pool live count disagrees with buffer occupancy"
         );
     }
     let s = mech.stats();
@@ -136,12 +176,13 @@ proptest! {
         // All packets arrive within the timeout window: exactly one
         // packet_in per distinct flow.
         let mut mech = FlowGranularityBuffer::new(1024, Nanos::from_secs(10));
+        let mut pool = PacketPool::new();
         let mut requests: HashMap<u16, u32> = HashMap::new();
         let mut now = Nanos::ZERO;
         for flow in &flows {
             now += Nanos::from_micros(10);
-            let pkt = PacketBuilder::udp().src_port(*flow).build();
-            match mech.on_miss(now, pkt, PortNo(1)) {
+            let pkt = pool.insert(PacketBuilder::udp().src_port(*flow).build());
+            match mech.on_miss(now, pkt, PortNo(1), &pool) {
                 MissAction::SendBufferedPacketIn { .. } => {
                     *requests.entry(*flow).or_insert(0) += 1;
                 }
@@ -159,10 +200,11 @@ proptest! {
         sizes in proptest::collection::vec(64usize..1400, 2..30),
     ) {
         let mut mech = FlowGranularityBuffer::new(1024, Nanos::from_secs(10));
+        let mut pool = PacketPool::new();
         let mut id = None;
         for (i, size) in sizes.iter().enumerate() {
-            let pkt = PacketBuilder::udp().src_port(9).frame_size(*size).build();
-            match mech.on_miss(Nanos::from_micros(i as u64), pkt, PortNo(1)) {
+            let pkt = pool.insert(PacketBuilder::udp().src_port(9).frame_size(*size).build());
+            match mech.on_miss(Nanos::from_micros(i as u64), pkt, PortNo(1), &pool) {
                 MissAction::SendBufferedPacketIn { buffer_id } => id = Some(buffer_id),
                 MissAction::Buffered { .. } => {}
                 MissAction::SendFullPacketIn => unreachable!(),
@@ -172,8 +214,12 @@ proptest! {
         prop_assert_eq!(released.len(), sizes.len());
         for (i, (p, size)) in released.iter().zip(&sizes).enumerate() {
             prop_assert_eq!(p.buffered_at, Nanos::from_micros(i as u64));
-            prop_assert_eq!(p.packet.wire_len(), *size);
+            prop_assert_eq!(pool.get(p.packet).unwrap().wire_len(), *size);
         }
+        for p in released {
+            pool.release(p.packet);
+        }
+        prop_assert!(pool.is_empty());
     }
 
     #[test]
@@ -181,18 +227,22 @@ proptest! {
         flows in proptest::collection::vec(0u16..4, 1..40),
     ) {
         let mut mech = PacketGranularityBuffer::new(1024);
+        let mut pool = PacketPool::new();
         let mut ids = Vec::new();
         for (i, flow) in flows.iter().enumerate() {
-            let pkt = PacketBuilder::udp().src_port(*flow).build();
-            match mech.on_miss(Nanos::from_micros(i as u64), pkt, PortNo(1)) {
+            let pkt = pool.insert(PacketBuilder::udp().src_port(*flow).build());
+            match mech.on_miss(Nanos::from_micros(i as u64), pkt, PortNo(1), &pool) {
                 MissAction::SendBufferedPacketIn { buffer_id } => ids.push(buffer_id),
                 other => panic!("{other:?}"),
             }
         }
         for id in ids {
-            prop_assert_eq!(mech.release(Nanos::from_secs(1), id).len(), 1);
+            let released = mech.release(Nanos::from_secs(1), id);
+            prop_assert_eq!(released.len(), 1);
+            pool.release(released[0].packet);
         }
         prop_assert_eq!(mech.occupancy(), 0);
+        prop_assert!(pool.is_empty());
     }
 
     /// Algorithm 1's request discipline under arbitrary interleavings of
@@ -210,6 +260,7 @@ proptest! {
     ) {
         let timeout = Nanos::from_millis(timeout_ms);
         let mut mech = FlowGranularityBuffer::new(1024, timeout);
+        let mut pool = PacketPool::new();
         let mut now = Nanos::ZERO;
         let mut outstanding: Vec<BufferId> = Vec::new();
         let mut last_request: HashMap<u32, Nanos> = HashMap::new();
@@ -217,8 +268,8 @@ proptest! {
             now += Nanos::from_micros(10);
             match op {
                 TimedOp::Miss { flow } => {
-                    let pkt = PacketBuilder::udp().src_port(*flow).build();
-                    match mech.on_miss(now, pkt, PortNo(1)) {
+                    let pkt = pool.insert(PacketBuilder::udp().src_port(*flow).build());
+                    match mech.on_miss(now, pkt, PortNo(1), &pool) {
                         MissAction::SendBufferedPacketIn { buffer_id } => {
                             // Fresh announcement or an on-miss re-request:
                             // either way, any previous request for the id
@@ -234,12 +285,15 @@ proptest! {
                                 outstanding.push(buffer_id);
                             }
                         }
-                        MissAction::Buffered { .. } | MissAction::SendFullPacketIn => {}
+                        MissAction::Buffered { .. } => {}
+                        MissAction::SendFullPacketIn => {
+                            pool.release(pkt);
+                        }
                     }
                 }
                 TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
                 TimedOp::Poll => {
-                    for rr in mech.poll_timeouts(now).rerequests {
+                    for rr in mech.poll_timeouts(now, &pool).rerequests {
                         let prev = last_request.insert(rr.buffer_id.as_u32(), now);
                         let prev = prev.expect("re-request for a never-requested id");
                         prop_assert!(
@@ -257,6 +311,9 @@ proptest! {
                         let released = mech.release(now, id);
                         prop_assert!(!released.is_empty(), "known id released nothing");
                         prop_assert_eq!(mech.occupancy(), before - released.len());
+                        for p in released {
+                            pool.release(p.packet);
+                        }
                         // The drained queue frees its id: releasing it again
                         // applies to nothing, and it leaves the timeout
                         // schedule (checked via next_timeout below).
@@ -285,6 +342,7 @@ proptest! {
     fn disabled_rerequest_stays_silent_forever(ops in arb_timed_ops()) {
         let mut mech = FlowGranularityBuffer::new(1024, Nanos::from_millis(5));
         mech.set_rerequest_enabled(false);
+        let mut pool = PacketPool::new();
         let mut now = Nanos::ZERO;
         let mut outstanding: Vec<BufferId> = Vec::new();
         let mut announced: HashMap<u32, u32> = HashMap::new();
@@ -292,8 +350,8 @@ proptest! {
             now += Nanos::from_micros(10);
             match op {
                 TimedOp::Miss { flow } => {
-                    let pkt = PacketBuilder::udp().src_port(*flow).build();
-                    match mech.on_miss(now, pkt, PortNo(1)) {
+                    let pkt = pool.insert(PacketBuilder::udp().src_port(*flow).build());
+                    match mech.on_miss(now, pkt, PortNo(1), &pool) {
                         MissAction::SendBufferedPacketIn { buffer_id } => {
                             let n = announced.entry(buffer_id.as_u32()).or_insert(0);
                             *n += 1;
@@ -303,18 +361,23 @@ proptest! {
                             );
                             outstanding.push(buffer_id);
                         }
-                        MissAction::Buffered { .. } | MissAction::SendFullPacketIn => {}
+                        MissAction::Buffered { .. } => {}
+                        MissAction::SendFullPacketIn => {
+                            pool.release(pkt);
+                        }
                     }
                 }
                 TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
                 TimedOp::Poll => {
-                    prop_assert!(mech.poll_timeouts(now).is_empty());
+                    prop_assert!(mech.poll_timeouts(now, &pool).is_empty());
                     prop_assert!(mech.next_timeout().is_none());
                 }
                 TimedOp::Release { nth } => {
                     if !outstanding.is_empty() {
                         let id = outstanding.remove(nth % outstanding.len());
-                        mech.release(now, id);
+                        for p in mech.release(now, id) {
+                            pool.release(p.packet);
+                        }
                         announced.remove(&id.as_u32());
                     }
                 }
@@ -362,6 +425,8 @@ proptest! {
     /// Jitter draws come from a dedicated seeded RNG: two mechanisms with
     /// the same policy (same seed) driven through the same operations
     /// produce identical re-request schedules, deadline for deadline.
+    /// (Pool handles differ between the two instances, so sweeps and
+    /// releases are compared after resolving handles to packets.)
     #[test]
     fn jitter_is_deterministic_for_a_fixed_seed(
         ops in arb_timed_ops(),
@@ -375,6 +440,7 @@ proptest! {
         let timeout = Nanos::from_millis(10);
         let mut a = FlowGranularityBuffer::new(1024, timeout).with_retry_policy(policy);
         let mut b = FlowGranularityBuffer::new(1024, timeout).with_retry_policy(policy);
+        let mut pool = PacketPool::new();
         let mut now = Nanos::ZERO;
         let mut outstanding: Vec<BufferId> = Vec::new();
         for op in &ops {
@@ -382,9 +448,15 @@ proptest! {
             match op {
                 TimedOp::Miss { flow } => {
                     let mk = || PacketBuilder::udp().src_port(*flow).build();
-                    let ra = a.on_miss(now, mk(), PortNo(1));
-                    let rb = b.on_miss(now, mk(), PortNo(1));
+                    let ha = pool.insert(mk());
+                    let hb = pool.insert(mk());
+                    let ra = a.on_miss(now, ha, PortNo(1), &pool);
+                    let rb = b.on_miss(now, hb, PortNo(1), &pool);
                     prop_assert_eq!(&ra, &rb, "on_miss diverged at {:?}", now);
+                    if ra == MissAction::SendFullPacketIn {
+                        pool.release(ha);
+                        pool.release(hb);
+                    }
                     if let MissAction::SendBufferedPacketIn { buffer_id } = ra {
                         if !outstanding.contains(&buffer_id) {
                             outstanding.push(buffer_id);
@@ -393,12 +465,28 @@ proptest! {
                 }
                 TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
                 TimedOp::Poll => {
-                    prop_assert_eq!(a.poll_timeouts(now), b.poll_timeouts(now));
+                    let sa = a.poll_timeouts(now, &pool);
+                    let sb = b.poll_timeouts(now, &pool);
+                    prop_assert_eq!(
+                        resolved_rerequests(&sa, &pool),
+                        resolved_rerequests(&sb, &pool)
+                    );
+                    prop_assert!(sa.expired.is_empty() && sa.gave_up.is_empty());
+                    prop_assert!(sb.expired.is_empty() && sb.gave_up.is_empty());
                 }
                 TimedOp::Release { nth } => {
                     if !outstanding.is_empty() {
                         let id = outstanding.remove(nth % outstanding.len());
-                        prop_assert_eq!(a.release(now, id), b.release(now, id));
+                        let taken = |pool: &mut PacketPool, bps: Vec<sdnbuf_switchbuf::BufferedPacket>| {
+                            bps.into_iter()
+                                .map(|bp| {
+                                    (bp.buffer_id, bp.in_port, bp.buffered_at, pool.take(bp.packet))
+                                })
+                                .collect::<Vec<_>>()
+                        };
+                        let da = a.release(now, id);
+                        let db = b.release(now, id);
+                        prop_assert_eq!(taken(&mut pool, da), taken(&mut pool, db));
                     }
                 }
             }
@@ -418,6 +506,7 @@ proptest! {
         let policy = RetryPolicy::backoff(Nanos::from_millis(40), budget);
         let mut mech =
             FlowGranularityBuffer::new(1024, Nanos::from_millis(10)).with_retry_policy(policy);
+        let mut pool = PacketPool::new();
         let mut now = Nanos::ZERO;
         let mut outstanding: Vec<BufferId> = Vec::new();
         let mut retries: HashMap<u32, u32> = HashMap::new();
@@ -426,25 +515,32 @@ proptest! {
             now += Nanos::from_micros(10);
             match op {
                 TimedOp::Miss { flow } => {
-                    let pkt = PacketBuilder::udp().src_port(*flow).build();
-                    if let MissAction::SendBufferedPacketIn { buffer_id } =
-                        mech.on_miss(now, pkt, PortNo(1))
-                    {
-                        if outstanding.contains(&buffer_id) {
-                            // An on-miss re-announcement spends budget too.
-                            let n = retries.entry(buffer_id.as_u32()).or_insert(0);
-                            *n += 1;
-                            total_rerequests += 1;
-                            prop_assert!(*n <= budget, "flow re-requested {n} > budget {budget}");
-                        } else {
-                            outstanding.push(buffer_id);
-                            retries.insert(buffer_id.as_u32(), 0);
+                    let pkt = pool.insert(PacketBuilder::udp().src_port(*flow).build());
+                    match mech.on_miss(now, pkt, PortNo(1), &pool) {
+                        MissAction::SendBufferedPacketIn { buffer_id } => {
+                            if outstanding.contains(&buffer_id) {
+                                // An on-miss re-announcement spends budget too.
+                                let n = retries.entry(buffer_id.as_u32()).or_insert(0);
+                                *n += 1;
+                                total_rerequests += 1;
+                                prop_assert!(
+                                    *n <= budget,
+                                    "flow re-requested {n} > budget {budget}"
+                                );
+                            } else {
+                                outstanding.push(buffer_id);
+                                retries.insert(buffer_id.as_u32(), 0);
+                            }
+                        }
+                        MissAction::Buffered { .. } => {}
+                        MissAction::SendFullPacketIn => {
+                            pool.release(pkt);
                         }
                     }
                 }
                 TimedOp::Advance { micros } => now += Nanos::from_micros(*micros),
                 TimedOp::Poll => {
-                    let sweep = mech.poll_timeouts(now);
+                    let sweep = mech.poll_timeouts(now, &pool);
                     for rr in &sweep.rerequests {
                         let n = retries.entry(rr.buffer_id.as_u32()).or_insert(0);
                         *n += 1;
@@ -460,17 +556,28 @@ proptest! {
                         outstanding.retain(|id| *id != gave.buffer_id);
                         retries.remove(&gave.buffer_id.as_u32());
                     }
+                    for gave in sweep.gave_up {
+                        for bp in gave.packets {
+                            pool.release(bp.packet);
+                        }
+                    }
+                    for bp in sweep.expired {
+                        pool.release(bp.packet);
+                    }
                 }
                 TimedOp::Release { nth } => {
                     if !outstanding.is_empty() {
                         let id = outstanding.remove(nth % outstanding.len());
-                        mech.release(now, id);
+                        for p in mech.release(now, id) {
+                            pool.release(p.packet);
+                        }
                         retries.remove(&id.as_u32());
                     }
                 }
             }
         }
         prop_assert_eq!(mech.stats().rerequests, total_rerequests);
+        prop_assert_eq!(pool.len(), mech.occupancy(), "pool leaks references");
     }
 
     #[test]
@@ -481,11 +588,14 @@ proptest! {
         let p2 = PacketBuilder::udp().src_port(3).frame_size(b).build();
         prop_assert_eq!(FlowKey::of(&p1), FlowKey::of(&p2));
         let mut mech = FlowGranularityBuffer::new(16, Nanos::from_secs(1));
-        let id1 = match mech.on_miss(Nanos::ZERO, p1, PortNo(1)) {
+        let mut pool = PacketPool::new();
+        let h1 = pool.insert(p1);
+        let h2 = pool.insert(p2);
+        let id1 = match mech.on_miss(Nanos::ZERO, h1, PortNo(1), &pool) {
             MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
             other => panic!("{other:?}"),
         };
-        match mech.on_miss(Nanos::from_micros(1), p2, PortNo(1)) {
+        match mech.on_miss(Nanos::from_micros(1), h2, PortNo(1), &pool) {
             MissAction::Buffered { buffer_id } => prop_assert_eq!(buffer_id, id1),
             other => panic!("{other:?}"),
         }

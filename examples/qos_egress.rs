@@ -95,12 +95,8 @@ fn install_rules(testbed: &mut Testbed) {
             }],
         })
     };
-    testbed
-        .switch_mut()
-        .handle_controller_msg(Nanos::ZERO, flow_mod(ef_match, 200, 0), 1);
-    testbed
-        .switch_mut()
-        .handle_controller_msg(Nanos::ZERO, flow_mod(Match::any(), 10, 1), 2);
+    testbed.inject_controller_msg(Nanos::ZERO, flow_mod(ef_match, 200, 0), 1);
+    testbed.inject_controller_msg(Nanos::ZERO, flow_mod(Match::any(), 10, 1), 2);
 }
 
 struct ClassReport {

@@ -182,7 +182,7 @@ fn flow_granularity_recovers_lost_requests_via_timeout() {
         seed: 13,
         ..ExperimentConfig::default()
     };
-    config.testbed.control_loss_one_in = Some(10);
+    config.testbed.faults = FaultPlan::every_nth_loss(10);
     let r = Experiment::new(config).run();
     assert!(r.ctrl_drops > 0, "loss injection must fire");
     assert!(r.rerequests > 0, "timeout re-requests must fire");
@@ -203,7 +203,7 @@ fn packet_granularity_strands_buffered_packets_on_loss() {
         seed: 13,
         ..ExperimentConfig::default()
     };
-    config.testbed.control_loss_one_in = Some(10);
+    config.testbed.faults = FaultPlan::every_nth_loss(10);
     let r = Experiment::new(config).run();
     assert!(r.ctrl_drops > 0);
     assert!(
@@ -342,7 +342,7 @@ fn qos_egress_isolates_reserved_traffic() {
         for (m, priority, queue_id, xid) in
             [(ef_match, 200u16, 0u32, 1u32), (Match::any(), 10, 1, 2)]
         {
-            tb.switch_mut().handle_controller_msg(
+            tb.inject_controller_msg(
                 Nanos::ZERO,
                 OfpMessage::FlowMod(FlowMod {
                     match_fields: m,

@@ -17,8 +17,7 @@ fn run_with_loss(buffer: BufferMode, one_in: u64) -> RunResult {
         seed: 13,
         ..ExperimentConfig::default()
     };
-    // The deprecated shim: still honoured, mapped onto the fault plan.
-    config.testbed.control_loss_one_in = Some(one_in);
+    config.testbed.faults = FaultPlan::every_nth_loss(one_in);
     Experiment::new(config).run()
 }
 

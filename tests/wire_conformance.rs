@@ -9,7 +9,7 @@ use sdn_buffer_lab::net::{MacAddr, PacketBuilder};
 use sdn_buffer_lab::openflow::OfpMessage;
 use sdn_buffer_lab::openflow::PortNo;
 use sdn_buffer_lab::prelude::*;
-use sdn_buffer_lab::switch::{BufferChoice, Switch, SwitchConfig, SwitchOutput};
+use sdn_buffer_lab::switch::{BufferChoice, PacketPool, Switch, SwitchConfig, SwitchOutput};
 use std::net::Ipv4Addr;
 
 /// Serializes a message to wire bytes and parses it back, asserting the
@@ -31,13 +31,14 @@ fn full_flow_setup_transaction_over_encoded_bytes() {
     });
     let mut controller = Controller::new(ControllerConfig::default());
     controller.learn(MacAddr::from_host_index(2), PortNo(2));
+    let mut pool = PacketPool::new();
 
     // 1. Handshake messages cross the wire.
     let mut t = Nanos::ZERO;
     for out in controller.initiate_handshake(t, 128) {
         let ControllerOutput::ToSwitch { at, xid, msg } = out;
         let (msg, xid) = over_the_wire(msg, xid);
-        for reply in switch.handle_controller_msg(at, msg, xid) {
+        for reply in switch.handle_controller_msg(at, msg, xid, &mut pool) {
             if let SwitchOutput::ToController { at, xid, msg } = reply {
                 let (msg, xid) = over_the_wire(msg, xid);
                 controller.handle_message(at, msg, xid);
@@ -53,7 +54,7 @@ fn full_flow_setup_transaction_over_encoded_bytes() {
         .frame_size(1000)
         .build();
     let t0 = t + Nanos::from_millis(1);
-    let outs = switch.handle_frame(t0, PortNo(1), pkt.clone());
+    let outs = switch.handle_frame(t0, PortNo(1), pool.insert(pkt.clone()), &mut pool);
     let mut forwarded = Vec::new();
     for out in outs {
         match out {
@@ -66,7 +67,7 @@ fn full_flow_setup_transaction_over_encoded_bytes() {
                 {
                     // ...flow_mod + packet_out cross back...
                     let (msg, xid) = over_the_wire(msg, xid);
-                    for eff in switch.handle_controller_msg(rat, msg, xid) {
+                    for eff in switch.handle_controller_msg(rat, msg, xid, &mut pool) {
                         if let SwitchOutput::Forward { port, packet, .. } = eff {
                             forwarded.push((port, packet));
                         }
@@ -80,9 +81,14 @@ fn full_flow_setup_transaction_over_encoded_bytes() {
     // 3. The miss-match packet came out port 2, byte-identical.
     assert_eq!(forwarded.len(), 1);
     assert_eq!(forwarded[0].0, PortNo(2));
-    assert_eq!(forwarded[0].1, pkt);
+    assert_eq!(pool.get(forwarded[0].1).unwrap(), &pkt);
     // 4. The rule is installed: the next packet of the flow fast-paths.
-    let outs = switch.handle_frame(t0 + Nanos::from_secs(1), PortNo(1), pkt.clone());
+    let outs = switch.handle_frame(
+        t0 + Nanos::from_secs(1),
+        PortNo(1),
+        pool.insert(pkt.clone()),
+        &mut pool,
+    );
     assert!(
         matches!(
             &outs[..],
@@ -122,7 +128,7 @@ fn flow_granularity_vendor_negotiation_over_encoded_bytes() {
     );
     let ControllerOutput::ToSwitch { at, xid, msg } = replies.into_iter().next().unwrap();
     let (msg, xid) = over_the_wire(msg, xid);
-    let outcome = switch.handle_controller_msg(at, msg, xid);
+    let outcome = switch.handle_controller_msg(at, msg, xid, &mut PacketPool::new());
     assert!(
         outcome.is_empty(),
         "flow-granularity switch must accept Configure silently, got {outcome:?}"
@@ -143,7 +149,7 @@ fn packet_granularity_switch_rejects_flow_buffer_configure() {
         timeout_ms: 10,
     });
     let (msg, xid) = over_the_wire(cfg, 77);
-    let outs = switch.handle_controller_msg(Nanos::ZERO, msg, xid);
+    let outs = switch.handle_controller_msg(Nanos::ZERO, msg, xid, &mut PacketPool::new());
     match &outs[..] {
         [SwitchOutput::ToController { msg, xid, .. }] => {
             let (decoded, _) = over_the_wire(msg.clone(), *xid);
