@@ -1,11 +1,12 @@
 //! Perf-regression harness: the pinned BENCH_6 scenarios.
 //!
-//! Runs three fixed scenarios — a section-IV sweep cell, a 1000-flow
-//! retry storm over a lossy control channel, and a six-seed chaos
-//! replay — and emits `BENCH_6.json` at the workspace root with
-//! wall-clock, events/sec, and allocs/run for each, next to the seed
-//! baseline measured before the calendar-wheel scheduler and packet
-//! pool landed.
+//! Runs four fixed scenarios — a section-IV sweep cell, a 1000-flow
+//! retry storm over a lossy control channel, a six-seed chaos replay,
+//! and the latency-anatomy pipeline (traced run, span builder,
+//! histogram report) — and emits `BENCH_6.json` at the workspace root
+//! with wall-clock, events/sec, and allocs/run for each, next to the
+//! seed baseline measured before the calendar-wheel scheduler and
+//! packet pool landed.
 //!
 //! Modes:
 //!
@@ -21,7 +22,10 @@
 //! the least noisy figure on a shared machine.
 
 use sdnbuf_core::chaos::{self, ChaosScenario, Sabotage};
-use sdnbuf_core::{BufferMode, RunResult, Testbed, TestbedConfig};
+use sdnbuf_core::{
+    spans, BufferMode, Experiment, ExperimentConfig, RunResult, Testbed, TestbedConfig,
+    WorkloadKind,
+};
 use sdnbuf_sim::{BitRate, FaultPlan, LossModel, Nanos};
 use sdnbuf_workload::{single_packet_flows, PktgenConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -121,6 +125,28 @@ fn chaos_replay() -> (u64, u64) {
     (check, events)
 }
 
+/// The latency-anatomy pipeline over the section-IV cell: a traced run,
+/// the span builder's fold over the full event stream, and the per-phase
+/// histogram report rendered to JSON — pins the post-hoc analysis cost so
+/// the observability layer cannot quietly become the bottleneck.
+fn latency_anatomy() -> (u64, u64) {
+    let (result, events) = Experiment::new(ExperimentConfig {
+        buffer: BufferMode::PacketGranularity { capacity: 16 },
+        workload: WorkloadKind::single_packet_flows(400),
+        sending_rate: BitRate::from_mbps(100),
+        seed: 42,
+        ..ExperimentConfig::default()
+    })
+    .run_traced();
+    let report = spans::LatencyReport::from_events(&events);
+    let mut json = String::new();
+    report.write_json(&mut json);
+    (
+        result.packets_delivered + report.completed + json.len() as u64,
+        result.events_dispatched,
+    )
+}
+
 // ---------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------
@@ -173,6 +199,18 @@ const SCENARIOS: &[Scenario] = &[
             allocs: 1981,
         },
         run: chaos_replay,
+    },
+    Scenario {
+        name: "latency_anatomy",
+        pinned_check: 6530,
+        // New in the latency-anatomy PR: the baseline IS its first
+        // measurement, so speedup_vs_seed starts pinned at 1.0.
+        baseline: Baseline {
+            wall_ms_min: 2.80,
+            events: 4430,
+            allocs: 5401,
+        },
+        run: latency_anatomy,
     },
 ];
 

@@ -826,6 +826,42 @@ pub fn minimize(scenario: &ChaosScenario, sabotage: impl Into<Sabotage>) -> Chao
     }
 }
 
+/// Captures a flight-recorder dump for a violating (usually minimized)
+/// scenario: re-executes it deterministically and packages the replay
+/// recipe — the spec string `sdnlab chaos --replay` accepts — together
+/// with the evidence: the violations, the event-stream tail, the spans
+/// still open when the run ended, and the latency anatomy. Because runs
+/// are pure functions of the scenario, replaying the embedded spec
+/// reproduces the dump's digest and violations byte-for-byte.
+pub fn flight_dump(
+    scenario: &ChaosScenario,
+    sabotage: impl Into<Sabotage>,
+) -> crate::flightrec::FlightDump {
+    let sabotage = sabotage.into();
+    let (result, events) = execute(scenario, sabotage);
+    let violations = check_invariants(
+        scenario.mech,
+        &scenario.plan,
+        scenario.recovery,
+        &result,
+        &events,
+    );
+    crate::flightrec::FlightDump::capture(
+        crate::flightrec::DumpReason::ChaosViolation,
+        &scenario.mech.label(),
+        scenario.seed,
+        Some(scenario.to_spec()),
+        &events,
+        Some(&result),
+    )
+    .with_violations(
+        violations
+            .into_iter()
+            .map(|v| (v.invariant.to_string(), v.detail))
+            .collect(),
+    )
+}
+
 /// The recovery matrix: a sustained controller stall followed by a short
 /// control-channel flap inside the data phase, run against both buffering
 /// mechanisms under both the fixed-interval and the exponential-backoff

@@ -1,0 +1,342 @@
+//! Flight recorder: a replayable crash-dump artifact for post-mortems.
+//!
+//! When something goes wrong — a chaos invariant fires, the switch enters
+//! degraded mode, or the operator passes `--dump-on-exit` — the flight
+//! recorder captures everything a post-mortem needs into one JSON file
+//! under `results/flightrec/`:
+//!
+//! * the **replay recipe**: the fault/scenario spec and seed (a chaos dump
+//!   replays with `sdnlab chaos --replay <spec>` to the same violation,
+//!   byte-for-byte — the runs are deterministic),
+//! * the **last N events** leading up to the end of the run (the stream's
+//!   tail, like [`sdnbuf_sim::RingSink`] would retain live),
+//! * the **open spans** — flow setups still in flight, which is usually
+//!   where the bug is,
+//! * the **latency anatomy** ([`crate::spans::LatencyReport`]) and a
+//!   metric snapshot of the run.
+//!
+//! Dumps are pure functions of already-recorded data: capturing one never
+//! perturbs the run it describes.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::observe;
+use crate::result::RunResult;
+use crate::spans::{self, LatencyReport, SpanOutcome};
+use sdnbuf_sim::Event;
+
+/// Default number of trailing events a dump retains.
+pub const DEFAULT_TAIL: usize = 256;
+
+/// Why a dump was captured. Rendered into the artifact and its filename.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DumpReason {
+    /// A chaos invariant fired.
+    ChaosViolation,
+    /// The switch entered degraded mode during the run.
+    DegradedEnter,
+    /// The operator asked for a dump at the end of the run.
+    Exit,
+}
+
+impl DumpReason {
+    /// Stable snake_case label used in the JSON and the filename.
+    pub fn label(self) -> &'static str {
+        match self {
+            DumpReason::ChaosViolation => "chaos_violation",
+            DumpReason::DegradedEnter => "degraded_enter",
+            DumpReason::Exit => "exit",
+        }
+    }
+}
+
+/// One captured flight-recorder artifact, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Why the dump was taken.
+    pub reason: DumpReason,
+    /// Human-readable run identity (cell label or scenario mechanism).
+    pub label: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Replayable fault/scenario spec, when the run had one. For chaos
+    /// dumps this is the full scenario spec `sdnlab chaos --replay`
+    /// accepts; for plain runs it is the `--faults` spec.
+    pub spec: Option<String>,
+    /// Violations that triggered the dump (invariant name, detail).
+    pub violations: Vec<(String, String)>,
+    /// FNV digest of the full event stream (the replay identity).
+    pub digest: u64,
+    /// Events in the full stream (before tail truncation).
+    pub events_total: u64,
+    /// The stream's trailing events, oldest first.
+    pub tail: Vec<Event>,
+    /// Spans still open when the stream ended.
+    pub open_spans: Vec<spans::FlowSetupSpan>,
+    /// The run's latency anatomy.
+    pub latency: LatencyReport,
+    /// Metric snapshot, when a [`RunResult`] was available.
+    pub result: Option<RunResult>,
+}
+
+impl FlightDump {
+    /// Captures a dump from a recorded run: keeps the last
+    /// [`DEFAULT_TAIL`] events, extracts open spans and the latency
+    /// report, and computes the stream digest.
+    pub fn capture(
+        reason: DumpReason,
+        label: &str,
+        seed: u64,
+        spec: Option<String>,
+        events: &[Event],
+        result: Option<&RunResult>,
+    ) -> FlightDump {
+        let tail_start = events.len().saturating_sub(DEFAULT_TAIL);
+        let open_spans: Vec<spans::FlowSetupSpan> = spans::build_spans(events)
+            .into_iter()
+            .filter(|s| s.outcome == SpanOutcome::Open)
+            .collect();
+        FlightDump {
+            reason,
+            label: label.to_string(),
+            seed,
+            spec,
+            violations: Vec::new(),
+            digest: observe::events_digest(events),
+            events_total: events.len() as u64,
+            tail: events[tail_start..].to_vec(),
+            open_spans,
+            latency: LatencyReport::from_events(events),
+            result: result.cloned(),
+        }
+    }
+
+    /// Attaches the violations that triggered the dump.
+    pub fn with_violations(mut self, violations: Vec<(String, String)>) -> FlightDump {
+        self.violations = violations;
+        self
+    }
+
+    /// Serializes the dump as one JSON document with a stable field
+    /// order. Strings are escaped with the same minimal escaper the JSONL
+    /// exporter uses (specs and labels contain no exotic characters).
+    pub fn write_json(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str("{\"schema\":\"flightrec/v1\"");
+        push_field(&mut out, "reason", self.reason.label());
+        push_field(&mut out, "label", &self.label);
+        out.push_str(&format!(",\"seed\":{}", self.seed));
+        match &self.spec {
+            Some(spec) => push_field(&mut out, "spec", spec),
+            None => out.push_str(",\"spec\":null"),
+        }
+        out.push_str(",\"violations\":[");
+        for (i, (invariant, detail)) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"invariant\":\"");
+            escape_into(&mut out, invariant);
+            out.push_str("\",\"detail\":\"");
+            escape_into(&mut out, detail);
+            out.push_str("\"}");
+        }
+        out.push_str(&format!(
+            "],\"digest\":\"{:016x}\",\"events_total\":{},\"tail_len\":{},\"events\":[",
+            self.digest,
+            self.events_total,
+            self.tail.len()
+        ));
+        for (i, ev) in self.tail.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            ev.write_json_fields(&mut out);
+            out.push('}');
+        }
+        out.push_str("],\"open_spans\":[");
+        for (i, span) in self.open_spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_span(&mut out, span);
+        }
+        out.push_str("],\"latency\":");
+        self.latency.write_json(&mut out);
+        out.push_str(",\"result\":");
+        match &self.result {
+            Some(r) => push_result(&mut out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str("}\n");
+        w.write_all(out.as_bytes())
+    }
+
+    /// Writes the dump to `<dir>/<stem>.json`, creating the directory.
+    /// Returns the path written.
+    pub fn write_to_dir(&self, dir: &Path, stem: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.json"));
+        let mut file = fs::File::create(&path)?;
+        self.write_json(&mut file)?;
+        Ok(path)
+    }
+
+    /// The conventional artifact directory, `results/flightrec/`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results").join("flightrec")
+    }
+
+    /// The conventional filename stem: `<reason>-<label>-seed<seed>`.
+    pub fn stem(&self) -> String {
+        format!("{}-{}-seed{}", self.reason.label(), self.label, self.seed)
+    }
+}
+
+/// Appends `,"key":"escaped value"`.
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends one open span as a compact JSON object.
+fn push_span(out: &mut String, span: &spans::FlowSetupSpan) {
+    match span.buffer_id {
+        Some(id) => out.push_str(&format!("{{\"buffer_id\":{id}")),
+        None => out.push_str("{\"buffer_id\":null"),
+    }
+    out.push_str(&format!(
+        ",\"start\":{},\"attempts\":{},\"rerequests\":{},\"state\":\"{}\"",
+        span.start().as_nanos(),
+        span.attempts.len(),
+        span.rerequests,
+        span.outcome.label()
+    ));
+    if let Some(first) = span.attempts.first() {
+        out.push_str(&format!(",\"first_xid\":{}", first.xid));
+    } else {
+        out.push_str(",\"first_xid\":null");
+    }
+    out.push('}');
+}
+
+/// Appends the metric snapshot: the counters a post-mortem reads first.
+fn push_result(out: &mut String, r: &RunResult) {
+    out.push_str(&format!(
+        "{{\"label\":\"{}\",\"packets_sent\":{},\"packets_delivered\":{},\
+         \"packets_dropped\":{},\"ctrl_drops\":{},\"flows_completed\":{},\
+         \"flows_total\":{},\"rerequests\":{},\"buffer_expired\":{},\
+         \"buffer_giveups\":{},\"stale_releases\":{},\"admission_sheds\":{},\
+         \"degraded_entries\":{},\"degraded_exits\":{},\"flow_setup_delay_ms_mean\":{:.6},\
+         \"controller_delay_ms_mean\":{:.6}}}",
+        r.label,
+        r.packets_sent,
+        r.packets_delivered,
+        r.packets_dropped,
+        r.ctrl_drops,
+        r.flows_completed,
+        r.flows_total,
+        r.rerequests,
+        r.buffer_expired,
+        r.buffer_giveups,
+        r.stale_releases,
+        r.admission_sheds,
+        r.degraded_entries,
+        r.degraded_exits,
+        r.flow_setup_delay.mean,
+        r.controller_delay.mean
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnbuf_sim::{EventKind, Nanos};
+
+    fn sample_events(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event {
+                at: Nanos::from_micros(i),
+                kind: EventKind::TableMiss {
+                    in_port: 1,
+                    bytes: 100,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capture_keeps_the_tail_and_digest() {
+        let events = sample_events(1_000);
+        let dump = FlightDump::capture(DumpReason::Exit, "cell", 42, None, &events, None);
+        assert_eq!(dump.events_total, 1_000);
+        assert_eq!(dump.tail.len(), DEFAULT_TAIL);
+        assert_eq!(
+            dump.tail.first().unwrap().at,
+            Nanos::from_micros(1_000 - DEFAULT_TAIL as u64)
+        );
+        assert_eq!(dump.digest, observe::events_digest(&events));
+    }
+
+    #[test]
+    fn json_is_schema_stable_and_parseable_shape() {
+        let events = sample_events(10);
+        let dump = FlightDump::capture(
+            DumpReason::ChaosViolation,
+            "packet-256",
+            7,
+            Some("mech=packet,seed=7".to_string()),
+            &events,
+            Some(&RunResult::default()),
+        )
+        .with_violations(vec![("occupancy-bound".into(), "occ 300 > 256".into())]);
+        let mut buf = Vec::new();
+        dump.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"schema\":\"flightrec/v1\",\"reason\":\"chaos_violation\""));
+        assert!(text.contains("\"spec\":\"mech=packet,seed=7\""));
+        assert!(text.contains("\"invariant\":\"occupancy-bound\""));
+        assert!(text.contains("\"events_total\":10"));
+        assert!(text.contains("\"latency\":{\"schema\":\"latency/v1\""));
+        assert!(text.ends_with("}\n"));
+        // Balanced braces — cheap well-formedness check without a parser.
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn stem_is_filesystem_friendly() {
+        let dump = FlightDump::capture(DumpReason::DegradedEnter, "flow-256", 3, None, &[], None);
+        assert_eq!(dump.stem(), "degraded_enter-flow-256-seed3");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+}

@@ -37,10 +37,12 @@ pub mod chaos;
 mod executor;
 mod experiment;
 pub mod figures;
+pub mod flightrec;
 mod metric;
 pub mod observe;
 pub mod report;
 mod result;
+pub mod spans;
 mod testbed;
 mod trace;
 
@@ -61,7 +63,9 @@ pub use trace::{Direction, MsgDesc, TraceEntry, TraceLog};
 /// (The event layer's `NullSink` is *not* re-exported flat because this
 /// crate already exports the executor's progress `NullSink`; reach it as
 /// `sdnbuf_sim::events::NullSink`.)
-pub use sdnbuf_sim::{ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, Tracer};
+pub use sdnbuf_sim::{
+    ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, RingSink, Tracer,
+};
 
 /// Egress QoS queue configuration, re-exported from the simulation engine.
 pub use sdnbuf_sim::QueueConfig;

@@ -36,8 +36,12 @@ impl DelayRecorder {
         self.samples_ms.push(delay.as_millis_f64());
     }
 
-    /// Records the difference `end - start` (saturating at zero).
+    /// Records the difference `end - start`. A reversed span is always a
+    /// bookkeeping bug upstream, so debug builds assert `end >= start`;
+    /// release builds keep the historical saturate-to-zero behavior so a
+    /// long production sweep degrades instead of aborting.
     pub fn record_span(&mut self, start: Nanos, end: Nanos) {
+        debug_assert!(end >= start, "reversed span: start={start:?} end={end:?}");
         self.record(end.saturating_sub(start));
     }
 
@@ -79,11 +83,27 @@ mod tests {
     }
 
     #[test]
-    fn span_saturates() {
+    fn span_records_difference() {
         let mut d = DelayRecorder::new();
         d.record_span(Nanos::from_millis(5), Nanos::from_millis(7));
-        d.record_span(Nanos::from_millis(7), Nanos::from_millis(5));
+        d.record_span(Nanos::from_millis(5), Nanos::from_millis(5));
         assert_eq!(d.samples_ms(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "reversed span")]
+    fn reversed_span_asserts_in_debug() {
+        let mut d = DelayRecorder::new();
+        d.record_span(Nanos::from_millis(7), Nanos::from_millis(5));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn reversed_span_saturates_in_release() {
+        let mut d = DelayRecorder::new();
+        d.record_span(Nanos::from_millis(7), Nanos::from_millis(5));
+        assert_eq!(d.samples_ms(), &[0.0]);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   (used for buffer utilization, Figs. 8 and 13).
 //! * [`DelayRecorder`] — latency samples with summary statistics (used for
 //!   flow-setup, controller and switch delay, Figs. 5–7 and 12).
+//! * [`Histogram`] — fixed-memory log-bucketed latency histogram with a
+//!   bounded relative error and deterministic merge (used by the latency
+//!   anatomy reports, where per-phase sample vectors would be unbounded).
 //! * [`Summary`] — n/mean/std/min/max/percentiles of a sample set, the
 //!   format the paper reports ("mean of 1.17 ms, standard deviation of
 //!   0.37 ms, maximum of 5.35 ms").
@@ -38,6 +41,7 @@
 mod counter;
 mod delay;
 mod gauge;
+mod histogram;
 mod meter;
 mod series;
 mod summary;
@@ -46,6 +50,7 @@ mod table;
 pub use counter::Counter;
 pub use delay::DelayRecorder;
 pub use gauge::Gauge;
+pub use histogram::Histogram;
 pub use meter::ByteMeter;
 pub use series::TimeSeries;
 pub use summary::Summary;

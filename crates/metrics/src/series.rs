@@ -180,4 +180,55 @@ mod tests {
     fn zero_buckets_panics() {
         ramp().bucketed(0);
     }
+
+    #[test]
+    fn single_point_series() {
+        let mut s = TimeSeries::new();
+        s.record(Nanos::from_millis(5), 3.0);
+        assert_eq!(
+            s.span(),
+            Some((Nanos::from_millis(5), Nanos::from_millis(5)))
+        );
+        // A degenerate (zero-width) span still yields n buckets; the point
+        // lands in the first and the rest repeat its value.
+        let b = s.bucketed(4);
+        assert_eq!(b.len(), 4);
+        for &(_, v) in &b {
+            assert_eq!(v, 3.0);
+        }
+        // Single bucket averages everything.
+        let b1 = s.bucketed(1);
+        assert_eq!(b1.len(), 1);
+        assert_eq!(b1[0].1, 3.0);
+    }
+
+    #[test]
+    fn one_bucket_averages_whole_series() {
+        let b = ramp().bucketed(1);
+        assert_eq!(b.len(), 1);
+        assert!((b[0].1 - 49.5).abs() < 1e-9, "mean of 0..100 is 49.5");
+    }
+
+    #[test]
+    fn sparkline_clamps_zero_buckets_to_one() {
+        // sparkline(0) must not panic: it clamps to one bucket.
+        let line = ramp().sparkline(0);
+        assert_eq!(line.chars().count(), 1);
+        assert_eq!(ramp().sparkline(1).chars().count(), 1);
+    }
+
+    #[test]
+    fn sparkline_single_point_is_full_bar() {
+        let mut s = TimeSeries::new();
+        s.record(Nanos::from_millis(1), 2.0);
+        assert_eq!(s.sparkline(3), "███");
+    }
+
+    #[test]
+    fn sparkline_all_zero_is_floor_bars() {
+        let mut s = TimeSeries::new();
+        s.record(Nanos::ZERO, 0.0);
+        s.record(Nanos::from_millis(2), 0.0);
+        assert_eq!(s.sparkline(4), "▁▁▁▁");
+    }
 }

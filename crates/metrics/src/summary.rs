@@ -71,7 +71,10 @@ impl Summary {
     }
 }
 
-/// Nearest-rank percentile (linear interpolation) of a sorted slice.
+/// Linear-interpolation percentile of a sorted slice: `pos = q·(n−1)`
+/// interpolated between the neighbouring order statistics (the same
+/// convention as numpy's default), *not* nearest-rank — the pinned
+/// `percentiles_interpolate` test relies on p95 of 1..=100 being 95.05.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -90,8 +93,8 @@ impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
-            self.n, self.mean, self.std, self.min, self.p50, self.p95, self.max
+            "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.n, self.mean, self.std, self.min, self.p50, self.p95, self.p99, self.max
         )
     }
 }
@@ -102,10 +105,18 @@ mod tests {
 
     #[test]
     fn empty_is_zero() {
+        // Report code relies on the zero default for empty sample sets —
+        // every field, not just the moments, must be exactly zero.
         let s = Summary::of(&[]);
+        assert_eq!(s, Summary::default());
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
+        assert_eq!(s.p99, 0.0);
     }
 
     #[test]
@@ -158,7 +169,9 @@ mod tests {
     #[test]
     fn display_is_complete() {
         let text = Summary::of(&[1.0, 2.0]).to_string();
-        for field in ["n=2", "mean=", "std=", "min=", "max="] {
+        for field in [
+            "n=2", "mean=", "std=", "min=", "p50=", "p95=", "p99=", "max=",
+        ] {
             assert!(text.contains(field), "missing {field} in {text}");
         }
     }

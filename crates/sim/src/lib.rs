@@ -58,7 +58,9 @@ mod rng;
 mod time;
 
 pub use bus::Bus;
-pub use events::{ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, Tracer};
+pub use events::{
+    ChannelDir, Event, EventKind, EventSink, JsonlSink, RecordingSink, RingSink, Tracer,
+};
 pub use faults::{ChannelFaults, CtrlEffect, FaultPlan, FaultState, LossModel, Window};
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use link::{Link, LinkConfig, LinkStats};

@@ -19,13 +19,17 @@
 //! Observability: `--events` streams the structured event log as JSONL,
 //! `--timeline` writes a Chrome trace-event file (open it in Perfetto),
 //! `--sample-every` buckets buffer occupancy / table size / control load
-//! into a TSV time series. Setting `SDNBUF_TRACE=<path>` is equivalent to
+//! into a TSV time series, `--latency-report` prints the per-phase
+//! flow-setup latency anatomy (and writes it as TSV + JSON), and
+//! `--dump-on-exit` writes a replayable flight-recorder dump to
+//! `results/flightrec/`. Setting `SDNBUF_TRACE=<path>` is equivalent to
 //! passing `--events <path>`. All outputs are byte-deterministic for a
 //! fixed seed, at any `--threads` setting.
 
 use sdn_buffer_lab::controller::AdmissionPolicy;
 use sdn_buffer_lab::core::chaos::{self, ChaosScenario, RecoveryKnobs, Sabotage};
-use sdn_buffer_lab::core::{figures, observe, RateSweep, StderrProgress};
+use sdn_buffer_lab::core::flightrec::{DumpReason, FlightDump};
+use sdn_buffer_lab::core::{figures, observe, spans, RateSweep, StderrProgress};
 use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::switchbuf::{GiveUp, RetryPolicy};
 use std::io::Write as _;
@@ -39,8 +43,9 @@ fn usage() -> &'static str {
                     [--faults SPEC] [--check]\n\
                     [--retry-policy P] [--ttl DUR] [--degraded N] [--admission POL:CAP]\n\
                     [--events PATH] [--timeline PATH] [--sample-every DUR [--samples PATH]]\n\
+                    [--latency-report] [--dump-on-exit]\n\
        sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
-                    [--events PATH] [--timeline PATH]\n\
+                    [--events PATH] [--timeline PATH] [--latency-report]\n\
        sdnlab chaos [--seeds N] [--broken] [--broken-ttl] [--recovery] [--replay SPEC]\n\
        sdnlab claims [--reps N] [--threads T]\n\
      \n\
@@ -79,10 +84,19 @@ fn usage() -> &'static str {
        --timeline PATH     Chrome trace-event JSON (open at ui.perfetto.dev)\n\
        --sample-every DUR  TSV time series (occupancy, table size, ctrl Mbps)\n\
        --samples PATH      where the TSV goes (default results/samples.tsv)\n\
+       --latency-report    per-phase flow-setup latency anatomy (p50/p95/p99\n\
+                           per phase); run: table + results/latency_report.{tsv,json};\n\
+                           sweep: one row per grid cell\n\
+       --dump-on-exit      write a replayable flight-recorder dump (fault spec,\n\
+                           seed, event tail, open spans, histograms) to\n\
+                           results/flightrec/ when the run ends; dumps are also\n\
+                           written automatically on --check violations and on\n\
+                           entry into degraded mode\n\
        SDNBUF_TRACE=PATH   environment fallback for --events\n\
      \n\
      EXAMPLES:\n\
        sdnlab run --buffer packet:256 --rate 80\n\
+       sdnlab run --buffer packet:16 --rate 100 --latency-report\n\
        sdnlab run --buffer flow:256:50 --workload v --rate 95 --timeline trace.json\n\
        sdnlab run --buffer flow:256:20 --workload v --faults 'fseed=7,c.loss=p:0.1' --check\n\
        sdnlab run --buffer flow:256:20 --retry-policy backoff:200:4 --ttl 250 \\\n\
@@ -301,6 +315,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     };
     let samples_path = flag(args, "--samples")?;
     let check = args.iter().any(|a| a == "--check");
+    let latency_report = args.iter().any(|a| a == "--latency-report");
+    let dump_on_exit = args.iter().any(|a| a == "--dump-on-exit");
     let knobs = RecoveryKnobs {
         retry: match flag(args, "--retry-policy")? {
             Some(s) => parse_retry_policy(&s)?,
@@ -338,8 +354,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     }
     let plan = config.testbed.effective_faults();
     let mut exp = Experiment::new(config);
-    let tracing =
-        events_path.is_some() || timeline_path.is_some() || sample_every.is_some() || check;
+    let tracing = events_path.is_some()
+        || timeline_path.is_some()
+        || sample_every.is_some()
+        || check
+        || latency_report
+        || dump_on_exit;
     if !tracing {
         let run = exp.run();
         println!("{run:#?}");
@@ -348,16 +368,69 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
 
     let (run, events) = exp.run_traced();
     println!("{run:#?}");
+    let violations = if check {
+        chaos::check_invariants(buffer, &plan, knobs, &run, &events)
+    } else {
+        Vec::new()
+    };
     if check {
-        let violations = chaos::check_invariants(buffer, &plan, knobs, &run, &events);
         if violations.is_empty() {
             eprintln!("check: every invariant holds over {} events", events.len());
         } else {
             for v in &violations {
                 eprintln!("VIOLATION [{}]: {}", v.invariant, v.detail);
             }
-            return Ok(ExitCode::FAILURE);
         }
+    }
+    if latency_report {
+        let report = spans::LatencyReport::from_events(&events);
+        println!("{}", report.to_table());
+        let tsv_path = "results/latency_report.tsv";
+        let mut w = create(tsv_path)?;
+        report
+            .write_tsv(&mut w)
+            .map_err(|e| ParseError(format!("{tsv_path}: {e}")))?;
+        let json_path = "results/latency_report.json";
+        let mut json = String::new();
+        report.write_json(&mut json);
+        json.push('\n');
+        let mut w = create(json_path)?;
+        w.write_all(json.as_bytes())
+            .map_err(|e| ParseError(format!("{json_path}: {e}")))?;
+        eprintln!("wrote latency report to {tsv_path} and {json_path}");
+    }
+    // The flight recorder fires on an invariant violation, on entry into
+    // degraded mode, or unconditionally under --dump-on-exit — in that
+    // precedence order when several apply.
+    let degraded = events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::DegradedEnter { .. }));
+    if dump_on_exit || degraded || !violations.is_empty() {
+        let reason = if !violations.is_empty() {
+            DumpReason::ChaosViolation
+        } else if degraded {
+            DumpReason::DegradedEnter
+        } else {
+            DumpReason::Exit
+        };
+        let dump = FlightDump::capture(
+            reason,
+            &run.label,
+            seed,
+            Some(plan.to_spec()),
+            &events,
+            Some(&run),
+        )
+        .with_violations(
+            violations
+                .iter()
+                .map(|v| (v.invariant.to_string(), v.detail.clone()))
+                .collect(),
+        );
+        let path = dump
+            .write_to_dir(&FlightDump::default_dir(), &dump.stem())
+            .map_err(|e| ParseError(format!("flight recorder dump: {e}")))?;
+        eprintln!("flight recorder dump: {}", path.display());
     }
     if let Some(path) = &events_path {
         let mut w = create(path)?;
@@ -380,14 +453,30 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
         w.flush().map_err(|e| ParseError(format!("{path}: {e}")))?;
         eprintln!("wrote timeline to {path} (open at https://ui.perfetto.dev)");
     }
+    if !violations.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Writes the flight-recorder dump for a violating (usually minimized)
+/// scenario and prints where it went. A dump failure is reported but never
+/// masks the violation that triggered it.
+fn write_chaos_dump(scenario: &ChaosScenario, sabotage: Sabotage) {
+    let dump = chaos::flight_dump(scenario, sabotage);
+    match dump.write_to_dir(&FlightDump::default_dir(), &dump.stem()) {
+        Ok(path) => eprintln!("  flight recorder dump: {}", path.display()),
+        Err(e) => eprintln!("  flight recorder dump failed: {e}"),
+    }
 }
 
 /// The seeded chaos harness: sample `--seeds` scenarios per buffer
 /// mechanism, check every invariant, print a one-command replay (with a
-/// greedily minimized fault plan) for each failure. `--recovery` swaps the
-/// random sweep for the fixed recovery matrix; `--broken`/`--broken-ttl`
-/// sabotage the mechanism and invert the expectation (self-test).
+/// greedily minimized fault plan) for each failure, and write a
+/// flight-recorder dump of the minimized scenario to `results/flightrec/`.
+/// `--recovery` swaps the random sweep for the fixed recovery matrix;
+/// `--broken`/`--broken-ttl` sabotage the mechanism and invert the
+/// expectation (self-test).
 fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
     let sabotage = Sabotage {
         disable_rerequest: args.iter().any(|a| a == "--broken"),
@@ -430,6 +519,7 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
         for v in &report.violations {
             println!("VIOLATION [{}]: {}", v.invariant, v.detail);
         }
+        write_chaos_dump(&scenario, sabotage);
         return Ok(ExitCode::FAILURE);
     }
 
@@ -463,6 +553,7 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
                 "  replay: cargo run --release --bin sdnlab -- chaos {sabotage_flags}--replay '{}'",
                 min.to_spec()
             );
+            write_chaos_dump(&min, sabotage);
         }
     } else {
         let seeds: u64 = match flag(args, "--seeds")? {
@@ -503,6 +594,7 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
                      {sabotage_flags}--replay '{}'",
                     min.to_spec()
                 );
+                write_chaos_dump(&min, sabotage);
             }
         }
     }
@@ -542,12 +634,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
     let section = flag(args, "--section")?.unwrap_or_else(|| "iv".to_owned());
     let events_path = events_path_flag(args)?;
     let timeline_path = flag(args, "--timeline")?;
+    let latency_report = args.iter().any(|a| a == "--latency-report");
     let grid = match section.as_str() {
         "iv" => RateSweep::paper_section_iv(reps),
         "v" => RateSweep::paper_section_v(reps),
         other => return Err(ParseError(format!("unknown section '{other}'"))),
     };
-    let sweep = if events_path.is_some() || timeline_path.is_some() {
+    let sweep = if events_path.is_some() || timeline_path.is_some() || latency_report {
         let (sweep, runs) = grid.run_traced_with(threads, &StderrProgress::new("sweep"));
         if let Some(path) = &events_path {
             let mut w = create(path)?;
@@ -561,6 +654,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
                 .map_err(|e| ParseError(format!("{path}: {e}")))?;
             w.flush().map_err(|e| ParseError(format!("{path}: {e}")))?;
             eprintln!("wrote timeline to {path} (open at https://ui.perfetto.dev)");
+        }
+        if latency_report {
+            let cells = spans::latency_by_cell(&runs);
+            println!("{}", spans::sweep_latency_table(&cells));
         }
         sweep
     } else {
