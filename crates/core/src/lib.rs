@@ -45,6 +45,7 @@ mod result;
 pub mod spans;
 mod testbed;
 mod trace;
+pub mod validate;
 
 pub use executor::{
     Executor, ExecutorReport, NullSink, Parallelism, Progress, ProgressSink, StderrProgress,

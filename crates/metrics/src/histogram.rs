@@ -43,7 +43,8 @@ const BUCKETS: usize = 1920;
 
 /// A fixed-memory log-bucketed histogram of nanosecond durations.
 ///
-/// See the [module docs](self) for the bucket scheme and error bound.
+/// See this module's source-level docs for the bucket scheme and error
+/// bound.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Box<[u64; BUCKETS]>,

@@ -95,6 +95,78 @@ proptest! {
         );
     }
 
+    /// Every generator is a pure function of `(config, seed)`: regenerating
+    /// with the same inputs yields an identical departure schedule, packets
+    /// included. (This is what makes failing runs replayable from a spec.)
+    #[test]
+    fn generators_are_pure_functions_of_their_seed(
+        n in 1usize..200,
+        rate in 5u64..=100,
+        jitter in 0u32..200,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let arrival = if poisson { ArrivalProcess::Poisson } else { ArrivalProcess::Cbr };
+        let c = cfg(rate, 1000, jitter, arrival);
+        prop_assert_eq!(
+            single_packet_flows(&c, n, seed),
+            single_packet_flows(&c, n, seed)
+        );
+        prop_assert_eq!(
+            cross_sequenced_flows(&c, n.min(20), 3, 2, seed),
+            cross_sequenced_flows(&c, n.min(20), 3, 2, seed)
+        );
+    }
+
+    /// The knife-edge cells: offered load at exactly the data link's
+    /// capacity (100 Mbps) with extreme frame sizes. The generator must
+    /// still emit every departure, keep them time-ordered, and finish the
+    /// schedule in bounded time — it must not stall or compress the
+    /// schedule into a zero-length burst.
+    #[test]
+    fn at_link_capacity_the_schedule_stays_live_and_bounded(
+        frame in prop_oneof![Just(64usize), Just(1000), Just(1500)],
+        jitter in 0u32..200,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let n = 300;
+        let arrival = if poisson { ArrivalProcess::Poisson } else { ArrivalProcess::Cbr };
+        let deps = single_packet_flows(&cfg(100, frame, jitter, arrival), n, seed);
+        prop_assert_eq!(deps.len(), n);
+        prop_assert!(is_time_ordered(&deps));
+        let span = deps.last().unwrap().at - deps[0].at;
+        prop_assert!(span > sdnbuf_sim::Nanos::ZERO, "schedule collapsed to a burst");
+        // The whole schedule fits in a small multiple of the nominal span
+        // (n gaps of frame_bits / rate), so a consumer draining it never
+        // waits unboundedly for the next departure.
+        let wire_bits = deps[0].packet.wire_len() as f64 * 8.0;
+        let nominal_secs = (n as f64) * wire_bits / 100e6;
+        prop_assert!(
+            span.as_secs_f64() < nominal_secs * 8.0,
+            "span {:.4}s vs nominal {:.4}s — the generator stalled",
+            span.as_secs_f64(),
+            nominal_secs
+        );
+    }
+
+    /// Poisson pacing hits the requested mean rate too (wider tolerance:
+    /// the span of 400 exponential gaps has ~5 % relative spread).
+    #[test]
+    fn poisson_mean_rate_is_respected(
+        rate in 5u64..100,
+        seed in any::<u64>(),
+    ) {
+        let n = 400;
+        let deps = single_packet_flows(&cfg(rate, 1000, 0, ArrivalProcess::Poisson), n, seed);
+        let span = deps.last().unwrap().at - deps[0].at;
+        let measured = (n as f64 - 1.0) * 1000.0 * 8.0 / span.as_secs_f64() / 1e6;
+        prop_assert!(
+            (measured - rate as f64).abs() < rate as f64 * 0.25,
+            "wanted {rate} Mbps, measured {measured:.2}"
+        );
+    }
+
     #[test]
     fn tcp_scenario_is_one_flow_with_gap(
         first in 1usize..20,

@@ -29,6 +29,7 @@
 use sdn_buffer_lab::controller::AdmissionPolicy;
 use sdn_buffer_lab::core::chaos::{self, ChaosScenario, RecoveryKnobs, Sabotage};
 use sdn_buffer_lab::core::flightrec::{DumpReason, FlightDump};
+use sdn_buffer_lab::core::validate::{self, Tolerances, ValidateConfig};
 use sdn_buffer_lab::core::{figures, observe, spans, RateSweep, StderrProgress};
 use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::switchbuf::{GiveUp, RetryPolicy};
@@ -47,6 +48,8 @@ fn usage() -> &'static str {
        sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
                     [--events PATH] [--timeline PATH] [--latency-report]\n\
        sdnlab chaos [--seeds N] [--broken] [--broken-ttl] [--recovery] [--replay SPEC]\n\
+       sdnlab validate [--report PATH] [--tolerance PCT] [--cells SPEC] [--flows N]\n\
+                    [--reps N] [--seed N] [--random N] [--broken] [--threads T]\n\
        sdnlab claims [--reps N] [--threads T]\n\
      \n\
      MECH: none | packet:<capacity> | flow:<capacity>[:<timeout_ms>]\n\
@@ -79,6 +82,21 @@ fn usage() -> &'static str {
                            both mechanisms under fixed and backoff retries)\n\
        --replay SPEC       re-run one scenario from the spec a failure printed\n\
      \n\
+     VALIDATION PLANE:\n\
+       --report PATH       where the validate/v1 JSON goes (default\n\
+                           results/validate.json; a TSV twin goes next to it)\n\
+       --tolerance PCT     uniform relative-error tolerance override, percent\n\
+                           (default: per-metric tolerances from DESIGN \u{a7}13)\n\
+       --cells SPEC        explicit cells instead of the full grid, e.g.\n\
+                           'none@20,packet:256@60,flow:256:50@100'\n\
+       --flows N           single-packet flows per run (default 1000)\n\
+       --reps N            repetitions per cell (default 3)\n\
+       --random N          additionally explore N seeded random configs with\n\
+                           shrinking on failure (default 0)\n\
+       --broken            validate against a deliberately mis-derived oracle;\n\
+                           the harness must catch it (self-test \u{2014} exits\n\
+                           nonzero if it doesn't)\n\
+     \n\
      OBSERVABILITY:\n\
        --events PATH       structured event log, one JSON object per line\n\
        --timeline PATH     Chrome trace-event JSON (open at ui.perfetto.dev)\n\
@@ -103,7 +121,9 @@ fn usage() -> &'static str {
                   --degraded 3 --faults 'fseed=7,c.loss=p:0.2' --check\n\
        sdnlab sweep --section iv --reps 20 --threads 4\n\
        sdnlab chaos --seeds 200\n\
-       sdnlab chaos --recovery\n"
+       sdnlab chaos --recovery\n\
+       sdnlab validate --random 200\n\
+       sdnlab validate --cells none@20,packet:256@60 --report results/v.json\n"
 }
 
 #[derive(Debug)]
@@ -623,6 +643,174 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parses `--cells`: comma-separated `MECH@RATE` pairs, reusing the
+/// `--buffer` mechanism grammar (e.g. `none@20,packet:256@60`).
+fn parse_cells(s: &str) -> Result<Vec<(BufferMode, u64)>, ParseError> {
+    let mut cells = Vec::new();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let (mech, rate) = part
+            .rsplit_once('@')
+            .ok_or_else(|| ParseError(format!("expected MECH@RATE in '{part}'")))?;
+        let rate: u64 = rate
+            .parse()
+            .map_err(|_| ParseError(format!("bad rate in '{part}'")))?;
+        cells.push((parse_buffer(mech)?, rate));
+    }
+    if cells.is_empty() {
+        return Err(ParseError(format!("no cells in '{s}'")));
+    }
+    Ok(cells)
+}
+
+/// The differential + metamorphic validation plane: sweep the Section IV
+/// grid, compare every cell against the analytic oracle, check the
+/// paper-derived metamorphic laws, and (with `--random N`) explore seeded
+/// off-grid configurations with shrinking on failure. `--broken` swaps in
+/// a deliberately mis-derived oracle and inverts the expectation.
+fn cmd_validate(args: &[String]) -> Result<ExitCode, ParseError> {
+    let mut config = ValidateConfig::default();
+    if let Some(s) = flag(args, "--cells")? {
+        config.cells = Some(parse_cells(&s)?);
+    }
+    if let Some(s) = flag(args, "--tolerance")? {
+        let pct: f64 = s
+            .parse()
+            .map_err(|_| ParseError(format!("bad tolerance '{s}'")))?;
+        if !pct.is_finite() || pct <= 0.0 {
+            return Err(ParseError(format!("tolerance must be positive, got '{s}'")));
+        }
+        config.tolerances = Tolerances::uniform(pct / 100.0);
+    }
+    if let Some(s) = flag(args, "--flows")? {
+        config.flows = s
+            .parse()
+            .map_err(|_| ParseError(format!("bad flow count '{s}'")))?;
+    }
+    if let Some(s) = flag(args, "--reps")? {
+        config.repetitions = s
+            .parse()
+            .map_err(|_| ParseError(format!("bad reps '{s}'")))?;
+    }
+    if let Some(s) = flag(args, "--seed")? {
+        config.base_seed = s
+            .parse()
+            .map_err(|_| ParseError(format!("bad seed '{s}'")))?;
+    }
+    if let Some(s) = flag(args, "--random")? {
+        config.random_configs = s
+            .parse()
+            .map_err(|_| ParseError(format!("bad random config count '{s}'")))?;
+    }
+    config.parallelism = threads_flag(args)?;
+    config.broken = args.iter().any(|a| a == "--broken");
+
+    let report = validate::validate(&config);
+
+    // Human-readable verdicts first, worst news at the bottom.
+    for cell in &report.cells {
+        let failed = cell.failures();
+        let worst = cell
+            .checks
+            .iter()
+            .max_by(|a, b| a.rel_err.total_cmp(&b.rel_err))
+            .expect("every cell has checks");
+        println!(
+            "cell {:<16} {:>3} Mbps  {}  worst {:>6.2}% ({}){}",
+            cell.label,
+            cell.rate_mbps,
+            if failed == 0 { "ok  " } else { "FAIL" },
+            worst.rel_err * 100.0,
+            worst.metric.name(),
+            if cell.near_critical {
+                "  [near-critical]"
+            } else if cell.saturated {
+                "  [saturated]"
+            } else {
+                ""
+            },
+        );
+        for check in cell.checks.iter().filter(|c| !c.pass) {
+            eprintln!(
+                "  DIVERGED [{}]: simulated {:.4} vs predicted {:.4} \
+                 ({:.2}% > {:.2}% tolerance)",
+                check.metric.name(),
+                check.simulated,
+                check.predicted,
+                check.rel_err * 100.0,
+                check.tolerance * 100.0,
+            );
+        }
+    }
+    for law in &report.laws {
+        println!(
+            "law  {:<40} {}  {}",
+            law.law,
+            if law.holds { "holds" } else { "FAIL " },
+            law.detail,
+        );
+    }
+    if report.random_checked > 0 {
+        println!(
+            "random: {} configs checked, {} failures",
+            report.random_checked,
+            report.random_findings.len()
+        );
+        for finding in &report.random_findings {
+            eprintln!("  FAILED  {}", finding.spec);
+            eprintln!("  shrunk  {}", finding.shrunk_spec);
+            for v in &finding.violations {
+                eprintln!("    {v}");
+            }
+        }
+    }
+
+    let json_path = flag(args, "--report")?.unwrap_or_else(|| "results/validate.json".to_owned());
+    let tsv_path = match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.tsv"),
+        None => format!("{json_path}.tsv"),
+    };
+    let mut w = create(&json_path)?;
+    w.write_all(report.to_json().as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .map_err(|e| ParseError(format!("{json_path}: {e}")))?;
+    let mut w = create(&tsv_path)?;
+    w.write_all(report.to_tsv().as_bytes())
+        .map_err(|e| ParseError(format!("{tsv_path}: {e}")))?;
+    eprintln!("wrote {json_path} and {tsv_path}");
+
+    if config.broken {
+        // Self-test: the mis-derived oracle must be caught.
+        if report.differential_failures() == 0 {
+            eprintln!(
+                "validate --broken: no cell caught the mis-derived oracle — \
+                 the harness has lost its teeth"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!(
+            "validate --broken: {} of {} checks caught the mis-derived oracle (expected)",
+            report.differential_failures(),
+            report.checks(),
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    if !report.passed() {
+        eprintln!(
+            "validate: {} differential failures, {} laws failed, {} random failures",
+            report.differential_failures(),
+            report.laws_failed(),
+            report.random_findings.len(),
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "validate: {} checks across {} cells within tolerance, every law holds",
+        report.checks(),
+        report.cells.len(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), ParseError> {
     let reps: usize = match flag(args, "--reps")? {
         Some(s) => s
@@ -691,6 +879,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{}", usage());
@@ -815,6 +1004,30 @@ mod tests {
         assert!(parse_admission("drop-tail").is_err());
         assert!(parse_admission("fifo:8").is_err());
         assert!(parse_admission("drop-head:x").is_err());
+    }
+
+    #[test]
+    fn cells_parsing() {
+        assert_eq!(
+            parse_cells("none@20,packet:256@60").unwrap(),
+            vec![
+                (BufferMode::NoBuffer, 20),
+                (BufferMode::PacketGranularity { capacity: 256 }, 60),
+            ]
+        );
+        assert_eq!(
+            parse_cells("flow:256:50@100").unwrap(),
+            vec![(
+                BufferMode::FlowGranularity {
+                    capacity: 256,
+                    timeout: Nanos::from_millis(50)
+                },
+                100
+            )]
+        );
+        assert!(parse_cells("none").is_err());
+        assert!(parse_cells("none@fast").is_err());
+        assert!(parse_cells("").is_err());
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub use sdnbuf_workload as workload;
 /// Measurement substrate: meters, delay recorders, summaries, tables.
 pub use sdnbuf_metrics as metrics;
 
+/// Analytic oracle: closed-form predictions for Section IV cells.
+pub use sdnbuf_model as model;
+
 /// Experiment orchestration: the Fig. 1 testbed, sweeps and result tables.
 pub use sdnbuf_core as core;
 

@@ -9,15 +9,8 @@ use sdn_buffer_lab::core::chaos::{
 use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::switchbuf::RetryPolicy;
 
-fn mechanisms() -> [BufferMode; 2] {
-    [
-        BufferMode::PacketGranularity { capacity: 256 },
-        BufferMode::FlowGranularity {
-            capacity: 256,
-            timeout: Nanos::from_millis(20),
-        },
-    ]
-}
+mod common;
+use common::buffering_mechanisms as mechanisms;
 
 /// The acceptance bar: 200 seeded scenarios per mechanism, zero invariant
 /// violations. A failure prints the exact one-command replay.

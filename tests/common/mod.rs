@@ -1,0 +1,47 @@
+//! Shared testbed boilerplate for the integration suites.
+//!
+//! Each suite (`end_to_end`, `chaos`, `validate`) compiles this module
+//! into its own binary and uses its own subset of the helpers, hence the
+//! file-wide `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use sdn_buffer_lab::core::WorkloadKind;
+use sdn_buffer_lab::prelude::*;
+
+/// Runs one `(mechanism, workload, rate, seed)` combination on the
+/// default testbed and returns its measurements.
+pub fn experiment(buffer: BufferMode, workload: WorkloadKind, rate: u64, seed: u64) -> RunResult {
+    Experiment::new(ExperimentConfig {
+        buffer,
+        workload,
+        sending_rate: BitRate::from_mbps(rate),
+        seed,
+        ..ExperimentConfig::default()
+    })
+    .run()
+}
+
+/// All three buffer mechanisms at the paper's Section IV calibration.
+pub fn all_mechanisms() -> Vec<BufferMode> {
+    vec![
+        BufferMode::NoBuffer,
+        BufferMode::PacketGranularity { capacity: 256 },
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(50),
+        },
+    ]
+}
+
+/// The two *buffering* mechanisms, with the shorter flow-granularity
+/// timeout the chaos harness exercises recovery under.
+pub fn buffering_mechanisms() -> [BufferMode; 2] {
+    [
+        BufferMode::PacketGranularity { capacity: 256 },
+        BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(20),
+        },
+    ]
+}

@@ -4,27 +4,8 @@
 use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::{core::WorkloadKind as WK, workload};
 
-fn experiment(buffer: BufferMode, workload: WK, rate: u64, seed: u64) -> RunResult {
-    Experiment::new(ExperimentConfig {
-        buffer,
-        workload,
-        sending_rate: BitRate::from_mbps(rate),
-        seed,
-        ..ExperimentConfig::default()
-    })
-    .run()
-}
-
-fn all_mechanisms() -> Vec<BufferMode> {
-    vec![
-        BufferMode::NoBuffer,
-        BufferMode::PacketGranularity { capacity: 256 },
-        BufferMode::FlowGranularity {
-            capacity: 256,
-            timeout: Nanos::from_millis(50),
-        },
-    ]
-}
+mod common;
+use common::{all_mechanisms, experiment};
 
 #[test]
 fn every_mechanism_delivers_every_packet_single_flow_workload() {

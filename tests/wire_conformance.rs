@@ -135,6 +135,586 @@ fn flow_granularity_vendor_negotiation_over_encoded_bytes() {
     );
 }
 
+/// Fuzz-style round-trip coverage of the whole codec: every one of the 22
+/// message types the implementation speaks must encode → decode → encode
+/// byte-identically for arbitrary field values, and mangled frames —
+/// truncated or bit-flipped — must come back as typed [`OfpError`]s, never
+/// as panics.
+mod wire_props {
+    use super::over_the_wire;
+    use proptest::prelude::*;
+    use sdn_buffer_lab::net::MacAddr;
+    use sdn_buffer_lab::openflow::msg::{
+        DescStats, ErrorMsg, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved,
+        FlowRemovedReason, FlowStatsEntry, PacketIn, PacketInReason, PacketOut, PacketQueue,
+        PhyPort, PortMod, PortReason, PortStatsEntry, PortStatus, StatsReply, StatsRequest,
+        SwitchConfig as OfSwitchConfig, TableStatsEntry, Vendor,
+    };
+    use sdn_buffer_lab::openflow::{
+        Action, BufferId, Match, OfpError, OfpMessage, PortNo, Wildcards,
+    };
+    use std::net::Ipv4Addr;
+
+    fn arb_buffer_id() -> impl Strategy<Value = BufferId> {
+        any::<u32>().prop_map(BufferId::from_wire)
+    }
+
+    fn arb_action() -> BoxedStrategy<Action> {
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(p, m)| Action::Output {
+                port: PortNo(p),
+                max_len: m
+            }),
+            any::<u8>().prop_map(Action::SetNwTos),
+            (any::<u16>(), any::<u32>()).prop_map(|(p, q)| Action::Enqueue {
+                port: PortNo(p),
+                queue_id: q
+            }),
+        ]
+        .boxed()
+    }
+
+    fn arb_match() -> impl Strategy<Value = Match> {
+        (
+            (
+                any::<u32>(),
+                any::<u16>(),
+                any::<[u8; 6]>(),
+                any::<[u8; 6]>(),
+            ),
+            (
+                any::<u16>(),
+                any::<u8>(),
+                any::<u16>(),
+                any::<u8>(),
+                any::<u8>(),
+            ),
+            (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()),
+        )
+            .prop_map(
+                |((w, inp, src, dst), (vlan, pcp, dlt, tos, proto), (nws, nwd, tps, tpd))| Match {
+                    wildcards: Wildcards::from_bits(w),
+                    in_port: PortNo(inp),
+                    dl_src: MacAddr::new(src),
+                    dl_dst: MacAddr::new(dst),
+                    dl_vlan: vlan,
+                    dl_vlan_pcp: pcp,
+                    dl_type: dlt,
+                    nw_tos: tos,
+                    nw_proto: proto,
+                    nw_src: Ipv4Addr::from(nws),
+                    nw_dst: Ipv4Addr::from(nwd),
+                    tp_src: tps,
+                    tp_dst: tpd,
+                },
+            )
+    }
+
+    /// A printable ASCII string that fits a fixed-width NUL-padded wire
+    /// field of `max + 1` bytes.
+    fn arb_name(max: usize) -> impl Strategy<Value = String> {
+        proptest::collection::vec(0x20u8..0x7f, 0..max + 1)
+            .prop_map(|b| String::from_utf8(b).expect("printable ASCII"))
+    }
+
+    fn arb_phy_port() -> impl Strategy<Value = PhyPort> {
+        (any::<u16>(), any::<[u8; 6]>(), arb_name(15)).prop_map(|(p, mac, name)| PhyPort {
+            port_no: PortNo(p),
+            hw_addr: MacAddr::new(mac),
+            name,
+        })
+    }
+
+    fn arb_flow_removed_reason() -> impl Strategy<Value = FlowRemovedReason> {
+        prop_oneof![
+            Just(FlowRemovedReason::IdleTimeout),
+            Just(FlowRemovedReason::HardTimeout),
+            Just(FlowRemovedReason::Delete),
+        ]
+    }
+
+    fn arb_stats_request() -> BoxedStrategy<StatsRequest> {
+        prop_oneof![
+            Just(StatsRequest::Desc),
+            Just(StatsRequest::Table),
+            any::<u16>().prop_map(|p| StatsRequest::Port { port_no: PortNo(p) }),
+            (arb_match(), any::<u8>(), any::<u16>()).prop_map(|(m, t, p)| StatsRequest::Flow {
+                match_fields: m,
+                table_id: t,
+                out_port: PortNo(p),
+            }),
+            (arb_match(), any::<u8>(), any::<u16>()).prop_map(|(m, t, p)| {
+                StatsRequest::Aggregate {
+                    match_fields: m,
+                    table_id: t,
+                    out_port: PortNo(p),
+                }
+            }),
+        ]
+        .boxed()
+    }
+
+    fn arb_stats_reply() -> BoxedStrategy<StatsReply> {
+        let desc = (
+            arb_name(63),
+            arb_name(63),
+            arb_name(63),
+            arb_name(31),
+            arb_name(63),
+        )
+            .prop_map(|(mfr, hw, sw, serial, dp)| {
+                StatsReply::Desc(DescStats {
+                    mfr_desc: mfr,
+                    hw_desc: hw,
+                    sw_desc: sw,
+                    serial_num: serial,
+                    dp_desc: dp,
+                })
+            });
+        let table_entry = (
+            any::<u8>(),
+            arb_name(31),
+            (any::<u32>(), any::<u32>(), any::<u32>()),
+            (any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |(id, name, (w, max, active), (lookup, matched))| TableStatsEntry {
+                    table_id: id,
+                    name,
+                    wildcards: w,
+                    max_entries: max,
+                    active_count: active,
+                    lookup_count: lookup,
+                    matched_count: matched,
+                },
+            );
+        let port_entry = (
+            any::<u16>(),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(|(p, (rxp, txp, rxb), (txb, rxd, txd))| PortStatsEntry {
+                port_no: PortNo(p),
+                rx_packets: rxp,
+                tx_packets: txp,
+                rx_bytes: rxb,
+                tx_bytes: txb,
+                rx_dropped: rxd,
+                tx_dropped: txd,
+            });
+        let flow_entry = (
+            (any::<u8>(), arb_match(), any::<u32>(), any::<u32>()),
+            (any::<u16>(), any::<u16>(), any::<u16>(), any::<u64>()),
+            (any::<u64>(), any::<u64>()),
+            proptest::collection::vec(arb_action(), 0..3),
+        )
+            .prop_map(
+                |((tid, m, ds, dn), (pr, it, ht, ck), (pc, bc), acts)| FlowStatsEntry {
+                    table_id: tid,
+                    match_fields: m,
+                    duration_sec: ds,
+                    duration_nsec: dn,
+                    priority: pr,
+                    idle_timeout: it,
+                    hard_timeout: ht,
+                    cookie: ck,
+                    packet_count: pc,
+                    byte_count: bc,
+                    actions: acts,
+                },
+            );
+        prop_oneof![
+            desc,
+            proptest::collection::vec(table_entry, 0..4).prop_map(StatsReply::Table),
+            proptest::collection::vec(port_entry, 0..4).prop_map(StatsReply::Port),
+            proptest::collection::vec(flow_entry, 0..3).prop_map(StatsReply::Flow),
+            (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(p, b, f)| {
+                StatsReply::Aggregate {
+                    packet_count: p,
+                    byte_count: b,
+                    flow_count: f,
+                }
+            }),
+        ]
+        .boxed()
+    }
+
+    /// Every one of the 22 `OfpMessage` variants, with arbitrary fields.
+    fn arb_any_message() -> BoxedStrategy<OfpMessage> {
+        let data = proptest::collection::vec(any::<u8>(), 0..200);
+        let actions = proptest::collection::vec(arb_action(), 0..4);
+        prop_oneof![
+            Just(OfpMessage::Hello),
+            (any::<u16>(), any::<u16>(), data.clone()).prop_map(|(t, c, d)| OfpMessage::Error(
+                ErrorMsg {
+                    err_type: t,
+                    code: c,
+                    data: d
+                }
+            )),
+            data.clone().prop_map(OfpMessage::EchoRequest),
+            data.clone().prop_map(OfpMessage::EchoReply),
+            (any::<u32>(), data.clone())
+                .prop_map(|(v, d)| OfpMessage::Vendor(Vendor { vendor: v, data: d })),
+            Just(OfpMessage::FeaturesRequest),
+            (
+                (any::<u64>(), any::<u32>(), any::<u8>()),
+                (any::<u32>(), any::<u32>()),
+                proptest::collection::vec(arb_phy_port(), 0..4),
+            )
+                .prop_map(|((dp, nb, nt), (cap, act), ports)| {
+                    OfpMessage::FeaturesReply(FeaturesReply {
+                        datapath_id: dp,
+                        n_buffers: nb,
+                        n_tables: nt,
+                        capabilities: cap,
+                        actions: act,
+                        ports,
+                    })
+                }),
+            Just(OfpMessage::GetConfigRequest),
+            (any::<u16>(), any::<u16>()).prop_map(|(f, m)| {
+                OfpMessage::GetConfigReply(OfSwitchConfig {
+                    flags: f,
+                    miss_send_len: m,
+                })
+            }),
+            (any::<u16>(), any::<u16>()).prop_map(|(f, m)| {
+                OfpMessage::SetConfig(OfSwitchConfig {
+                    flags: f,
+                    miss_send_len: m,
+                })
+            }),
+            (
+                arb_buffer_id(),
+                any::<u16>(),
+                any::<u16>(),
+                any::<bool>(),
+                data.clone()
+            )
+                .prop_map(|(b, t, p, action, d)| {
+                    OfpMessage::PacketIn(PacketIn {
+                        buffer_id: b,
+                        total_len: t,
+                        in_port: PortNo(p),
+                        reason: if action {
+                            PacketInReason::Action
+                        } else {
+                            PacketInReason::NoMatch
+                        },
+                        data: d,
+                    })
+                }),
+            (
+                (arb_match(), any::<u64>(), any::<u16>()),
+                arb_flow_removed_reason(),
+                (any::<u32>(), any::<u32>(), any::<u16>()),
+                (any::<u64>(), any::<u64>()),
+            )
+                .prop_map(|((m, ck, pr), reason, (ds, dn, it), (pc, bc))| {
+                    OfpMessage::FlowRemoved(FlowRemoved {
+                        match_fields: m,
+                        cookie: ck,
+                        priority: pr,
+                        reason,
+                        duration_sec: ds,
+                        duration_nsec: dn,
+                        idle_timeout: it,
+                        packet_count: pc,
+                        byte_count: bc,
+                    })
+                }),
+            (arb_buffer_id(), any::<u16>(), actions.clone(), data.clone()).prop_map(
+                |(b, p, a, d)| {
+                    // Data rides along only when unbuffered (spec semantics).
+                    let data = if b == BufferId::NO_BUFFER { d } else { vec![] };
+                    OfpMessage::PacketOut(PacketOut {
+                        buffer_id: b,
+                        in_port: PortNo(p),
+                        actions: a,
+                        data,
+                    })
+                }
+            ),
+            (
+                (arb_match(), any::<u64>(), 0u16..5),
+                (any::<u16>(), any::<u16>(), any::<u16>()),
+                (arb_buffer_id(), any::<u16>(), any::<u16>()),
+                actions,
+            )
+                .prop_map(|((m, ck, cmd), (it, ht, pr), (b, op, fl), a)| {
+                    OfpMessage::FlowMod(FlowMod {
+                        match_fields: m,
+                        cookie: ck,
+                        command: match cmd {
+                            1 => FlowModCommand::Modify,
+                            2 => FlowModCommand::ModifyStrict,
+                            3 => FlowModCommand::Delete,
+                            4 => FlowModCommand::DeleteStrict,
+                            _ => FlowModCommand::Add,
+                        },
+                        idle_timeout: it,
+                        hard_timeout: ht,
+                        priority: pr,
+                        buffer_id: b,
+                        out_port: PortNo(op),
+                        flags: fl,
+                        actions: a,
+                    })
+                }),
+            arb_stats_request().prop_map(OfpMessage::StatsRequest),
+            arb_stats_reply().prop_map(OfpMessage::StatsReply),
+            Just(OfpMessage::BarrierRequest),
+            Just(OfpMessage::BarrierReply),
+            (
+                prop_oneof![
+                    Just(PortReason::Add),
+                    Just(PortReason::Delete),
+                    Just(PortReason::Modify)
+                ],
+                arb_phy_port()
+            )
+                .prop_map(|(reason, port)| OfpMessage::PortStatus(PortStatus { reason, port })),
+            (
+                any::<u16>(),
+                any::<[u8; 6]>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>()
+            )
+                .prop_map(|(p, mac, cfg, mask, adv)| {
+                    OfpMessage::PortMod(PortMod {
+                        port_no: PortNo(p),
+                        hw_addr: MacAddr::new(mac),
+                        config: cfg,
+                        mask,
+                        advertise: adv,
+                    })
+                }),
+            any::<u16>().prop_map(|p| OfpMessage::QueueGetConfigRequest(PortNo(p))),
+            (
+                any::<u16>(),
+                proptest::collection::vec(
+                    (any::<u32>(), any::<u16>()).prop_map(|(q, r)| PacketQueue {
+                        queue_id: q,
+                        min_rate_tenths_percent: r,
+                    }),
+                    0..4
+                )
+            )
+                .prop_map(|(p, queues)| OfpMessage::QueueGetConfigReply {
+                    port: PortNo(p),
+                    queues,
+                }),
+        ]
+        .boxed()
+    }
+
+    fn sample_match() -> Match {
+        Match {
+            wildcards: Wildcards::from_bits(0),
+            in_port: PortNo(1),
+            dl_src: MacAddr::from_host_index(1),
+            dl_dst: MacAddr::from_host_index(2),
+            dl_vlan: 0xffff,
+            dl_vlan_pcp: 0,
+            dl_type: 0x0800,
+            nw_tos: 0,
+            nw_proto: 17,
+            nw_src: Ipv4Addr::new(10, 0, 0, 1),
+            nw_dst: Ipv4Addr::new(10, 0, 0, 2),
+            tp_src: 5000,
+            tp_dst: 9,
+        }
+    }
+
+    /// Deterministic completeness check: one exemplar per message type,
+    /// all 22 distinct wire type codes accounted for, each surviving the
+    /// wire and re-encoding byte-identically. The fuzz tests above explore
+    /// the field space; this test guarantees none of the 22 is skipped.
+    #[test]
+    fn all_twenty_two_message_types_round_trip() {
+        let port = PhyPort {
+            port_no: PortNo(1),
+            hw_addr: MacAddr::from_host_index(1),
+            name: "eth1".into(),
+        };
+        let exemplars: Vec<OfpMessage> = vec![
+            OfpMessage::Hello,
+            OfpMessage::Error(ErrorMsg {
+                err_type: 1,
+                code: 2,
+                data: vec![0xde, 0xad],
+            }),
+            OfpMessage::EchoRequest(vec![1, 2, 3]),
+            OfpMessage::EchoReply(vec![]),
+            OfpMessage::Vendor(Vendor {
+                vendor: 0x2320,
+                data: vec![7; 12],
+            }),
+            OfpMessage::FeaturesRequest,
+            OfpMessage::FeaturesReply(FeaturesReply {
+                datapath_id: 0xfeed_beef,
+                n_buffers: 256,
+                n_tables: 2,
+                capabilities: 0x4f,
+                actions: 0xfff,
+                ports: vec![port.clone()],
+            }),
+            OfpMessage::GetConfigRequest,
+            OfpMessage::GetConfigReply(OfSwitchConfig {
+                flags: 0,
+                miss_send_len: 128,
+            }),
+            OfpMessage::SetConfig(OfSwitchConfig {
+                flags: 1,
+                miss_send_len: 0xffff,
+            }),
+            OfpMessage::PacketIn(PacketIn {
+                buffer_id: BufferId::from_wire(7),
+                total_len: 1000,
+                in_port: PortNo(1),
+                reason: PacketInReason::NoMatch,
+                data: vec![0xab; 128],
+            }),
+            OfpMessage::FlowRemoved(FlowRemoved {
+                match_fields: sample_match(),
+                cookie: 9,
+                priority: 100,
+                reason: FlowRemovedReason::IdleTimeout,
+                duration_sec: 1,
+                duration_nsec: 2,
+                idle_timeout: 3,
+                packet_count: 4,
+                byte_count: 5,
+            }),
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![0xcc; 64],
+            }),
+            OfpMessage::FlowMod(FlowMod {
+                match_fields: sample_match(),
+                cookie: 1,
+                command: FlowModCommand::Add,
+                idle_timeout: 5,
+                hard_timeout: 0,
+                priority: 100,
+                buffer_id: BufferId::from_wire(7),
+                out_port: PortNo(0xffff),
+                flags: 1,
+                actions: vec![Action::output(PortNo(2))],
+            }),
+            OfpMessage::StatsRequest(StatsRequest::Flow {
+                match_fields: sample_match(),
+                table_id: 0xff,
+                out_port: PortNo(0xffff),
+            }),
+            OfpMessage::StatsReply(StatsReply::Desc(DescStats {
+                mfr_desc: "sdn-buffer-lab".into(),
+                hw_desc: "model".into(),
+                sw_desc: "test".into(),
+                serial_num: "0".into(),
+                dp_desc: "conformance".into(),
+            })),
+            OfpMessage::BarrierRequest,
+            OfpMessage::BarrierReply,
+            OfpMessage::PortStatus(PortStatus {
+                reason: PortReason::Modify,
+                port: port.clone(),
+            }),
+            OfpMessage::PortMod(PortMod {
+                port_no: PortNo(1),
+                hw_addr: MacAddr::from_host_index(1),
+                config: 1,
+                mask: 1,
+                advertise: 0,
+            }),
+            OfpMessage::QueueGetConfigRequest(PortNo(1)),
+            OfpMessage::QueueGetConfigReply {
+                port: PortNo(1),
+                queues: vec![PacketQueue {
+                    queue_id: 1,
+                    min_rate_tenths_percent: 500,
+                }],
+            },
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, msg) in exemplars.into_iter().enumerate() {
+            seen.insert(format!("{:?}", msg.msg_type()));
+            let bytes = msg.encode(i as u32);
+            let (decoded, _) = over_the_wire(msg, i as u32);
+            assert_eq!(decoded.encode(i as u32), bytes, "re-encode not identical");
+        }
+        assert_eq!(seen.len(), 22, "exemplars must span every type: {seen:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// encode → decode → encode is byte-identical for arbitrary
+        /// messages of every type, and `wire_len` never lies.
+        #[test]
+        fn every_message_re_encodes_byte_identically(
+            msg in arb_any_message(),
+            xid in any::<u32>(),
+        ) {
+            let bytes = msg.encode(xid);
+            prop_assert_eq!(bytes.len(), msg.wire_len());
+            let (decoded, decoded_xid) = OfpMessage::decode(&bytes).expect("valid frame");
+            prop_assert_eq!(decoded_xid, xid);
+            prop_assert_eq!(&decoded, &msg);
+            prop_assert_eq!(decoded.encode(xid), bytes);
+        }
+
+        /// Cutting a valid frame anywhere strictly short of its full
+        /// length yields a typed truncation/length error — never a panic,
+        /// never a silently decoded partial message.
+        #[test]
+        fn truncated_frames_return_typed_errors(
+            msg in arb_any_message(),
+            cut in any::<prop::sample::Index>(),
+        ) {
+            let bytes = msg.encode(3);
+            let cut = cut.index(bytes.len()); // 0 ≤ cut < len: strictly shorter
+            match OfpMessage::decode(&bytes[..cut]) {
+                Err(OfpError::Truncated { needed, got }) => {
+                    prop_assert!(got < needed, "Truncated{{needed: {needed}, got: {got}}}");
+                }
+                Err(OfpError::BadLength { claimed, actual }) => {
+                    prop_assert!(actual < claimed, "BadLength{{claimed: {claimed}, actual: {actual}}}");
+                }
+                Err(other) => prop_assert!(
+                    false,
+                    "truncation must surface as Truncated/BadLength, got {other:?}"
+                ),
+                Ok((m, _)) => prop_assert!(false, "decoded a truncated frame as {m}"),
+            }
+        }
+
+        /// Arbitrary single-byte corruption of a valid frame never panics
+        /// the decoder; it either still parses or fails with a typed error.
+        #[test]
+        fn corrupted_frames_never_panic(
+            msg in arb_any_message(),
+            at in any::<prop::sample::Index>(),
+            mask in 1u8..=255,
+        ) {
+            let mut bytes = msg.encode(9);
+            let i = at.index(bytes.len());
+            bytes[i] ^= mask;
+            let _ = OfpMessage::decode(&bytes);
+        }
+
+        /// Pure garbage never panics the decoder either.
+        #[test]
+        fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = OfpMessage::decode(&bytes);
+        }
+    }
+}
+
 #[test]
 fn packet_granularity_switch_rejects_flow_buffer_configure() {
     let mut switch = Switch::new(SwitchConfig {
