@@ -35,6 +35,12 @@ pub struct Controller {
     next_xid: u32,
     /// Learned from `features_reply` during the handshake.
     switch_features: Option<SwitchFeatures>,
+    /// The session epoch this instance currently serves (`0` until the
+    /// crash plane assigns one; see [`Controller::set_epoch`]).
+    epoch: u32,
+    /// Departure times of in-flight echo keepalives, keyed by xid, so the
+    /// matching `echo_reply` yields a round-trip sample.
+    pending_echoes: FastHashMap<u32, Nanos>,
     /// Admission slots of the bounded ingress queue: one per admitted
     /// `packet_in`, held from arrival until its modeled service completion.
     /// Only maintained when `ingress_queue_capacity > 0`.
@@ -96,6 +102,8 @@ impl Controller {
             mac_table: FastHashMap::default(),
             next_xid: 0x8000_0000, // distinct from switch-allocated xids
             switch_features: None,
+            epoch: 0,
+            pending_echoes: FastHashMap::default(),
             backlog: VecDeque::new(),
             stats: ControllerStats::default(),
             tracer: Tracer::off(),
@@ -150,9 +158,11 @@ impl Controller {
     pub fn keepalive(&mut self, now: Nanos) -> ControllerOutput {
         let at = self.submit(now, self.config.cost_parse_base);
         self.stats.probes_sent.incr();
+        let xid = self.fresh_xid();
+        self.pending_echoes.insert(xid, at);
         ControllerOutput::ToSwitch {
             at,
-            xid: self.fresh_xid(),
+            xid,
             msg: OfpMessage::EchoRequest(vec![0x5a; 8]),
         }
     }
@@ -186,6 +196,46 @@ impl Controller {
     /// `top`-style CPU utilization over `[ZERO, horizon]`, in percent.
     pub fn cpu_percent(&self, horizon: Nanos) -> f64 {
         self.cpu.utilization().percent(horizon)
+    }
+
+    /// Models a controller crash: every piece of volatile state — the
+    /// learned MAC table, the admission backlog, the handshake's switch
+    /// knowledge, in-flight echo probes — is lost. Unlike a stall, which
+    /// merely delays the process, nothing survives a crash except the xid
+    /// counter (a restarted process keeps allocating from the same
+    /// monotonic space, so transaction correlation stays unambiguous) and
+    /// the measurement counters, which belong to the experiment rather
+    /// than the process.
+    pub fn crash(&mut self) {
+        self.mac_table.clear();
+        self.backlog.clear();
+        self.switch_features = None;
+        self.pending_echoes.clear();
+    }
+
+    /// The session epoch this instance currently serves; `0` until the
+    /// crash plane assigns one.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Assigns the session epoch (crash orchestration: bumped on every
+    /// restart and failover takeover).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// Re-bases the xid allocator. The warm standby mints from a distinct
+    /// range (`0xC000_0000`) so its transactions never collide with the
+    /// primary's.
+    pub fn set_xid_base(&mut self, base: u32) {
+        self.next_xid = base;
+    }
+
+    /// Copies another controller's learned forwarding knowledge into this
+    /// one — the warm-standby snapshot sync at takeover time.
+    pub fn sync_from(&mut self, other: &Controller) {
+        self.mac_table = other.mac_table.clone();
     }
 
     /// Seeds the learning table (or records a learned location).
@@ -273,6 +323,9 @@ impl Controller {
             }
             OfpMessage::EchoReply(_) => {
                 self.stats.echo_replies.incr();
+                if let Some(sent) = self.pending_echoes.remove(&xid) {
+                    self.stats.echo_rtt.record(now.saturating_sub(sent));
+                }
                 self.submit(now, self.config.cost_parse_base);
                 Vec::new()
             }
@@ -868,6 +921,72 @@ mod tests {
         );
         assert_eq!(outs.len(), 2);
         assert_eq!(c.stats().admission_sheds.get(), 1);
+    }
+
+    #[test]
+    fn echo_rtt_is_recorded_per_matched_reply() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let ControllerOutput::ToSwitch { xid, at, .. } = c.keepalive(Nanos::ZERO);
+        c.handle_message(
+            at + Nanos::from_micros(300),
+            OfpMessage::EchoReply(vec![0x5a; 8]),
+            xid,
+        );
+        assert_eq!(c.stats().echo_rtt.count(), 1);
+        assert!(c.stats().echo_rtt.quantile(0.5) >= Nanos::from_micros(300));
+        // A reply with an unknown xid (e.g. answering a crashed
+        // predecessor's probe) records no sample.
+        c.handle_message(Nanos::from_millis(1), OfpMessage::EchoReply(vec![]), 0xdead);
+        assert_eq!(c.stats().echo_rtt.count(), 1);
+        assert_eq!(c.stats().echo_replies.get(), 2);
+    }
+
+    #[test]
+    fn crash_drops_volatile_state_but_keeps_the_xid_space() {
+        let mut c = seeded();
+        c.handle_message(
+            Nanos::ZERO,
+            OfpMessage::FeaturesReply(sdnbuf_openflow::msg::FeaturesReply {
+                datapath_id: 1,
+                n_buffers: 16,
+                n_tables: 1,
+                capabilities: 0,
+                actions: 0,
+                ports: vec![],
+            }),
+            1,
+        );
+        assert!(c.switch_features().is_some());
+        let ControllerOutput::ToSwitch { xid: x1, .. } = c.keepalive(Nanos::ZERO);
+        c.set_epoch(1);
+        c.crash();
+        assert_eq!(c.location_of(MacAddr::from_host_index(2)), None);
+        assert!(c.switch_features().is_none());
+        // The in-flight probe died with the process: its late reply is
+        // ignored.
+        c.handle_message(Nanos::from_millis(1), OfpMessage::EchoReply(vec![]), x1);
+        assert_eq!(c.stats().echo_rtt.count(), 0);
+        // The xid space is monotonic across the crash.
+        let ControllerOutput::ToSwitch { xid: x2, .. } = c.keepalive(Nanos::from_millis(2));
+        assert!(x2 > x1);
+    }
+
+    #[test]
+    fn standby_mints_from_its_own_xid_range_and_syncs_warm() {
+        let mut primary = seeded();
+        let mut standby = Controller::new(ControllerConfig::default());
+        standby.set_xid_base(0xC000_0000);
+        let ControllerOutput::ToSwitch { xid, .. } = standby.keepalive(Nanos::ZERO);
+        assert_eq!(xid, 0xC000_0000);
+        assert_eq!(standby.location_of(MacAddr::from_host_index(2)), None);
+        standby.sync_from(&primary);
+        assert_eq!(
+            standby.location_of(MacAddr::from_host_index(2)),
+            Some(PortNo(2))
+        );
+        // Sync copies knowledge, not identity: the primary is unaffected.
+        let ControllerOutput::ToSwitch { xid, .. } = primary.keepalive(Nanos::ZERO);
+        assert_eq!(xid, 0x8000_0000);
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct Sabotage {
     /// Disable the TTL garbage collector while leaving the configured TTL
     /// in place (`--broken-ttl`): stranded entries leak.
     pub disable_ttl_gc: bool,
+    /// Disable the buffer mechanism's epoch guard (`--broken-epoch`):
+    /// entries are neither re-tagged nor re-announced across a session
+    /// epoch bump, and stale-epoch releases sail through.
+    pub broken_epoch: bool,
 }
 
 impl Sabotage {
@@ -61,8 +65,16 @@ impl Sabotage {
     /// Only the TTL garbage collector disabled.
     pub fn no_ttl_gc() -> Sabotage {
         Sabotage {
-            disable_rerequest: false,
             disable_ttl_gc: true,
+            ..Sabotage::default()
+        }
+    }
+
+    /// Only the epoch guard disabled.
+    pub fn no_epoch_guard() -> Sabotage {
+        Sabotage {
+            broken_epoch: true,
+            ..Sabotage::default()
         }
     }
 }
@@ -71,9 +83,18 @@ impl From<bool> for Sabotage {
     fn from(rerequest_enabled: bool) -> Sabotage {
         Sabotage {
             disable_rerequest: !rerequest_enabled,
-            disable_ttl_gc: false,
+            ..Sabotage::default()
         }
     }
+}
+
+/// Standby-failover knobs a chaos scenario can arm on its testbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StandbyKnobs {
+    /// Warm (snapshot-synced) or cold (empty tables) takeover.
+    pub warm: bool,
+    /// Delay between the primary's crash and the standby's takeover.
+    pub takeover_delay: Nanos,
 }
 
 /// One sampled chaos scenario: everything needed to reproduce a run.
@@ -91,6 +112,9 @@ pub struct ChaosScenario {
     pub plan: FaultPlan,
     /// Recovery-plane switch knobs (defaults = pre-recovery behaviour).
     pub recovery: RecoveryKnobs,
+    /// Warm-standby failover; `None` means the primary restarts itself at
+    /// each crash window's end.
+    pub standby: Option<StandbyKnobs>,
 }
 
 impl ChaosScenario {
@@ -174,7 +198,33 @@ impl ChaosScenario {
             // stay comparable across PRs; the recovery matrix
             // ([`recovery_matrix`]) turns the knobs on explicitly.
             recovery: RecoveryKnobs::default(),
+            standby: None,
         }
+    }
+
+    /// [`ChaosScenario::generate`] plus the crash plane: one or two
+    /// controller crash windows inside the data phase, and — every third
+    /// scenario — a warm or cold standby (whose own crash window is then
+    /// sometimes sampled too). A pure function of its arguments, like
+    /// `generate`.
+    pub fn generate_with_crashes(master_seed: u64, mech: BufferMode) -> ChaosScenario {
+        let mut s = ChaosScenario::generate(master_seed, mech);
+        let mut rng = SimRng::seed_from(master_seed ^ 0x5bd1_e995_9d1b_58d3);
+        for _ in 0..1 + rng.gen_range(2) {
+            s.plan.crashes.push(window_near_data_phase(&mut rng, 14));
+        }
+        if rng.gen_range(3) == 0 {
+            s.standby = Some(StandbyKnobs {
+                warm: rng.gen_range(2) == 0,
+                takeover_delay: Nanos::from_millis(2 + rng.gen_range(10)),
+            });
+            if rng.gen_range(2) == 0 {
+                s.plan
+                    .crashes_standby
+                    .push(window_near_data_phase(&mut rng, 6));
+            }
+        }
+        s
     }
 
     /// Serializes the scenario to the one-line spec that
@@ -196,6 +246,13 @@ impl ChaosScenario {
         if self.recovery.degraded_threshold != 0 {
             parts.push(format!("degraded={}", self.recovery.degraded_threshold));
         }
+        if let Some(sb) = self.standby {
+            parts.push(format!(
+                "standby={}:{}",
+                if sb.warm { "warm" } else { "cold" },
+                fmt_dur(sb.takeover_delay)
+            ));
+        }
         let plan = self.plan.to_spec();
         if !plan.is_empty() {
             parts.push(plan);
@@ -212,6 +269,7 @@ impl ChaosScenario {
         let mut seed = None;
         let mut plan = FaultPlan::default();
         let mut recovery = RecoveryKnobs::default();
+        let mut standby = None;
         for part in spec.split(',').filter(|p| !p.is_empty()) {
             let (key, value) = part
                 .split_once('=')
@@ -232,6 +290,7 @@ impl ChaosScenario {
                         .parse()
                         .map_err(|_| format!("bad degraded threshold '{value}'"))?;
                 }
+                "standby" => standby = Some(parse_standby(value)?),
                 _ => {
                     if !plan.apply_kv(key, value)? {
                         return Err(format!("unknown scenario key '{key}'"));
@@ -248,8 +307,24 @@ impl ChaosScenario {
             seed: seed.ok_or_else(|| "scenario spec is missing seed=".to_owned())?,
             plan,
             recovery,
+            standby,
         })
     }
+}
+
+fn parse_standby(s: &str) -> Result<StandbyKnobs, String> {
+    let (sync, delay) = s
+        .split_once(':')
+        .ok_or_else(|| format!("expected standby=<warm|cold>:<delay>, got '{s}'"))?;
+    let warm = match sync {
+        "warm" => true,
+        "cold" => false,
+        other => return Err(format!("bad standby sync '{other}' (warm or cold)")),
+    };
+    Ok(StandbyKnobs {
+        warm,
+        takeover_delay: parse_dur(delay)?,
+    })
 }
 
 /// Serializes a retry policy for the scenario spec:
@@ -410,6 +485,21 @@ pub fn execute(scenario: &ChaosScenario, sabotage: impl Into<Sabotage>) -> (RunR
     cfg.switch.buffer_ttl = scenario.recovery.ttl;
     cfg.switch.degraded_threshold = scenario.recovery.degraded_threshold;
     cfg.faults = scenario.plan.clone();
+    if scenario.plan.has_crashes() {
+        // The crash plane needs a heartbeat to miss: keepalives give the
+        // switch's liveness detector its signal. Scenarios without crash
+        // windows keep the channel measurement-only, so their event
+        // streams (and digests) are unchanged from previous PRs.
+        cfg.keepalive_interval = Some(Nanos::from_millis(5));
+        cfg.switch.liveness_timeout = Nanos::from_millis(15);
+    }
+    if let Some(sb) = scenario.standby {
+        cfg.failover = crate::testbed::FailoverConfig {
+            standby: true,
+            takeover_delay: sb.takeover_delay,
+            warm: sb.warm,
+        };
+    }
     let pktgen = PktgenConfig {
         rate: BitRate::from_mbps(scenario.rate_mbps),
         ..PktgenConfig::default()
@@ -421,6 +511,9 @@ pub fn execute(scenario: &ChaosScenario, sabotage: impl Into<Sabotage>) -> (RunR
     }
     if sabotage.disable_ttl_gc {
         tb.switch_mut().buffer_mut().set_ttl_gc_enabled(false);
+    }
+    if sabotage.broken_epoch {
+        tb.switch_mut().buffer_mut().set_epoch_guard_enabled(false);
     }
     let (tracer, sink) = Tracer::recording(0);
     tb.set_tracer(tracer);
@@ -474,6 +567,25 @@ pub struct Violation {
 ///   each of which deliberately sacrifices delivery for boundedness) must
 ///   deliver everything and fully drain its buffer. This is the invariant
 ///   that catches a broken re-request loop.
+///
+/// The crash plane (PR 9) adds four more:
+/// * **epoch-monotonicity** — the switch's session epoch only ever steps
+///   up by one, and every bump's target epoch was announced by a
+///   controller restart or failover takeover first.
+/// * **handshake-before-service** — after a crash, the switch serves no
+///   epoch bump until a restarted controller re-ran the handshake (an
+///   `EpochBump` with no preceding `CtrlRestart`/`FailoverTakeover` at
+///   that epoch is a violation).
+/// * **no-cross-epoch-drain** — a `packet_out` minted under epoch N never
+///   drains a buffer entry admitted under epoch M < N. Entries surviving
+///   a bump are only considered migrated when the bump re-tagged all of
+///   them (`survivors` equals the checker's live count) — the epoch-guard
+///   sabotage re-tags none, which is otherwise observationally identical.
+/// * **crash-recovery-drain** — flow granularity with crash windows,
+///   data-friendly faults and neutral recovery knobs must end the run
+///   with an empty buffer: post-restart reconciliation re-announces every
+///   survivor, so a crash may shed (accounted) packets but never strands
+///   buffered ones.
 pub fn check_invariants(
     mech: BufferMode,
     plan: &FaultPlan,
@@ -492,6 +604,7 @@ pub fn check_invariants(
     let mut outstanding: HashMap<u32, i64> = HashMap::new();
     let mut fresh_allocs: HashMap<u32, u64> = HashMap::new();
     let mut rerequests: HashMap<u32, u64> = HashMap::new();
+    let mut reconciles: HashMap<u32, u64> = HashMap::new();
     let mut pkt_ins: HashMap<u32, u64> = HashMap::new();
     let mut last_request: HashMap<u32, Nanos> = HashMap::new();
     let mut retry_streak: HashMap<u32, u32> = HashMap::new();
@@ -501,6 +614,12 @@ pub fn check_invariants(
     let mut degraded_enters: u64 = 0;
     let mut degraded_exits: u64 = 0;
     let mut progress_since_enter = false;
+    // Crash-plane state: the switch's current epoch, the epochs announced
+    // by controller restarts/takeovers, and each live buffer id's
+    // admission epoch.
+    let mut switch_epoch: u32 = 1;
+    let mut announced_epochs: Vec<u32> = Vec::new();
+    let mut entry_epoch: HashMap<u32, u32> = HashMap::new();
 
     for e in events {
         match e.kind {
@@ -523,6 +642,9 @@ pub fn check_invariants(
                     *fresh_allocs.entry(buffer_id).or_insert(0) += 1;
                     last_request.insert(buffer_id, e.at);
                     retry_streak.insert(buffer_id, 0);
+                    entry_epoch.insert(buffer_id, switch_epoch);
+                } else {
+                    entry_epoch.entry(buffer_id).or_insert(switch_epoch);
                 }
             }
             EventKind::BufferRerequest { buffer_id, .. } => {
@@ -552,12 +674,29 @@ pub fn check_invariants(
                 }
                 last_request.insert(buffer_id, e.at);
             }
+            EventKind::BufferReconcile { buffer_id, .. } => {
+                // A reconciliation re-announce is an extra legitimate
+                // `packet_in` for the slot; it does not touch the retry
+                // budget or the timeout clock.
+                *reconciles.entry(buffer_id).or_insert(0) += 1;
+            }
             EventKind::BufferDrain {
                 buffer_id,
                 released,
                 ..
             } => {
                 progress_since_enter = true;
+                if let Some(&admitted) = entry_epoch.get(&buffer_id) {
+                    if admitted < switch_epoch && released > 0 {
+                        violations.push(Violation {
+                            invariant: "no-cross-epoch-drain",
+                            detail: format!(
+                                "buffer {buffer_id} admitted under epoch {admitted} drained \
+                                 while the switch serves epoch {switch_epoch}"
+                            ),
+                        });
+                    }
+                }
                 let held = outstanding.entry(buffer_id).or_insert(0);
                 if *held <= 0 && released > 0 {
                     violations.push(Violation {
@@ -578,6 +717,7 @@ pub fn check_invariants(
                 *held -= released as i64;
                 if *held <= 0 {
                     last_request.remove(&buffer_id);
+                    entry_epoch.remove(&buffer_id);
                 }
             }
             EventKind::BufferExpire { buffer_id, .. } => {
@@ -591,6 +731,7 @@ pub fn check_invariants(
                 *held -= 1;
                 if *held <= 0 {
                     last_request.remove(&buffer_id);
+                    entry_epoch.remove(&buffer_id);
                 }
             }
             EventKind::BufferGiveUp {
@@ -608,6 +749,48 @@ pub fn check_invariants(
                 *held -= drained as i64;
                 last_request.remove(&buffer_id);
                 retry_streak.remove(&buffer_id);
+                entry_epoch.remove(&buffer_id);
+            }
+            EventKind::CtrlRestart { epoch, .. } | EventKind::FailoverTakeover { epoch, .. } => {
+                announced_epochs.push(epoch);
+            }
+            EventKind::EpochBump {
+                from,
+                to,
+                survivors,
+            } => {
+                if from != switch_epoch || to != from + 1 {
+                    violations.push(Violation {
+                        invariant: "epoch-monotonicity",
+                        detail: format!(
+                            "epoch bump {from} -> {to} while the switch served epoch \
+                             {switch_epoch} (epochs must step up by exactly one)"
+                        ),
+                    });
+                }
+                if !announced_epochs.contains(&to) {
+                    violations.push(Violation {
+                        invariant: "handshake-before-service",
+                        detail: format!(
+                            "switch moved to epoch {to} without a controller restart or \
+                             takeover announcing it (no re-handshake happened)"
+                        ),
+                    });
+                }
+                // Migrate surviving entries only when the bump re-tagged
+                // every live one — the broken-epoch sabotage re-tags none,
+                // and this count mismatch is what exposes it.
+                let live: Vec<u32> = outstanding
+                    .iter()
+                    .filter(|&(_, &held)| held > 0)
+                    .map(|(&id, _)| id)
+                    .collect();
+                if survivors == live.len() {
+                    for id in live {
+                        entry_epoch.insert(id, to);
+                    }
+                }
+                switch_epoch = to;
             }
             EventKind::FlowRuleInstalled { .. } => {
                 progress_since_enter = true;
@@ -659,13 +842,15 @@ pub fn check_invariants(
     }
 
     for (id, &n) in &pkt_ins {
-        let expected =
-            fresh_allocs.get(id).copied().unwrap_or(0) + rerequests.get(id).copied().unwrap_or(0);
+        let expected = fresh_allocs.get(id).copied().unwrap_or(0)
+            + rerequests.get(id).copied().unwrap_or(0)
+            + reconciles.get(id).copied().unwrap_or(0);
         if n != expected {
             violations.push(Violation {
                 invariant: "single-request-per-flow",
                 detail: format!(
-                    "buffer {id}: {n} packet_ins for {expected} allocations + re-requests"
+                    "buffer {id}: {n} packet_ins for {expected} allocations + re-requests + \
+                     reconciles"
                 ),
             });
         }
@@ -678,6 +863,16 @@ pub fn check_invariants(
             detail: format!(
                 "stats counted {} re-requests, trace shows {rerequest_total}",
                 result.rerequests
+            ),
+        });
+    }
+    let reconcile_total: u64 = reconciles.values().sum();
+    if result.reconcile_rerequests != reconcile_total {
+        violations.push(Violation {
+            invariant: "reconcile-accounting",
+            detail: format!(
+                "stats counted {} reconciliation re-announces, trace shows {reconcile_total}",
+                result.reconcile_rerequests
             ),
         });
     }
@@ -739,9 +934,13 @@ pub fn check_invariants(
     // guarantee only holds with all three disarmed.
     let recovery_neutral =
         knobs.ttl == Nanos::ZERO && knobs.retry.budget == 0 && knobs.degraded_threshold == 0;
+    // A crash legitimately sheds fresh misses while the switch suspects
+    // the controller dead (accounted as drops), so the full delivery
+    // guarantee is replaced by crash-recovery-drain below.
     let guarantees_delivery = matches!(mech, BufferMode::FlowGranularity { .. })
         && !plan.disturbs_data()
-        && recovery_neutral;
+        && recovery_neutral
+        && !plan.has_crashes();
     if guarantees_delivery {
         if result.packets_delivered < result.packets_sent {
             violations.push(Violation {
@@ -762,6 +961,23 @@ pub fn check_invariants(
                 ),
             });
         }
+    }
+
+    // Across a crash, post-restart reconciliation must re-announce every
+    // surviving entry: the run may shed packets (accounted drops) but the
+    // buffer drains completely.
+    let crash_guarantees_drain = matches!(mech, BufferMode::FlowGranularity { .. })
+        && plan.has_crashes()
+        && !plan.disturbs_data()
+        && recovery_neutral;
+    if crash_guarantees_drain && stranded > 0 {
+        violations.push(Violation {
+            invariant: "crash-recovery-drain",
+            detail: format!(
+                "{stranded} packets stranded in the buffer after a crash — \
+                 reconciliation failed to re-announce them"
+            ),
+        });
     }
 
     violations
@@ -865,9 +1081,11 @@ pub fn flight_dump(
 /// The recovery matrix: a sustained controller stall followed by a short
 /// control-channel flap inside the data phase, run against both buffering
 /// mechanisms under both the fixed-interval and the exponential-backoff
-/// retry policy, with the TTL and degraded mode armed. Every cell must
-/// pass every invariant — `sdnlab chaos --recovery` and CI run it as the
-/// recovery plane's end-to-end check.
+/// retry policy, with the TTL and degraded mode armed — and, in the crash
+/// column, a mid-run controller crash on top (crash × stall × loss ×
+/// mechanism × retry policy). Every cell must pass every invariant —
+/// `sdnlab chaos --recovery` and CI run it as the recovery plane's
+/// end-to-end check.
 pub fn recovery_matrix() -> Vec<(String, ChaosScenario)> {
     let mechs = [
         ("packet", BufferMode::PacketGranularity { capacity: 256 }),
@@ -886,37 +1104,51 @@ pub fn recovery_matrix() -> Vec<(String, ChaosScenario)> {
     let mut out = Vec::new();
     for (mech_label, mech) in mechs {
         for (policy_label, retry) in policies {
-            let mut plan = FaultPlan {
-                seed: 17,
-                ..FaultPlan::default()
-            };
-            // Memoryless packet_out loss strands buffer entries (packet
-            // granularity has no re-request), so the armed TTL has work to
-            // do in every cell and a dead garbage collector is observable.
-            plan.to_switch.loss = LossModel::Probabilistic(0.35);
-            plan.stalls
-                .push(Window::new(Nanos::from_millis(50), Nanos::from_millis(68)));
-            plan.flaps
-                .push(Window::new(Nanos::from_millis(72), Nanos::from_millis(75)));
-            out.push((
-                format!("{mech_label}/{policy_label}"),
-                ChaosScenario {
-                    mech,
-                    workload: WorkloadKind::CrossSequenced {
-                        n_flows: 6,
-                        packets_per_flow: 4,
-                        group_size: 2,
+            for crash in [false, true] {
+                let mut plan = FaultPlan {
+                    seed: 17,
+                    ..FaultPlan::default()
+                };
+                // Memoryless packet_out loss strands buffer entries (packet
+                // granularity has no re-request), so the armed TTL has work
+                // to do in every cell and a dead garbage collector is
+                // observable.
+                plan.to_switch.loss = LossModel::Probabilistic(0.35);
+                plan.stalls
+                    .push(Window::new(Nanos::from_millis(50), Nanos::from_millis(68)));
+                plan.flaps
+                    .push(Window::new(Nanos::from_millis(72), Nanos::from_millis(75)));
+                let label = if crash {
+                    // The crash lands after the stall and flap: the
+                    // controller dies mid-recovery and must re-handshake
+                    // before the buffered backlog can drain.
+                    plan.crashes
+                        .push(Window::new(Nanos::from_millis(78), Nanos::from_millis(103)));
+                    format!("{mech_label}/{policy_label}/crash")
+                } else {
+                    format!("{mech_label}/{policy_label}")
+                };
+                out.push((
+                    label,
+                    ChaosScenario {
+                        mech,
+                        workload: WorkloadKind::CrossSequenced {
+                            n_flows: 6,
+                            packets_per_flow: 4,
+                            group_size: 2,
+                        },
+                        rate_mbps: 40,
+                        seed: 9,
+                        plan,
+                        recovery: RecoveryKnobs {
+                            retry,
+                            ttl: Nanos::from_millis(250),
+                            degraded_threshold: 2,
+                        },
+                        standby: None,
                     },
-                    rate_mbps: 40,
-                    seed: 9,
-                    plan,
-                    recovery: RecoveryKnobs {
-                        retry,
-                        ttl: Nanos::from_millis(250),
-                        degraded_threshold: 2,
-                    },
-                },
-            ));
+                ));
+            }
         }
     }
     out
@@ -972,6 +1204,16 @@ fn shrink_candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
     for i in 0..plan.pressure.len() {
         let mut p = plan.clone();
         p.pressure.remove(i);
+        out.push(p);
+    }
+    for i in 0..plan.crashes.len() {
+        let mut p = plan.clone();
+        p.crashes.remove(i);
+        out.push(p);
+    }
+    for i in 0..plan.crashes_standby.len() {
+        let mut p = plan.clone();
+        p.crashes_standby.remove(i);
         out.push(p);
     }
     out
@@ -1036,6 +1278,7 @@ mod tests {
                 seed: 5,
                 plan: FaultPlan::default(),
                 recovery: RecoveryKnobs::default(),
+                standby: None,
             };
             let report = run_scenario(&s, true);
             assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -1070,6 +1313,7 @@ mod tests {
             seed: 2,
             plan,
             recovery: RecoveryKnobs::default(),
+            standby: None,
         };
         let report = run_scenario(&s, false);
         assert!(
@@ -1107,6 +1351,7 @@ mod tests {
             seed: 2,
             plan,
             recovery: RecoveryKnobs::default(),
+            standby: None,
         };
         let report = run_scenario(&s, true);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -1130,6 +1375,7 @@ mod tests {
                 ttl: Nanos::from_millis(250),
                 degraded_threshold: 3,
             },
+            standby: None,
         };
         let spec = s.to_spec();
         assert!(spec.contains("retry="), "spec: {spec}");
@@ -1172,6 +1418,7 @@ mod tests {
                 ttl: Nanos::from_millis(100),
                 ..RecoveryKnobs::default()
             },
+            standby: None,
         };
         let intact = run_scenario(&s, Sabotage::none());
         assert!(intact.violations.is_empty(), "{:?}", intact.violations);
@@ -1221,6 +1468,7 @@ mod tests {
                 retry: RetryPolicy::backoff(Nanos::from_millis(200), 2),
                 ..RecoveryKnobs::default()
             },
+            standby: None,
         };
         let report = run_scenario(&s, true);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -1234,7 +1482,7 @@ mod tests {
     #[test]
     fn recovery_matrix_cells_pass_every_invariant() {
         let cells = recovery_matrix();
-        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), 8);
         for (label, scenario) in &cells {
             let spec = scenario.to_spec();
             assert_eq!(
@@ -1249,5 +1497,113 @@ mod tests {
                 report.violations
             );
         }
+        // The crash column actually crashes: its cells record the outage.
+        // (No epoch-bump assertion here: the matrix's 35% `to_switch` loss
+        // can eat the re-handshake, which is itself a legal outcome the
+        // invariants must tolerate. The dedicated crash tests below use a
+        // clean channel and do assert the bump.)
+        for (label, scenario) in &cells {
+            if label.ends_with("/crash") {
+                let report = run_scenario(scenario, true);
+                assert_eq!(report.result.ctrl_crashes, 1, "cell {label}");
+            }
+        }
+    }
+
+    /// A crash scenario with survivors in the buffer when the controller
+    /// dies: flow granularity with a short re-request timeout (so stranded
+    /// flows re-announce themselves right after the restart), a crash
+    /// window opening mid-data-phase, and an ingress delay that keeps
+    /// responses in flight when the crash hits.
+    fn crash_scenario() -> ChaosScenario {
+        let mut plan = FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        plan.crashes
+            .push(Window::new(Nanos::from_millis(52), Nanos::from_millis(82)));
+        plan.to_controller.delay = Nanos::from_micros(300);
+        ChaosScenario {
+            mech: BufferMode::FlowGranularity {
+                capacity: 256,
+                timeout: Nanos::from_millis(10),
+            },
+            workload: small_workload(),
+            rate_mbps: 40,
+            seed: 2,
+            plan,
+            recovery: RecoveryKnobs::default(),
+            standby: None,
+        }
+    }
+
+    #[test]
+    fn crash_scenarios_round_trip_and_pass_when_intact() {
+        for seed in 0..12 {
+            let s = ChaosScenario::generate_with_crashes(seed, flow_mech());
+            assert!(s.plan.has_crashes());
+            assert_eq!(s, ChaosScenario::generate_with_crashes(seed, flow_mech()));
+            let spec = s.to_spec();
+            assert_eq!(ChaosScenario::parse(&spec).expect(&spec), s, "spec: {spec}");
+            let report = run_scenario(&s, Sabotage::none());
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn broken_epoch_guard_is_caught_and_minimized() {
+        let s = crash_scenario();
+        // Intact: the bump migrates survivors, reconciliation re-announces
+        // them, and the run passes everything.
+        let intact = run_scenario(&s, Sabotage::none());
+        assert!(intact.violations.is_empty(), "{:?}", intact.violations);
+        assert!(intact.result.epoch_bumps >= 1);
+
+        // Guard disabled: entries stay tagged with the dead epoch and the
+        // retry loop drains them across the bump.
+        let broken = run_scenario(&s, Sabotage::no_epoch_guard());
+        assert!(
+            broken
+                .violations
+                .iter()
+                .any(|v| v.invariant == "no-cross-epoch-drain"),
+            "expected a no-cross-epoch-drain violation, got {:?}",
+            broken.violations
+        );
+
+        // The shrinker keeps the crash window (the cause) and the
+        // minimized scenario replays byte-identically from its printed
+        // spec.
+        let min = minimize(&s, Sabotage::no_epoch_guard());
+        assert!(!min.plan.crashes.is_empty());
+        let a = run_scenario(&min, Sabotage::no_epoch_guard());
+        assert!(!a.violations.is_empty());
+        let b = run_scenario(
+            &ChaosScenario::parse(&min.to_spec()).unwrap(),
+            Sabotage::no_epoch_guard(),
+        );
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn standby_failover_cell_passes_and_records_the_takeover() {
+        let mut s = crash_scenario();
+        // The primary never returns: only the takeover restores service.
+        s.plan.crashes = vec![Window::new(Nanos::from_millis(52), Nanos::from_secs(10))];
+        s.standby = Some(StandbyKnobs {
+            warm: true,
+            takeover_delay: Nanos::from_millis(8),
+        });
+        let spec = s.to_spec();
+        assert!(spec.contains("standby=warm:8ms"), "spec: {spec}");
+        assert_eq!(ChaosScenario::parse(&spec).expect(&spec), s);
+        let report = run_scenario(&s, Sabotage::none());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.result.failover_takeovers, 1);
+        assert!(report.result.epoch_bumps >= 1);
     }
 }

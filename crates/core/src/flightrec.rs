@@ -37,6 +37,9 @@ pub enum DumpReason {
     ChaosViolation,
     /// The switch entered degraded mode during the run.
     DegradedEnter,
+    /// A controller crashed during the run (the crash/failover plane's
+    /// automatic post-mortem artifact).
+    CtrlCrash,
     /// The operator asked for a dump at the end of the run.
     Exit,
 }
@@ -47,6 +50,7 @@ impl DumpReason {
         match self {
             DumpReason::ChaosViolation => "chaos_violation",
             DumpReason::DegradedEnter => "degraded_enter",
+            DumpReason::CtrlCrash => "ctrl_crash",
             DumpReason::Exit => "exit",
         }
     }
@@ -249,7 +253,9 @@ fn push_result(out: &mut String, r: &RunResult) {
          \"packets_dropped\":{},\"ctrl_drops\":{},\"flows_completed\":{},\
          \"flows_total\":{},\"rerequests\":{},\"buffer_expired\":{},\
          \"buffer_giveups\":{},\"stale_releases\":{},\"admission_sheds\":{},\
-         \"degraded_entries\":{},\"degraded_exits\":{},\"flow_setup_delay_ms_mean\":{:.6},\
+         \"degraded_entries\":{},\"degraded_exits\":{},\"ctrl_crashes\":{},\
+         \"failover_takeovers\":{},\"epoch_bumps\":{},\"stale_epoch_rejects\":{},\
+         \"reconcile_rerequests\":{},\"flow_setup_delay_ms_mean\":{:.6},\
          \"controller_delay_ms_mean\":{:.6}}}",
         r.label,
         r.packets_sent,
@@ -265,6 +271,11 @@ fn push_result(out: &mut String, r: &RunResult) {
         r.admission_sheds,
         r.degraded_entries,
         r.degraded_exits,
+        r.ctrl_crashes,
+        r.failover_takeovers,
+        r.epoch_bumps,
+        r.stale_epoch_rejects,
+        r.reconcile_rerequests,
         r.flow_setup_delay.mean,
         r.controller_delay.mean
     ));

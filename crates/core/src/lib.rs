@@ -57,7 +57,7 @@ pub use experiment::{
 };
 pub use metric::Metric;
 pub use result::RunResult;
-pub use testbed::{PacketTrace, Testbed, TestbedConfig};
+pub use testbed::{FailoverConfig, PacketTrace, Testbed, TestbedConfig};
 pub use trace::{Direction, MsgDesc, TraceEntry, TraceLog};
 
 /// The structured event layer, re-exported from the simulation engine.

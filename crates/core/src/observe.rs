@@ -252,6 +252,9 @@ fn write_run_timeline(out: &mut TimelineWriter<'_>, pid: u64, events: &[Event]) 
             EventKind::BufferRerequest { buffer_id, occupancy } => out.entry(format_args!(
                 "\"name\":\"buffer_rerequest\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}}}"
             ))?,
+            EventKind::BufferReconcile { buffer_id, occupancy } => out.entry(format_args!(
+                "\"name\":\"buffer_reconcile\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}}}"
+            ))?,
             EventKind::BufferFallback { occupancy } => out.entry(format_args!(
                 "\"name\":\"buffer_fallback\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"occupancy\":{occupancy}}}"
             ))?,
@@ -312,6 +315,21 @@ fn write_run_timeline(out: &mut TimelineWriter<'_>, pid: u64, events: &[Event]) 
             EventKind::CtrlDrop { dir, xid, bytes, label } => out.entry(format_args!(
                 "\"name\":\"drop {label}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_CHANNEL},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"bytes\":{bytes},\"dir\":\"{}\"}}",
                 dir.label()
+            ))?,
+            EventKind::CtrlCrash { epoch, role } => out.entry(format_args!(
+                "\"name\":\"ctrl_crash ({role})\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"epoch\":{epoch},\"role\":\"{role}\"}}"
+            ))?,
+            EventKind::CtrlRestart { epoch, role } => out.entry(format_args!(
+                "\"name\":\"ctrl_restart ({role})\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"epoch\":{epoch},\"role\":\"{role}\"}}"
+            ))?,
+            EventKind::FailoverTakeover { epoch, sync } => out.entry(format_args!(
+                "\"name\":\"failover_takeover\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":{TID_CONTROLLER},\"ts\":{ts},\"args\":{{\"epoch\":{epoch},\"sync\":\"{sync}\"}}"
+            ))?,
+            EventKind::EpochBump { from, to, survivors } => out.entry(format_args!(
+                "\"name\":\"epoch_bump\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"from\":{from},\"to\":{to},\"survivors\":{survivors}}}"
+            ))?,
+            EventKind::StaleEpochReject { xid, buffer_id, epoch, current } => out.entry(format_args!(
+                "\"name\":\"stale_epoch_reject\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{TID_SWITCH},\"ts\":{ts},\"args\":{{\"xid\":{xid},\"buffer_id\":{buffer_id},\"epoch\":{epoch},\"current\":{current}}}"
             ))?,
         }
     }

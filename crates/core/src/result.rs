@@ -78,6 +78,31 @@ pub struct RunResult {
     /// Table misses shed by the switch while degraded.
     pub degraded_sheds: u64,
 
+    // ----- Crash / failover plane (PR 9) -----
+    /// Controller crashes executed (primary and standby).
+    pub ctrl_crashes: u64,
+    /// Warm-standby takeovers executed.
+    pub failover_takeovers: u64,
+    /// Session-epoch bumps the switch completed (re-handshakes accepted).
+    pub epoch_bumps: u64,
+    /// `packet_out`s rejected because their buffer id was minted under a
+    /// dead session epoch.
+    pub stale_epoch_rejects: u64,
+    /// Times the switch's liveness detector declared the controller dead.
+    pub liveness_suspects: u64,
+    /// Fresh misses shed while the controller was suspected dead.
+    pub suspect_sheds: u64,
+    /// Surviving buffer entries re-announced by the paced post-restart
+    /// reconciliation.
+    pub reconcile_rerequests: u64,
+    /// Echo keepalive round-trip time, median over the run in
+    /// milliseconds (0 when no keepalives completed).
+    pub echo_rtt_p50_ms: f64,
+    /// Echo keepalive round-trip time, 99th percentile in milliseconds.
+    pub echo_rtt_p99_ms: f64,
+    /// Completed echo round trips the percentiles are computed over.
+    pub echo_rtt_samples: u64,
+
     // ----- Conservation accounting -----
     /// Data packets offered by the workload.
     pub packets_sent: u64,

@@ -50,6 +50,37 @@ pub struct TestbedConfig {
     /// Keep a readable log of up to this many control-channel messages
     /// (see [`crate::TraceLog`]). 0 = tracing off.
     pub trace_capacity: usize,
+    /// Warm-standby failover for the crash plane (defaults off). Only
+    /// meaningful when [`Self::faults`] contains `crash=` windows.
+    pub failover: FailoverConfig,
+}
+
+/// Warm-standby failover configuration: when `standby` is set, a second
+/// controller instance idles beside the primary and takes over
+/// `takeover_delay` after a crash window opens (failure detection plus
+/// election time). Without it, the primary itself restarts at the crash
+/// window's end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Run a standby controller beside the primary.
+    pub standby: bool,
+    /// Delay between the primary's crash and the standby's takeover
+    /// handshake.
+    pub takeover_delay: Nanos,
+    /// `true`: the standby takes over with a snapshot of the primary's
+    /// learned flow knowledge (checkpoint replication); `false`: cold,
+    /// with empty tables.
+    pub warm: bool,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            standby: false,
+            takeover_delay: Nanos::from_millis(10),
+            warm: false,
+        }
+    }
 }
 
 impl Default for TestbedConfig {
@@ -102,6 +133,7 @@ impl Default for TestbedConfig {
             keepalive_interval: None,
             stats_poll_interval: None,
             trace_capacity: 0,
+            failover: FailoverConfig::default(),
         }
     }
 }
@@ -213,6 +245,15 @@ enum Event {
     ControllerKeepalive,
     /// The controller originates a statistics poll.
     ControllerStatsPoll,
+    /// A crash window opens: the named controller loses all volatile
+    /// state and its control socket goes dead.
+    ControllerCrash { standby: bool },
+    /// A crash window closes: the named controller comes back up and
+    /// re-initiates the handshake under a bumped epoch.
+    ControllerRestart { standby: bool },
+    /// The warm standby finishes its takeover and handshakes in place of
+    /// the dead primary.
+    FailoverTakeover,
 }
 
 /// One workload packet's observed timeline (see [`Testbed::packet_log`]).
@@ -269,6 +310,19 @@ pub struct Testbed {
     config: TestbedConfig,
     switch: Switch,
     controller: Controller,
+    /// The warm/cold standby controller (crash plane), when configured.
+    standby: Option<Controller>,
+    /// Whether the standby has taken over as the serving controller.
+    active_standby: bool,
+    /// The controller-side session epoch (0 until the crash plane arms).
+    ctrl_epoch: u32,
+    /// Liveness of each controller process. Tracked as explicit state —
+    /// not derived from the fault windows — because with failover the
+    /// primary stays dead past its window's end (the standby serves).
+    primary_dead: bool,
+    standby_dead: bool,
+    ctrl_crashes: u64,
+    failover_takeovers: u64,
     queue: EventQueue<Event>,
     /// Slab pool every in-flight data packet lives in; events and switch
     /// stages exchange [`PacketHandle`]s.
@@ -332,9 +386,23 @@ impl Testbed {
                 EgressLink::Qos(MultiQueueLink::new(queues.clone(), data_link.propagation))
             }
         };
+        let standby = config.failover.standby.then(|| {
+            let mut sb = Controller::new(config.controller);
+            // A disjoint xid range keeps the standby's messages
+            // distinguishable from stale primary traffic.
+            sb.set_xid_base(0xC000_0000);
+            sb
+        });
         Ok(Testbed {
             switch: Switch::new(config.switch),
             controller: Controller::new(config.controller),
+            standby,
+            active_standby: false,
+            ctrl_epoch: 0,
+            primary_dead: false,
+            standby_dead: false,
+            ctrl_crashes: 0,
+            failover_takeovers: 0,
             queue: EventQueue::new(),
             pool: PacketPool::new(),
             msgs: Pool::new(),
@@ -377,6 +445,37 @@ impl Testbed {
         &self.controller
     }
 
+    /// The standby controller, when failover is configured.
+    pub fn standby(&self) -> Option<&Controller> {
+        self.standby.as_ref()
+    }
+
+    /// Whether the standby is the serving controller (a takeover
+    /// happened during the run).
+    pub fn standby_active(&self) -> bool {
+        self.active_standby
+    }
+
+    /// The serving controller: the standby after a takeover, the primary
+    /// otherwise.
+    fn active_ctrl_mut(&mut self) -> &mut Controller {
+        if self.active_standby {
+            self.standby.as_mut().expect("takeover without a standby")
+        } else {
+            &mut self.controller
+        }
+    }
+
+    /// Whether the serving controller's process is currently dead (its
+    /// socket is gone; deliveries are lost, probes don't originate).
+    fn active_ctrl_down(&self) -> bool {
+        if self.active_standby {
+            self.standby_dead
+        } else {
+            self.primary_dead
+        }
+    }
+
     /// Mutable access to the switch, for advanced setups that inspect or
     /// tweak it before [`Testbed::run`]. To hand the switch a control
     /// message directly, use [`Testbed::inject_controller_msg`] — the
@@ -409,6 +508,9 @@ impl Testbed {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.switch.set_tracer(tracer.clone());
         self.controller.set_tracer(tracer.clone());
+        if let Some(sb) = self.standby.as_mut() {
+            sb.set_tracer(tracer.clone());
+        }
         self.host1_to_sw.set_tracer(tracer.clone(), "h1->sw");
         self.host2_to_sw.set_tracer(tracer.clone(), "h2->sw");
         self.sw_to_host1.set_tracer(tracer.clone(), "sw->h1");
@@ -508,8 +610,11 @@ impl Testbed {
         // (the event loop must drain, so probes cannot self-reschedule).
         let horizon =
             shift + departures.last().map_or(Nanos::ZERO, |d| d.at) + self.config.warmup_gap;
+        // Keepalives run for the whole session (they start with the
+        // handshake, not the data phase): the switch's liveness detector
+        // must hear the controller during warm-up too.
         if let Some(interval) = self.config.keepalive_interval {
-            let mut t = shift + interval;
+            let mut t = interval;
             while t < horizon {
                 self.queue.schedule(t, Event::ControllerKeepalive);
                 t += interval;
@@ -520,6 +625,36 @@ impl Testbed {
             while t < horizon {
                 self.queue.schedule(t, Event::ControllerStatsPoll);
                 t += interval;
+            }
+        }
+
+        // Crash plane: arm the switch's epoch/liveness machinery and
+        // pre-plan crash / restart / takeover orchestration from the
+        // fault windows. Everything stays off (and runs byte-identical)
+        // without `crash=` windows in the plan.
+        if self.config.faults.has_crashes() {
+            self.switch.arm_crash_plane();
+            self.ctrl_epoch = 1;
+            self.controller.set_epoch(1);
+            let crashes = self.config.faults.crashes.clone();
+            let crashes_standby = self.config.faults.crashes_standby.clone();
+            let failover = self.config.failover;
+            for w in &crashes {
+                self.queue
+                    .schedule(w.from, Event::ControllerCrash { standby: false });
+                if failover.standby {
+                    self.queue
+                        .schedule(w.from + failover.takeover_delay, Event::FailoverTakeover);
+                } else {
+                    self.queue
+                        .schedule(w.until, Event::ControllerRestart { standby: false });
+                }
+            }
+            for w in &crashes_standby {
+                self.queue
+                    .schedule(w.from, Event::ControllerCrash { standby: true });
+                self.queue
+                    .schedule(w.until, Event::ControllerRestart { standby: true });
             }
         }
 
@@ -695,6 +830,27 @@ impl Testbed {
                 }
             }
             Event::CtrlAtController { xid, msg } => {
+                // A dead controller's socket is gone: deliveries during a
+                // crash window are lost outright. (A stall, by contrast,
+                // parks them — state survives a stall, not a crash.)
+                if self.active_ctrl_down() {
+                    let (len, label) = {
+                        let m = self.msgs.get(msg).expect("live ctrl msg handle");
+                        (m.wire_len(), MsgDesc::of(m).label())
+                    };
+                    self.ctrl_drops += 1;
+                    self.msgs.release(msg);
+                    self.tracer.emit(
+                        now,
+                        EventKind::CtrlDrop {
+                            dir: ChannelDir::ToController,
+                            xid,
+                            bytes: len,
+                            label,
+                        },
+                    );
+                    return;
+                }
                 // A stalled controller parks the message until the stall
                 // window ends (windows are half-open, so the re-scheduled
                 // arrival at `until` is processed normally).
@@ -707,7 +863,7 @@ impl Testbed {
                 // reference and clones only when a fault-injected duplicate
                 // still shares the entry.
                 let msg = self.msgs.take(msg).expect("live ctrl msg handle");
-                let outputs = self.controller.handle_message(now, msg, xid);
+                let outputs = self.active_ctrl_mut().handle_message(now, msg, xid);
                 for ControllerOutput::ToSwitch { at, xid, msg } in outputs {
                     if now >= self.data_start {
                         match &msg {
@@ -828,17 +984,125 @@ impl Testbed {
                 self.arm_timer();
             }
             Event::ControllerKeepalive => {
-                let ControllerOutput::ToSwitch { at, xid, msg } = self.controller.keepalive(now);
+                // A dead controller originates nothing — skipped probes
+                // are what starve the switch's liveness detector.
+                if self.active_ctrl_down() {
+                    return;
+                }
+                let ControllerOutput::ToSwitch { at, xid, msg } =
+                    self.active_ctrl_mut().keepalive(now);
                 let msg = self.msgs.insert(msg);
                 self.queue
                     .schedule(at, Event::CtrlFromController { xid, msg });
             }
             Event::ControllerStatsPoll => {
+                if self.active_ctrl_down() {
+                    return;
+                }
                 let ControllerOutput::ToSwitch { at, xid, msg } =
-                    self.controller.poll_flow_stats(now);
+                    self.active_ctrl_mut().poll_flow_stats(now);
                 let msg = self.msgs.insert(msg);
                 self.queue
                     .schedule(at, Event::CtrlFromController { xid, msg });
+            }
+            Event::ControllerCrash { standby } => {
+                // Crashing a controller that is not serving (or is already
+                // dead) is a no-op; overlapping windows collapse into one
+                // outage.
+                if standby != self.active_standby || self.active_ctrl_down() {
+                    return;
+                }
+                if standby {
+                    self.standby_dead = true;
+                } else {
+                    // Checkpoint replication: the standby's warm knowledge
+                    // is the primary's state as of the moment it died.
+                    if self.config.failover.warm {
+                        if let Some(sb) = self.standby.as_mut() {
+                            sb.sync_from(&self.controller);
+                        }
+                    }
+                    self.primary_dead = true;
+                }
+                self.ctrl_crashes += 1;
+                self.active_ctrl_mut().crash();
+                self.tracer.emit(
+                    now,
+                    EventKind::CtrlCrash {
+                        epoch: self.ctrl_epoch,
+                        role: if standby { "standby" } else { "primary" },
+                    },
+                );
+            }
+            Event::ControllerRestart { standby } => {
+                if standby != self.active_standby {
+                    return;
+                }
+                let dead = if standby {
+                    &mut self.standby_dead
+                } else {
+                    &mut self.primary_dead
+                };
+                if !*dead {
+                    return;
+                }
+                // Overlapping crash windows: stay dead until the last
+                // window covering `now` has closed (its own restart event
+                // will revive us).
+                let still_down = if standby {
+                    self.faults.standby_down(now)
+                } else {
+                    self.faults.primary_down(now)
+                };
+                if still_down {
+                    return;
+                }
+                *dead = false;
+                self.ctrl_epoch += 1;
+                let epoch = self.ctrl_epoch;
+                let miss = self.config.switch.miss_send_len;
+                self.tracer.emit(
+                    now,
+                    EventKind::CtrlRestart {
+                        epoch,
+                        role: if standby { "standby" } else { "primary" },
+                    },
+                );
+                let ctrl = self.active_ctrl_mut();
+                ctrl.set_epoch(epoch);
+                let outputs = ctrl.initiate_handshake(now, miss);
+                for ControllerOutput::ToSwitch { at, xid, msg } in outputs {
+                    let msg = self.msgs.insert(msg);
+                    self.queue
+                        .schedule(at, Event::CtrlFromController { xid, msg });
+                }
+            }
+            Event::FailoverTakeover => {
+                // Only the takeover scheduled by the crash that actually
+                // killed the serving primary acts.
+                if self.active_standby || !self.primary_dead {
+                    return;
+                }
+                self.active_standby = true;
+                self.failover_takeovers += 1;
+                self.ctrl_epoch += 1;
+                let epoch = self.ctrl_epoch;
+                let sync = if self.config.failover.warm {
+                    "warm"
+                } else {
+                    "cold"
+                };
+                let miss = self.config.switch.miss_send_len;
+                self.tracer
+                    .emit(now, EventKind::FailoverTakeover { epoch, sync });
+                let sb = self.standby.as_mut().expect("takeover without a standby");
+                sb.set_epoch(epoch);
+                let outputs = sb.initiate_handshake(now, miss);
+                for ControllerOutput::ToSwitch { at, xid, msg } in outputs {
+                    let msg = self.msgs.insert(msg);
+                    self.queue
+                        .schedule(at, Event::CtrlFromController { xid, msg });
+                }
             }
         }
     }
@@ -1045,6 +1309,11 @@ impl Testbed {
         // Rescale the gauge's whole-run mean to the active span.
         let mean_occ = gauge.time_weighted_mean(end) * end.as_secs_f64() / active.as_secs_f64();
         let buf_stats = self.switch.buffer().stats();
+        // Echo round trips from whichever controllers served the run.
+        let mut echo_rtt = self.controller.stats().echo_rtt.clone();
+        if let Some(sb) = &self.standby {
+            echo_rtt.merge(&sb.stats().echo_rtt);
+        }
 
         RunResult {
             label: self.config.switch.buffer.label(),
@@ -1074,10 +1343,24 @@ impl Testbed {
             buffer_expired: buf_stats.expired,
             buffer_giveups: buf_stats.giveups,
             stale_releases: buf_stats.stale_releases,
-            admission_sheds: self.controller.stats().admission_sheds.get(),
+            admission_sheds: self.controller.stats().admission_sheds.get()
+                + self
+                    .standby
+                    .as_ref()
+                    .map_or(0, |sb| sb.stats().admission_sheds.get()),
             degraded_entries: self.switch.stats().degraded_entries.get(),
             degraded_exits: self.switch.stats().degraded_exits.get(),
             degraded_sheds: self.switch.stats().degraded_sheds.get(),
+            ctrl_crashes: self.ctrl_crashes,
+            failover_takeovers: self.failover_takeovers,
+            epoch_bumps: self.switch.stats().epoch_bumps.get(),
+            stale_epoch_rejects: self.switch.stats().stale_epoch_rejects.get(),
+            liveness_suspects: self.switch.stats().liveness_suspects.get(),
+            suspect_sheds: self.switch.stats().suspect_sheds.get(),
+            reconcile_rerequests: self.switch.stats().reconcile_rerequests.get(),
+            echo_rtt_p50_ms: echo_rtt.quantile_ms(0.50),
+            echo_rtt_p99_ms: echo_rtt.quantile_ms(0.99),
+            echo_rtt_samples: echo_rtt.count(),
             packets_sent,
             packets_delivered: delivered,
             packets_dropped: self.data_drops,
@@ -1204,5 +1487,96 @@ mod tests {
         let a = run_with(BufferChoice::NoBuffer, 30, 40);
         let b = run_with(BufferChoice::NoBuffer, 30, 40);
         assert_eq!(a, b);
+    }
+
+    /// A crash-plane testbed config: keepalives on (so the switch's
+    /// liveness detector has a heartbeat to miss) and a tight liveness
+    /// timeout.
+    fn crash_config(plan: &str) -> TestbedConfig {
+        let mut cfg = TestbedConfig::with_buffer(BufferChoice::PacketGranularity { capacity: 256 });
+        cfg.faults = FaultPlan::parse(plan).expect("valid plan");
+        cfg.keepalive_interval = Some(Nanos::from_millis(5));
+        cfg.switch.liveness_timeout = Nanos::from_millis(15);
+        cfg
+    }
+
+    #[test]
+    fn mid_run_crash_without_standby_recovers() {
+        let mut tb = Testbed::new(crash_config("crash=55ms+30ms"));
+        let r = tb.run(&small_workload(20, 50));
+        assert_eq!(r.ctrl_crashes, 1);
+        assert_eq!(r.failover_takeovers, 0);
+        // The restart re-handshakes and the switch moves to a new epoch.
+        assert!(r.epoch_bumps >= 1, "epoch_bumps = {}", r.epoch_bumps);
+        // Every offered packet is delivered or shows up in the loss
+        // accounting — a crash may shed, but never silently strands.
+        assert_eq!(
+            r.packets_delivered + r.packets_dropped,
+            r.packets_sent,
+            "delivered {} + dropped {} != sent {}",
+            r.packets_delivered,
+            r.packets_dropped,
+            r.packets_sent
+        );
+        assert!(r.packets_delivered > 0);
+        // The outage dropped control messages on the floor.
+        assert!(r.ctrl_drops > 0);
+    }
+
+    #[test]
+    fn warm_standby_takes_over_mid_run() {
+        // The primary never restarts: its crash window runs past the
+        // workload, so only the standby's takeover keeps service going.
+        let mut cfg = crash_config("crash=55ms+10s");
+        cfg.failover.standby = true;
+        cfg.failover.takeover_delay = Nanos::from_millis(10);
+        cfg.failover.warm = true;
+        let mut tb = Testbed::new(cfg);
+        let r = tb.run(&small_workload(20, 50));
+        assert_eq!(r.ctrl_crashes, 1);
+        assert_eq!(r.failover_takeovers, 1);
+        assert!(tb.standby_active());
+        assert!(r.epoch_bumps >= 1);
+        assert_eq!(r.packets_delivered + r.packets_dropped, r.packets_sent);
+        assert!(r.packets_delivered > 0);
+        // Warm sync carried the primary's learned host locations over.
+        use sdnbuf_net::MacAddr;
+        assert_eq!(
+            tb.standby()
+                .unwrap()
+                .location_of(MacAddr::from_host_index(2)),
+            Some(PortNo(2))
+        );
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let run = || {
+            let mut tb = Testbed::new(crash_config("crash=55ms+30ms"));
+            tb.run(&small_workload(20, 50))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_crash_windows_leave_the_plane_cold() {
+        let r = run_with(BufferChoice::PacketGranularity { capacity: 256 }, 20, 30);
+        assert_eq!(r.ctrl_crashes, 0);
+        assert_eq!(r.epoch_bumps, 0);
+        assert_eq!(r.stale_epoch_rejects, 0);
+        assert_eq!(r.liveness_suspects, 0);
+        assert_eq!(r.echo_rtt_samples, 0);
+    }
+
+    #[test]
+    fn keepalives_measure_echo_rtt() {
+        let mut cfg = TestbedConfig::with_buffer(BufferChoice::NoBuffer);
+        cfg.keepalive_interval = Some(Nanos::from_millis(5));
+        let mut tb = Testbed::new(cfg);
+        let r = tb.run(&small_workload(20, 30));
+        assert!(r.echo_rtt_samples > 0);
+        // Two 300 us propagation legs bound the round trip from below.
+        assert!(r.echo_rtt_p50_ms > 0.6, "{}", r.echo_rtt_p50_ms);
+        assert!(r.echo_rtt_p99_ms >= r.echo_rtt_p50_ms);
     }
 }

@@ -33,6 +33,32 @@ use std::hash::{Hash, Hasher};
 ///   ([`BufferId::from_wire`], [`BufferId::new`]) carry it and are accepted
 ///   against any occupant, preserving the OpenFlow-spec semantics.
 ///
+/// ## Wrap contract
+///
+/// Generations are drawn from a **wrapping `u32` counter that skips `0`**
+/// (the untagged sentinel): after `u32::MAX` the next generation is `1`,
+/// never `0`. Both buffer mechanisms advance the counter per *allocation*
+/// (not per slot), so a collision — a stale id whose generation happens to
+/// equal the slot's current occupant's — needs the same slot to be re-used
+/// exactly `k · (2³² − 1)` allocations apart while the stale message is
+/// still in flight. Sub-ranges wrap the same way: a release is rejected
+/// whenever the generations *differ*, so the guarantee holds at every wrap
+/// boundary, including the 8-bit one exercised by the regression test in
+/// `crates/switchbuf` (256 reuses of a single slot).
+///
+/// # Session epochs (controller crash safety)
+///
+/// Orthogonal to the generation, an id can carry the **session epoch** it
+/// was minted under ([`BufferId::with_epoch`]). Epochs number the
+/// controller↔switch sessions: the switch bumps its epoch on every
+/// (re-)handshake, and a buffer release minted under a dead epoch is
+/// rejected even if raw id *and* generation still match — a freshly
+/// restarted controller must never drain state it has no knowledge of.
+/// Like the generation, the epoch is out-of-band simulator metadata:
+/// invisible to equality/ordering/hashing, and `0` means "unarmed" (the
+/// crash plane is off; releases are accepted regardless of occupant epoch,
+/// preserving pre-crash-plane semantics byte for byte).
+///
 /// # Example
 ///
 /// ```
@@ -53,6 +79,7 @@ use std::hash::{Hash, Hasher};
 pub struct BufferId {
     raw: u32,
     generation: u32,
+    epoch: u32,
 }
 
 impl BufferId {
@@ -60,6 +87,7 @@ impl BufferId {
     pub const NO_BUFFER: BufferId = BufferId {
         raw: 0xffff_ffff,
         generation: 0,
+        epoch: 0,
     };
 
     /// Creates an untagged buffer id from its raw value.
@@ -73,6 +101,7 @@ impl BufferId {
         BufferId {
             raw: id,
             generation: 0,
+            epoch: 0,
         }
     }
 
@@ -87,15 +116,28 @@ impl BufferId {
         BufferId {
             raw: id,
             generation,
+            epoch: 0,
         }
     }
 
     /// Reconstructs a buffer id from the wire, allowing the reserved value.
-    /// Wire ids are untagged (generation 0).
+    /// Wire ids are untagged (generation 0, epoch 0).
     pub const fn from_wire(id: u32) -> Self {
         BufferId {
             raw: id,
             generation: 0,
+            epoch: 0,
+        }
+    }
+
+    /// This id stamped with the session epoch it was minted under. Epoch
+    /// `0` means "unarmed" (see the type-level docs); the raw value and
+    /// generation are unchanged.
+    pub const fn with_epoch(self, epoch: u32) -> Self {
+        BufferId {
+            raw: self.raw,
+            generation: self.generation,
+            epoch,
         }
     }
 
@@ -110,15 +152,21 @@ impl BufferId {
         self.generation
     }
 
+    /// The session epoch this id was minted under; `0` for unarmed /
+    /// wire-reconstructed ids.
+    pub const fn epoch(self) -> u32 {
+        self.epoch
+    }
+
     /// `true` unless this is [`BufferId::NO_BUFFER`].
     pub fn is_buffered(self) -> bool {
         self != BufferId::NO_BUFFER
     }
 }
 
-// Equality, ordering and hashing deliberately ignore the generation: it is
-// out-of-band allocator metadata, and a wire-reconstructed id must compare
-// equal to the tagged id it names.
+// Equality, ordering and hashing deliberately ignore the generation and
+// the epoch: both are out-of-band allocator/session metadata, and a
+// wire-reconstructed id must compare equal to the tagged id it names.
 impl PartialEq for BufferId {
     fn eq(&self, other: &Self) -> bool {
         self.raw == other.raw
@@ -217,5 +265,25 @@ mod tests {
     #[test]
     fn ordering_follows_the_raw_id() {
         assert!(BufferId::tagged(1, 99) < BufferId::new(2));
+    }
+
+    #[test]
+    fn epoch_is_out_of_band_like_the_generation() {
+        let id = BufferId::tagged(7, 3).with_epoch(5);
+        assert_eq!(id.epoch(), 5);
+        assert_eq!(id.generation(), 3);
+        assert_eq!(id.as_u32(), 7);
+        // Invisible to equality/ordering/hashing: the wire round-trip
+        // still matches.
+        assert_eq!(id, BufferId::from_wire(7));
+        assert_eq!(BufferId::from_wire(7).epoch(), 0);
+        let hash = |id: BufferId| {
+            let mut h = DefaultHasher::new();
+            id.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(id), hash(BufferId::new(7)));
+        // NO_BUFFER stays unarmed whatever is stamped onto copies of it.
+        assert_eq!(BufferId::NO_BUFFER.epoch(), 0);
     }
 }

@@ -144,6 +144,15 @@ pub enum EventKind {
         /// Buffer occupancy (packets) at the rerequest.
         occupancy: usize,
     },
+    /// A surviving buffer entry was re-announced by the paced post-restart
+    /// reconciliation (not a timeout re-request: the entry's retry state
+    /// is untouched).
+    BufferReconcile {
+        /// Slot id being re-announced.
+        buffer_id: u32,
+        /// Buffer occupancy (packets) at the re-announce.
+        occupancy: usize,
+    },
     /// The buffer was full; the packet fell back to a full `packet_in`.
     BufferFallback {
         /// Buffer occupancy (packets) at the fallback.
@@ -241,6 +250,53 @@ pub enum EventKind {
         bytes: usize,
         /// Message-type label.
         label: &'static str,
+    },
+    /// A controller crashed, dropping *all* volatile state (pending
+    /// `packet_in`s, the admission queue, partially computed rules).
+    /// Distinct from a stall, which preserves state.
+    CtrlCrash {
+        /// Session epoch that died with the controller.
+        epoch: u32,
+        /// Which controller (`"primary"` or `"standby"`).
+        role: &'static str,
+    },
+    /// A crashed controller came back up and re-initiated the OpenFlow
+    /// handshake under a fresh session epoch.
+    CtrlRestart {
+        /// The new (bumped) session epoch.
+        epoch: u32,
+        /// Which controller restarted (`"primary"` or `"standby"`).
+        role: &'static str,
+    },
+    /// The warm-standby controller took over after the primary crashed.
+    FailoverTakeover {
+        /// The new session epoch the standby serves under.
+        epoch: u32,
+        /// Flow-knowledge the standby starts with (`"warm"` = snapshot
+        /// synced, `"cold"` = empty).
+        sync: &'static str,
+    },
+    /// The switch accepted a (re-)handshake and moved to a new session
+    /// epoch, invalidating buffer-ids minted under the old one.
+    EpochBump {
+        /// Epoch the switch was serving before.
+        from: u32,
+        /// Epoch it serves now.
+        to: u32,
+        /// Buffered flows surviving the bump (to be re-announced).
+        survivors: usize,
+    },
+    /// A buffer release referenced a slot admitted under a dead session
+    /// epoch and was rejected.
+    StaleEpochReject {
+        /// Transaction id of the releasing message.
+        xid: u32,
+        /// Slot id the release referenced.
+        buffer_id: u32,
+        /// Epoch the release was minted under.
+        epoch: u32,
+        /// Epoch the buffer entry currently lives under.
+        current: u32,
     },
 }
 
@@ -359,6 +415,15 @@ impl Event {
                     ",\"kind\":\"buffer_rerequest\",\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}"
                 );
             }
+            EventKind::BufferReconcile {
+                buffer_id,
+                occupancy,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"buffer_reconcile\",\"buffer_id\":{buffer_id},\"occupancy\":{occupancy}"
+                );
+            }
             EventKind::BufferFallback { occupancy } => {
                 let _ = write!(
                     out,
@@ -453,6 +518,45 @@ impl Event {
                     out,
                     ",\"kind\":\"ctrl_drop\",\"dir\":\"{}\",\"xid\":{xid},\"bytes\":{bytes},\"label\":\"{label}\"",
                     dir.label()
+                );
+            }
+            EventKind::CtrlCrash { epoch, role } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"ctrl_crash\",\"epoch\":{epoch},\"role\":\"{role}\""
+                );
+            }
+            EventKind::CtrlRestart { epoch, role } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"ctrl_restart\",\"epoch\":{epoch},\"role\":\"{role}\""
+                );
+            }
+            EventKind::FailoverTakeover { epoch, sync } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"failover_takeover\",\"epoch\":{epoch},\"sync\":\"{sync}\""
+                );
+            }
+            EventKind::EpochBump {
+                from,
+                to,
+                survivors,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"epoch_bump\",\"from\":{from},\"to\":{to},\"survivors\":{survivors}"
+                );
+            }
+            EventKind::StaleEpochReject {
+                xid,
+                buffer_id,
+                epoch,
+                current,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"stale_epoch_reject\",\"xid\":{xid},\"buffer_id\":{buffer_id},\"epoch\":{epoch},\"current\":{current}"
                 );
             }
         }
@@ -894,6 +998,55 @@ mod tests {
                 buffered: true
             }),
             r#"{"at":1,"kind":"admission_shed","xid":9,"bytes":128,"buffered":true}"#
+        );
+    }
+
+    #[test]
+    fn crash_plane_json_field_order_is_stable() {
+        let render = |kind| {
+            Event {
+                at: Nanos::from_nanos(1),
+                kind,
+            }
+            .to_json()
+        };
+        assert_eq!(
+            render(EventKind::CtrlCrash {
+                epoch: 1,
+                role: "primary"
+            }),
+            r#"{"at":1,"kind":"ctrl_crash","epoch":1,"role":"primary"}"#
+        );
+        assert_eq!(
+            render(EventKind::CtrlRestart {
+                epoch: 2,
+                role: "primary"
+            }),
+            r#"{"at":1,"kind":"ctrl_restart","epoch":2,"role":"primary"}"#
+        );
+        assert_eq!(
+            render(EventKind::FailoverTakeover {
+                epoch: 2,
+                sync: "warm"
+            }),
+            r#"{"at":1,"kind":"failover_takeover","epoch":2,"sync":"warm"}"#
+        );
+        assert_eq!(
+            render(EventKind::EpochBump {
+                from: 1,
+                to: 2,
+                survivors: 3
+            }),
+            r#"{"at":1,"kind":"epoch_bump","from":1,"to":2,"survivors":3}"#
+        );
+        assert_eq!(
+            render(EventKind::StaleEpochReject {
+                xid: 7,
+                buffer_id: 4,
+                epoch: 1,
+                current: 2
+            }),
+            r#"{"at":1,"kind":"stale_epoch_reject","xid":7,"buffer_id":4,"epoch":1,"current":2}"#
         );
     }
 

@@ -163,6 +163,18 @@ pub struct FaultPlan {
     /// mechanism refuses new units and falls back to full-packet
     /// `packet_in`s, as if the buffer memory were exhausted.
     pub pressure: Vec<Window>,
+    /// Controller crashes: at a window's start the **primary** controller
+    /// dies and drops *all* volatile state (pending `packet_in`s, the
+    /// admission queue, partially computed rules) — unlike a stall, which
+    /// parks messages and preserves state. Messages addressed to a dead
+    /// controller are lost. At the window's end the controller restarts,
+    /// bumps its session epoch, and re-runs the OpenFlow handshake (unless
+    /// a warm standby already took over).
+    pub crashes: Vec<Window>,
+    /// Crashes of the **standby** controller. Only observable after a
+    /// failover made the standby active; it restarts (with another epoch
+    /// bump) at the window's end.
+    pub crashes_standby: Vec<Window>,
 }
 
 impl FaultPlan {
@@ -189,6 +201,14 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.flaps.is_empty()
             && self.pressure.is_empty()
+            && self.crashes.is_empty()
+            && self.crashes_standby.is_empty()
+    }
+
+    /// `true` when the plan contains controller crash windows (primary or
+    /// standby) — the signal that arms the crash/failover plane.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty() || !self.crashes_standby.is_empty()
     }
 
     /// `true` when the plan can destroy data packets outside the control
@@ -214,6 +234,12 @@ impl FaultPlan {
         for w in &self.pressure {
             w.validate("pressure")?;
         }
+        for w in &self.crashes {
+            w.validate("crash")?;
+        }
+        for w in &self.crashes_standby {
+            w.validate("crash_standby")?;
+        }
         Ok(())
     }
 
@@ -233,6 +259,8 @@ impl FaultPlan {
             ("stall", &self.stalls),
             ("flap", &self.flaps),
             ("press", &self.pressure),
+            ("crash", &self.crashes),
+            ("crash_standby", &self.crashes_standby),
         ] {
             for w in windows {
                 parts.push(format!(
@@ -272,6 +300,8 @@ impl FaultPlan {
             "stall" => self.stalls.push(parse_window(value)?),
             "flap" => self.flaps.push(parse_window(value)?),
             "press" => self.pressure.push(parse_window(value)?),
+            "crash" => self.crashes.push(parse_window(value)?),
+            "crash_standby" => self.crashes_standby.push(parse_window(value)?),
             _ => {
                 let (dir, field) = key
                     .split_once('.')
@@ -503,6 +533,16 @@ impl FaultState {
     pub fn pressure_active(&self, now: Nanos) -> bool {
         self.plan.pressure.iter().any(|w| w.contains(now))
     }
+
+    /// Whether a primary-controller crash window is active at `now`.
+    pub fn primary_down(&self, now: Nanos) -> bool {
+        self.plan.crashes.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether a standby-controller crash window is active at `now`.
+    pub fn standby_down(&self, now: Nanos) -> bool {
+        self.plan.crashes_standby.iter().any(|w| w.contains(now))
+    }
 }
 
 #[cfg(test)]
@@ -687,9 +727,27 @@ mod tests {
             stalls: vec![Window::new(ms(50), ms(60)), Window::new(ms(70), ms(71))],
             flaps: vec![Window::new(ms(55), ms(56))],
             pressure: vec![Window::new(ms(52), ms(54))],
+            crashes: vec![Window::new(ms(60), ms(80))],
+            crashes_standby: vec![Window::new(ms(90), ms(95))],
         };
         let spec = plan.to_spec();
         assert_eq!(FaultPlan::parse(&spec).unwrap(), plan, "spec: {spec}");
+    }
+
+    #[test]
+    fn crash_windows_parse_validate_and_query() {
+        let plan = FaultPlan::parse("crash=50ms+20ms,crash_standby=90ms+5ms").unwrap();
+        assert!(plan.has_crashes());
+        assert!(!plan.is_empty());
+        let state = FaultState::new(plan);
+        assert!(!state.primary_down(ms(49)));
+        assert!(state.primary_down(ms(50)));
+        assert!(state.primary_down(ms(69)));
+        assert!(!state.primary_down(ms(70)));
+        assert!(state.standby_down(ms(92)));
+        assert!(!state.standby_down(ms(95)));
+        // Zero-length crash windows are rejected like every other window.
+        assert!(FaultPlan::parse("crash=50ms+0ms").is_err());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use sdnbuf_sim::{
-    BitRate, CpuResource, EventQueue, HeapEventQueue, Link, LinkConfig, Nanos, SimRng,
+    BitRate, CpuResource, EventQueue, FaultPlan, HeapEventQueue, Link, LinkConfig, Nanos, SimRng,
+    Window,
 };
 
 /// One step of an arbitrary queue workout: schedule at some time, or pop.
@@ -180,5 +181,114 @@ proptest! {
         let mut c = SimRng::seed_from(seed.wrapping_add(1));
         let differs = (0..16).any(|_| a.next_u64() != c.next_u64());
         prop_assert!(differs);
+    }
+}
+
+/// An arbitrary valid fault window: any start, strictly positive length,
+/// drawn across all duration regimes so specs exercise every `fmt_dur`
+/// unit (ns/us/ms/s).
+fn arb_window() -> impl Strategy<Value = Window> {
+    let instant = prop_oneof![
+        0u64..1_000,                                 // sub-microsecond
+        0u64..1_000_000,                             // sub-millisecond
+        0u64..200_000_000,                           // the testbed's usual horizon
+        (0u64..100).prop_map(|s| s * 1_000_000_000), // whole seconds
+    ];
+    (instant.clone(), 1u64..=50_000_000u64)
+        .prop_map(|(from, len)| Window::new(Nanos::from_nanos(from), Nanos::from_nanos(from + len)))
+}
+
+/// A plan holding arbitrary window sets — overlapping, nested, adjacent
+/// and disjoint alike — on every window-carrying knob.
+fn arb_window_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec(arb_window(), 0..4),
+        proptest::collection::vec(arb_window(), 0..4),
+        proptest::collection::vec(arb_window(), 0..3),
+        proptest::collection::vec(arb_window(), 0..3),
+        proptest::collection::vec(arb_window(), 0..3),
+    )
+        .prop_map(
+            |(stalls, flaps, pressure, crashes, crashes_standby)| FaultPlan {
+                stalls,
+                flaps,
+                pressure,
+                crashes,
+                crashes_standby,
+                ..FaultPlan::default()
+            },
+        )
+}
+
+proptest! {
+    /// Window-set semantics of the fault plan: any collection of
+    /// positive-length windows — overlapping, nested, adjacent, or
+    /// butted up against each other with zero gap — validates, and its
+    /// spec string (`stall=`/`flap=`/`press=`/`crash=`/`crash_standby=`)
+    /// round-trips through `parse` bit-for-bit, windows in order.
+    #[test]
+    fn window_plans_validate_and_round_trip(plan in arb_window_plan()) {
+        prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        let spec = plan.to_spec();
+        let parsed = FaultPlan::parse(&spec);
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&plan), "spec '{}'", spec);
+        // has_crashes is a pure function of the crash window sets.
+        prop_assert_eq!(
+            plan.has_crashes(),
+            !plan.crashes.is_empty() || !plan.crashes_standby.is_empty()
+        );
+    }
+
+    /// Windows are half-open `[from, until)`: the start instant is
+    /// inside, the end instant is not — so two adjacent windows
+    /// `[a, b)` + `[b, c)` cover every instant of `[a, c)` exactly once.
+    #[test]
+    fn windows_are_half_open_and_adjacency_is_gapless(
+        a in 0u64..1_000_000,
+        len1 in 1u64..1_000_000,
+        len2 in 1u64..1_000_000,
+    ) {
+        let b = a + len1;
+        let c = b + len2;
+        let first = Window::new(Nanos::from_nanos(a), Nanos::from_nanos(b));
+        let second = Window::new(Nanos::from_nanos(b), Nanos::from_nanos(c));
+        prop_assert!(first.contains(Nanos::from_nanos(a)));
+        prop_assert!(!first.contains(Nanos::from_nanos(b)));
+        prop_assert!(second.contains(Nanos::from_nanos(b)));
+        prop_assert!(!second.contains(Nanos::from_nanos(c)));
+        // The boundary instant belongs to exactly one of the two.
+        for t in [a, b.saturating_sub(1), b, c - 1] {
+            let t = Nanos::from_nanos(t);
+            prop_assert_eq!(
+                first.contains(t) ^ second.contains(t),
+                a <= t.as_nanos() && t.as_nanos() < c
+            );
+        }
+    }
+
+    /// Zero-length windows are rejected by `validate` on every knob (a
+    /// crash that lasts no time would be a restart with no outage — the
+    /// plan refuses the ambiguity), and reversed windows never parse.
+    #[test]
+    fn zero_length_windows_are_rejected(
+        from in 0u64..1_000_000u64,
+        key in prop_oneof![
+            Just("stall"), Just("flap"), Just("press"),
+            Just("crash"), Just("crash_standby"),
+        ],
+    ) {
+        let w = Window::new(Nanos::from_nanos(from), Nanos::from_nanos(from));
+        let mut plan = FaultPlan::default();
+        match key {
+            "stall" => plan.stalls.push(w),
+            "flap" => plan.flaps.push(w),
+            "press" => plan.pressure.push(w),
+            "crash" => plan.crashes.push(w),
+            _ => plan.crashes_standby.push(w),
+        }
+        prop_assert!(plan.validate().is_err(), "{key} accepted a zero-length window");
+        // The equivalent spec is rejected at parse time too.
+        let spec = format!("{key}={from}ns+0ms");
+        prop_assert!(FaultPlan::parse(&spec).is_err(), "parse accepted '{spec}'");
     }
 }

@@ -142,6 +142,16 @@ pub struct SwitchConfig {
     /// While degraded, how often one fresh miss is let through as a probe
     /// of controller liveness.
     pub degraded_probe_interval: Nanos,
+    /// How long the switch tolerates total controller silence before it
+    /// suspects the session is dead and starts shedding fresh misses
+    /// (they would be announced into a void). [`Nanos::ZERO`] (the
+    /// default) disables the detector; it only runs when the crash plane
+    /// is armed ([`crate::Switch::arm_crash_plane`]).
+    pub liveness_timeout: Nanos,
+    /// Pacing of post-restart buffer reconciliation: after an epoch bump
+    /// the surviving entries are re-announced **one per interval**, so a
+    /// freshly restarted controller is not hit by a re-request storm.
+    pub reconcile_interval: Nanos,
 }
 
 impl Default for SwitchConfig {
@@ -172,6 +182,8 @@ impl Default for SwitchConfig {
             buffer_ttl: Nanos::ZERO,
             degraded_threshold: 0,
             degraded_probe_interval: Nanos::from_millis(10),
+            liveness_timeout: Nanos::ZERO,
+            reconcile_interval: Nanos::from_millis(1),
         }
     }
 }
@@ -198,6 +210,13 @@ impl SwitchConfig {
         if self.degraded_threshold > 0 && self.degraded_probe_interval == Nanos::ZERO {
             return Err(
                 "degraded-mode probe interval must be positive when the threshold is set"
+                    .to_owned(),
+            );
+        }
+        if self.reconcile_interval == Nanos::ZERO {
+            return Err(
+                "reconcile interval must be positive (it paces the post-restart \
+                 re-request storm)"
                     .to_owned(),
             );
         }

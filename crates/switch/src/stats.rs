@@ -48,6 +48,20 @@ pub struct SwitchStats {
     pub degraded_exits: Counter,
     /// Table misses shed (neither buffered nor announced) while degraded.
     pub degraded_sheds: Counter,
+    /// Session-epoch bumps completed (controller re-handshakes observed
+    /// while the crash plane is armed).
+    pub epoch_bumps: Counter,
+    /// `packet_out`s minted under a dead session epoch and rejected by the
+    /// buffer mechanism's epoch guard.
+    pub stale_epoch_rejects: Counter,
+    /// Times the liveness detector tripped (controller silent past
+    /// `liveness_timeout`).
+    pub liveness_suspects: Counter,
+    /// Fresh misses shed while the controller was suspected dead.
+    pub suspect_sheds: Counter,
+    /// Surviving buffer entries re-announced by the paced post-restart
+    /// reconciliation.
+    pub reconcile_rerequests: Counter,
     /// Buffer occupancy over time (units in use) — Figs. 8/13.
     pub buffer_occupancy: Gauge,
     /// Sampled occupancy timeline (one point per buffer operation), for

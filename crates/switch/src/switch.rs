@@ -10,8 +10,9 @@ use sdnbuf_openflow::{
 use sdnbuf_sim::{Bus, CpuResource, EventKind, Nanos, Tracer};
 use sdnbuf_switchbuf::{
     BufferMechanism, FlowGranularityBuffer, GiveUp, MissAction, NoBuffer, PacketGranularityBuffer,
-    PacketHandle, PacketPool,
+    PacketHandle, PacketPool, Rerequest,
 };
+use std::collections::VecDeque;
 
 /// A timed effect produced by the switch, to be scheduled by the caller.
 ///
@@ -119,6 +120,38 @@ pub struct Switch {
     /// Misses shed during the current degraded episode (reported in
     /// `DegradedExit`).
     suppressed_this_episode: u64,
+    /// Controller↔switch session epoch; `0` until the crash plane is
+    /// armed ([`Switch::arm_crash_plane`]), then `1` and bumped on every
+    /// completed re-handshake.
+    session_epoch: u32,
+    /// Whether the crash plane is armed: epoch tagging, the liveness
+    /// detector and post-restart reconciliation all hang off this flag, so
+    /// unarmed runs stay byte-identical to the pre-crash-plane switch.
+    epoch_armed: bool,
+    /// The first `Hello` has been consumed; any later `Hello` with a
+    /// *fresh* xid is a re-handshake from a restarted (or failed-over)
+    /// controller.
+    hello_seen: bool,
+    /// Highest `Hello` xid consumed so far. Controller xid allocators
+    /// only move forward (the standby mints from a higher base and no
+    /// restart rewinds a counter), so a `Hello` at or below this mark is
+    /// a network duplicate — answered, but never mistaken for a
+    /// re-handshake.
+    hello_xid_high: u32,
+    /// A re-handshake `Hello` arrived; the epoch bump and buffer
+    /// reconciliation run when the handshake's `SetConfig` lands —
+    /// handshake completes before the new session serves buffer state.
+    pending_reconcile: bool,
+    /// Last time any controller message arrived (liveness detector input).
+    last_ctrl_heard: Nanos,
+    /// The liveness detector tripped: the controller has been silent past
+    /// `liveness_timeout`. Fresh misses are shed until it speaks again.
+    ctrl_suspect: bool,
+    /// Surviving buffer ids still to re-announce after an epoch bump, in
+    /// ascending raw-id order; drained one per `reconcile_interval`.
+    reconcile_queue: VecDeque<BufferId>,
+    /// When the next queued reconciliation re-announce goes out.
+    next_reconcile: Option<Nanos>,
 }
 
 impl std::fmt::Debug for Switch {
@@ -175,6 +208,15 @@ impl Switch {
             next_probe: None,
             probe_pending: false,
             suppressed_this_episode: 0,
+            session_epoch: 0,
+            epoch_armed: false,
+            hello_seen: false,
+            hello_xid_high: 0,
+            pending_reconcile: false,
+            last_ctrl_heard: Nanos::ZERO,
+            ctrl_suspect: false,
+            reconcile_queue: VecDeque::new(),
+            next_reconcile: None,
             config,
         })
     }
@@ -183,6 +225,29 @@ impl Switch {
     /// misses, probing periodically).
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Arms the controller-crash plane: buffer allocations are stamped
+    /// with the session epoch (starting at 1), the liveness detector runs
+    /// (when `liveness_timeout > 0`), and a controller re-handshake bumps
+    /// the epoch and reconciles surviving buffer state. Off by default —
+    /// unarmed runs are byte-identical to the pre-crash-plane switch.
+    pub fn arm_crash_plane(&mut self) {
+        self.epoch_armed = true;
+        self.session_epoch = 1;
+        self.buffer.set_epoch(1);
+    }
+
+    /// The current controller↔switch session epoch (`0` = crash plane
+    /// unarmed).
+    pub fn session_epoch(&self) -> u32 {
+        self.session_epoch
+    }
+
+    /// Whether the liveness detector currently suspects the controller is
+    /// dead (fresh misses are being shed).
+    pub fn is_ctrl_suspect(&self) -> bool {
+        self.ctrl_suspect
     }
 
     /// Attaches an event tracer, propagating it to the bus and the buffer
@@ -313,6 +378,18 @@ impl Switch {
                 bytes: wire_len,
             },
         );
+        if self.ctrl_suspect {
+            // The liveness detector tripped: the controller has been
+            // silent past its deadline, so announcing this miss would be
+            // shouting into a dead session. Shed it (an accounted drop);
+            // already-buffered state is kept for post-restart
+            // reconciliation.
+            self.stats.suspect_sheds.incr();
+            self.stats.drops.incr();
+            return vec![SwitchOutput::Drop {
+                packet: Some(packet),
+            }];
+        }
         if self.degraded {
             if self.probe_pending {
                 // The probe timer fired: let exactly this miss through the
@@ -413,6 +490,11 @@ impl Switch {
         xid: u32,
         pool: &mut PacketPool,
     ) -> Vec<SwitchOutput> {
+        if self.epoch_armed {
+            // Any controller message proves the session is alive.
+            self.last_ctrl_heard = now;
+            self.ctrl_suspect = false;
+        }
         // A substantive controller response proves liveness: reset the
         // give-up streak and leave degraded mode.
         if matches!(msg, OfpMessage::FlowMod(_) | OfpMessage::PacketOut(_)) {
@@ -427,6 +509,12 @@ impl Switch {
             OfpMessage::SetConfig(c) => {
                 self.cpu.submit(now, self.config.cost_control_misc);
                 self.miss_send_len = c.miss_send_len;
+                if self.pending_reconcile {
+                    // The re-handshake is complete (Hello → … →
+                    // SetConfig): only now does the new session take over
+                    // the buffer state.
+                    self.bump_epoch(now);
+                }
                 Vec::new()
             }
             OfpMessage::GetConfigRequest => {
@@ -449,6 +537,17 @@ impl Switch {
                 }]
             }
             OfpMessage::Hello => {
+                if self.epoch_armed && self.hello_seen && xid > self.hello_xid_high {
+                    // A fresh-xid Hello after the first means the
+                    // controller restarted (or a standby took over); a
+                    // duplicated or reordered copy of an old Hello reuses
+                    // its xid and is answered without arming anything.
+                    // Defer the epoch bump until the handshake's
+                    // SetConfig lands: handshake before service.
+                    self.pending_reconcile = true;
+                }
+                self.hello_seen = true;
+                self.hello_xid_high = self.hello_xid_high.max(xid);
                 let at = self.cpu.submit(now, self.config.cost_control_misc);
                 vec![SwitchOutput::ToController {
                     at,
@@ -635,6 +734,31 @@ impl Switch {
         }
     }
 
+    /// Completes a re-handshake: bumps the session epoch, migrates the
+    /// surviving buffer entries to it (resetting their retry budgets) and
+    /// queues their paced re-announce.
+    fn bump_epoch(&mut self, now: Nanos) {
+        self.pending_reconcile = false;
+        let from = self.session_epoch;
+        self.session_epoch += 1;
+        let to = self.session_epoch;
+        self.buffer.set_epoch(to);
+        let survivors = self.buffer.reconcile_epoch(now, to);
+        self.stats.epoch_bumps.incr();
+        self.tracer.emit(
+            now,
+            EventKind::EpochBump {
+                from,
+                to,
+                survivors: survivors.len(),
+            },
+        );
+        if !survivors.is_empty() {
+            self.next_reconcile = Some(now + self.config.reconcile_interval);
+            self.reconcile_queue.extend(survivors);
+        }
+    }
+
     fn handle_packet_out(
         &mut self,
         now: Nanos,
@@ -648,6 +772,7 @@ impl Switch {
             // Algorithm 2: release and forward every packet filed under
             // this id, one by one, in FIFO order.
             let parse_done = self.cpu.submit(now, self.config.cost_pkt_out_base);
+            let stale_epochs_before = self.buffer.stats().stale_epoch_releases;
             let released = self.buffer.release(parse_done, po.buffer_id);
             self.touch_gauge(parse_done);
             self.tracer.emit(
@@ -659,6 +784,20 @@ impl Switch {
                     occupancy: self.buffer.occupancy(),
                 },
             );
+            if self.buffer.stats().stale_epoch_releases > stale_epochs_before {
+                // The epoch guard refused the drain: this packet_out was
+                // minted under a session that has since died.
+                self.stats.stale_epoch_rejects.incr();
+                self.tracer.emit(
+                    parse_done,
+                    EventKind::StaleEpochReject {
+                        xid,
+                        buffer_id: po.buffer_id.as_u32(),
+                        epoch: po.buffer_id.epoch(),
+                        current: self.session_epoch,
+                    },
+                );
+            }
             if released.is_empty() {
                 return Vec::new();
             }
@@ -862,12 +1001,18 @@ impl Switch {
     }
 
     /// The earliest moment the switch needs a timer callback: flow-table
-    /// expiry, a buffer re-request/TTL deadline, or a degraded-mode probe.
+    /// expiry, a buffer re-request/TTL deadline, a degraded-mode probe, a
+    /// liveness deadline, or a paced reconciliation re-announce.
     pub fn next_timer(&self) -> Option<Nanos> {
+        let liveness =
+            (self.epoch_armed && !self.ctrl_suspect && self.config.liveness_timeout > Nanos::ZERO)
+                .then(|| self.last_ctrl_heard + self.config.liveness_timeout);
         [
             self.table.next_expiry(),
             self.buffer.next_timeout(),
             self.next_probe,
+            liveness,
+            self.next_reconcile,
         ]
         .into_iter()
         .flatten()
@@ -878,6 +1023,47 @@ impl Switch {
     /// give-up actions and degraded-mode transitions due at `now`.
     pub fn on_timer(&mut self, now: Nanos, pool: &mut PacketPool) -> Vec<SwitchOutput> {
         let mut outputs = Vec::new();
+        if self.epoch_armed
+            && !self.ctrl_suspect
+            && self.config.liveness_timeout > Nanos::ZERO
+            && now >= self.last_ctrl_heard + self.config.liveness_timeout
+        {
+            // The controller has been silent past its deadline: suspect
+            // the session is dead until it speaks again.
+            self.ctrl_suspect = true;
+            self.stats.liveness_suspects.incr();
+        }
+        // Paced post-restart reconciliation: one surviving entry is
+        // re-announced per elapsed `reconcile_interval` slot.
+        while let Some(due) = self.next_reconcile {
+            if due > now {
+                break;
+            }
+            match self.reconcile_queue.pop_front() {
+                None => self.next_reconcile = None,
+                Some(id) => {
+                    self.next_reconcile = if self.reconcile_queue.is_empty() {
+                        None
+                    } else {
+                        Some(due + self.config.reconcile_interval)
+                    };
+                    // The entry may have drained or expired since the
+                    // bump listed it; the re-announce is then skipped.
+                    if let Some(rerequest) = self.buffer.rerequest_for(id) {
+                        self.stats.reconcile_rerequests.incr();
+                        self.tracer.emit(
+                            now,
+                            EventKind::BufferReconcile {
+                                buffer_id: rerequest.buffer_id.as_u32(),
+                                occupancy: self.buffer.occupancy(),
+                            },
+                        );
+                        let out = self.rerequest_output(now, rerequest, pool);
+                        outputs.push(out);
+                    }
+                }
+            }
+        }
         for removed in self.table.expire(now) {
             self.tracer.emit(
                 now,
@@ -964,27 +1150,32 @@ impl Switch {
             );
         }
         for rerequest in sweep.rerequests {
-            // `rerequest.packet` is a borrowed view of the still-buffered
-            // head-of-line packet; only its header slice is re-encoded.
-            let (slice, total_len) = {
-                let pk = pool.get(rerequest.packet).expect("live re-request packet");
-                (
-                    pk.encode_prefix(self.miss_send_len as usize),
-                    pk.wire_len() as u16,
-                )
-            };
-            let at_cpu = self.bus.transfer(now, slice.len());
-            let cost = self.config.cost_pkt_in_base + self.config.payload_cost(slice.len());
-            let at = self.cpu.submit(at_cpu, cost);
-            outputs.push(self.packet_in_output(
-                at,
-                rerequest.buffer_id,
-                total_len,
-                rerequest.in_port,
-                slice,
-            ));
+            let out = self.rerequest_output(now, rerequest, pool);
+            outputs.push(out);
         }
         outputs
+    }
+
+    /// Builds the `packet_in` for a re-announce of a still-buffered flow.
+    /// `rerequest.packet` is a borrowed view of the head-of-line packet;
+    /// only its header slice is re-encoded.
+    fn rerequest_output(
+        &mut self,
+        now: Nanos,
+        rerequest: Rerequest,
+        pool: &PacketPool,
+    ) -> SwitchOutput {
+        let (slice, total_len) = {
+            let pk = pool.get(rerequest.packet).expect("live re-request packet");
+            (
+                pk.encode_prefix(self.miss_send_len as usize),
+                pk.wire_len() as u16,
+            )
+        };
+        let at_cpu = self.bus.transfer(now, slice.len());
+        let cost = self.config.cost_pkt_in_base + self.config.payload_cost(slice.len());
+        let at = self.cpu.submit(at_cpu, cost);
+        self.packet_in_output(at, rerequest.buffer_id, total_len, rerequest.in_port, slice)
     }
 }
 
@@ -1805,6 +1996,135 @@ mod tests {
         assert!(matches!(outs[..], [SwitchOutput::Drop { packet: Some(_) }]));
         assert_eq!(sw.buffer().occupancy(), 0, "the stranded unit is freed");
         assert_eq!(sw.buffer().stats().expired, 1);
+    }
+
+    #[test]
+    fn re_handshake_bumps_epoch_and_reconciles_survivors() {
+        let mut pool = PacketPool::new();
+        let mut sw = Switch::new(SwitchConfig {
+            buffer: BufferChoice::FlowGranularity {
+                capacity: 16,
+                timeout: Nanos::from_millis(50),
+            },
+            reconcile_interval: Nanos::from_millis(1),
+            ..SwitchConfig::default()
+        });
+        sw.arm_crash_plane();
+        assert_eq!(sw.session_epoch(), 1);
+        sw.handle_controller_msg(Nanos::ZERO, OfpMessage::Hello, 1, &mut pool);
+        let outs = sw.handle_frame(Nanos::ZERO, PortNo(1), pool.insert(udp(1)), &mut pool);
+        let (pin, _, _) = first_pkt_in(&outs);
+        let old_id = pin.buffer_id;
+        assert_eq!(old_id.epoch(), 1);
+        // The controller restarts: second Hello, then SetConfig completes
+        // the handshake and triggers the bump + reconcile.
+        sw.handle_controller_msg(Nanos::from_millis(10), OfpMessage::Hello, 2, &mut pool);
+        assert_eq!(sw.session_epoch(), 1, "bump waits for the SetConfig");
+        sw.handle_controller_msg(
+            Nanos::from_millis(11),
+            OfpMessage::SetConfig(msg::SwitchConfig {
+                flags: 0,
+                miss_send_len: 128,
+            }),
+            3,
+            &mut pool,
+        );
+        assert_eq!(sw.session_epoch(), 2);
+        assert_eq!(sw.stats().epoch_bumps.get(), 1);
+        // The survivor is re-announced one reconcile interval later.
+        assert_eq!(sw.next_timer(), Some(Nanos::from_millis(12)));
+        let outs = sw.on_timer(Nanos::from_millis(12), &mut pool);
+        let (pin, _, _) = first_pkt_in(&outs);
+        assert_eq!(pin.buffer_id.epoch(), 2);
+        assert_eq!(sw.stats().reconcile_rerequests.get(), 1);
+        // A packet_out minted under the dead epoch is rejected...
+        let outs = sw.handle_controller_msg(
+            Nanos::from_millis(13),
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: old_id,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![],
+            }),
+            4,
+            &mut pool,
+        );
+        assert!(outs.is_empty());
+        assert_eq!(sw.buffer().occupancy(), 1);
+        assert_eq!(sw.stats().stale_epoch_rejects.get(), 1);
+        // ...while the re-announced current-epoch id drains normally.
+        let outs = sw.handle_controller_msg(
+            Nanos::from_millis(14),
+            OfpMessage::PacketOut(PacketOut {
+                buffer_id: pin.buffer_id,
+                in_port: PortNo(1),
+                actions: vec![Action::output(PortNo(2))],
+                data: vec![],
+            }),
+            5,
+            &mut pool,
+        );
+        assert!(matches!(outs[..], [SwitchOutput::Forward { .. }]));
+        assert_eq!(sw.buffer().occupancy(), 0);
+    }
+
+    #[test]
+    fn liveness_detector_sheds_misses_until_the_controller_speaks() {
+        let mut pool = PacketPool::new();
+        let mut sw = Switch::new(SwitchConfig {
+            buffer: BufferChoice::PacketGranularity { capacity: 16 },
+            liveness_timeout: Nanos::from_millis(50),
+            ..SwitchConfig::default()
+        });
+        sw.arm_crash_plane();
+        sw.handle_controller_msg(Nanos::ZERO, OfpMessage::Hello, 1, &mut pool);
+        assert_eq!(sw.next_timer(), Some(Nanos::from_millis(50)));
+        sw.on_timer(Nanos::from_millis(50), &mut pool);
+        assert!(sw.is_ctrl_suspect());
+        assert_eq!(sw.stats().liveness_suspects.get(), 1);
+        // Fresh misses are shed while the controller is suspected dead.
+        let outs = sw.handle_frame(
+            Nanos::from_millis(51),
+            PortNo(1),
+            pool.insert(udp(1)),
+            &mut pool,
+        );
+        assert!(matches!(outs[0], SwitchOutput::Drop { .. }));
+        assert_eq!(sw.stats().suspect_sheds.get(), 1);
+        // Any controller message clears the suspicion.
+        sw.handle_controller_msg(
+            Nanos::from_millis(60),
+            OfpMessage::EchoRequest(vec![1]),
+            2,
+            &mut pool,
+        );
+        assert!(!sw.is_ctrl_suspect());
+        let outs = sw.handle_frame(
+            Nanos::from_millis(61),
+            PortNo(1),
+            pool.insert(udp(2)),
+            &mut pool,
+        );
+        assert!(matches!(outs[0], SwitchOutput::ToController { .. }));
+    }
+
+    #[test]
+    fn unarmed_switch_ignores_re_handshakes() {
+        let mut pool = PacketPool::new();
+        let mut sw = switch_with(BufferChoice::PacketGranularity { capacity: 16 });
+        sw.handle_controller_msg(Nanos::ZERO, OfpMessage::Hello, 1, &mut pool);
+        sw.handle_controller_msg(Nanos::from_millis(1), OfpMessage::Hello, 2, &mut pool);
+        sw.handle_controller_msg(
+            Nanos::from_millis(2),
+            OfpMessage::SetConfig(msg::SwitchConfig {
+                flags: 0,
+                miss_send_len: 128,
+            }),
+            3,
+            &mut pool,
+        );
+        assert_eq!(sw.session_epoch(), 0);
+        assert_eq!(sw.stats().epoch_bumps.get(), 0);
     }
 
     #[test]

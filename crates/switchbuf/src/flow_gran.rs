@@ -95,6 +95,13 @@ pub struct FlowGranularityBuffer {
     /// Fault injection: when off, the TTL sweep never collects (the
     /// buffered-conservation invariant must catch the leak).
     ttl_gc_enabled: bool,
+    /// Session epoch stamped onto new allocations; `0` = crash plane
+    /// unarmed (no stamping, no epoch rejection).
+    epoch: u32,
+    /// Fault injection: when off, dead-epoch releases keep draining and
+    /// [`Self::reconcile_epoch`] migrates nothing (the
+    /// no-cross-epoch-drain invariant must catch the resulting drains).
+    epoch_guard_enabled: bool,
 }
 
 impl FlowGranularityBuffer {
@@ -143,6 +150,8 @@ impl FlowGranularityBuffer {
             pressured: false,
             rerequest_enabled: true,
             ttl_gc_enabled: true,
+            epoch: 0,
+            epoch_guard_enabled: true,
         })
     }
 
@@ -208,7 +217,7 @@ impl FlowGranularityBuffer {
                 if self.alloc_seq == 0 {
                     self.alloc_seq = 1;
                 }
-                return BufferId::tagged(candidate, self.alloc_seq);
+                return BufferId::tagged(candidate, self.alloc_seq).with_epoch(self.epoch);
             }
             candidate = candidate.wrapping_add(1);
         }
@@ -420,6 +429,18 @@ impl BufferMechanism for FlowGranularityBuffer {
             self.stats.stale_releases += 1;
             return Vec::new();
         }
+        // Crash safety: a release minted under a dead session epoch must
+        // not drain state the restarted controller has no knowledge of.
+        // Untagged (epoch 0) releases keep the raw-wire-id semantics.
+        if self.epoch_guard_enabled
+            && buffer_id.epoch() != 0
+            && stored.epoch() != 0
+            && buffer_id.epoch() != stored.epoch()
+        {
+            self.stats.invalid_releases += 1;
+            self.stats.stale_epoch_releases += 1;
+            return Vec::new();
+        }
         self.by_id.remove(&buffer_id.as_u32());
         let queue = self
             .flows
@@ -548,6 +569,63 @@ impl BufferMechanism for FlowGranularityBuffer {
 
     fn set_ttl_gc_enabled(&mut self, on: bool) {
         self.ttl_gc_enabled = on;
+    }
+
+    fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    fn reconcile_epoch(&mut self, now: Nanos, epoch: u32) -> Vec<BufferId> {
+        self.epoch = epoch;
+        if !self.epoch_guard_enabled {
+            // Sabotage: surviving flows keep their dead-epoch ids and the
+            // ordinary lines-12–13 re-request loop keeps announcing them.
+            return Vec::new();
+        }
+        let mut raws: Vec<u32> = self.by_id.keys().copied().collect();
+        raws.sort_unstable();
+        let mut out = Vec::with_capacity(raws.len());
+        for raw in raws {
+            let key = self.by_id[&raw];
+            // The restarted controller has never ignored these flows:
+            // retry budgets reset and the re-request schedule restarts
+            // from `now` (the paced re-announce itself is the switch's
+            // job, via `rerequest_for`).
+            let interval = self.policy.interval_after(self.timeout, 0);
+            let jitter = self.jitter();
+            let q = self
+                .flows
+                .get_mut(&key)
+                .expect("by_id and flows maps stay consistent");
+            let old_due = q.next_due;
+            q.buffer_id = q.buffer_id.with_epoch(epoch);
+            for p in &mut q.packets {
+                p.buffer_id = p.buffer_id.with_epoch(epoch);
+            }
+            q.retries = 0;
+            q.last_request_at = now;
+            q.next_due = now + interval + jitter;
+            self.request_deadlines.remove(&(old_due, key));
+            self.request_deadlines.insert((q.next_due, key));
+            out.push(q.buffer_id);
+        }
+        out
+    }
+
+    fn rerequest_for(&self, buffer_id: BufferId) -> Option<Rerequest> {
+        let key = self.by_id.get(&buffer_id.as_u32())?;
+        let q = &self.flows[key];
+        let first = q.packets.front()?;
+        Some(Rerequest {
+            buffer_id: q.buffer_id,
+            // A borrowed view: the flow keeps its pool reference.
+            packet: first.packet,
+            in_port: first.in_port,
+        })
+    }
+
+    fn set_epoch_guard_enabled(&mut self, on: bool) {
+        self.epoch_guard_enabled = on;
     }
 }
 
@@ -1076,6 +1154,151 @@ mod tests {
             b.poll_timeouts(Nanos::from_secs(1), &pool).rerequests.len(),
             1
         );
+    }
+
+    /// Satellite regression: the generation tag survives an 8-bit
+    /// wraparound. 256 reuses of one slot (the same 5-tuple announced,
+    /// drained and re-announced) must still reject the original stale id
+    /// — the wrap contract documented in `buffer_id.rs` (a wrapping `u32`
+    /// that skips 0, advanced per allocation) never lets two live
+    /// occupants of a slot share a generation within 2³²−1 allocations.
+    #[test]
+    fn generation_survives_eight_bit_wraparound() {
+        let mut b = mk();
+        let mut pool = PacketPool::new();
+        let first = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        let mut last = first;
+        for reuse in 1..=256u64 {
+            assert_eq!(
+                b.release(Nanos::from_micros(2 * reuse), last).len(),
+                1,
+                "reuse {reuse}: current id must drain"
+            );
+            last = match b.on_miss(
+                Nanos::from_micros(2 * reuse + 1),
+                pool.insert(pkt(1, 100)),
+                PortNo(1),
+                &pool,
+            ) {
+                MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(last.as_u32(), first.as_u32(), "same tuple, same slot");
+        }
+        // 256 reuses past the original: an 8-bit generation would have
+        // wrapped back to `first`'s tag by now. The u32 counter has not.
+        assert_eq!(last.generation(), first.generation() + 256);
+        assert_ne!(last.generation() as u8, 0, "counter skips the untagged 0");
+        assert!(
+            b.release(Nanos::from_secs(1), first).is_empty(),
+            "stale release must still be rejected after 256 slot reuses"
+        );
+        assert_eq!(b.stats().stale_releases, 1);
+        assert_eq!(b.occupancy(), 1, "occupant 257 survives");
+        assert_eq!(b.release(Nanos::from_secs(2), last).len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_release_is_rejected_only_while_armed() {
+        let mut b = mk();
+        let mut pool = PacketPool::new();
+        b.set_epoch(1);
+        let old = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        assert_eq!(old.epoch(), 1);
+        // The controller restarts: surviving flows migrate to epoch 2.
+        let survivors = b.reconcile_epoch(Nanos::from_millis(1), 2);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].as_u32(), old.as_u32());
+        assert_eq!(survivors[0].epoch(), 2);
+        // A packet_out minted under the dead epoch must not drain.
+        assert!(b.release(Nanos::from_millis(2), old).is_empty());
+        assert_eq!(b.stats().stale_epoch_releases, 1);
+        assert_eq!(b.stats().invalid_releases, 1);
+        assert_eq!(b.occupancy(), 1);
+        // Untagged (wire) and current-epoch releases still drain.
+        assert_eq!(b.release(Nanos::from_millis(3), survivors[0]).len(), 1);
+        assert_eq!(b.stats().stale_epoch_releases, 1);
+    }
+
+    #[test]
+    fn reconcile_resets_retry_budgets_and_lists_survivors_in_id_order() {
+        let mut b =
+            FlowGranularityBuffer::new(16, Nanos::from_millis(10)).with_retry_policy(RetryPolicy {
+                budget: 2,
+                ..RetryPolicy::fixed()
+            });
+        let mut pool = PacketPool::new();
+        b.set_epoch(1);
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool);
+        b.on_miss(Nanos::ZERO, pool.insert(pkt(2, 100)), PortNo(1), &pool);
+        // Spend both flows' whole retry budget.
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(10), &pool)
+                .rerequests
+                .len(),
+            2
+        );
+        assert_eq!(
+            b.poll_timeouts(Nanos::from_millis(20), &pool)
+                .rerequests
+                .len(),
+            2
+        );
+        let survivors = b.reconcile_epoch(Nanos::from_millis(25), 2);
+        assert_eq!(survivors.len(), 2);
+        assert!(
+            survivors.windows(2).all(|w| w[0].as_u32() < w[1].as_u32()),
+            "survivors must come out in ascending raw-id order"
+        );
+        // The fresh controller has never ignored them: budgets are reset,
+        // so the next deadline re-requests instead of giving up.
+        let sweep = b.poll_timeouts(Nanos::from_millis(35), &pool);
+        assert_eq!(sweep.rerequests.len(), 2);
+        assert!(sweep.gave_up.is_empty());
+        assert!(sweep.rerequests.iter().all(|r| r.buffer_id.epoch() == 2));
+    }
+
+    #[test]
+    fn rerequest_for_peeks_without_draining() {
+        let mut b = mk();
+        let mut pool = PacketPool::new();
+        b.set_epoch(1);
+        let id = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(7), &pool) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        let r = b.rerequest_for(id).expect("flow is live");
+        assert_eq!(r.buffer_id, id);
+        assert_eq!(r.in_port, PortNo(7));
+        assert_eq!(b.occupancy(), 1, "a peek drains nothing");
+        b.release(Nanos::from_millis(1), id);
+        assert!(b.rerequest_for(id).is_none(), "drained flows peek to None");
+    }
+
+    #[test]
+    fn disabled_epoch_guard_keeps_dead_epoch_ids_alive() {
+        let mut b = mk();
+        let mut pool = PacketPool::new();
+        b.set_epoch(1);
+        b.set_epoch_guard_enabled(false);
+        let old = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1, 100)), PortNo(1), &pool) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            _ => panic!(),
+        };
+        assert!(
+            b.reconcile_epoch(Nanos::from_millis(1), 2).is_empty(),
+            "sabotaged reconcile migrates nothing"
+        );
+        // The dead-epoch id still drains — exactly the cross-epoch drain
+        // the chaos invariant must catch.
+        assert_eq!(b.release(Nanos::from_millis(2), old).len(), 1);
+        assert_eq!(b.stats().stale_epoch_releases, 0);
     }
 
     #[test]

@@ -94,6 +94,10 @@ pub struct BufferStats {
     /// rejected instead of draining the new occupant (a subset of
     /// `invalid_releases`).
     pub stale_releases: u64,
+    /// `packet_out`s minted under a dead session epoch, rejected instead
+    /// of draining state the restarted controller has no knowledge of (a
+    /// subset of `invalid_releases`).
+    pub stale_epoch_releases: u64,
     /// Highest occupancy ever observed, in buffer units.
     pub peak_occupancy: usize,
 }
@@ -179,6 +183,35 @@ pub trait BufferMechanism {
     /// caught by the buffered-conservation invariant). Mechanisms without
     /// a TTL ignore it.
     fn set_ttl_gc_enabled(&mut self, _on: bool) {}
+
+    /// Arms the crash plane: subsequently allocated buffer ids are stamped
+    /// with `epoch` ([`BufferId::with_epoch`]) and releases minted under a
+    /// *different* non-zero epoch are rejected (`stale_epoch_releases`).
+    /// Epoch `0` (the default) leaves the plane unarmed — no stamping, no
+    /// rejection — so runs without crash faults are byte-identical to the
+    /// pre-epoch behavior. Mechanisms without buffer memory ignore it.
+    fn set_epoch(&mut self, _epoch: u32) {}
+    /// Migrates every surviving buffered entry to `epoch` after a
+    /// controller restart/failover: re-tags the entries, resets their
+    /// retry budgets (the new controller has never ignored them), and
+    /// returns the ids to re-announce in deterministic (ascending raw id)
+    /// order so the switch can pace the re-request storm. Mechanisms
+    /// without buffer memory return nothing.
+    fn reconcile_epoch(&mut self, _now: Nanos, _epoch: u32) -> Vec<BufferId> {
+        Vec::new()
+    }
+    /// A borrowed re-announce view of the flow filed under `buffer_id`,
+    /// used by the switch's paced post-restart reconciliation (the entry
+    /// may have expired or drained since `reconcile_epoch` listed it —
+    /// `None` then, and the re-announce is simply skipped). Mechanisms
+    /// without buffer memory return `None`.
+    fn rerequest_for(&self, _buffer_id: BufferId) -> Option<Rerequest> {
+        None
+    }
+    /// Disables the epoch guard (chaos harness sabotage: a mechanism that
+    /// keeps honoring dead-epoch ids and re-announces surviving flows
+    /// under them must be caught by the no-cross-epoch-drain invariant).
+    fn set_epoch_guard_enabled(&mut self, _on: bool) {}
 }
 
 #[cfg(test)]

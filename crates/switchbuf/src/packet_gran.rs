@@ -1,7 +1,7 @@
 //! The packet-granularity buffer: OpenFlow's default buffer mechanism.
 
 use crate::{
-    BufferMechanism, BufferStats, BufferedPacket, MissAction, PacketHandle, PacketPool,
+    BufferMechanism, BufferStats, BufferedPacket, MissAction, PacketHandle, PacketPool, Rerequest,
     TimeoutSweep,
 };
 use sdnbuf_openflow::{BufferId, PortNo};
@@ -56,6 +56,12 @@ pub struct PacketGranularityBuffer {
     pressured: bool,
     /// Fault injection: when off, the TTL sweep never collects.
     ttl_gc_enabled: bool,
+    /// Session epoch stamped onto new allocations; `0` = crash plane
+    /// unarmed.
+    epoch: u32,
+    /// Fault injection: when off, dead-epoch releases keep draining and
+    /// reconciliation migrates nothing.
+    epoch_guard_enabled: bool,
 }
 
 impl PacketGranularityBuffer {
@@ -92,6 +98,8 @@ impl PacketGranularityBuffer {
             tracer: Tracer::off(),
             pressured: false,
             ttl_gc_enabled: true,
+            epoch: 0,
+            epoch_guard_enabled: true,
         }
     }
 
@@ -122,7 +130,7 @@ impl PacketGranularityBuffer {
                 if self.gen_seq == 0 {
                     self.gen_seq = 1;
                 }
-                return BufferId::tagged(candidate, self.gen_seq);
+                return BufferId::tagged(candidate, self.gen_seq).with_epoch(self.epoch);
             }
         }
     }
@@ -187,6 +195,17 @@ impl BufferMechanism for PacketGranularityBuffer {
                 if p.buffer_id.generation() != buffer_id.generation() {
                     self.stats.invalid_releases += 1;
                     self.stats.stale_releases += 1;
+                    return Vec::new();
+                }
+            }
+        }
+        // Crash safety: a release minted under a dead session epoch must
+        // not drain state the restarted controller has no knowledge of.
+        if self.epoch_guard_enabled && buffer_id.epoch() != 0 {
+            if let Some(p) = self.units.get(&buffer_id.as_u32()) {
+                if p.buffer_id.epoch() != 0 && p.buffer_id.epoch() != buffer_id.epoch() {
+                    self.stats.invalid_releases += 1;
+                    self.stats.stale_epoch_releases += 1;
                     return Vec::new();
                 }
             }
@@ -272,6 +291,43 @@ impl BufferMechanism for PacketGranularityBuffer {
 
     fn set_ttl_gc_enabled(&mut self, on: bool) {
         self.ttl_gc_enabled = on;
+    }
+
+    fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    fn reconcile_epoch(&mut self, _now: Nanos, epoch: u32) -> Vec<BufferId> {
+        self.epoch = epoch;
+        if !self.epoch_guard_enabled {
+            return Vec::new();
+        }
+        // Every occupied unit migrates: each holds exactly one packet the
+        // restarted controller has never heard of, so each is re-announced
+        // (pacing is the switch's job).
+        let mut raws: Vec<u32> = self.units.keys().copied().collect();
+        raws.sort_unstable();
+        let mut out = Vec::with_capacity(raws.len());
+        for raw in raws {
+            let p = self.units.get_mut(&raw).expect("listed unit exists");
+            p.buffer_id = p.buffer_id.with_epoch(epoch);
+            out.push(p.buffer_id);
+        }
+        out
+    }
+
+    fn rerequest_for(&self, buffer_id: BufferId) -> Option<Rerequest> {
+        let p = self.units.get(&buffer_id.as_u32())?;
+        Some(Rerequest {
+            buffer_id: p.buffer_id,
+            // A borrowed view: the unit keeps its pool reference.
+            packet: p.packet,
+            in_port: p.in_port,
+        })
+    }
+
+    fn set_epoch_guard_enabled(&mut self, on: bool) {
+        self.epoch_guard_enabled = on;
     }
 }
 
@@ -516,6 +572,40 @@ mod tests {
         // Untagged raw-wire release still drains it.
         let raw = BufferId::new(fresh.as_u32());
         assert_eq!(b.release(Nanos::from_micros(4), raw).len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_release_is_rejected_and_reconcile_migrates_units() {
+        let mut b = PacketGranularityBuffer::new(4);
+        let mut pool = PacketPool::new();
+        b.set_epoch(1);
+        let a = match b.on_miss(Nanos::ZERO, pool.insert(pkt(1)), PortNo(1), &pool) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        let z = match b.on_miss(Nanos::ZERO, pool.insert(pkt(2)), PortNo(2), &pool) {
+            MissAction::SendBufferedPacketIn { buffer_id } => buffer_id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a.epoch(), 1);
+        let survivors = b.reconcile_epoch(Nanos::from_millis(1), 2);
+        assert_eq!(survivors.len(), 2);
+        assert!(survivors.windows(2).all(|w| w[0].as_u32() < w[1].as_u32()));
+        assert!(survivors.iter().all(|id| id.epoch() == 2));
+        // Dead-epoch packet_outs are rejected; current-epoch ones drain.
+        assert!(b.release(Nanos::from_millis(2), a).is_empty());
+        assert_eq!(b.stats().stale_epoch_releases, 1);
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.release(Nanos::from_millis(3), survivors[0]).len(), 1);
+        // The paced re-announce peek borrows without draining.
+        let zid = BufferId::from_wire(z.as_u32());
+        let r = b.rerequest_for(zid).expect("unit is live");
+        assert_eq!(r.buffer_id.epoch(), 2);
+        assert_eq!(b.occupancy(), 1);
+        // Sabotage: with the guard off the dead-epoch id drains after all.
+        b.set_epoch_guard_enabled(false);
+        assert_eq!(b.release(Nanos::from_millis(4), z).len(), 1);
+        assert_eq!(b.stats().stale_epoch_releases, 1);
     }
 
     #[test]

@@ -43,11 +43,14 @@ fn usage() -> &'static str {
        sdnlab run   [--buffer MECH] [--workload WL] [--rate MBPS] [--seed N]\n\
                     [--faults SPEC] [--check]\n\
                     [--retry-policy P] [--ttl DUR] [--degraded N] [--admission POL:CAP]\n\
+                    [--standby warm|cold] [--takeover-delay DUR]\n\
+                    [--keepalive DUR] [--liveness-timeout DUR]\n\
                     [--events PATH] [--timeline PATH] [--sample-every DUR [--samples PATH]]\n\
                     [--latency-report] [--dump-on-exit]\n\
        sdnlab sweep [--section iv|v] [--reps N] [--threads T]\n\
                     [--events PATH] [--timeline PATH] [--latency-report]\n\
-       sdnlab chaos [--seeds N] [--broken] [--broken-ttl] [--recovery] [--replay SPEC]\n\
+       sdnlab chaos [--seeds N] [--crash] [--broken] [--broken-ttl] [--broken-epoch]\n\
+                    [--recovery] [--replay SPEC]\n\
        sdnlab validate [--report PATH] [--tolerance PCT] [--cells SPEC] [--flows N]\n\
                     [--reps N] [--seed N] [--random N] [--broken] [--threads T]\n\
        sdnlab claims [--reps N] [--threads T]\n\
@@ -72,14 +75,30 @@ fn usage() -> &'static str {
        --admission POL:CAP bounded controller ingress queue: POL is drop-tail,\n\
                            drop-head or prefer-rerequests; CAP its depth\n\
      \n\
+     CRASH / FAILOVER PLANE:\n\
+       --faults 'crash=T+D'       kill the controller at T for D (volatile state\n\
+                                  dropped; epoch-tagged re-handshake on restart)\n\
+       --standby warm|cold        arm the warm-standby controller (warm =\n\
+                                  checkpoint-synced MAC table at crash time)\n\
+       --takeover-delay DUR       detection + takeover latency (default 10ms)\n\
+       --keepalive DUR            echo probe interval (drives the RTT histogram\n\
+                                  and the switch's liveness detector)\n\
+       --liveness-timeout DUR     silence after which the switch suspects the\n\
+                                  controller dead and sheds fresh misses\n\
+     \n\
      CHAOS HARNESS:\n\
        --seeds N           scenarios per buffer mechanism (default 50)\n\
+       --crash             generate scenarios with controller-crash windows\n\
+                           (and sampled warm/cold standby takeovers)\n\
        --broken            disable Algorithm 1's re-request loop; the harness\n\
                            must catch it (self-test — exits nonzero if it doesn't)\n\
        --broken-ttl        disable the TTL garbage collector with the TTL armed;\n\
                            the buffer-expiry invariant must catch it\n\
-       --recovery          run the fixed recovery matrix (stall + flap against\n\
-                           both mechanisms under fixed and backoff retries)\n\
+       --broken-epoch      disable the buffer's epoch guard under crash windows;\n\
+                           the no-cross-epoch-drain invariant must catch it\n\
+       --recovery          run the fixed recovery matrix (stall + flap, with and\n\
+                           without a mid-recovery crash, against both mechanisms\n\
+                           under fixed and backoff retries)\n\
        --replay SPEC       re-run one scenario from the spec a failure printed\n\
      \n\
      VALIDATION PLANE:\n\
@@ -372,22 +391,51 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     if let Some(spec) = flag(args, "--faults")? {
         config.testbed.faults = FaultPlan::parse(&spec).map_err(ParseError)?;
     }
+    // Crash/failover plane knobs. `--standby warm|cold` arms the
+    // warm-standby controller; keepalives (echo probes) drive both the
+    // RTT histogram and the switch's liveness detector.
+    if let Some(s) = flag(args, "--standby")? {
+        config.testbed.failover.standby = true;
+        config.testbed.failover.warm = match s.as_str() {
+            "warm" => true,
+            "cold" => false,
+            other => {
+                return Err(ParseError(format!(
+                    "--standby takes warm|cold, got '{other}'"
+                )))
+            }
+        };
+    }
+    if let Some(s) = flag(args, "--takeover-delay")? {
+        config.testbed.failover.takeover_delay = parse_duration(&s)?;
+    }
+    if let Some(s) = flag(args, "--keepalive")? {
+        config.testbed.keepalive_interval = Some(parse_duration(&s)?);
+    }
+    if let Some(s) = flag(args, "--liveness-timeout")? {
+        config.testbed.switch.liveness_timeout = parse_duration(&s)?;
+    }
     let plan = config.testbed.effective_faults();
     let mut exp = Experiment::new(config);
+    // Crash runs always trace: every controller crash auto-produces a
+    // flight-recorder dump for the post-mortem.
     let tracing = events_path.is_some()
         || timeline_path.is_some()
         || sample_every.is_some()
         || check
         || latency_report
-        || dump_on_exit;
+        || dump_on_exit
+        || plan.has_crashes();
     if !tracing {
         let run = exp.run();
         println!("{run:#?}");
+        print_run_summary(&run);
         return Ok(ExitCode::SUCCESS);
     }
 
     let (run, events) = exp.run_traced();
     println!("{run:#?}");
+    print_run_summary(&run);
     let violations = if check {
         chaos::check_invariants(buffer, &plan, knobs, &run, &events)
     } else {
@@ -420,16 +468,21 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
         eprintln!("wrote latency report to {tsv_path} and {json_path}");
     }
     // The flight recorder fires on an invariant violation, on entry into
-    // degraded mode, or unconditionally under --dump-on-exit — in that
-    // precedence order when several apply.
+    // degraded mode, on a controller crash, or unconditionally under
+    // --dump-on-exit — in that precedence order when several apply.
     let degraded = events
         .iter()
         .any(|e| matches!(e.kind, EventKind::DegradedEnter { .. }));
-    if dump_on_exit || degraded || !violations.is_empty() {
+    let crashed = events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::CtrlCrash { .. }));
+    if dump_on_exit || degraded || crashed || !violations.is_empty() {
         let reason = if !violations.is_empty() {
             DumpReason::ChaosViolation
         } else if degraded {
             DumpReason::DegradedEnter
+        } else if crashed {
+            DumpReason::CtrlCrash
         } else {
             DumpReason::Exit
         };
@@ -479,6 +532,29 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, ParseError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// One-line digests of the run's probe and crash planes, printed after
+/// the full `RunResult` debug dump. Silent when the planes were off, so
+/// default runs print exactly what they always printed.
+fn print_run_summary(run: &sdn_buffer_lab::core::RunResult) {
+    if run.echo_rtt_samples > 0 {
+        println!(
+            "echo rtt: p50 {:.3} ms  p99 {:.3} ms  ({} samples)",
+            run.echo_rtt_p50_ms, run.echo_rtt_p99_ms, run.echo_rtt_samples
+        );
+    }
+    if run.ctrl_crashes > 0 {
+        println!(
+            "crash plane: {} crashes  {} takeovers  {} epoch bumps  {} reconcile re-announces  \
+             {} stale-epoch rejects",
+            run.ctrl_crashes,
+            run.failover_takeovers,
+            run.epoch_bumps,
+            run.reconcile_rerequests,
+            run.stale_epoch_rejects,
+        );
+    }
+}
+
 /// Writes the flight-recorder dump for a violating (usually minimized)
 /// scenario and prints where it went. A dump failure is reported but never
 /// masks the violation that triggered it.
@@ -501,10 +577,11 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
     let sabotage = Sabotage {
         disable_rerequest: args.iter().any(|a| a == "--broken"),
         disable_ttl_gc: args.iter().any(|a| a == "--broken-ttl"),
+        broken_epoch: args.iter().any(|a| a == "--broken-epoch"),
     };
     let sabotaged = sabotage != Sabotage::none();
     let sabotage_flags = format!(
-        "{}{}",
+        "{}{}{}",
         if sabotage.disable_rerequest {
             "--broken "
         } else {
@@ -515,7 +592,14 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
         } else {
             ""
         },
+        if sabotage.broken_epoch {
+            "--broken-epoch "
+        } else {
+            ""
+        },
     );
+    // A disabled epoch guard is only observable when controllers crash.
+    let crash = args.iter().any(|a| a == "--crash") || sabotage.broken_epoch;
 
     if let Some(spec) = flag(args, "--replay")? {
         let scenario = ChaosScenario::parse(&spec).map_err(ParseError)?;
@@ -532,6 +616,15 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
             report.result.ctrl_drops,
             report.result.packets_dropped,
         );
+        if report.result.ctrl_crashes > 0 {
+            println!(
+                "crashes {}  takeovers {}  epoch bumps {}  reconcile re-announces {}",
+                report.result.ctrl_crashes,
+                report.result.failover_takeovers,
+                report.result.epoch_bumps,
+                report.result.reconcile_rerequests,
+            );
+        }
         if report.violations.is_empty() {
             println!("ok: every invariant holds");
             return Ok(ExitCode::SUCCESS);
@@ -582,17 +675,27 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
                 .map_err(|_| ParseError(format!("bad seed count '{s}'")))?,
             None => 50,
         };
-        let mechanisms = [
+        let mut mechanisms = vec![
             BufferMode::PacketGranularity { capacity: 256 },
             BufferMode::FlowGranularity {
                 capacity: 256,
                 timeout: Nanos::from_millis(20),
             },
         ];
+        if crash {
+            // The crash plane's invariants (epoch monotonicity, handshake
+            // before service, liveness) are mechanism-independent — sweep
+            // the bufferless switch too.
+            mechanisms.push(BufferMode::NoBuffer);
+        }
         total = seeds * mechanisms.len() as u64;
         for mech in mechanisms {
             for seed in 0..seeds {
-                let mut scenario = ChaosScenario::generate(seed, mech);
+                let mut scenario = if crash {
+                    ChaosScenario::generate_with_crashes(seed, mech)
+                } else {
+                    ChaosScenario::generate(seed, mech)
+                };
                 if sabotage.disable_ttl_gc {
                     // The generated sweep leaves the recovery knobs at
                     // their defaults; the TTL self-test needs one armed so
@@ -623,6 +726,8 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, ParseError> {
         // Self-test: the crippled mechanism must be caught.
         let what = if sabotage.disable_rerequest {
             "disabled re-request loop"
+        } else if sabotage.broken_epoch {
+            "disabled session-epoch guard"
         } else {
             "disabled TTL garbage collector"
         };

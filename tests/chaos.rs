@@ -4,7 +4,8 @@
 //! shrinkable) from a one-line spec.
 
 use sdn_buffer_lab::core::chaos::{
-    minimize, recovery_matrix, run_scenario, ChaosScenario, RecoveryKnobs, Sabotage,
+    flight_dump, minimize, recovery_matrix, run_scenario, ChaosScenario, RecoveryKnobs, Sabotage,
+    StandbyKnobs,
 };
 use sdn_buffer_lab::prelude::*;
 use sdn_buffer_lab::switchbuf::RetryPolicy;
@@ -173,6 +174,7 @@ fn sustained_controller_stall_bounds_retries_and_recovers_from_degraded() {
             ttl: Nanos::ZERO,
             degraded_threshold: 2,
         },
+        standby: None,
     };
     let report = run_scenario(&budgeted, true);
     assert!(
@@ -243,4 +245,156 @@ fn recovery_matrix_passes_and_its_ttl_self_test_has_teeth() {
         ttl_caught > 0,
         "no recovery-matrix cell caught the disabled TTL garbage collector"
     );
+}
+
+/// The recovery matrix carries a crash column: cells that layer a mid-run
+/// controller crash on top of the stall + flap + loss plan, and every one
+/// of them records exactly one crash.
+#[test]
+fn recovery_matrix_has_a_crash_column() {
+    let crash_cells: Vec<_> = recovery_matrix()
+        .into_iter()
+        .filter(|(label, _)| label.ends_with("/crash"))
+        .collect();
+    assert!(
+        crash_cells.len() >= 4,
+        "expected a crash cell per mechanism × retry policy, got {:?}",
+        crash_cells.iter().map(|(l, _)| l).collect::<Vec<_>>()
+    );
+    for (label, scenario) in crash_cells {
+        assert!(scenario.plan.has_crashes(), "cell {label}");
+        let report = run_scenario(&scenario, Sabotage::none());
+        assert_eq!(
+            report.result.ctrl_crashes, 1,
+            "cell {label} did not crash exactly once"
+        );
+    }
+}
+
+/// The crash plane's sweep bar: generated scenarios that always include a
+/// mid-run controller crash (and sometimes a warm or cold standby) hold
+/// every invariant — epoch monotonicity, handshake-before-service, no
+/// cross-epoch drains, and delivery-or-accounted-loss across the restart.
+#[test]
+fn crash_scenarios_hold_every_invariant_across_mechanisms() {
+    for mech in mechanisms() {
+        for seed in 0..60u64 {
+            let scenario = ChaosScenario::generate_with_crashes(seed, mech);
+            assert!(scenario.plan.has_crashes(), "seed {seed}");
+            let report = run_scenario(&scenario, true);
+            assert!(
+                report.violations.is_empty(),
+                "crash seed {seed} under {} violated {:#?}\nreplay: cargo run --release \
+                 --bin sdnlab -- chaos --crash --replay '{}'",
+                mech.label(),
+                report.violations,
+                scenario.to_spec()
+            );
+        }
+    }
+}
+
+/// A deterministic crash cell that trips the epoch guard when sabotaged:
+/// a mid-run crash with survivors in the buffer (the ingress delay keeps
+/// responses in flight when the crash hits) and a flow timeout short
+/// enough to re-request across the restart.
+fn epoch_guard_scenario() -> ChaosScenario {
+    let mut plan = FaultPlan {
+        seed: 1,
+        ..FaultPlan::default()
+    };
+    plan.crashes
+        .push(Window::new(Nanos::from_millis(52), Nanos::from_millis(82)));
+    plan.to_controller.delay = Nanos::from_micros(300);
+    ChaosScenario {
+        mech: BufferMode::FlowGranularity {
+            capacity: 256,
+            timeout: Nanos::from_millis(10),
+        },
+        workload: WorkloadKind::CrossSequenced {
+            n_flows: 4,
+            packets_per_flow: 3,
+            group_size: 2,
+        },
+        rate_mbps: 40,
+        seed: 2,
+        plan,
+        recovery: RecoveryKnobs::default(),
+        standby: None,
+    }
+}
+
+/// The flight dump captured for a violating *crash* scenario embeds a
+/// spec that replays to the same digest and the same violations — crash
+/// evidence is as actionable as the stall/loss kind.
+#[test]
+fn crash_flight_dump_replays_to_the_same_violation() {
+    let scenario = epoch_guard_scenario();
+    let report = run_scenario(&scenario, Sabotage::no_epoch_guard());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "no-cross-epoch-drain"),
+        "the sabotaged epoch guard must trip no-cross-epoch-drain, got {:#?}",
+        report.violations
+    );
+
+    let min = minimize(&scenario, Sabotage::no_epoch_guard());
+    assert!(
+        !min.plan.crashes.is_empty(),
+        "the shrinker must keep the crash window (the cause)"
+    );
+    let dump = flight_dump(&min, Sabotage::no_epoch_guard());
+    assert!(!dump.violations.is_empty());
+    assert!(!dump.tail.is_empty(), "the dump must carry an event tail");
+
+    let spec = dump.spec.as_deref().expect("chaos dumps embed their spec");
+    let replayed = ChaosScenario::parse(spec).expect("embedded spec must parse");
+    let rerun = run_scenario(&replayed, Sabotage::no_epoch_guard());
+    assert_eq!(
+        rerun.digest, dump.digest,
+        "replaying the embedded spec must reproduce the dumped digest"
+    );
+    let dumped: Vec<&str> = dump.violations.iter().map(|(i, _)| i.as_str()).collect();
+    let again: Vec<&str> = rerun.violations.iter().map(|v| v.invariant).collect();
+    assert_eq!(dumped, again, "replay must reproduce the dumped violations");
+}
+
+/// A warm standby bounds the outage: with a crash window longer than the
+/// run, only the takeover keeps the control plane alive — the cell still
+/// passes every invariant, records the takeover, and completes the
+/// workload with every flow delivered or accounted.
+#[test]
+fn warm_standby_rides_through_a_crash_that_outlives_the_run() {
+    let mut plan = FaultPlan {
+        seed: 3,
+        ..FaultPlan::default()
+    };
+    plan.crashes
+        .push(Window::new(Nanos::from_millis(52), Nanos::from_secs(10)));
+    let scenario = ChaosScenario {
+        standby: Some(StandbyKnobs {
+            warm: true,
+            takeover_delay: Nanos::from_millis(8),
+        }),
+        ..ChaosScenario {
+            plan,
+            ..epoch_guard_scenario()
+        }
+    };
+    let spec = scenario.to_spec();
+    assert_eq!(
+        ChaosScenario::parse(&spec).expect(&spec),
+        scenario,
+        "standby knobs must round-trip through the spec: {spec}"
+    );
+    let report = run_scenario(&scenario, Sabotage::none());
+    assert!(
+        report.violations.is_empty(),
+        "standby cell violated {:#?}",
+        report.violations
+    );
+    assert_eq!(report.result.failover_takeovers, 1, "{:#?}", report.result);
+    assert!(report.result.epoch_bumps >= 1, "{:#?}", report.result);
 }

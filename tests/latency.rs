@@ -141,7 +141,7 @@ fn cell_report_equals_merged_run_reports() {
 fn flight_dump_replays_to_the_same_violation() {
     let sabotage = Sabotage {
         disable_rerequest: true,
-        disable_ttl_gc: false,
+        ..Sabotage::default()
     };
     let mech = BufferMode::FlowGranularity {
         capacity: 256,
